@@ -1,0 +1,1 @@
+bin/hybridize.ml: Arg Cmd Cmdliner Fat_binary List Multiverse Override_config Printf String Term Toolchain

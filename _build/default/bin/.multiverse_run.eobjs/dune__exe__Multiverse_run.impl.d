@@ -1,0 +1,1 @@
+bin/multiverse_run.ml: Arg Cmd Cmdliner Filename List Multiverse Mv_aerokernel Mv_hvm Mv_racket Mv_ros Mv_util Mv_workloads Printf Runtime Term Toolchain

@@ -1,0 +1,1 @@
+bin/multiverse_run.mli:

@@ -1,0 +1,1 @@
+bin/mvtrace.ml: Array Format List Multiverse Mv_engine Mv_ros Mv_util Mv_workloads Option Printf String Sys Toolchain

@@ -1,0 +1,1 @@
+bin/racket_repl.ml: Array Multiverse Mv_aerokernel Mv_engine Mv_guest Mv_hvm Mv_racket Mv_ros Printf Runtime String Sys Toolchain

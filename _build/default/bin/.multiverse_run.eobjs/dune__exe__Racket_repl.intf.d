@@ -1,0 +1,1 @@
+bin/racket_repl.mli:

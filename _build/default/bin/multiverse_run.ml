@@ -1,0 +1,123 @@
+(* multiverse_run: run a benchmark (or a Scheme file) under a chosen
+   execution mode on the simulated machine, and report the paper's
+   metrics.
+
+   Examples:
+     dune exec bin/multiverse_run.exe -- --bench binary-tree-2 --mode multiverse
+     dune exec bin/multiverse_run.exe -- --bench n-body -n 500 --mode native --stats
+     dune exec bin/multiverse_run.exe -- --file prog.scm --mode multiverse --porting full
+     dune exec bin/multiverse_run.exe -- --list *)
+
+open Multiverse
+open Cmdliner
+
+let run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog =
+  let options =
+    {
+      Toolchain.mv_channel =
+        (if sync_channel then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
+      mv_symbol_cache = symbol_cache;
+      mv_porting =
+        (match porting with
+        | "none" -> Runtime.no_porting
+        | "mmap" -> { Runtime.port_mmap = true; port_signals = false; port_faults = false }
+        | "faults" -> { Runtime.port_mmap = true; port_signals = false; port_faults = true }
+        | "full" -> Runtime.full_porting
+        | other -> failwith ("unknown porting level: " ^ other));
+    }
+  in
+  let rs =
+    match mode with
+    | "native" -> Toolchain.run_native prog
+    | "virtual" -> Toolchain.run_virtual prog
+    | "multiverse" -> Toolchain.run_multiverse ~options (Toolchain.hybridize prog)
+    | other -> failwith ("unknown mode: " ^ other)
+  in
+  if not quiet then print_string rs.Toolchain.rs_stdout;
+  Printf.eprintf "\n[%s] wall %.4f s | %d syscalls | %d page faults | maxrss %d KB | exit %d\n"
+    rs.Toolchain.rs_mode (Toolchain.wall_seconds rs) (Toolchain.total_syscalls rs)
+    rs.Toolchain.rs_rusage.Mv_ros.Rusage.minflt rs.Toolchain.rs_rusage.Mv_ros.Rusage.maxrss_kb
+    rs.Toolchain.rs_exit_code;
+  (match rs.Toolchain.rs_runtime with
+  | Some rt ->
+      let nk = Runtime.nk rt in
+      Printf.eprintf
+        "[multiverse] groups %d | forwarded: %d syscalls, %d faults | re-merges %d | local faults %d\n"
+        (Runtime.groups_created rt)
+        (Mv_aerokernel.Nautilus.stats_syscalls_forwarded nk)
+        (Mv_aerokernel.Nautilus.stats_faults_forwarded nk)
+        (Mv_aerokernel.Nautilus.stats_remerges nk)
+        (Runtime.faults_serviced_locally rt)
+  | None -> ());
+  if stats then begin
+    Printf.eprintf "\nsystem calls:\n";
+    List.iter
+      (fun (name, count) -> Printf.eprintf "  %-20s %8d\n" name count)
+      (Mv_util.Histogram.to_sorted_list rs.Toolchain.rs_syscalls)
+  end
+
+let main bench file n mode porting sync_channel symbol_cache stats quiet list_benches =
+  if list_benches then begin
+    List.iter
+      (fun b ->
+        Printf.printf "%-16s (test n=%d, bench n=%d)\n" b.Mv_workloads.Benchmarks.b_name
+          b.Mv_workloads.Benchmarks.b_test_n b.Mv_workloads.Benchmarks.b_bench_n)
+      Mv_workloads.Benchmarks.all;
+    `Ok ()
+  end
+  else
+    match (bench, file) with
+    | Some name, _ -> (
+        match Mv_workloads.Benchmarks.find name with
+        | b ->
+            let n = match n with Some n -> n | None -> b.Mv_workloads.Benchmarks.b_test_n in
+            run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet
+              (Mv_workloads.Benchmarks.program b ~n);
+            `Ok ()
+        | exception Not_found -> `Error (false, "unknown benchmark " ^ name))
+    | None, Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        let prog =
+          {
+            Toolchain.prog_name = Filename.basename path;
+            prog_main =
+              (fun env ->
+                let engine = Mv_racket.Engine.start env in
+                Mv_racket.Engine.run_program engine src);
+          }
+        in
+        run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog;
+        `Ok ()
+    | None, None -> `Error (true, "pass --bench NAME or --file PROG.scm (or --list)")
+
+let cmd =
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Scheme source file to run through the Racket engine.")
+  in
+  let n = Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Problem size.") in
+  let mode =
+    Arg.(value & opt string "native" & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"native | virtual | multiverse.")
+  in
+  let porting =
+    Arg.(value & opt string "none" & info [ "porting" ] ~docv:"LEVEL" ~doc:"none | mmap | faults | full (multiverse only).")
+  in
+  let sync_channel = Arg.(value & flag & info [ "sync-channel" ] ~doc:"Use synchronous (polling) event channels.") in
+  let symbol_cache = Arg.(value & flag & info [ "symbol-cache" ] ~doc:"Enable the override symbol cache.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the per-syscall histogram.") in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's stdout.") in
+  let list_benches = Arg.(value & flag & info [ "list" ] ~doc:"List benchmarks.") in
+  let term =
+    Term.(
+      ret
+        (const main $ bench $ file $ n $ mode $ porting $ sync_channel $ symbol_cache $ stats
+       $ quiet $ list_benches))
+  in
+  Cmd.v (Cmd.info "multiverse_run" ~doc:"Run workloads on the Multiverse simulation") term
+
+let () = exit (Cmd.eval cmd)

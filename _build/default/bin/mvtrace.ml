@@ -1,0 +1,76 @@
+(* mvtrace: run a workload with event tracing and summarize where its
+   Linux-ABI interactions come from — the analysis a developer does before
+   deciding what to port to the AeroKernel (the paper's incremental
+   model: "identify hot spots in the legacy interface").
+
+     dune exec bin/mvtrace.exe -- binary-tree-2 [n] [--mode multiverse]
+     dune exec bin/mvtrace.exe -- fasta 500 --raw 20 *)
+
+open Multiverse
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse bench n mode raw = function
+    | [] -> (bench, n, mode, raw)
+    | "--mode" :: m :: rest -> parse bench n m raw rest
+    | "--raw" :: k :: rest -> parse bench n mode (int_of_string k) rest
+    | a :: rest when int_of_string_opt a <> None ->
+        parse bench (int_of_string_opt a) mode raw rest
+    | a :: rest -> parse (Some a) n mode raw rest
+  in
+  let bench, n, mode, raw = parse None None "native" 0 args in
+  let name = Option.value bench ~default:"binary-tree-2" in
+  let b = Mv_workloads.Benchmarks.find name in
+  let n = Option.value n ~default:b.Mv_workloads.Benchmarks.b_test_n in
+  let prog = Mv_workloads.Benchmarks.program b ~n in
+  Printf.printf "tracing %s (n=%d) under %s...\n%!" name n mode;
+  let rs =
+    match mode with
+    | "native" -> Toolchain.run_native ~trace:true prog
+    | "virtual" -> Toolchain.run_virtual ~trace:true prog
+    | "multiverse" -> Toolchain.run_multiverse ~trace:true (Toolchain.hybridize prog)
+    | m -> failwith ("unknown mode " ^ m)
+  in
+  let records =
+    Mv_engine.Trace.records_in rs.Toolchain.rs_machine.Mv_engine.Machine.trace
+      ~category:"pagefault"
+  in
+  Printf.printf "\nwall %.4f s | %d syscalls | %d page faults (%d traced)\n\n"
+    (Toolchain.wall_seconds rs) (Toolchain.total_syscalls rs)
+    rs.Toolchain.rs_rusage.Mv_ros.Rusage.minflt (List.length records);
+  (* Fault histogram by VMA kind: which memory is faulting? *)
+  let by_kind = Mv_util.Histogram.create () in
+  let writes = ref 0 in
+  List.iter
+    (fun r ->
+      let msg = r.Mv_engine.Trace.message in
+      (match String.index_opt msg '=' with
+      | Some _ -> (
+          (* "pid=1 vma=<kind>+<off> w=<bool>" *)
+          match String.split_on_char ' ' msg with
+          | [ _pid; vma; w ] ->
+              let kind =
+                match String.split_on_char '=' vma with
+                | [ _; v ] -> ( match String.index_opt v '+' with
+                    | Some i -> String.sub v 0 i
+                    | None -> v)
+                | _ -> "?"
+              in
+              Mv_util.Histogram.incr by_kind kind;
+              if w = "w=true" then incr writes
+          | _ -> Mv_util.Histogram.incr by_kind "?")
+      | None -> Mv_util.Histogram.incr by_kind "?"))
+    records;
+  Printf.printf "page faults by memory region (porting targets on top):\n";
+  Format.printf "%a@." (Mv_util.Histogram.pp_bars ~width:36) by_kind;
+  Printf.printf "writes: %d / reads: %d\n\n" !writes (List.length records - !writes);
+  Printf.printf "system calls:\n";
+  Format.printf "%a@." (Mv_util.Histogram.pp_bars ~width:36) rs.Toolchain.rs_syscalls;
+  if raw > 0 then begin
+    Printf.printf "\nfirst %d fault records:\n" raw;
+    List.iteri
+      (fun i r ->
+        if i < raw then
+          Printf.printf "  [%12d cyc] %s\n" r.Mv_engine.Trace.at r.Mv_engine.Trace.message)
+      records
+  end

@@ -1,0 +1,72 @@
+(* An interactive hybridized Racket REPL.
+
+   The Scheme session runs inside the simulation — by default as a
+   kernel-mode HRT, with every read(2)/write(2) forwarded over event
+   channels — while this process bridges your real terminal to the
+   simulated console.  The simulation quiesces exactly when the REPL
+   blocks on stdin, so the bridge alternates: drain events, read a host
+   line, feed it in.
+
+     dune exec bin/racket_repl.exe            # hybridized (the default)
+     dune exec bin/racket_repl.exe -- native  # plain user-level run *)
+
+open Multiverse
+module Machine = Mv_engine.Machine
+module Sim = Mv_engine.Sim
+
+let () =
+  let native = Array.length Sys.argv > 1 && Sys.argv.(1) = "native" in
+  let consumed = ref 0 in
+  let tee _ = () in
+  (* Build the stack by hand so we can pump the simulation interactively. *)
+  let machine = Machine.create () in
+  let kernel = Mv_ros.Kernel.create ~virtualized:(not native) machine in
+  let proc_box = ref None in
+  let start_repl p env =
+    let engine = Mv_racket.Engine.start env in
+    Mv_racket.Engine.repl engine;
+    ignore p
+  in
+  (if native then
+     ignore
+       (Mv_ros.Kernel.spawn_process kernel ~name:"racket" ~stdout_tee:tee (fun p ->
+            proc_box := Some p;
+            start_repl p (Mv_guest.Env.native kernel p)))
+   else begin
+     let hvm = Mv_hvm.Hvm.create machine ~ros:kernel in
+     let nk = Mv_aerokernel.Nautilus.create machine in
+     let fat =
+       (Toolchain.hybridize { Toolchain.prog_name = "racket"; prog_main = (fun _ -> ()) })
+         .Toolchain.hx_fat
+     in
+     ignore
+       (Mv_ros.Kernel.spawn_process kernel ~name:"racket" ~stdout_tee:tee (fun p ->
+            proc_box := Some p;
+            let rt = Runtime.init ~hvm ~proc:p ~fat ~nk () in
+            let partner = Runtime.hrt_invoke rt ~name:"repl" (fun env -> start_repl p env) in
+            Runtime.join rt partner))
+   end);
+  Printf.printf "Multiverse Racket REPL (%s mode) — Ctrl-D to exit\n%!"
+    (if native then "native" else "kernel-mode HRT");
+  let rec pump () =
+    Sim.run machine.Machine.sim;
+    match !proc_box with
+    | None -> ()
+    | Some p ->
+        (* Show whatever the simulated console produced since last time. *)
+        let out = Mv_ros.Process.stdout_contents p in
+        if String.length out > !consumed then begin
+          print_string (String.sub out !consumed (String.length out - !consumed));
+          flush stdout;
+          consumed := String.length out
+        end;
+        if not p.Mv_ros.Process.exited then (
+          match input_line stdin with
+          | line ->
+              Mv_ros.Vfs.feed p.Mv_ros.Process.stdin (line ^ "\n");
+              pump ()
+          | exception End_of_file ->
+              Mv_ros.Vfs.close_stream p.Mv_ros.Process.stdin;
+              pump ())
+  in
+  pump ()

@@ -1,0 +1,1 @@
+examples/gc_workload.ml: Array Multiverse Mv_aerokernel Mv_ros Mv_util Mv_workloads Printf Runtime Sys Toolchain

@@ -1,0 +1,1 @@
+examples/hpcg_native.ml: Array Hpcg List Mv_aerokernel Mv_engine Mv_guest Mv_hw Mv_parallel Mv_ros Mv_util Option Pool Printf Sys

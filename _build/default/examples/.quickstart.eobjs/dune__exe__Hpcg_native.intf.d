@@ -1,0 +1,1 @@
+examples/hpcg_native.mli:

@@ -1,0 +1,1 @@
+examples/incremental_porting.ml: Array List Multiverse Mv_util Mv_workloads Option Printf Runtime Sys Toolchain

@@ -1,0 +1,1 @@
+examples/nesl_vcode.ml: Format List Mv_aerokernel Mv_engine Mv_guest Mv_hw Mv_parallel Mv_ros Mv_util Mv_vcode Printf Samples String Vcode

@@ -1,0 +1,1 @@
+examples/nesl_vcode.mli:

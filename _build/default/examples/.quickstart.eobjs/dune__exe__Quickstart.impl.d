@@ -1,0 +1,1 @@
+examples/quickstart.ml: Multiverse Mv_aerokernel Mv_guest Mv_util Printf Runtime Toolchain

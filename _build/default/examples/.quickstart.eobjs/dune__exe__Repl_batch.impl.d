@@ -1,0 +1,1 @@
+examples/repl_batch.ml: Multiverse Mv_aerokernel Mv_racket Printf Runtime Toolchain

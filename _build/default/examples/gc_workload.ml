@@ -1,0 +1,48 @@
+(* A GC-bound workload across all three execution modes.
+
+   Runs the binary-tree-2 benchmark (the paper's GC stress test) natively,
+   under virtualization, and as an automatically hybridized HRT, and
+   breaks down where the Multiverse overhead comes from: forwarded page
+   faults and forwarded system calls.
+
+   Run with:  dune exec examples/gc_workload.exe [n]   (default n=10) *)
+
+open Multiverse
+module H = Mv_util.Histogram
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 10 in
+  let b = Mv_workloads.Benchmarks.find "binary-tree-2" in
+  let prog = Mv_workloads.Benchmarks.program b ~n in
+  Printf.printf "binary-tree-2, max depth %d\n\n" n;
+  let rs_n = Toolchain.run_native prog in
+  let rs_v = Toolchain.run_virtual prog in
+  let rs_m = Toolchain.run_multiverse (Toolchain.hybridize prog) in
+  assert (rs_n.Toolchain.rs_stdout = rs_m.Toolchain.rs_stdout);
+  print_string rs_n.Toolchain.rs_stdout;
+  let t = Mv_util.Table.create ~headers:[ "Mode"; "Wall (s)"; "Syscalls"; "Page faults" ] in
+  let row name rs =
+    Mv_util.Table.add_row t
+      [ name;
+        Printf.sprintf "%.4f" (Toolchain.wall_seconds rs);
+        string_of_int (Toolchain.total_syscalls rs);
+        string_of_int rs.Toolchain.rs_rusage.Mv_ros.Rusage.minflt;
+      ]
+  in
+  row "native" rs_n;
+  row "virtual" rs_v;
+  row "multiverse" rs_m;
+  print_newline ();
+  print_string (Mv_util.Table.to_string t);
+  match rs_m.Toolchain.rs_runtime with
+  | Some rt ->
+      let nk = Runtime.nk rt in
+      Printf.printf
+        "\nMultiverse forwarding: %d page faults and %d syscalls crossed the\n\
+         ROS<->HRT boundary (plus %d PML4 re-merges); the GC's mmap/mprotect/\n\
+         SIGSEGV traffic is what makes this benchmark expensive to hybridize\n\
+         without porting (see examples/incremental_porting.exe).\n"
+        (Mv_aerokernel.Nautilus.stats_faults_forwarded nk)
+        (Mv_aerokernel.Nautilus.stats_syscalls_forwarded nk)
+        (Mv_aerokernel.Nautilus.stats_remerges nk)
+  | None -> ()

@@ -1,0 +1,63 @@
+(* Quickstart: the paper's Figure 4 and Figure 5 examples.
+
+   A user program creates an HRT thread which calls an AeroKernel function
+   directly and then uses plain printf() — which works because the merged
+   address space makes the libc linkage valid and the event channels
+   forward the eventual write(2) to the ROS.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Multiverse
+
+let () =
+  print_endline "--- Figure 4: hrt_invoke_func + aerokernel_func + printf ---";
+  let rs =
+    Toolchain.run_accelerator ~name:"quickstart" (fun ~ros_env ~rt ->
+        let nk = Runtime.nk rt in
+        (* The AeroKernel developer exports a function... *)
+        let result = ref 0 in
+        Mv_aerokernel.Nautilus.register_func nk ~name:"aerokernel_func" ~cost:300
+          (fun () -> result := 42);
+        (* ...and the user code runs it from kernel mode. *)
+        let partner =
+          Runtime.hrt_invoke rt ~name:"routine" (fun env ->
+              Mv_aerokernel.Nautilus.call_func nk ~name:"aerokernel_func";
+              let libc = Mv_guest.Libc.create env in
+              Mv_guest.Libc.printf libc "Result = %d\n" !result;
+              Mv_guest.Libc.flush_all libc)
+        in
+        Runtime.join rt partner;
+        ignore ros_env)
+  in
+  print_string rs.Toolchain.rs_stdout;
+  Printf.printf "(ran as an HRT: %d syscalls forwarded, %d hypercalls)\n\n"
+    (match rs.Toolchain.rs_runtime with
+    | Some rt -> Mv_aerokernel.Nautilus.stats_syscalls_forwarded (Runtime.nk rt)
+    | None -> 0)
+    (Mv_util.Histogram.total rs.Toolchain.rs_syscalls);
+
+  print_endline "--- Figure 5: the same via the pthread_create override ---";
+  let prog =
+    {
+      Toolchain.prog_name = "quickstart-pthread";
+      prog_main =
+        (fun env ->
+          let libc = Mv_guest.Libc.create env in
+          let t =
+            env.Mv_guest.Env.thread_create ~name:"routine" (fun () ->
+                Mv_guest.Libc.printf libc "Result = %d\n" (2 * 21))
+          in
+          env.Mv_guest.Env.thread_join t;
+          Mv_guest.Libc.flush_all libc);
+    }
+  in
+  let rs = Toolchain.run_multiverse (Toolchain.hybridize prog) in
+  print_string rs.Toolchain.rs_stdout;
+  (match rs.Toolchain.rs_runtime with
+  | Some rt ->
+      Printf.printf
+        "(pthread_create was interposed: %d execution groups, %d override calls,\n\
+        \ zero clone(2) syscalls: %b)\n"
+        (Runtime.groups_created rt) (Runtime.overridden_calls rt)
+        (Mv_util.Histogram.count rs.Toolchain.rs_syscalls "clone" = 0)
+  | None -> ())

@@ -1,0 +1,1 @@
+lib/aerokernel/nautilus.ml: Addr Array Costs Cpu Hashtbl List Mmu Mv_engine Mv_hw Page_table Queue Tlb Topology

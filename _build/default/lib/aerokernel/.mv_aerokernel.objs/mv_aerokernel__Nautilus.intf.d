@@ -1,0 +1,1 @@
+lib/aerokernel/nautilus.mli: Mv_engine Mv_hw

@@ -1,0 +1,250 @@
+open Mv_hw
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+
+type fault_reply = Fault_fixed | Fault_fatal of string
+
+type services = {
+  svc_forward_fault : Addr.t -> write:bool -> fault_reply;
+  svc_forward_syscall : string -> (unit -> unit) -> unit;
+  svc_request_remerge : unit -> Page_table.t;
+}
+
+type create_request = {
+  cr_name : string;
+  cr_core : int;
+  cr_body : unit -> unit;
+  cr_reply : Exec.thread -> unit;
+}
+
+type nk_func = { fn_addr : Addr.t; fn_cost : int; fn_impl : unit -> unit }
+
+type t = {
+  machine : Machine.t;
+  hrt_cores : int list;
+  pt : Page_table.t;
+  mutable booted : boolean_state;
+  mutable boots : int;
+  mutable services : services option;
+  mutable merged_from : Page_table.t option;
+  recent_fault : (int, int) Hashtbl.t;  (* core -> last forwarded fault page *)
+  request_q : create_request Queue.t;
+  mutable loop_wake : (unit -> unit) option;  (* event loop parked here *)
+  mutable threads : Exec.thread list;
+  funcs : (string, nk_func) Hashtbl.t;
+  mutable next_func_addr : Addr.t;
+  mutable n_faults_forwarded : int;
+  mutable n_remerges : int;
+  mutable n_syscalls_forwarded : int;
+  mutable n_silent_writes : int;
+}
+
+and boolean_state = Not_booted | Booting | Booted
+
+let create machine =
+  let hrt_cores = Topology.hrt_cores machine.Machine.topo in
+  if hrt_cores = [] then invalid_arg "Nautilus.create: machine has no HRT cores";
+  let pt = Page_table.create () in
+  (* Identity-map the physical address space into the higher half; we model
+     it as a single presence marker mapping (contents are never read). *)
+  Page_table.map pt Addr.higher_half_base ~frame:0
+    ~flags:Page_table.(f_present lor f_writable);
+  (* Configure the architectural state of every HRT core: ring 0, IST
+     interrupt stacks (the red-zone fix), and CR0.WP so that ring-0 writes
+     respect read-only PTEs (Section 4.4). *)
+  List.iter
+    (fun core ->
+      let cpu = machine.Machine.cpus.(core) in
+      cpu.Cpu.ring <- 0;
+      cpu.Cpu.cr0_wp <- true;
+      cpu.Cpu.ist_configured <- true)
+    hrt_cores;
+  {
+    machine;
+    hrt_cores;
+    pt;
+    booted = Not_booted;
+    boots = 0;
+    services = None;
+    merged_from = None;
+    recent_fault = Hashtbl.create 8;
+    request_q = Queue.create ();
+    loop_wake = None;
+    threads = [];
+    funcs = Hashtbl.create 32;
+    next_func_addr = Addr.higher_half_base + 0x100000;
+    n_faults_forwarded = 0;
+    n_remerges = 0;
+    n_syscalls_forwarded = 0;
+    n_silent_writes = 0;
+  }
+
+let machine t = t.machine
+
+let set_wp t flag =
+  List.iter (fun core -> t.machine.Machine.cpus.(core).Cpu.cr0_wp <- flag) t.hrt_cores
+let page_table t = t.pt
+let booted t = t.booted = Booted
+let set_services t svc = t.services <- Some svc
+
+let services t =
+  match t.services with
+  | Some s -> s
+  | None -> failwith "Nautilus: ROS services not wired (no HVM?)"
+
+let default_core t = List.hd t.hrt_cores
+
+(* --- event loop --- *)
+
+let rec event_loop t () =
+  match Queue.take_opt t.request_q with
+  | Some req ->
+      Machine.charge t.machine t.machine.Machine.costs.Costs.thread_create_nk;
+      let th = Exec.spawn t.machine.Machine.exec ~cpu:req.cr_core ~name:req.cr_name req.cr_body in
+      t.threads <- th :: t.threads;
+      req.cr_reply th;
+      event_loop t ()
+  | None ->
+      Exec.block t.machine.Machine.exec ~reason:"nk-event-loop" (fun ~now:_ ~wake ->
+          t.loop_wake <- Some (fun () -> wake ()));
+      event_loop t ()
+
+let boot t =
+  (* Boot (or reboot) takes milliseconds — on par with fork+exec (paper,
+     Section 2) — and ends in the event loop awaiting requests. *)
+  t.booted <- Booting;
+  t.boots <- t.boots + 1;
+  Machine.charge t.machine t.machine.Machine.costs.Costs.hrt_boot;
+  Hashtbl.reset t.recent_fault;
+  if t.boots = 1 then
+    ignore
+      (Exec.spawn t.machine.Machine.exec ~cpu:(default_core t) ~name:"nk/event-loop"
+         (event_loop t));
+  t.booted <- Booted
+
+let kick_loop t =
+  match t.loop_wake with
+  | Some wake ->
+      t.loop_wake <- None;
+      wake ()
+  | None -> ()
+
+let request_create_thread t ~name ?core body =
+  if t.booted <> Booted then failwith "Nautilus: not booted";
+  let core = match core with Some c -> c | None -> default_core t in
+  Exec.block t.machine.Machine.exec ~reason:"nk-create-thread" (fun ~now:_ ~wake ->
+      Queue.add { cr_name = name; cr_core = core; cr_body = body; cr_reply = wake }
+        t.request_q;
+      kick_loop t)
+
+let create_thread_local t ~name ?core body =
+  let core = match core with Some c -> c | None -> default_core t in
+  Machine.charge t.machine t.machine.Machine.costs.Costs.thread_create_nk;
+  let th = Exec.spawn t.machine.Machine.exec ~cpu:core ~name body in
+  t.threads <- th :: t.threads;
+  th
+
+let join_thread t th = Exec.join t.machine.Machine.exec th
+let thread_count t = List.length t.threads
+
+(* --- memory --- *)
+
+let shootdown t =
+  let costs = t.machine.Machine.costs in
+  List.iter
+    (fun core ->
+      Tlb.flush t.machine.Machine.cpus.(core).Cpu.tlb;
+      Machine.charge t.machine costs.Costs.tlb_shootdown_percore)
+    t.hrt_cores
+
+let merge_lower_half t ~from =
+  ignore (Page_table.copy_lower_half ~src:from ~dst:t.pt);
+  t.merged_from <- Some from;
+  shootdown t
+
+let remerge t =
+  let svc = services t in
+  let from = svc.svc_request_remerge () in
+  t.n_remerges <- t.n_remerges + 1;
+  Machine.charge t.machine t.machine.Machine.costs.Costs.merge_address_space;
+  merge_lower_half t ~from
+
+let access t addr ~write =
+  let costs = t.machine.Machine.costs in
+  let exec = t.machine.Machine.exec in
+  let core = Exec.cpu_of (Exec.self exec) in
+  let cpu = t.machine.Machine.cpus.(core) in
+  if cpu.Cpu.cr3 <> Page_table.id t.pt then Cpu.load_cr3 cpu t.pt;
+  let kind = if write then Mmu.Write else Mmu.Read in
+  let page = Addr.page_of addr in
+  let rec attempt tries =
+    if tries > 16 then failwith "Nautilus.access: unresolvable fault"
+    else
+      match Mmu.access costs cpu t.pt addr kind with
+      | Mmu.Hit (_, cost) -> Machine.charge t.machine cost
+      | Mmu.Silent_write (_, cost) ->
+          (* Unreachable while CR0.WP is set; with WP cleared this is
+             exactly the paper's "mysterious memory corruption": the write
+             lands on a page that was meant to be protected. *)
+          Machine.charge t.machine cost;
+          t.n_silent_writes <- t.n_silent_writes + 1
+      | Mmu.Fault (_, cost) ->
+          Machine.charge t.machine cost;
+          if Addr.is_higher_half addr then
+            failwith "Nautilus.access: fault in AeroKernel half"
+          else begin
+            (* Vector through the IDT onto the IST stack. *)
+            Machine.charge t.machine costs.Costs.interrupt_dispatch;
+            (match Hashtbl.find_opt t.recent_fault core with
+            | Some last_page when last_page = page && t.merged_from <> None ->
+                (* Same page faulted twice in a row: our PML4 copy is
+                   stale; re-merge instead of forwarding again. *)
+                Hashtbl.remove t.recent_fault core;
+                remerge t
+            | Some _ | None -> (
+                Hashtbl.replace t.recent_fault core page;
+                t.n_faults_forwarded <- t.n_faults_forwarded + 1;
+                let svc = services t in
+                match svc.svc_forward_fault addr ~write with
+                | Fault_fixed -> ()
+                | Fault_fatal reason ->
+                    failwith ("Nautilus.access: ROS reports fatal fault: " ^ reason)));
+            attempt (tries + 1)
+          end
+  in
+  attempt 0
+
+(* --- syscalls --- *)
+
+let syscall t ~name work =
+  let costs = t.machine.Machine.costs in
+  (* Ring-0 to ring-0 SYSCALL: the trap itself, the stack-pointer pull that
+     protects the red zone, and the emulated SYSRET on the way back. *)
+  Machine.charge t.machine
+    (costs.Costs.syscall_trap + costs.Costs.redzone_stack_pull
+   + costs.Costs.sysret_emulation);
+  t.n_syscalls_forwarded <- t.n_syscalls_forwarded + 1;
+  (services t).svc_forward_syscall name work
+
+(* --- exported functions --- *)
+
+let register_func t ~name ~cost impl =
+  let addr = t.next_func_addr in
+  t.next_func_addr <- t.next_func_addr + 0x1000;
+  Hashtbl.replace t.funcs name { fn_addr = addr; fn_cost = cost; fn_impl = impl }
+
+let func_address t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> Some f.fn_addr
+  | None -> None
+
+let call_func t ~name =
+  let f = Hashtbl.find t.funcs name in
+  Machine.charge t.machine f.fn_cost;
+  f.fn_impl ()
+
+let stats_silent_writes t = t.n_silent_writes
+let stats_faults_forwarded t = t.n_faults_forwarded
+let stats_remerges t = t.n_remerges
+let stats_syscalls_forwarded t = t.n_syscalls_forwarded
+let boot_count t = t.boots

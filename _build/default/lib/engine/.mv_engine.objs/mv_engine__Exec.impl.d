@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Fiber Fun List Queue Sim

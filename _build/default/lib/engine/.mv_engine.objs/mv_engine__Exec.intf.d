@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Mv_util Sim

@@ -1,0 +1,1 @@
+lib/engine/machine.ml: Array Exec Mv_hw Sim Trace

@@ -1,0 +1,1 @@
+lib/engine/machine.mli: Exec Mv_hw Mv_util Sim Trace

@@ -1,0 +1,1 @@
+lib/engine/sim.mli: Mv_util Trace

@@ -1,0 +1,73 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0) unused when n = 0 *)
+  mutable n : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; n = 0; next_seq = 0 }
+let is_empty t = t.n = 0
+let size t = t.n
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.n >= cap then begin
+    let ncap = max 16 (cap * 2) in
+    let nh = Array.make ncap t.heap.(0) in
+    Array.blit t.heap 0 nh 0 t.n;
+    t.heap <- nh
+  end
+
+let push t ~time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.n = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 e;
+  grow t;
+  t.heap.(t.n) <- e;
+  t.n <- t.n + 1;
+  (* sift up *)
+  let i = ref (t.n - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(parent);
+    t.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.heap.(0) <- t.heap.(t.n);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.n && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.n = 0 then None else Some t.heap.(0).time

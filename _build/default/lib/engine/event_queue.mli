@@ -1,0 +1,17 @@
+(** Priority queue of timed events (binary min-heap).
+
+    Ordered by (time, insertion sequence) so simultaneous events fire in
+    insertion order, which keeps the whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)]. *)
+
+val peek_time : 'a t -> int option

@@ -1,0 +1,322 @@
+type thread_state = Ready | Running | Blocked of string | Finished
+
+type thread = {
+  t_id : int;
+  t_name : string;
+  t_cpu : int;
+  mutable t_state : thread_state;
+  mutable t_seg_start : int;
+  mutable t_charge : int;
+  mutable t_slice_base : int;  (* charge level at last slice reset *)
+  mutable t_block_end : int;  (* local time at which the last segment ended *)
+  mutable t_total : int;
+  mutable t_vcsw : int;
+  mutable t_ivcsw : int;
+  mutable t_resume : (unit -> unit) option;
+  mutable t_cancel : (exn -> unit) option;
+  mutable t_on_exit : (unit -> unit) list;
+  mutable t_exit_time : int;  (* virtual time of termination, once Finished *)
+}
+
+type cpu = {
+  c_id : int;
+  mutable c_busy_until : int;
+  c_runq : thread Queue.t;
+  mutable c_last_tid : int;
+  mutable c_switch_cost : int;
+  mutable c_slice : int option;
+  mutable c_switches : int;
+  mutable c_idle_expiries : int;
+      (* timer expiries with an empty run queue; every Nth models a
+         preemption by unrelated background work, as /usr/bin/time would
+         report on a real (non-idle) machine *)
+}
+
+type t = {
+  sim : Sim.t;
+  cpus : cpu array;
+  mutable current : thread option;
+  mutable ctx_now : int option;  (* timestamp override for callback windows *)
+  mutable next_tid : int;
+  mutable charge_hook : (thread -> int -> unit) option;
+}
+
+let create sim ~ncpus =
+  let cpus =
+    Array.init ncpus (fun i ->
+        {
+          c_id = i;
+          c_busy_until = 0;
+          c_runq = Queue.create ();
+          c_last_tid = -1;
+          c_switch_cost = 0;
+          c_slice = None;
+          c_switches = 0;
+          c_idle_expiries = 0;
+        })
+  in
+  { sim; cpus; current = None; ctx_now = None; next_tid = 0; charge_hook = None }
+
+let sim t = t.sim
+let ncpus t = Array.length t.cpus
+
+let set_cpu_params t ~cpu ?switch_cost ?slice () =
+  let c = t.cpus.(cpu) in
+  (match switch_cost with Some sc -> c.c_switch_cost <- sc | None -> ());
+  match slice with Some s -> c.c_slice <- s | None -> ()
+
+let local_now t =
+  match t.current with
+  | Some th -> th.t_seg_start + th.t_charge
+  | None -> ( match t.ctx_now with Some n -> n | None -> Sim.now t.sim)
+
+let with_ctx_now t now f =
+  let saved = t.ctx_now in
+  t.ctx_now <- Some now;
+  Fun.protect ~finally:(fun () -> t.ctx_now <- saved) f
+
+(* --- dispatch --- *)
+
+let rec dispatch t cpu () =
+  if t.current = None && not (Queue.is_empty cpu.c_runq) then begin
+    let now = Sim.now t.sim in
+    if now < cpu.c_busy_until then
+      Sim.schedule_at t.sim cpu.c_busy_until (dispatch t cpu)
+    else
+      match Queue.take_opt cpu.c_runq with
+      | None -> ()
+      | Some th when th.t_state <> Ready -> dispatch t cpu ()
+      | Some th -> run_segment t cpu th
+  end
+
+and request_dispatch t cpu ~at =
+  let at = max at (max cpu.c_busy_until (Sim.now t.sim)) in
+  Sim.schedule_at t.sim at (dispatch t cpu)
+
+and run_segment t cpu th =
+  let switch =
+    if cpu.c_last_tid <> th.t_id && cpu.c_last_tid >= 0 then begin
+      cpu.c_switches <- cpu.c_switches + 1;
+      cpu.c_switch_cost
+    end
+    else 0
+  in
+  cpu.c_last_tid <- th.t_id;
+  th.t_state <- Running;
+  th.t_seg_start <- max (Sim.now t.sim) cpu.c_busy_until + switch;
+  th.t_charge <- 0;
+  th.t_slice_base <- 0;
+  t.current <- Some th;
+  (match th.t_resume with
+  | Some k ->
+      th.t_resume <- None;
+      k ()
+  | None -> failwith "Exec: dispatching thread with no continuation");
+  (* The fiber has host-returned: it blocked, yielded, or finished; the
+     per-case bookkeeping already ran inside the fiber. *)
+  assert (t.current = None)
+
+(* Finalize the current segment; returns (thread, its end time). *)
+and end_segment t =
+  match t.current with
+  | None -> failwith "Exec: no running thread"
+  | Some th ->
+      let cpu = t.cpus.(th.t_cpu) in
+      let t_end = th.t_seg_start + th.t_charge in
+      th.t_total <- th.t_total + th.t_charge;
+      th.t_block_end <- t_end;
+      cpu.c_busy_until <- t_end;
+      t.current <- None;
+      request_dispatch t cpu ~at:t_end;
+      (th, t_end)
+
+and make_runnable t th ~at =
+  match th.t_state with
+  | Finished -> ()
+  | Running | Ready -> failwith "Exec: waking a thread that is not blocked"
+  | Blocked _ ->
+      th.t_state <- Ready;
+      enqueue_at t th ~at:(max at th.t_block_end)
+
+(* The run queue must only ever hold threads that are eligible to run {e at
+   the current virtual time}; otherwise a dispatch event scheduled for an
+   earlier time could start a thread before its wake time.  So the enqueue
+   itself is a timed event. *)
+and enqueue_at t th ~at =
+  let at = max at (Sim.now t.sim) in
+  Sim.schedule_at t.sim at (fun () ->
+      if th.t_state = Ready then begin
+        let cpu = t.cpus.(th.t_cpu) in
+        Queue.add th cpu.c_runq;
+        request_dispatch t cpu ~at
+      end)
+
+let self t =
+  match t.current with
+  | Some th -> th
+  | None -> failwith "Exec.self: no thread context"
+
+let block t ~reason register =
+  let th = self t in
+  th.t_vcsw <- th.t_vcsw + 1;
+  th.t_state <- Blocked reason;
+  let _, t_end = end_segment t in
+  Fiber.suspend (fun (resumer : _ Fiber.resumer) ->
+      th.t_cancel <- Some resumer.cancel;
+      let wake v =
+        if th.t_state <> Finished then begin
+          th.t_cancel <- None;
+          th.t_resume <- Some (fun () -> resumer.resume v);
+          make_runnable t th ~at:(local_now t)
+        end
+      in
+      with_ctx_now t t_end (fun () -> register ~now:t_end ~wake))
+
+let requeue_self t =
+  let th = self t in
+  th.t_state <- Blocked "yield";
+  let _, t_end = end_segment t in
+  Fiber.suspend (fun (resumer : unit Fiber.resumer) ->
+      th.t_cancel <- Some resumer.cancel;
+      th.t_resume <-
+        Some
+          (fun () ->
+            th.t_cancel <- None;
+            resumer.resume ());
+      th.t_state <- Ready;
+      let cpu = t.cpus.(th.t_cpu) in
+      Queue.add th cpu.c_runq;
+      request_dispatch t cpu ~at:t_end)
+
+let yield t =
+  let th = self t in
+  th.t_vcsw <- th.t_vcsw + 1;
+  requeue_self t
+
+let preempt t =
+  let th = self t in
+  th.t_ivcsw <- th.t_ivcsw + 1;
+  requeue_self t
+
+let set_charge_hook t hook = t.charge_hook <- Some hook
+
+let charge t c =
+  match t.current with
+  | None -> failwith "Exec.charge: no thread context"
+  | Some th -> (
+      th.t_charge <- th.t_charge + c;
+      (match t.charge_hook with Some hook -> hook th c | None -> ());
+      let cpu = t.cpus.(th.t_cpu) in
+      match cpu.c_slice with
+      | Some slice when th.t_charge - th.t_slice_base >= slice ->
+          if Queue.is_empty cpu.c_runq then begin
+            (* Timer fires but no local competitor: usually keep going,
+               but every 8th expiry a background task (kernel thread,
+               daemon) briefly takes the core. *)
+            th.t_slice_base <- th.t_charge;
+            cpu.c_idle_expiries <- cpu.c_idle_expiries + 1;
+            if cpu.c_idle_expiries land 7 = 0 then begin
+              th.t_ivcsw <- th.t_ivcsw + 1;
+              cpu.c_switches <- cpu.c_switches + 1;
+              th.t_charge <- th.t_charge + (2 * cpu.c_switch_cost)
+            end
+          end
+          else preempt t
+      | Some _ | None -> ())
+
+let sleep t delay =
+  block t ~reason:"sleep" (fun ~now ~wake ->
+      Sim.schedule_at t.sim (now + delay) (fun () -> wake ()))
+
+let spawn t ~cpu ~name body =
+  let id = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  let th =
+    {
+      t_id = id;
+      t_name = name;
+      t_cpu = cpu;
+      t_state = Blocked "spawn";
+      t_seg_start = 0;
+      t_charge = 0;
+      t_slice_base = 0;
+      t_block_end = local_now t;
+      t_total = 0;
+      t_vcsw = 0;
+      t_ivcsw = 0;
+      t_resume = None;
+      t_cancel = None;
+      t_on_exit = [];
+      t_exit_time = 0;
+    }
+  in
+  let finish () =
+    let th, t_end = end_segment t in
+    th.t_state <- Finished;
+    th.t_exit_time <- t_end;
+    let callbacks = List.rev th.t_on_exit in
+    th.t_on_exit <- [];
+    with_ctx_now t t_end (fun () -> List.iter (fun f -> f ()) callbacks)
+  in
+  th.t_resume <-
+    Some
+      (fun () ->
+        Fiber.run (fun () ->
+            match body () with
+            | () -> finish ()
+            | exception Fiber.Cancelled ->
+                (* Killed: {!kill} already did the bookkeeping, and the
+                   current segment belongs to the killer — do not touch it. *)
+                ()));
+  th.t_state <- Ready;
+  enqueue_at t th ~at:(local_now t);
+  th
+
+let kill t th =
+  match th.t_state with
+  | Finished -> ()
+  | Running -> invalid_arg "Exec.kill: cannot kill the running thread"
+  | Ready | Blocked _ ->
+      th.t_state <- Finished;
+      th.t_exit_time <- local_now t;
+      let callbacks = List.rev th.t_on_exit in
+      th.t_on_exit <- [];
+      let cancel = th.t_cancel in
+      th.t_cancel <- None;
+      th.t_resume <- None;
+      with_ctx_now t th.t_exit_time (fun () ->
+          (match cancel with Some c -> c Fiber.Cancelled | None -> ());
+          List.iter (fun f -> f ()) callbacks)
+
+let state _t th = th.t_state
+let name th = th.t_name
+let tid th = th.t_id
+let cpu_of th = th.t_cpu
+
+let on_exit t th fn =
+  match th.t_state with
+  | Finished ->
+      (* The target may have host-executed ahead of the caller's virtual
+         time; fire no earlier than its recorded exit time. *)
+      let at = max (local_now t) th.t_exit_time in
+      Sim.schedule_at t.sim (max at (Sim.now t.sim)) fn
+  | Ready | Running | Blocked _ -> th.t_on_exit <- fn :: th.t_on_exit
+
+let join t target =
+  match target.t_state with
+  | Finished when target.t_exit_time <= local_now t -> ()
+  | Finished ->
+      (* Finished in host order but, virtually, later than now: wait. *)
+      block t ~reason:("join " ^ target.t_name) (fun ~now:_ ~wake ->
+          Sim.schedule_at t.sim (max target.t_exit_time (Sim.now t.sim)) (fun () ->
+              wake ()))
+  | Ready | Running | Blocked _ ->
+      block t ~reason:("join " ^ target.t_name) (fun ~now:_ ~wake ->
+          target.t_on_exit <- (fun () -> wake ()) :: target.t_on_exit)
+
+let after t delay fn = Sim.schedule_at t.sim (local_now t + delay) fn
+
+let cpu_time th = th.t_total
+let voluntary_switches th = th.t_vcsw
+let involuntary_switches th = th.t_ivcsw
+let cpu_switches t ~cpu = t.cpus.(cpu).c_switches

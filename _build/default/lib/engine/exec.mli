@@ -1,0 +1,94 @@
+(** Simulated-thread executor: per-CPU dispatch in virtual time.
+
+    A thread is a fiber pinned to a CPU.  When dispatched it executes
+    OCaml code instantaneously in host time while accumulating virtual
+    cycles via {!charge}; the segment ends when the thread blocks, yields,
+    is preempted (slice expiry), or finishes, at which point the CPU is
+    busy until [segment_start + accumulated_charge].  All cross-thread
+    interaction must go through {!block}/wake, which keeps virtual-time
+    causality consistent even though segments are host-atomic.
+
+    Both the ROS scheduler and the AeroKernel build on this; they differ
+    only in switch cost and preemption policy (Linux preempts on a
+    timeslice, Nautilus threads are cooperative). *)
+
+type t
+type thread
+
+type thread_state = Ready | Running | Blocked of string | Finished
+
+val create : Sim.t -> ncpus:int -> t
+val sim : t -> Sim.t
+val ncpus : t -> int
+
+val set_cpu_params :
+  t -> cpu:int -> ?switch_cost:int -> ?slice:Mv_util.Cycles.t option -> unit -> unit
+(** Configure context-switch cost and the preemption quantum ([None] means
+    cooperative) for one CPU. *)
+
+(** {1 Thread lifecycle} *)
+
+val spawn : t -> cpu:int -> name:string -> (unit -> unit) -> thread
+(** Create a thread on [cpu], runnable as of the caller's local time.  The
+    body runs as a fiber; returning ends the thread. *)
+
+val kill : t -> thread -> unit
+(** Terminate a thread.  A blocked thread's fiber is unwound with
+    {!Fiber.Cancelled}; a ready thread is descheduled.  Killing the running
+    thread (self) is not supported — just return from the body. *)
+
+val state : t -> thread -> thread_state
+val name : thread -> string
+val tid : thread -> int
+val cpu_of : thread -> int
+
+(** {1 Inside a thread} *)
+
+val self : t -> thread
+(** @raise Failure when no thread is executing. *)
+
+val charge : t -> Mv_util.Cycles.t -> unit
+(** Account virtual compute time to the running thread.  May preempt (and
+    therefore suspend the fiber) if the CPU's slice expires and another
+    thread is waiting. *)
+
+val set_charge_hook : t -> (thread -> Mv_util.Cycles.t -> unit) -> unit
+(** Observe every {!charge} (thread, amount) — used by the ROS to split
+    cycles into user and system time.  The hook runs before any preemption
+    the charge triggers. *)
+
+val local_now : t -> Mv_util.Cycles.t
+(** The current thread's virtual time ([segment start + charge so far]);
+    equals [Sim.now] outside thread context. *)
+
+val block : t -> reason:string -> (now:Mv_util.Cycles.t -> wake:('a -> unit) -> unit) -> 'a
+(** [block t ~reason register] suspends the current thread.  [register] is
+    called immediately with the thread's block time [now] and a [wake]
+    function; stash [wake] somewhere (a wait queue, a timer) and the thread
+    resumes — no earlier than [now] — with the value passed to it.  [wake]
+    must be called at most once. *)
+
+val yield : t -> unit
+(** Voluntarily give up the CPU, staying runnable. *)
+
+val sleep : t -> Mv_util.Cycles.t -> unit
+
+val join : t -> thread -> unit
+(** Block until the target thread finishes (no-op if it already has). *)
+
+val on_exit : t -> thread -> (unit -> unit) -> unit
+(** Run a callback (in event context, at the thread's exit time) when the
+    thread finishes; immediate if already finished. *)
+
+val after : t -> Mv_util.Cycles.t -> (unit -> unit) -> unit
+(** Schedule an event [delay] after the caller's local time. *)
+
+(** {1 Accounting} *)
+
+val cpu_time : thread -> Mv_util.Cycles.t
+(** Total virtual cycles the thread has consumed. *)
+
+val voluntary_switches : thread -> int
+val involuntary_switches : thread -> int
+val cpu_switches : t -> cpu:int -> int
+(** Context switches (thread-to-different-thread dispatches) on a CPU. *)

@@ -1,0 +1,37 @@
+exception Cancelled
+
+type 'a resumer = { resume : 'a -> unit; cancel : exn -> unit }
+
+type _ Effect.t += Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let run body =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> match e with Cancelled -> () | _ -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let used = ref false in
+                  let once f x =
+                    if !used then failwith "Fiber: resumer used twice"
+                    else begin
+                      used := true;
+                      f x
+                    end
+                  in
+                  register
+                    {
+                      resume = (fun v -> once (continue k) v);
+                      cancel = (fun e -> once (discontinue k) e);
+                    })
+          | _ -> None);
+    }
+  in
+  match_with body () handler

@@ -1,0 +1,26 @@
+(** One-shot coroutines over OCaml 5 effect handlers.
+
+    A fiber runs ordinary OCaml code until it [suspend]s; the suspension
+    captures the continuation and hands the caller a {!resumer} with which
+    to continue (or cancel) it later.  The scheduler in {!Exec} builds
+    simulated threads out of these. *)
+
+exception Cancelled
+(** Raised inside a fiber when its resumer is cancelled (e.g. the simulated
+    thread is killed). *)
+
+type 'a resumer = {
+  resume : 'a -> unit;  (** continue the fiber with a value (once) *)
+  cancel : exn -> unit;  (** discontinue the fiber with an exception (once) *)
+}
+
+val run : (unit -> unit) -> unit
+(** [run body] executes [body] as a fiber in the current stack frame.  It
+    returns when the fiber finishes {e or} first suspends.  Uncaught
+    exceptions other than {!Cancelled} propagate to whoever called [run] or
+    a [resume]. *)
+
+val suspend : ('a resumer -> unit) -> 'a
+(** [suspend register] — callable only inside a fiber — captures the
+    continuation, passes its resumer to [register], and returns whatever
+    value the resumer is eventually fed.  @raise Failure outside a fiber. *)

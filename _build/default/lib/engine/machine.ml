@@ -1,0 +1,42 @@
+type t = {
+  sim : Sim.t;
+  exec : Exec.t;
+  topo : Mv_hw.Topology.t;
+  costs : Mv_hw.Costs.t;
+  phys : Mv_hw.Phys_mem.t;
+  cpus : Mv_hw.Cpu.t array;
+  trace : Trace.t;
+  zero_frame : int;
+}
+
+let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
+    ?(hrt_cores = 1) ?(hrt_mem_fraction = 0.25) () =
+  let sim = Sim.create () in
+  let topo = Mv_hw.Topology.create ~sockets ~cores_per_socket ~hrt_cores () in
+  let ncores = Mv_hw.Topology.ncores topo in
+  let exec = Exec.create sim ~ncpus:ncores in
+  let phys = Mv_hw.Phys_mem.create ~sockets ~hrt_fraction:hrt_mem_fraction () in
+  let cpus = Array.init ncores (fun core_id -> Mv_hw.Cpu.create ~core_id) in
+  (* ROS cores run a preemptive scheduler; HRT cores are cooperative and
+     switch threads at AeroKernel cost. *)
+  Array.iteri
+    (fun i _ ->
+      match Mv_hw.Topology.role topo i with
+      | Mv_hw.Topology.Ros_core ->
+          Exec.set_cpu_params exec ~cpu:i ~switch_cost:costs.context_switch_ros
+            ~slice:(Some costs.timeslice_ros) ()
+      | Mv_hw.Topology.Hrt_core ->
+          Exec.set_cpu_params exec ~cpu:i ~switch_cost:costs.context_switch_nk
+            ~slice:None ())
+    cpus;
+  let zero_frame = Mv_hw.Phys_mem.alloc phys Mv_hw.Phys_mem.Ros_region in
+  { sim; exec; topo; costs; phys; cpus; trace = Sim.trace sim; zero_frame }
+
+let charge t c = Exec.charge t.exec c
+let now t = Exec.local_now t.exec
+
+let cpu_of_current t =
+  let th = Exec.self t.exec in
+  t.cpus.(Exec.cpu_of th)
+
+let trace_emit t ~category msg = Trace.emit t.trace ~at:(now t) ~category msg

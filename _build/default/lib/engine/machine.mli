@@ -1,0 +1,40 @@
+(** The simulated physical platform, bundling the pieces every kernel
+    needs: the clock/event loop, the executor, core topology, architectural
+    per-core state, physical memory, the cost model, and the trace sink.
+
+    One machine hosts both the ROS and the HRT; the HVM partitions its
+    cores and memory between them. *)
+
+type t = {
+  sim : Sim.t;
+  exec : Exec.t;
+  topo : Mv_hw.Topology.t;
+  costs : Mv_hw.Costs.t;
+  phys : Mv_hw.Phys_mem.t;
+  cpus : Mv_hw.Cpu.t array;
+  trace : Trace.t;
+  zero_frame : int;  (** the shared all-zeroes frame used for anonymous reads *)
+}
+
+val create :
+  ?costs:Mv_hw.Costs.t ->
+  ?sockets:int ->
+  ?cores_per_socket:int ->
+  ?hrt_cores:int ->
+  ?hrt_mem_fraction:float ->
+  unit ->
+  t
+(** Build the reference machine: 2 sockets x 4 cores at 2.2 GHz by default,
+    with [hrt_cores] (default 1) assigned to the HRT partition. *)
+
+val charge : t -> int -> unit
+(** Charge cycles to the running thread (see {!Exec.charge}). *)
+
+val now : t -> Mv_util.Cycles.t
+(** The running thread's local virtual time, or the event time outside
+    thread context. *)
+
+val cpu_of_current : t -> Mv_hw.Cpu.t
+(** Architectural state of the core the current thread runs on. *)
+
+val trace_emit : t -> category:string -> string -> unit

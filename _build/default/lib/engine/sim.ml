@@ -1,0 +1,44 @@
+type t = {
+  mutable clock : Mv_util.Cycles.t;
+  queue : (unit -> unit) Event_queue.t;
+  trace : Trace.t;
+  mutable processed : int;
+}
+
+let create ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  { clock = 0; queue = Event_queue.create (); trace; processed = 0 }
+
+let now t = t.clock
+let trace t = t.trace
+
+let schedule_at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %d is before now %d" time t.clock);
+  Event_queue.push t.queue ~time fn
+
+let schedule_after t delay fn = schedule_at t (t.clock + delay) fn
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, fn) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      fn ();
+      true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= limit -> ignore (step t)
+    | Some _ | None ->
+        continue := false;
+        if t.clock < limit then t.clock <- limit
+  done
+
+let events_processed t = t.processed

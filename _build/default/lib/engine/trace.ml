@@ -1,0 +1,42 @@
+type record = { at : Mv_util.Cycles.t; category : string; message : string }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  mutable entries : record list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ?(enabled = false) ?(capacity = 100_000) () =
+  { enabled; capacity; entries = []; count = 0 }
+
+let enable t flag = t.enabled <- flag
+
+let emit t ~at ~category message =
+  if t.enabled then begin
+    t.entries <- { at; category; message } :: t.entries;
+    t.count <- t.count + 1;
+    if t.count > t.capacity then begin
+      (* Drop the oldest half; O(n) but amortized and rare. *)
+      let keep = t.capacity / 2 in
+      let rec take n acc = function
+        | [] -> List.rev acc
+        | x :: rest -> if n = 0 then List.rev acc else take (n - 1) (x :: acc) rest
+      in
+      t.entries <- take keep [] t.entries;
+      t.count <- keep
+    end
+  end
+
+let records t = List.rev t.entries
+let records_in t ~category = List.filter (fun r -> r.category = category) (records t)
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "[%12d %-10s] %s@." r.at r.category r.message)
+    (records t)

@@ -1,0 +1,20 @@
+(** Lightweight event tracing.
+
+    Components emit categorized records; tests assert on them (e.g. the
+    paper's requirement that the page-fault trace of an application under
+    Multiverse be identical to its native trace) and debugging dumps them.
+    Disabled tracing costs one branch per emit. *)
+
+type record = { at : Mv_util.Cycles.t; category : string; message : string }
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+val enable : t -> bool -> unit
+val emit : t -> at:Mv_util.Cycles.t -> category:string -> string -> unit
+val records : t -> record list
+(** In emission order. *)
+
+val records_in : t -> category:string -> record list
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/guest/env.ml: Bytes Kernel Mm Mv_engine Mv_hw Mv_ros Process Rusage Signal Syscalls

@@ -1,0 +1,1 @@
+lib/guest/env.mli: Bytes Mv_engine Mv_hw Mv_ros

@@ -1,0 +1,1 @@
+lib/guest/libc.ml: Addr Buffer Bytes Env Hashtbl List Mv_hw Mv_ros Printf String

@@ -1,0 +1,1 @@
+lib/guest/libc.mli: Env Mv_hw Mv_ros

@@ -1,0 +1,163 @@
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+open Mv_ros
+
+type thread_handle = Exec.thread
+
+type t = {
+  mode_name : string;
+  kernel : Kernel.t;
+  proc : Process.t;
+  work : int -> unit;
+  touch : Mv_hw.Addr.t -> unit;
+  store : Mv_hw.Addr.t -> unit;
+  mmap : len:int -> prot:Mm.prot -> kind:string -> Mv_hw.Addr.t;
+  munmap : addr:Mv_hw.Addr.t -> len:int -> unit;
+  mprotect : addr:Mv_hw.Addr.t -> len:int -> prot:Mm.prot -> unit;
+  brk : Mv_hw.Addr.t option -> Mv_hw.Addr.t;
+  open_ : path:string -> flags:Syscalls.open_flag list -> (int, Syscalls.errno) result;
+  close : fd:int -> unit;
+  read : fd:int -> buf:Bytes.t -> off:int -> len:int -> int;
+  write : fd:int -> buf:Bytes.t -> off:int -> len:int -> int;
+  stat : path:string -> (Syscalls.stat_info, Syscalls.errno) result;
+  fstat : fd:int -> (Syscalls.stat_info, Syscalls.errno) result;
+  lseek : fd:int -> pos:int -> int;
+  access_path : path:string -> bool;
+  getcwd : unit -> string;
+  sigaction : Signal.signo -> Signal.handler -> unit;
+  sigprocmask : block:bool -> Signal.signo -> unit;
+  gettimeofday : unit -> float;
+  getpid : unit -> int;
+  getrusage : unit -> Rusage.t;
+  setitimer : interval_us:int -> unit;
+  poll : fds:int list -> timeout_ms:int -> int;
+  nanosleep : ns:float -> unit;
+  sched_yield : unit -> unit;
+  uname : unit -> string;
+  thread_create : name:string -> (unit -> unit) -> thread_handle;
+  thread_join : thread_handle -> unit;
+  exit : code:int -> unit;
+  execve : path:string -> (unit, Syscalls.errno) result;
+}
+
+let native k p =
+  let machine = k.Kernel.machine in
+  let costs = machine.Machine.costs in
+  (* Entry cost of one SYSCALL/SYSRET pair, charged as system time. *)
+  let trap () = Kernel.in_sys k (fun () -> Machine.charge machine costs.Mv_hw.Costs.syscall_trap) in
+  let ok_or_zero = function Ok n -> n | Error _ -> 0 in
+  {
+    mode_name = (if k.Kernel.virtualized then "virtual" else "native");
+    kernel = k;
+    proc = p;
+    work = (fun c -> Machine.charge machine c);
+    touch = (fun addr -> Kernel.access k addr ~write:false);
+    store = (fun addr -> Kernel.access k addr ~write:true);
+    mmap =
+      (fun ~len ~prot ~kind ->
+        trap ();
+        match Syscalls.mmap k p ~len ~prot ~kind with
+        | Ok addr -> addr
+        | Error e -> failwith ("mmap: " ^ Syscalls.errno_name e));
+    munmap =
+      (fun ~addr ~len ->
+        trap ();
+        ignore (Syscalls.munmap k p ~addr ~len));
+    mprotect =
+      (fun ~addr ~len ~prot ->
+        trap ();
+        ignore (Syscalls.mprotect k p ~addr ~len ~prot));
+    brk =
+      (fun req ->
+        trap ();
+        Syscalls.brk k p req);
+    open_ =
+      (fun ~path ~flags ->
+        trap ();
+        Syscalls.openat k p ~path ~flags);
+    close =
+      (fun ~fd ->
+        trap ();
+        ignore (Syscalls.close k p ~fd));
+    read =
+      (fun ~fd ~buf ~off ~len ->
+        trap ();
+        ok_or_zero (Syscalls.read k p ~fd ~buf ~off ~len));
+    write =
+      (fun ~fd ~buf ~off ~len ->
+        trap ();
+        ok_or_zero (Syscalls.write k p ~fd ~buf ~off ~len));
+    stat =
+      (fun ~path ->
+        trap ();
+        Syscalls.stat k p ~path);
+    fstat =
+      (fun ~fd ->
+        trap ();
+        Syscalls.fstat k p ~fd);
+    lseek =
+      (fun ~fd ~pos ->
+        trap ();
+        ok_or_zero (Syscalls.lseek k p ~fd ~pos));
+    access_path =
+      (fun ~path ->
+        trap ();
+        match Syscalls.access_path k p ~path with Ok () -> true | Error _ -> false);
+    getcwd =
+      (fun () ->
+        trap ();
+        Syscalls.getcwd k p);
+    sigaction =
+      (fun signo handler ->
+        trap ();
+        Syscalls.rt_sigaction k p ~signo ~handler);
+    sigprocmask =
+      (fun ~block signo ->
+        trap ();
+        Syscalls.rt_sigprocmask k p ~block ~signo);
+    (* vdso fast paths: no kernel entry. *)
+    gettimeofday = (fun () -> Syscalls.gettimeofday k p);
+    getpid = (fun () -> Syscalls.getpid k p);
+    getrusage =
+      (fun () ->
+        trap ();
+        Syscalls.getrusage k p);
+    setitimer =
+      (fun ~interval_us ->
+        trap ();
+        Syscalls.setitimer k p ~interval_us);
+    poll =
+      (fun ~fds ~timeout_ms ->
+        trap ();
+        Syscalls.poll k p ~fds ~timeout_ms);
+    nanosleep =
+      (fun ~ns ->
+        trap ();
+        Syscalls.nanosleep k p ~ns);
+    sched_yield =
+      (fun () ->
+        trap ();
+        Syscalls.sched_yield k p);
+    uname =
+      (fun () ->
+        trap ();
+        Syscalls.uname k p);
+    thread_create =
+      (fun ~name body ->
+        trap ();
+        Syscalls.clone k p ~name body);
+    thread_join =
+      (fun th ->
+        (* glibc joins by futex-waiting on the thread's tid word. *)
+        trap ();
+        Kernel.count_syscall k p "futex";
+        Exec.join machine.Machine.exec th);
+    exit =
+      (fun ~code ->
+        trap ();
+        Syscalls.exit_group k p ~code);
+    execve =
+      (fun ~path ->
+        trap ();
+        Syscalls.execve k p ~path);
+  }

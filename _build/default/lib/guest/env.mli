@@ -1,0 +1,61 @@
+(** The guest ABI: everything a user-level program (the Racket runtime, the
+    microbenchmarks) can ask of its execution environment.
+
+    A guest program is written once against this record and runs unchanged
+    in all three of the paper's configurations:
+
+    - {b native}: syscalls trap into the local ROS kernel;
+    - {b virtual}: the same, inside an HVM guest (exit overheads apply);
+    - {b Multiverse}: the program executes as an HRT thread in kernel mode
+      on an HRT core; syscalls and lower-half page faults are forwarded to
+      a ROS partner thread over event channels, while vdso calls and
+      AeroKernel overrides run locally.
+
+    This mirrors the paper's claim that "the user sees no difference
+    between HRT execution and user-level execution" — the interface is
+    identical, only the wiring differs. *)
+
+type thread_handle = Mv_engine.Exec.thread
+
+type t = {
+  mode_name : string;
+  kernel : Mv_ros.Kernel.t;
+  proc : Mv_ros.Process.t;
+  work : int -> unit;  (** charge pure-compute cycles *)
+  touch : Mv_hw.Addr.t -> unit;  (** read access (page granularity) *)
+  store : Mv_hw.Addr.t -> unit;  (** write access (page granularity) *)
+  mmap : len:int -> prot:Mv_ros.Mm.prot -> kind:string -> Mv_hw.Addr.t;
+  munmap : addr:Mv_hw.Addr.t -> len:int -> unit;
+  mprotect : addr:Mv_hw.Addr.t -> len:int -> prot:Mv_ros.Mm.prot -> unit;
+  brk : Mv_hw.Addr.t option -> Mv_hw.Addr.t;
+  open_ : path:string -> flags:Mv_ros.Syscalls.open_flag list -> (int, Mv_ros.Syscalls.errno) result;
+  close : fd:int -> unit;
+  read : fd:int -> buf:Bytes.t -> off:int -> len:int -> int;
+  write : fd:int -> buf:Bytes.t -> off:int -> len:int -> int;
+  stat : path:string -> (Mv_ros.Syscalls.stat_info, Mv_ros.Syscalls.errno) result;
+  fstat : fd:int -> (Mv_ros.Syscalls.stat_info, Mv_ros.Syscalls.errno) result;
+  lseek : fd:int -> pos:int -> int;
+  access_path : path:string -> bool;
+  getcwd : unit -> string;
+  sigaction : Mv_ros.Signal.signo -> Mv_ros.Signal.handler -> unit;
+  sigprocmask : block:bool -> Mv_ros.Signal.signo -> unit;
+  gettimeofday : unit -> float;
+  getpid : unit -> int;
+  getrusage : unit -> Mv_ros.Rusage.t;
+  setitimer : interval_us:int -> unit;
+  poll : fds:int list -> timeout_ms:int -> int;
+  nanosleep : ns:float -> unit;
+  sched_yield : unit -> unit;
+  uname : unit -> string;
+  thread_create : name:string -> (unit -> unit) -> thread_handle;
+  thread_join : thread_handle -> unit;
+  exit : code:int -> unit;
+  execve : path:string -> (unit, Mv_ros.Syscalls.errno) result;
+}
+
+val native : Mv_ros.Kernel.t -> Mv_ros.Process.t -> t
+(** The direct-execution ABI: every syscall pays one SYSCALL trap into the
+    given kernel; memory accesses go through the local MMU/fault path.
+    This single constructor serves both the paper's "Native" and "Virtual"
+    rows — the difference is whether the kernel was created with
+    [~virtualized:true]. *)

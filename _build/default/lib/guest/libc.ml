@@ -1,0 +1,233 @@
+open Mv_hw
+
+type stream = {
+  mutable fd : int;
+  wbuf : Buffer.t;
+  bufsize : int;  (* 0 = unbuffered *)
+  mutable rbuf : Bytes.t;
+  mutable rpos : int;
+  mutable rlen : int;
+  mutable at_eof : bool;
+}
+
+type arena_block = { ab_addr : Addr.t; ab_size : int }
+
+type t = {
+  e : Env.t;
+  out_s : stream;
+  err_s : stream;
+  in_s : stream;
+  (* malloc state: a brk-backed bump arena with size-class free lists for
+     small blocks, mmap for large ones. *)
+  mutable brk_cur : Addr.t;
+  mutable bump : Addr.t;
+  mutable bump_end : Addr.t;
+  free_lists : (int, Addr.t list ref) Hashtbl.t;
+  mutable mmapped : arena_block list;
+  sizes : (Addr.t, int) Hashtbl.t;
+  mutable live_bytes : int;
+}
+
+let mk_stream ?(bufsize = 4096) fd =
+  {
+    fd;
+    wbuf = Buffer.create (max bufsize 16);
+    bufsize;
+    rbuf = Bytes.create 4096;
+    rpos = 0;
+    rlen = 0;
+    at_eof = false;
+  }
+
+let create e =
+  let brk0 = e.Env.brk None in
+  {
+    e;
+    out_s = mk_stream 1;
+    err_s = mk_stream ~bufsize:0 2;
+    in_s = mk_stream 0;
+    brk_cur = brk0;
+    bump = brk0;
+    bump_end = brk0;
+    free_lists = Hashtbl.create 16;
+    mmapped = [];
+    sizes = Hashtbl.create 64;
+    live_bytes = 0;
+  }
+
+let env t = t.e
+let stdout_stream t = t.out_s
+let stderr_stream t = t.err_s
+
+(* --- stdio --- *)
+
+let raw_write t s data =
+  let buf = Bytes.of_string data in
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then begin
+      let n = t.e.Env.write ~fd:s.fd ~buf ~off ~len:(len - off) in
+      if n <= 0 then () else go (off + n)
+    end
+  in
+  go 0
+
+let fflush t s =
+  if Buffer.length s.wbuf > 0 then begin
+    let data = Buffer.contents s.wbuf in
+    Buffer.clear s.wbuf;
+    raw_write t s data
+  end
+
+let fwrite t s data =
+  (* A little user-space work per call: size checks and the memcpy into
+     the stdio buffer. *)
+  t.e.Env.work (40 + (String.length data / 8));
+  if s.bufsize = 0 then raw_write t s data
+  else begin
+    Buffer.add_string s.wbuf data;
+    if Buffer.length s.wbuf >= s.bufsize then fflush t s
+  end
+
+let fputs = fwrite
+let fputc t s c = fwrite t s (String.make 1 c)
+let printf t fmt = Printf.ksprintf (fun msg -> fwrite t t.out_s msg) fmt
+let eprintf t fmt = Printf.ksprintf (fun msg -> fwrite t t.err_s msg) fmt
+
+let flush_all t =
+  fflush t t.out_s;
+  fflush t t.err_s
+
+let fopen t ~path ~mode =
+  let flags =
+    match mode with
+    | "r" -> [ Mv_ros.Syscalls.O_RDONLY ]
+    | "w" -> [ Mv_ros.Syscalls.O_WRONLY; Mv_ros.Syscalls.O_CREAT; Mv_ros.Syscalls.O_TRUNC ]
+    | "a" -> [ Mv_ros.Syscalls.O_WRONLY; Mv_ros.Syscalls.O_CREAT; Mv_ros.Syscalls.O_APPEND ]
+    | _ -> invalid_arg "Libc.fopen: unsupported mode"
+  in
+  match t.e.Env.open_ ~path ~flags with
+  | Ok fd -> Ok (mk_stream fd)
+  | Error e -> Error e
+
+let fclose t s =
+  fflush t s;
+  t.e.Env.close ~fd:s.fd
+
+let refill t s =
+  if s.at_eof then 0
+  else begin
+    let n = t.e.Env.read ~fd:s.fd ~buf:s.rbuf ~off:0 ~len:(Bytes.length s.rbuf) in
+    s.rpos <- 0;
+    s.rlen <- n;
+    if n = 0 then s.at_eof <- true;
+    n
+  end
+
+let fgets t s ~max =
+  let out = Buffer.create 64 in
+  let rec go () =
+    if Buffer.length out >= max then Some (Buffer.contents out)
+    else if s.rpos >= s.rlen then
+      if refill t s = 0 then
+        if Buffer.length out = 0 then None else Some (Buffer.contents out)
+      else go ()
+    else begin
+      let c = Bytes.get s.rbuf s.rpos in
+      s.rpos <- s.rpos + 1;
+      Buffer.add_char out c;
+      if c = '\n' then Some (Buffer.contents out) else go ()
+    end
+  in
+  go ()
+
+let stdin_gets t = fgets t t.in_s ~max:65536
+
+let fgetc t s =
+  if s.rpos >= s.rlen && refill t s = 0 then None
+  else begin
+    let c = Bytes.get s.rbuf s.rpos in
+    s.rpos <- s.rpos + 1;
+    Some c
+  end
+
+let stdin_gets_char t = fgetc t t.in_s
+
+(* --- malloc --- *)
+
+let mmap_threshold = 128 * 1024
+let chunk = 1 lsl 20  (* grow the brk arena 1 MiB at a time *)
+
+let size_class n =
+  (* Round to 16 bytes below 4 KiB, to pages above. *)
+  if n <= 4096 then (n + 15) land lnot 15
+  else (n + Addr.page_size - 1) land lnot (Addr.page_size - 1)
+
+let malloc t n =
+  t.e.Env.work 60;
+  if n <= 0 then invalid_arg "Libc.malloc: size <= 0";
+  let sz = size_class n in
+  t.live_bytes <- t.live_bytes + sz;
+  if sz >= mmap_threshold then begin
+    let addr = t.e.Env.mmap ~len:sz ~prot:Mv_ros.Mm.prot_rw ~kind:"malloc" in
+    t.mmapped <- { ab_addr = addr; ab_size = sz } :: t.mmapped;
+    Hashtbl.replace t.sizes addr sz;
+    t.e.Env.store addr;
+    addr
+  end
+  else begin
+    let fl =
+      match Hashtbl.find_opt t.free_lists sz with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace t.free_lists sz l;
+          l
+    in
+    match !fl with
+    | addr :: rest ->
+        fl := rest;
+        Hashtbl.replace t.sizes addr sz;
+        addr
+    | [] ->
+        if t.bump + sz > t.bump_end then begin
+          let grow = max chunk sz in
+          t.brk_cur <- t.e.Env.brk (Some (t.brk_cur + grow));
+          t.bump_end <- t.brk_cur
+        end;
+        let addr = t.bump in
+        t.bump <- t.bump + sz;
+        Hashtbl.replace t.sizes addr sz;
+        (* Touch the block's first page: header write. *)
+        t.e.Env.store addr;
+        addr
+  end
+
+let free t addr =
+  t.e.Env.work 40;
+  match Hashtbl.find_opt t.sizes addr with
+  | None -> invalid_arg "Libc.free: not an allocated block"
+  | Some sz ->
+      Hashtbl.remove t.sizes addr;
+      t.live_bytes <- t.live_bytes - sz;
+      if sz >= mmap_threshold then begin
+        t.mmapped <- List.filter (fun b -> b.ab_addr <> addr) t.mmapped;
+        t.e.Env.munmap ~addr ~len:sz
+      end
+      else begin
+        let fl =
+          match Hashtbl.find_opt t.free_lists sz with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace t.free_lists sz l;
+              l
+        in
+        fl := addr :: !fl
+      end
+
+let malloc_live_bytes t = t.live_bytes
+
+let exit t code =
+  flush_all t;
+  t.e.Env.exit ~code

@@ -1,0 +1,54 @@
+(** A small user-space C library over the guest ABI.
+
+    Provides what the hybridized Racket port needs from glibc: buffered
+    stdio (so [fwrite]/[printf] batch into 4 KiB [write] syscalls), a
+    [malloc] arena (brk for small blocks, [mmap] for large ones), and
+    formatted output.  Because it is written against {!Env.t}, the same
+    libc runs native, virtualized, or inside the HRT — in the latter case
+    its syscalls transparently forward to the ROS, which is exactly the
+    paper's merged-address-space printf example (Figure 4). *)
+
+type stream
+
+type t
+
+val create : Env.t -> t
+val env : t -> Env.t
+val stdout_stream : t -> stream
+val stderr_stream : t -> stream
+(** stderr is unbuffered. *)
+
+(** {1 Stdio} *)
+
+val fwrite : t -> stream -> string -> unit
+val fputs : t -> stream -> string -> unit
+val fputc : t -> stream -> char -> unit
+val printf : t -> ('a, unit, string, unit) format4 -> 'a
+val eprintf : t -> ('a, unit, string, unit) format4 -> 'a
+val fflush : t -> stream -> unit
+val flush_all : t -> unit
+
+val fopen : t -> path:string -> mode:string -> (stream, Mv_ros.Syscalls.errno) result
+(** Modes "r", "w", "a". *)
+
+val fclose : t -> stream -> unit
+val fgets : t -> stream -> max:int -> string option
+(** Read up to a newline (inclusive) or [max] bytes; [None] at EOF. *)
+
+val stdin_gets : t -> string option
+(** Read one line from fd 0 (blocking); [None] at EOF. *)
+
+val fgetc : t -> stream -> char option
+(** Read one character; [None] at EOF. *)
+
+val stdin_gets_char : t -> char option
+
+(** {1 Memory} *)
+
+val malloc : t -> int -> Mv_hw.Addr.t
+val free : t -> Mv_hw.Addr.t -> unit
+val malloc_live_bytes : t -> int
+
+(** {1 Misc} *)
+
+val exit : t -> int -> unit

@@ -1,0 +1,1 @@
+lib/hvm/event_channel.ml: Costs Mv_engine Mv_hw Queue Topology

@@ -1,0 +1,1 @@
+lib/hvm/event_channel.mli: Mv_engine

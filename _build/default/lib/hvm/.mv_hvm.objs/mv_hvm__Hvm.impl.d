@@ -1,0 +1,1 @@
+lib/hvm/hvm.ml: Costs Format Mv_aerokernel Mv_engine Mv_hw Mv_ros Superposition Topology

@@ -1,0 +1,1 @@
+lib/hvm/hvm.mli: Format Mv_aerokernel Mv_engine Mv_ros

@@ -1,0 +1,1 @@
+lib/hvm/superposition.ml: Array Costs Cpu Mv_aerokernel Mv_engine Mv_hw Mv_ros

@@ -1,0 +1,1 @@
+lib/hvm/superposition.mli: Mv_aerokernel Mv_ros

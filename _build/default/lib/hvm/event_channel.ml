@@ -1,0 +1,116 @@
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+module Sim = Mv_engine.Sim
+open Mv_hw
+
+type kind = Async | Sync
+
+type request = { req_kind : string; req_run : unit -> unit }
+
+type t = {
+  machine : Machine.t;
+  ckind : kind;
+  ros_core : int;
+  hrt_core : int;
+  queue : (request * (unit -> unit) option) Queue.t;
+      (* request + caller waker ([None] for posted requests) *)
+  mutable serving : (unit -> unit) option option;
+      (* [Some waker_opt] while the server handles a request *)
+  mutable server_wake : (request -> unit) option;
+  mutable n_calls : int;
+}
+
+let create machine ~kind ~ros_core ~hrt_core =
+  {
+    machine;
+    ckind = kind;
+    ros_core;
+    hrt_core;
+    queue = Queue.create ();
+    serving = None;
+    server_wake = None;
+    n_calls = 0;
+  }
+
+let kind t = t.ckind
+
+let rtt t =
+  let costs = t.machine.Machine.costs in
+  match t.ckind with
+  | Async -> costs.Costs.async_channel_rtt
+  | Sync ->
+      if Topology.same_socket t.machine.Machine.topo t.ros_core t.hrt_core then
+        costs.Costs.sync_channel_same_socket
+      else costs.Costs.sync_channel_cross_socket
+
+let one_way t = rtt t / 2
+
+let signal_cost t =
+  (* Raising the event: a hypercall for the async (interrupt-injected)
+     channel; a shared-memory store for the sync channel. *)
+  match t.ckind with
+  | Async -> t.machine.Machine.costs.Costs.hypercall
+  | Sync -> 20
+
+let sched_at t time fn =
+  let sim = Exec.sim t.machine.Machine.exec in
+  Sim.schedule_at sim (max time (Sim.now sim)) fn
+
+(* If the server is parked and work is queued, deliver the head request
+   after the one-way propagation delay. *)
+let try_deliver t =
+  match t.server_wake with
+  | Some swake when not (Queue.is_empty t.queue) ->
+      t.server_wake <- None;
+      let req, waker = Queue.pop t.queue in
+      t.serving <- Some waker;
+      sched_at t (Exec.local_now t.machine.Machine.exec + one_way t) (fun () -> swake req)
+  | Some _ | None -> ()
+
+let call t req =
+  t.n_calls <- t.n_calls + 1;
+  Machine.charge t.machine (signal_cost t);
+  Exec.block t.machine.Machine.exec ~reason:("evtchan:" ^ req.req_kind)
+    (fun ~now:_ ~wake ->
+      Queue.add (req, Some wake) t.queue;
+      try_deliver t)
+
+let post t req =
+  t.n_calls <- t.n_calls + 1;
+  Queue.add (req, None) t.queue;
+  try_deliver t
+
+let serve_next t =
+  if not (Queue.is_empty t.queue) then begin
+    let req, waker = Queue.pop t.queue in
+    t.serving <- Some waker;
+    (* The request already sat in the shared page; pay the poll/notice
+       latency. *)
+    Machine.charge t.machine (one_way t);
+    req
+  end
+  else
+    Exec.block t.machine.Machine.exec ~reason:"evtchan:serve" (fun ~now:_ ~wake ->
+        t.server_wake <- Some wake)
+
+let complete t =
+  match t.serving with
+  | None -> failwith "Event_channel.complete: nothing being served"
+  | Some waker_opt -> (
+      t.serving <- None;
+      match waker_opt with
+      | None -> ()  (* posted request: fire-and-forget *)
+      | Some wake ->
+          Machine.charge t.machine (signal_cost t);
+          sched_at t (Exec.local_now t.machine.Machine.exec + one_way t) (fun () -> wake ()))
+
+let serve_loop t ~on_request =
+  let rec go () =
+    let req = serve_next t in
+    on_request req;
+    complete t;
+    go ()
+  in
+  go ()
+
+let calls t = t.n_calls

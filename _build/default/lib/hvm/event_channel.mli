@@ -1,0 +1,53 @@
+(** HVM event channels: the ROS<->HRT communication mechanism.
+
+    A channel is a shared data page plus a signaling discipline.  Two kinds
+    exist (paper, Sections 2 and 4.3, measured in Figure 2):
+
+    - {b Async}: hypercall + interrupt injection; ~25 K cycles (1.1 us)
+      round trip.  Works without any prior setup.
+    - {b Sync}: after an address-space merger, both sides poll a shared
+      memory word with no VMM involvement; ~790 cycles same-socket,
+      ~1060 cross-socket round trip.
+
+    The server (a Multiverse partner thread in the ROS) handles one request
+    at a time; requests from multiple HRT threads of one execution group
+    queue ("the top-level HRT thread's corresponding partner acting as the
+    communication end-point", paper Section 4.2). *)
+
+type kind = Async | Sync
+
+type request = { req_kind : string; req_run : unit -> unit }
+(** A named request carrying its executable payload; the server runs
+    [req_run] in its own (ROS) context. *)
+
+type t
+
+val create :
+  Mv_engine.Machine.t -> kind:kind -> ros_core:int -> hrt_core:int -> t
+
+val kind : t -> kind
+
+val rtt : t -> int
+(** The modeled round-trip latency in cycles (socket-distance aware). *)
+
+val call : t -> request -> unit
+(** Issue a request and block until the server completes it (thread
+    context, caller side). *)
+
+val post : t -> request -> unit
+(** Fire-and-forget: enqueue a request with no completion expected.  Safe
+    to use outside thread context (e.g. from a signal-injection event). *)
+
+val serve_next : t -> request
+(** Block until a request arrives (server side). *)
+
+val complete : t -> unit
+(** Finish the request obtained from {!serve_next}: wakes the caller if it
+    was a {!call}; a no-op for {!post}ed requests.
+    @raise Failure if nothing is being served. *)
+
+val serve_loop : t -> on_request:(request -> unit) -> unit
+(** Convenience server: forever take a request, run [on_request] (which
+    should execute [req_run]), complete.  Never returns. *)
+
+val calls : t -> int

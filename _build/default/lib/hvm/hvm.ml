@@ -1,0 +1,102 @@
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+module Sim = Mv_engine.Sim
+module Nautilus = Mv_aerokernel.Nautilus
+open Mv_hw
+
+type t = {
+  machine : Machine.t;
+  ros : Mv_ros.Kernel.t;
+  mutable nk : Nautilus.t option;
+  mutable image_kb : int;
+  mutable n_hypercalls : int;
+  mutable n_exits : int;
+  mutable ros_signal_handler : (int -> unit) option;
+}
+
+let create machine ~ros =
+  ros.Mv_ros.Kernel.virtualized <- true;
+  {
+    machine;
+    ros;
+    nk = None;
+    image_kb = 0;
+    n_hypercalls = 0;
+    n_exits = 0;
+    ros_signal_handler = None;
+  }
+
+let machine t = t.machine
+let ros t = t.ros
+let hrt t = t.nk
+
+let hypercall t ~name:_ =
+  t.n_hypercalls <- t.n_hypercalls + 1;
+  t.n_exits <- t.n_exits + 1;
+  let costs = t.machine.Machine.costs in
+  Machine.charge t.machine (costs.Costs.hypercall + costs.Costs.vm_exit)
+
+let require_hrt t =
+  match t.nk with Some nk -> nk | None -> failwith "Hvm: no HRT image installed"
+
+let install_hrt_image t ~image_kb nk =
+  hypercall t ~name:"hrt_install";
+  Machine.charge t.machine (image_kb * t.machine.Machine.costs.Costs.image_install_per_kb);
+  t.image_kb <- image_kb;
+  t.nk <- Some nk
+
+let boot_hrt t =
+  hypercall t ~name:"hrt_boot";
+  let nk = require_hrt t in
+  Nautilus.boot nk
+
+let merge_address_space t p =
+  hypercall t ~name:"hrt_merge";
+  let nk = require_hrt t in
+  (* The shared page carries the caller's CR3; the HRT does the copy. *)
+  Superposition.merge_address_space nk p
+
+let hrt_create_thread t p ~name ?core body =
+  hypercall t ~name:"hrt_create_thread";
+  let nk = require_hrt t in
+  let core =
+    match core with
+    | Some c -> c
+    | None -> Topology.first_hrt_core t.machine.Machine.topo
+  in
+  Superposition.superimpose_thread_state nk p ~core;
+  Nautilus.request_create_thread nk ~name ~core body
+
+let register_ros_signal t ~handler = t.ros_signal_handler <- Some handler
+
+let raise_signal_to_ros t ~payload =
+  (* "Interrupt to user": the HVM records the raise and injects the handler
+     at the next user-mode entry window; measured latency ~11 us (paper,
+     Section 2).  Lower priority than real interrupts and guest signals. *)
+  match t.ros_signal_handler with
+  | None -> failwith "Hvm.raise_signal_to_ros: no handler registered"
+  | Some handler ->
+      let exec = t.machine.Machine.exec in
+      let delay = t.machine.Machine.costs.Costs.async_channel_rtt in
+      Sim.schedule_at (Exec.sim exec)
+        (max (Exec.local_now exec) (Sim.now (Exec.sim exec)) + delay)
+        (fun () -> handler payload)
+
+let inject_exception_to_hrt t f =
+  (* Exception injection takes precedence within the HRT; model as a
+     prompt event after the exit/injection cost. *)
+  t.n_exits <- t.n_exits + 1;
+  let exec = t.machine.Machine.exec in
+  let delay = t.machine.Machine.costs.Costs.vm_exit in
+  Sim.schedule_at (Exec.sim exec)
+    (max (Exec.local_now exec) (Sim.now (Exec.sim exec)) + delay)
+    f
+
+let hypercalls t = t.n_hypercalls
+let exits t = t.n_exits
+
+let pp_stats ppf t =
+  Format.fprintf ppf "hvm: hypercalls=%d exits=%d image=%dKB hrt=%s" t.n_hypercalls
+    t.n_exits t.image_kb
+    (match t.nk with Some nk -> if Nautilus.booted nk then "booted" else "installed"
+                   | None -> "none")

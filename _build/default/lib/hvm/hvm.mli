@@ -1,0 +1,62 @@
+(** The Hybrid Virtual Machine: a Palacios extension that runs one VM with
+    a partitioned personality — a ROS (Linux) on some cores and an
+    HRT (Nautilus) on the rest (paper, Section 2).
+
+    The HVM exposes hypercalls to ROS user space: install an HRT image
+    ("much like an exec()"), boot/reboot the HRT (milliseconds), merge
+    address spaces, and invoke functions asynchronously in the HRT.  It
+    also delivers HRT-to-ROS signals by building an interrupt-like frame
+    for a registered user handler ("interrupt to user"), and ROS-to-HRT
+    signals by exception injection. *)
+
+type t
+
+val create : Mv_engine.Machine.t -> ros:Mv_ros.Kernel.t -> t
+(** Wrap the machine; the ROS kernel is marked virtualized. *)
+
+val machine : t -> Mv_engine.Machine.t
+val ros : t -> Mv_ros.Kernel.t
+val hrt : t -> Mv_aerokernel.Nautilus.t option
+
+(** {1 Hypercalls (ROS user space -> VMM)} *)
+
+val hypercall : t -> name:string -> unit
+(** Charge one guest-exit + VMM dispatch and count it. *)
+
+val install_hrt_image : t -> image_kb:int -> Mv_aerokernel.Nautilus.t -> unit
+(** Copy the AeroKernel image into HRT physical memory (cost scales with
+    the image size) and remember it as the VM's HRT. *)
+
+val boot_hrt : t -> unit
+(** Boot (or reboot) the installed HRT; blocks the caller for the boot's
+    milliseconds.  @raise Failure if no image is installed. *)
+
+val merge_address_space : t -> Mv_ros.Process.t -> unit
+(** The address-space-merger hypercall: the shared data page carries the
+    caller's CR3; the VMM forwards to the HRT which copies the lower-half
+    PML4. *)
+
+val hrt_create_thread :
+  t -> Mv_ros.Process.t -> name:string -> ?core:int -> (unit -> unit) -> Mv_engine.Exec.thread
+(** The asynchronous-function-call hypercall: ask the HRT event loop to
+    create a kernel thread; superimposes the caller's GDT/TLS state onto
+    the target core first. *)
+
+(** {1 Signals} *)
+
+val register_ros_signal : t -> handler:(int -> unit) -> unit
+(** Register the user-level handler + stack for HRT-to-ROS signals
+    (analogous to [signal(2)]). *)
+
+val raise_signal_to_ros : t -> payload:int -> unit
+(** HRT side: raise an asynchronous signal; the HVM waits for a user-mode
+    entry window and injects the handler invocation (~11 us). *)
+
+val inject_exception_to_hrt : t -> (unit -> unit) -> unit
+(** ROS-to-HRT signal: exception injection, highest precedence, prompt. *)
+
+(** {1 Statistics} *)
+
+val hypercalls : t -> int
+val exits : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+module Machine = Mv_engine.Machine
+module Nautilus = Mv_aerokernel.Nautilus
+open Mv_hw
+
+let merge_address_space nk (p : Mv_ros.Process.t) =
+  let machine = Nautilus.machine nk in
+  Machine.charge machine machine.Machine.costs.Costs.merge_address_space;
+  Nautilus.merge_lower_half nk ~from:(Mv_ros.Mm.page_table p.Mv_ros.Process.mm)
+
+let superimpose_thread_state nk (p : Mv_ros.Process.t) ~core =
+  let machine = Nautilus.machine nk in
+  let cpu = machine.Machine.cpus.(core) in
+  cpu.Cpu.gdt <- p.Mv_ros.Process.gdt_image;
+  cpu.Cpu.fs_base <- p.Mv_ros.Process.fs_base;
+  Machine.charge machine 400
+
+let verify_superposition nk (p : Mv_ros.Process.t) ~core =
+  let machine = Nautilus.machine nk in
+  let cpu = machine.Machine.cpus.(core) in
+  cpu.Cpu.gdt = p.Mv_ros.Process.gdt_image && cpu.Cpu.fs_base = p.Mv_ros.Process.fs_base

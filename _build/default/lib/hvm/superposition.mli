@@ -1,0 +1,23 @@
+(** State superpositions (paper, Section 3.2).
+
+    Multiverse makes pieces of ROS state appear inside the HRT without the
+    HRT implementing them: the user half of the address space, the process
+    GDT, and the thread-local-storage base ([%fs]).  The VMM can in
+    principle superimpose any state it can see; these are the three the
+    paper's implementation uses. *)
+
+val merge_address_space :
+  Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> unit
+(** Copy the lower-half PML4 of the process into the HRT root and shoot
+    down HRT TLBs.  Charges the measured merger cost (~33 K cycles,
+    Figure 2) to the calling thread. *)
+
+val superimpose_thread_state :
+  Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> core:int -> unit
+(** Mirror the process GDT image and [%fs] base onto an HRT core, so
+    user-space linkage (TLS, function calls through the merged lower half)
+    works from HRT threads. *)
+
+val verify_superposition :
+  Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> core:int -> bool
+(** Do the HRT core's GDT and [%fs] match the process? (test helper) *)

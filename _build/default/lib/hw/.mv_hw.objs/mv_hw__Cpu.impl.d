@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Addr Page_table Tlb

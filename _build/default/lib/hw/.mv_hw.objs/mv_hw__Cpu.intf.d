@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Addr Page_table Tlb

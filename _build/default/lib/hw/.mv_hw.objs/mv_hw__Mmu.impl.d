@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Costs Cpu Page_table Tlb

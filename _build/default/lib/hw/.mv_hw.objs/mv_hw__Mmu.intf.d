@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Addr Costs Cpu Page_table

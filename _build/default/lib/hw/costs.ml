@@ -1,0 +1,76 @@
+type t = {
+  syscall_trap : int;
+  vdso_call : int;
+  tlb_pressure_penalty : int;
+  sysret_emulation : int;
+  redzone_stack_pull : int;
+  interrupt_dispatch : int;
+  signal_deliver : int;
+  signal_return : int;
+  vm_exit : int;
+  hypercall : int;
+  nested_fill : int;
+  async_channel_rtt : int;
+  sync_channel_same_socket : int;
+  sync_channel_cross_socket : int;
+  merge_address_space : int;
+  page_walk_level : int;
+  tlb_fill : int;
+  tlb_shootdown_percore : int;
+  page_fault_trap : int;
+  demand_page : int;
+  cow_copy : int;
+  context_switch_ros : int;
+  context_switch_nk : int;
+  thread_create_ros : int;
+  thread_create_nk : int;
+  timeslice_ros : int;
+  hrt_boot : int;
+  image_install_per_kb : int;
+  symbol_lookup : int;
+  symbol_cache_hit : int;
+  wrapper_dispatch : int;
+}
+
+let default =
+  {
+    syscall_trap = 150;
+    vdso_call = 60;
+    tlb_pressure_penalty = 40;
+    sysret_emulation = 90;
+    redzone_stack_pull = 20;
+    interrupt_dispatch = 350;
+    signal_deliver = 1_800;
+    signal_return = 700;
+    vm_exit = 1_200;
+    hypercall = 600;
+    nested_fill = 1_500;
+    (* Figure 2 of the paper, measured on the reference machine. *)
+    async_channel_rtt = 25_000;
+    sync_channel_same_socket = 790;
+    sync_channel_cross_socket = 1_060;
+    merge_address_space = 33_000;
+    page_walk_level = 30;
+    tlb_fill = 10;
+    tlb_shootdown_percore = 2_000;
+    page_fault_trap = 900;
+    demand_page = 2_600;
+    cow_copy = 3_100;
+    context_switch_ros = 3_000;
+    context_switch_nk = 300;
+    thread_create_ros = 28_000;
+    thread_create_nk = 450;
+    timeslice_ros = Mv_util.Cycles.of_ms 4.;
+    hrt_boot = Mv_util.Cycles.of_ms 12.;
+    image_install_per_kb = 400;
+    symbol_lookup = 4_200;
+    symbol_cache_hit = 90;
+    wrapper_dispatch = 45;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>syscall_trap=%d vdso=%d async_rtt=%d sync_same=%d sync_cross=%d \
+     merge=%d hrt_boot=%d@]"
+    c.syscall_trap c.vdso_call c.async_channel_rtt c.sync_channel_same_socket
+    c.sync_channel_cross_socket c.merge_address_space c.hrt_boot

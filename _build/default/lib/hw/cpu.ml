@@ -1,0 +1,26 @@
+type t = {
+  core_id : int;
+  mutable ring : int;
+  mutable cr3 : int;
+  mutable cr0_wp : bool;
+  mutable fs_base : Addr.t;
+  mutable gdt : int;
+  mutable ist_configured : bool;
+  tlb : Tlb.t;
+}
+
+let create ~core_id =
+  {
+    core_id;
+    ring = 3;
+    cr3 = 0;
+    cr0_wp = false;
+    fs_base = 0;
+    gdt = 0;
+    ist_configured = false;
+    tlb = Tlb.create ();
+  }
+
+let load_cr3 t root =
+  t.cr3 <- Page_table.id root;
+  Tlb.flush t.tlb

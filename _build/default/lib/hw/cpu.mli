@@ -1,0 +1,24 @@
+(** Architectural state of one simulated core.
+
+    Holds the registers Multiverse superimposes or manipulates: CR3 (the
+    root page table), CR0.WP (ring-0 write-protection enforcement, which
+    Nautilus must set to preserve copy-on-write semantics in kernel mode —
+    paper Section 4.4), the %fs base (thread-local storage superposition),
+    the GDT selector, and whether IST interrupt stacks are configured (the
+    red-zone workaround). *)
+
+type t = {
+  core_id : int;
+  mutable ring : int;  (** current privilege level: 0 in the HRT, 3 for ROS user code *)
+  mutable cr3 : int;  (** {!Page_table.id} of the active root; 0 = none *)
+  mutable cr0_wp : bool;
+  mutable fs_base : Addr.t;
+  mutable gdt : int;  (** identity of the loaded GDT image *)
+  mutable ist_configured : bool;
+  tlb : Tlb.t;
+}
+
+val create : core_id:int -> t
+
+val load_cr3 : t -> Page_table.t -> unit
+(** Point CR3 at a root table and flush the TLB, as hardware does. *)

@@ -1,0 +1,48 @@
+type access = Read | Write
+
+type fault_reason = Not_present | Protection
+
+type outcome =
+  | Hit of Page_table.pte * int
+  | Silent_write of Page_table.pte * int
+  | Fault of fault_reason * int
+
+let check_protection (cpu : Cpu.t) (pte : Page_table.pte) access cost =
+  let writable = Page_table.has pte.pte_flags Page_table.f_writable in
+  match access with
+  | Read -> Hit (pte, cost)
+  | Write ->
+      if writable then Hit (pte, cost)
+      else if cpu.ring = 0 && not cpu.cr0_wp then Silent_write (pte, cost)
+      else Fault (Protection, cost)
+
+let access (costs : Costs.t) (cpu : Cpu.t) root addr kind =
+  assert (cpu.cr3 = Page_table.id root);
+  let page = Addr.page_of addr in
+  match Tlb.lookup cpu.tlb ~page with
+  | Some pte ->
+      if Page_table.has pte.pte_flags Page_table.f_present then
+        check_protection cpu pte kind costs.tlb_fill
+      else begin
+        (* Stale cached entry for an unmapped page: hardware would not keep
+           it, so drop and retry via the walk path. *)
+        Tlb.invalidate_page cpu.tlb ~page;
+        let entry, levels = Page_table.walk root addr in
+        let cost = levels * costs.page_walk_level in
+        match entry with
+        | None -> Fault (Not_present, cost)
+        | Some pte ->
+            Tlb.fill cpu.tlb ~page pte;
+            check_protection cpu pte kind (cost + costs.tlb_fill)
+      end
+  | None -> (
+      let entry, levels = Page_table.walk root addr in
+      let cost = levels * costs.page_walk_level in
+      match entry with
+      | None -> Fault (Not_present, cost)
+      | Some pte ->
+          if Page_table.has pte.pte_flags Page_table.f_present then begin
+            Tlb.fill cpu.tlb ~page pte;
+            check_protection cpu pte kind (cost + costs.tlb_fill)
+          end
+          else Fault (Not_present, cost))

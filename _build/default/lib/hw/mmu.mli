@@ -1,0 +1,25 @@
+(** Memory-access checking: TLB, page walk, and fault classification.
+
+    This is where the paper's kernel-mode paging subtlety lives: by default
+    an x86 core running in ring 0 silently succeeds when writing a
+    read-only page — the source of the "mysterious memory corruption" the
+    authors hit — unless CR0.WP is set, in which case the write faults just
+    as it would in ring 3 (paper, Section 4.4). *)
+
+type access = Read | Write
+
+type fault_reason = Not_present | Protection
+
+type outcome =
+  | Hit of Page_table.pte * int
+      (** translation succeeded; the [int] is the cycle cost of the lookup
+          (TLB hit or walk + fill) *)
+  | Silent_write of Page_table.pte * int
+      (** ring-0 write to a read-only page with CR0.WP clear: the write
+          {e goes through}, corrupting memory that was meant protected *)
+  | Fault of fault_reason * int
+      (** page fault; the [int] is the cost burned before faulting *)
+
+val access : Costs.t -> Cpu.t -> Page_table.t -> Addr.t -> access -> outcome
+(** Perform an access check on the given core against [root] (which must be
+    the table CR3 points at; asserted). *)

@@ -1,0 +1,162 @@
+type flags = int
+
+let f_present = 1
+let f_writable = 2
+let f_user = 4
+let f_nx = 8
+let f_cow = 16
+let has flags bit = flags land bit <> 0
+
+type pte = { mutable frame : int; mutable pte_flags : flags }
+
+(* Interior nodes hold either further tables or leaf entries, depending on
+   the level.  Level numbering: 4 = PML4 ... 1 = PT (leaves live in PTs). *)
+type node = { slots : slot array }
+and slot = Empty | Table of node | Page of pte
+
+type t = { id : int; pml4 : node; mutable lower_gen : int }
+
+let next_id = ref 0
+
+let fresh_node () = { slots = Array.make 512 Empty }
+
+let create () =
+  incr next_id;
+  { id = !next_id; pml4 = fresh_node (); lower_gen = 0 }
+
+let id t = t.id
+
+let indices addr =
+  (Addr.pml4_index addr, Addr.pdpt_index addr, Addr.pd_index addr, Addr.pt_index addr)
+
+let get_table node i =
+  match node.slots.(i) with
+  | Table n -> Some n
+  | Empty -> None
+  | Page _ -> invalid_arg "Page_table: leaf at interior level"
+
+let get_or_make_table node i =
+  match node.slots.(i) with
+  | Table n -> (n, false)
+  | Empty ->
+      let n = fresh_node () in
+      node.slots.(i) <- Table n;
+      (n, true)
+  | Page _ -> invalid_arg "Page_table: leaf at interior level"
+
+let map t addr ~frame ~flags =
+  if not (Addr.is_page_aligned addr) then invalid_arg "Page_table.map: unaligned";
+  let i4, i3, i2, i1 = indices addr in
+  let pdpt, created4 = get_or_make_table t.pml4 i4 in
+  if created4 && i4 < 256 then t.lower_gen <- t.lower_gen + 1;
+  let pd, _ = get_or_make_table pdpt i3 in
+  let pt, _ = get_or_make_table pd i2 in
+  match pt.slots.(i1) with
+  | Page pte ->
+      pte.frame <- frame;
+      pte.pte_flags <- flags
+  | Empty | Table _ -> pt.slots.(i1) <- Page { frame; pte_flags = flags }
+
+let walk t addr =
+  let i4, i3, i2, i1 = indices addr in
+  match get_table t.pml4 i4 with
+  | None -> (None, 1)
+  | Some pdpt -> (
+      match get_table pdpt i3 with
+      | None -> (None, 2)
+      | Some pd -> (
+          match get_table pd i2 with
+          | None -> (None, 3)
+          | Some pt -> (
+              match pt.slots.(i1) with
+              | Page pte -> (Some pte, 4)
+              | Empty | Table _ -> (None, 4))))
+
+let lookup t addr = fst (walk t addr)
+
+let unmap t addr =
+  let i4, i3, i2, i1 = indices addr in
+  match get_table t.pml4 i4 with
+  | None -> false
+  | Some pdpt -> (
+      match get_table pdpt i3 with
+      | None -> false
+      | Some pd -> (
+          match get_table pd i2 with
+          | None -> false
+          | Some pt -> (
+              match pt.slots.(i1) with
+              | Page _ ->
+                  pt.slots.(i1) <- Empty;
+                  true
+              | Empty | Table _ -> false)))
+
+let protect t addr ~flags =
+  match lookup t addr with
+  | Some pte ->
+      pte.pte_flags <- flags;
+      true
+  | None -> false
+
+let pml4_slot_present t i =
+  match t.pml4.slots.(i) with Empty -> false | Table _ | Page _ -> true
+
+let copy_lower_half ~src ~dst =
+  let copied = ref 0 in
+  for i = 0 to 255 do
+    (match (src.pml4.slots.(i), dst.pml4.slots.(i)) with
+    | Empty, Empty -> ()
+    | s, _ ->
+        if s <> Empty then incr copied;
+        dst.pml4.slots.(i) <- s);
+    ()
+  done;
+  dst.lower_gen <- src.lower_gen;
+  !copied
+
+let clear_lower_half t =
+  for i = 0 to 255 do
+    if t.pml4.slots.(i) <> Empty then begin
+      t.pml4.slots.(i) <- Empty;
+      t.lower_gen <- t.lower_gen + 1
+    end
+  done
+
+let lower_half_generation t = t.lower_gen
+
+let iter_mappings t f =
+  let visit_pt base_pt pt =
+    Array.iteri
+      (fun i1 slot ->
+        match slot with
+        | Page pte -> f (base_pt lor (i1 lsl 12)) pte
+        | Empty | Table _ -> ())
+      pt.slots
+  in
+  let visit_pd base_pd pd =
+    Array.iteri
+      (fun i2 slot ->
+        match slot with
+        | Table pt -> visit_pt (base_pd lor (i2 lsl 21)) pt
+        | Empty | Page _ -> ())
+      pd.slots
+  in
+  let visit_pdpt base_pdpt pdpt =
+    Array.iteri
+      (fun i3 slot ->
+        match slot with
+        | Table pd -> visit_pd (base_pdpt lor (i3 lsl 30)) pd
+        | Empty | Page _ -> ())
+      pdpt.slots
+  in
+  Array.iteri
+    (fun i4 slot ->
+      match slot with
+      | Table pdpt -> visit_pdpt (i4 lsl 39) pdpt
+      | Empty | Page _ -> ())
+    t.pml4.slots
+
+let count_mapped t =
+  let n = ref 0 in
+  iter_mappings t (fun _ _ -> incr n);
+  !n

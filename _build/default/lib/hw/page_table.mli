@@ -1,0 +1,66 @@
+(** Four-level x86-64 page tables (PML4 / PDPT / PD / PT).
+
+    The structure matters for Multiverse: an address-space merger copies the
+    first 256 PML4 entries of the ROS process's root into the HRT's root
+    (paper, Section 4.4).  Because only the {e top-level} slots are copied,
+    the sub-trees are shared; later mappings made by the ROS below an
+    already-copied slot become visible to the HRT immediately, while a ROS
+    change to a top-level slot itself leaves the HRT's copy stale — which
+    the AeroKernel detects as a repeated page fault and repairs by
+    re-merging.  This module models exactly that sharing. *)
+
+type flags = int
+
+val f_present : flags
+val f_writable : flags
+val f_user : flags
+val f_nx : flags
+val f_cow : flags
+val has : flags -> flags -> bool
+
+type pte = { mutable frame : int; mutable pte_flags : flags }
+(** Leaf entry mapping one 4 KiB page. *)
+
+type t
+(** A root page table (what CR3 points to). *)
+
+val create : unit -> t
+
+val id : t -> int
+(** Unique identity, used as the simulated CR3 value. *)
+
+val map : t -> Addr.t -> frame:int -> flags:flags -> unit
+(** Install a leaf mapping, building intermediate levels as needed.
+    Requires a page-aligned address. *)
+
+val unmap : t -> Addr.t -> bool
+(** Remove a leaf mapping; [false] if nothing was mapped. *)
+
+val protect : t -> Addr.t -> flags:flags -> bool
+(** Replace the flags of an existing leaf; [false] if unmapped. *)
+
+val walk : t -> Addr.t -> pte option * int
+(** [(entry, levels)] where [levels] is the number of levels traversed
+    before stopping (for TLB-miss cost accounting). *)
+
+val lookup : t -> Addr.t -> pte option
+
+val pml4_slot_present : t -> int -> bool
+(** Is top-level slot [i] populated? *)
+
+val copy_lower_half : src:t -> dst:t -> int
+(** The Multiverse merger: copy PML4 slots 0..255 from [src] to [dst]
+    (sharing sub-trees).  Returns the number of populated slots copied. *)
+
+val clear_lower_half : t -> unit
+
+val lower_half_generation : t -> int
+(** Incremented whenever a lower-half PML4 {e slot} of this root changes
+    (a new sub-tree appears or one is removed).  A merger snapshots the
+    source generation; staleness of a previous merge is observable as the
+    generations diverging. *)
+
+val count_mapped : t -> int
+(** Number of leaf mappings reachable from this root (test helper). *)
+
+val iter_mappings : t -> (Addr.t -> pte -> unit) -> unit

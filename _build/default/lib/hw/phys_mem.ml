@@ -1,0 +1,117 @@
+type region = Ros_region | Hrt_region
+
+type zone = {
+  socket : int;
+  first_frame : int;
+  nframes : int;
+  hrt_start : int;  (* frames >= hrt_start (zone-relative) belong to the HRT *)
+  mutable free_ros : int list;
+  mutable free_hrt : int list;
+}
+
+type t = {
+  zones : zone array;
+  frames_per_zone : int;
+  used : (int, region) Hashtbl.t;
+  mutable allocated_ros : int;
+  mutable allocated_hrt : int;
+}
+
+let create ?(frames_per_zone = 262_144) ~sockets ~hrt_fraction () =
+  if hrt_fraction < 0. || hrt_fraction >= 1. then
+    invalid_arg "Phys_mem.create: hrt_fraction must be in [0,1)";
+  let make_zone s =
+    let first_frame = s * frames_per_zone in
+    let hrt_start = int_of_float (float_of_int frames_per_zone *. (1. -. hrt_fraction)) in
+    let rec range a b acc = if a >= b then List.rev acc else range (a + 1) b (a :: acc) in
+    {
+      socket = s;
+      first_frame;
+      nframes = frames_per_zone;
+      hrt_start;
+      free_ros = range first_frame (first_frame + hrt_start) [];
+      free_hrt = range (first_frame + hrt_start) (first_frame + frames_per_zone) [];
+    }
+  in
+  {
+    zones = Array.init sockets make_zone;
+    frames_per_zone;
+    used = Hashtbl.create 4096;
+    allocated_ros = 0;
+    allocated_hrt = 0;
+  }
+
+let take_from zone region =
+  match region with
+  | Ros_region -> (
+      match zone.free_ros with
+      | f :: rest ->
+          zone.free_ros <- rest;
+          Some f
+      | [] -> None)
+  | Hrt_region -> (
+      match zone.free_hrt with
+      | f :: rest ->
+          zone.free_hrt <- rest;
+          Some f
+      | [] -> None)
+
+let alloc t ?zone region =
+  let order =
+    match zone with
+    | Some z when z >= 0 && z < Array.length t.zones ->
+        t.zones.(z)
+        :: (Array.to_list t.zones |> List.filter (fun zz -> zz.socket <> z))
+    | _ -> Array.to_list t.zones
+  in
+  let rec go = function
+    | [] -> raise Out_of_memory
+    | z :: rest -> (
+        match take_from z region with
+        | Some f ->
+            Hashtbl.replace t.used f region;
+            (match region with
+            | Ros_region -> t.allocated_ros <- t.allocated_ros + 1
+            | Hrt_region -> t.allocated_hrt <- t.allocated_hrt + 1);
+            f
+        | None -> go rest)
+  in
+  go order
+
+let zone_of_frame t f = f / t.frames_per_zone
+
+let region_of_frame t f =
+  match Hashtbl.find_opt t.used f with
+  | Some r -> r
+  | None ->
+      let z = t.zones.(zone_of_frame t f) in
+      if f - z.first_frame >= z.hrt_start then Hrt_region else Ros_region
+
+let free t f =
+  match Hashtbl.find_opt t.used f with
+  | None -> invalid_arg "Phys_mem.free: frame not allocated"
+  | Some region ->
+      Hashtbl.remove t.used f;
+      let z = t.zones.(zone_of_frame t f) in
+      (match region with
+      | Ros_region ->
+          z.free_ros <- f :: z.free_ros;
+          t.allocated_ros <- t.allocated_ros - 1
+      | Hrt_region ->
+          z.free_hrt <- f :: z.free_hrt;
+          t.allocated_hrt <- t.allocated_hrt - 1)
+
+let allocated t = function
+  | Ros_region -> t.allocated_ros
+  | Hrt_region -> t.allocated_hrt
+
+let total t region =
+  Array.fold_left
+    (fun acc z ->
+      acc
+      + match region with Ros_region -> z.hrt_start | Hrt_region -> z.nframes - z.hrt_start)
+    0 t.zones
+
+let pp ppf t =
+  Format.fprintf ppf "phys: ros %d/%d hrt %d/%d frames" t.allocated_ros
+    (total t Ros_region) t.allocated_hrt (total t Hrt_region)

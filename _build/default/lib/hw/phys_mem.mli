@@ -1,0 +1,27 @@
+(** Physical frame allocator with NUMA zones and partition regions.
+
+    The HVM segregates physical memory: the ROS sees only its own subset
+    while the HRT has access to everything (paper, Section 2).  Frames are
+    identified by integer frame numbers; each zone is a contiguous range of
+    frames bound to a NUMA node (socket). *)
+
+type region = Ros_region | Hrt_region
+
+type t
+
+val create : ?frames_per_zone:int -> sockets:int -> hrt_fraction:float -> unit -> t
+(** [create ~sockets ~hrt_fraction ()] builds one zone per socket and
+    reserves the top [hrt_fraction] of each zone for the HRT partition. *)
+
+val alloc : t -> ?zone:int -> region -> int
+(** Allocate a frame from [region], preferring NUMA [zone] (a socket id)
+    when given.  Raises [Out_of_memory] if the region is exhausted. *)
+
+val free : t -> int -> unit
+(** Return a frame.  Raises [Invalid_argument] on double free. *)
+
+val region_of_frame : t -> int -> region
+val zone_of_frame : t -> int -> int
+val allocated : t -> region -> int
+val total : t -> region -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = {
+  capacity : int;
+  entries : (int, Page_table.pte) Hashtbl.t;
+  order : int Queue.t;  (* FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 512) () =
+  { capacity; entries = Hashtbl.create 64; order = Queue.create (); hits = 0; misses = 0 }
+
+let lookup t ~page =
+  match Hashtbl.find_opt t.entries page with
+  | Some pte ->
+      t.hits <- t.hits + 1;
+      Some pte
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some page ->
+      if Hashtbl.mem t.entries page then Hashtbl.remove t.entries page
+      else evict_one t (* stale FIFO entry for an already-invalidated page *)
+
+let fill t ~page pte =
+  if not (Hashtbl.mem t.entries page) then begin
+    if Hashtbl.length t.entries >= t.capacity then evict_one t;
+    Hashtbl.replace t.entries page pte;
+    Queue.add page t.order
+  end
+  else Hashtbl.replace t.entries page pte
+
+let invalidate_page t ~page = Hashtbl.remove t.entries page
+
+let flush t =
+  Hashtbl.reset t.entries;
+  Queue.clear t.order
+
+let occupancy t = float_of_int (Hashtbl.length t.entries) /. float_of_int t.capacity
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,25 @@
+(** Per-core translation lookaside buffer.
+
+    A small set-associative-ish cache of page-to-PTE translations.  A merger
+    broadcasts a shootdown to all HRT cores (paper, Section 4.4); a CR3
+    switch flushes.  The TLB also supports the paper's observation that the
+    HRT core's {e sparse} TLB makes vdso calls slightly cheaper there: we
+    expose an occupancy measure callers can consult. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val lookup : t -> page:int -> Page_table.pte option
+(** Cached translation for [page], if any. *)
+
+val fill : t -> page:int -> Page_table.pte -> unit
+(** Insert after a page walk, evicting (FIFO) if at capacity. *)
+
+val invalidate_page : t -> page:int -> unit
+val flush : t -> unit
+val occupancy : t -> float
+(** Fraction of capacity in use, in [0,1]. *)
+
+val hits : t -> int
+val misses : t -> int

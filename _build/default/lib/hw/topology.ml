@@ -1,0 +1,40 @@
+type role = Ros_core | Hrt_core
+
+type core = { core_id : int; socket : int; mutable role : role }
+
+type t = { sockets : int; cores_per_socket : int; cores : core array }
+
+let create ?(sockets = 2) ?(cores_per_socket = 4) ~hrt_cores () =
+  let n = sockets * cores_per_socket in
+  if hrt_cores < 0 || hrt_cores >= n then
+    invalid_arg "Topology.create: hrt_cores must leave at least one ROS core";
+  let cores =
+    Array.init n (fun i ->
+        let role = if i >= n - hrt_cores then Hrt_core else Ros_core in
+        { core_id = i; socket = i / cores_per_socket; role })
+  in
+  { sockets; cores_per_socket; cores }
+
+let ncores t = Array.length t.cores
+let core t i = t.cores.(i)
+let same_socket t a b = t.cores.(a).socket = t.cores.(b).socket
+
+let cores_with t role =
+  Array.to_list t.cores
+  |> List.filter (fun c -> c.role = role)
+  |> List.map (fun c -> c.core_id)
+
+let ros_cores t = cores_with t Ros_core
+let hrt_cores t = cores_with t Hrt_core
+let role t i = t.cores.(i).role
+
+let first_hrt_core t =
+  match hrt_cores t with
+  | c :: _ -> c
+  | [] -> invalid_arg "Topology.first_hrt_core: no HRT cores"
+
+let pp ppf t =
+  Format.fprintf ppf "%d sockets x %d cores; ROS=%s HRT=%s" t.sockets
+    t.cores_per_socket
+    (String.concat "," (List.map string_of_int (ros_cores t)))
+    (String.concat "," (List.map string_of_int (hrt_cores t)))

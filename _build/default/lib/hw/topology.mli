@@ -1,0 +1,28 @@
+(** Core and socket topology of the simulated machine.
+
+    The reference machine has two sockets with four cores each (AMD Opteron
+    4122).  Multiverse partitions the cores of one HVM virtual machine into
+    a ROS partition and an HRT partition; event-channel latency depends on
+    whether the communicating cores share a socket. *)
+
+type role = Ros_core | Hrt_core
+
+type core = { core_id : int; socket : int; mutable role : role }
+
+type t
+
+val create : ?sockets:int -> ?cores_per_socket:int -> hrt_cores:int -> unit -> t
+(** [create ~hrt_cores ()] builds the machine and assigns the {e last}
+    [hrt_cores] cores to the HRT partition (the ROS keeps core 0, where the
+    control process runs).  Default geometry is 2 sockets x 4 cores.
+    Raises [Invalid_argument] if [hrt_cores] leaves no ROS core or exceeds
+    the machine. *)
+
+val ncores : t -> int
+val core : t -> int -> core
+val same_socket : t -> int -> int -> bool
+val ros_cores : t -> int list
+val hrt_cores : t -> int list
+val role : t -> int -> role
+val first_hrt_core : t -> int
+val pp : Format.formatter -> t -> unit

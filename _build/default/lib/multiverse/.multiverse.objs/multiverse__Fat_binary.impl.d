@@ -1,0 +1,1 @@
+lib/multiverse/fat_binary.ml: Buffer Char List String

@@ -1,0 +1,1 @@
+lib/multiverse/fat_binary.mli:

@@ -1,0 +1,1 @@
+lib/multiverse/override_config.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/multiverse/override_config.mli:

@@ -1,0 +1,1 @@
+lib/multiverse/runtime.mli: Fat_binary Mv_aerokernel Mv_guest Mv_hvm Mv_ros Override_config Symbols

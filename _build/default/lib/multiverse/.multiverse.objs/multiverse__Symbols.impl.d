@@ -1,0 +1,1 @@
+lib/multiverse/symbols.ml: Hashtbl Mv_aerokernel Mv_engine Mv_hw

@@ -1,0 +1,1 @@
+lib/multiverse/symbols.mli: Mv_aerokernel Mv_hw

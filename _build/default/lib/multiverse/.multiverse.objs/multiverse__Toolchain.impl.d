@@ -1,0 +1,1 @@
+lib/multiverse/toolchain.ml: Buffer Char Fat_binary Kernel Mv_aerokernel Mv_engine Mv_guest Mv_hvm Mv_ros Mv_util Override_config Process Runtime Rusage Vfs

@@ -1,0 +1,1 @@
+lib/multiverse/toolchain.mli: Fat_binary Mv_engine Mv_guest Mv_hvm Mv_hw Mv_ros Mv_util Override_config Runtime

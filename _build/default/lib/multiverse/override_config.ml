@@ -1,0 +1,71 @@
+type entry = { ov_legacy : string; ov_symbol : string; ov_cost : int; ov_args : int }
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+let default =
+  {
+    entries =
+      [
+        { ov_legacy = "pthread_create"; ov_symbol = "nk_thread_create"; ov_cost = 450; ov_args = 4 };
+        { ov_legacy = "pthread_join"; ov_symbol = "nk_thread_join"; ov_cost = 200; ov_args = 2 };
+        { ov_legacy = "pthread_exit"; ov_symbol = "nk_thread_exit"; ov_cost = 150; ov_args = 1 };
+      ];
+  }
+
+let is_blank line =
+  let s = String.trim line in
+  s = "" || s.[0] = '#'
+
+let parse_kv token =
+  match String.index_opt token '=' with
+  | Some i ->
+      Some (String.sub token 0 i, String.sub token (i + 1) (String.length token - i - 1))
+  | None -> None
+
+let parse_line lineno line =
+  let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | "override" :: legacy :: "=" :: symbol :: opts ->
+      let rec apply entry = function
+        | [] -> Ok entry
+        | opt :: rest -> (
+            match parse_kv opt with
+            | Some ("cost", v) -> (
+                match int_of_string_opt v with
+                | Some cost -> apply { entry with ov_cost = cost } rest
+                | None -> fail ("bad cost: " ^ v))
+            | Some ("args", v) -> (
+                match int_of_string_opt v with
+                | Some args -> apply { entry with ov_args = args } rest
+                | None -> fail ("bad args: " ^ v))
+            | Some (key, _) -> fail ("unknown option: " ^ key)
+            | None -> fail ("malformed option: " ^ opt))
+      in
+      apply { ov_legacy = legacy; ov_symbol = symbol; ov_cost = 500; ov_args = 0 } opts
+  | _ -> fail "expected: override <legacy> = <symbol> [cost=N] [args=N]"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok { entries = List.rev acc }
+    | line :: rest ->
+        if is_blank line then go (lineno + 1) acc rest
+        else (
+          match parse_line lineno line with
+          | Ok entry -> go (lineno + 1) (entry :: acc) rest
+          | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+let to_text t =
+  let line e =
+    Printf.sprintf "override %s = %s cost=%d args=%d" e.ov_legacy e.ov_symbol e.ov_cost
+      e.ov_args
+  in
+  String.concat "\n" (List.map line t.entries) ^ "\n"
+
+let add t entry = { entries = t.entries @ [ entry ] }
+let find t ~legacy = List.find_opt (fun e -> e.ov_legacy = legacy) t.entries
+let mem t ~legacy = find t ~legacy <> None

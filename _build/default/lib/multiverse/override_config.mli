@@ -1,0 +1,42 @@
+(** AeroKernel override configuration (paper, Sections 3.4 and 4.2).
+
+    A developer selects AeroKernel functionality over default ROS
+    functionality by listing function overrides in a simple configuration
+    file; the toolchain generates a wrapper for each.  The format, one
+    directive per line:
+
+    {v
+    # comment
+    override <legacy-function> = <aerokernel-symbol> [cost=<cycles>] [args=<n>]
+    v}
+
+    [cost] is the modeled cost of the AeroKernel variant's body; [args]
+    documents the argument mapping arity (kept for fidelity with the
+    paper's "function's attributes and argument mappings"). *)
+
+type entry = {
+  ov_legacy : string;  (** the legacy (libc/pthread) function being replaced *)
+  ov_symbol : string;  (** the AeroKernel symbol to bind *)
+  ov_cost : int;  (** modeled body cost of the AeroKernel variant *)
+  ov_args : int;
+}
+
+type t = { entries : entry list }
+
+val empty : t
+
+val default : t
+(** The overrides Multiverse always enforces: the pthread interposition
+    ([pthread_create]/[pthread_join]/[pthread_exit] mapped to AeroKernel
+    thread operations). *)
+
+val parse : string -> (t, string) result
+(** Parse configuration text; [Error] carries a message naming the first
+    offending line. *)
+
+val to_text : t -> string
+(** Render back to the file format; [parse (to_text t)] = [Ok t]. *)
+
+val add : t -> entry -> t
+val find : t -> legacy:string -> entry option
+val mem : t -> legacy:string -> bool

@@ -1,0 +1,77 @@
+(** The Multiverse runtime component — what the toolchain compiles and
+    links into the user program (paper, Sections 3 and 4).
+
+    [init] performs the program-startup tasks the toolchain hooks in before
+    [main()]: registering ROS signal handlers, hooking process exit,
+    AeroKernel function linkage, parsing and installing the embedded
+    AeroKernel image, booting the HRT, and merging the address spaces.
+
+    [hrt_invoke] implements split execution: each top-level HRT thread gets
+    a {e partner thread} in the ROS that allocates its ROS-side stack,
+    requests its creation via the HVM (superimposing GDT/TLS state), and
+    then serves its event channel until the HRT thread exits — signalled
+    back asynchronously, flipping a bit in the partner's state.  Joining
+    the partner is how [pthread_join] semantics are preserved. *)
+
+exception Disallowed of string
+(** Raised when HRT-context code uses functionality Multiverse prohibits
+    ([execve], raw [clone], [futex] — paper, Section 4.2). *)
+
+type porting = {
+  port_mmap : bool;  (** mmap/munmap/mprotect served by AeroKernel overrides *)
+  port_signals : bool;  (** sigaction/sigprocmask + delivery kept HRT-local *)
+  port_faults : bool;  (** lower-half faults serviced in the HRT (kernel mode) *)
+}
+
+val no_porting : porting
+val full_porting : porting
+
+type t
+
+val init :
+  hvm:Mv_hvm.Hvm.t ->
+  proc:Mv_ros.Process.t ->
+  fat:Fat_binary.t ->
+  nk:Mv_aerokernel.Nautilus.t ->
+  ?channel_kind:Mv_hvm.Event_channel.kind ->
+  ?use_symbol_cache:bool ->
+  ?porting:porting ->
+  unit ->
+  t
+(** Run the Multiverse initialization sequence (thread context: call from
+    the program's main ROS thread).  Installs the default pthread
+    overrides plus any from the fat binary's [.mv.overrides] section. *)
+
+val hrt_env : t -> Mv_guest.Env.t
+(** The guest ABI as seen from HRT context: syscalls forward over the
+    execution group's event channel, vdso calls and overridden functions
+    run locally, memory faults follow the Nautilus forwarding path. *)
+
+val hrt_invoke : t -> name:string -> (Mv_guest.Env.t -> unit) -> Mv_guest.Env.thread_handle
+(** Create an execution group running the function as a top-level HRT
+    thread; returns the ROS partner thread (join it to join the group).
+    Callable from ROS context or (via the pthread override) from HRT
+    context. *)
+
+val join : t -> Mv_guest.Env.thread_handle -> unit
+
+val create_nested : t -> name:string -> (unit -> unit) -> Mv_guest.Env.thread_handle
+(** From HRT context: create a {e nested} HRT thread (paper, Figure 7) —
+    a pure AeroKernel thread with no partner of its own that raises its
+    events through the caller's top-level partner.  Join it with
+    {!join_nested}. *)
+
+val join_nested : t -> Mv_guest.Env.thread_handle -> unit
+(** Join a nested thread directly (AeroKernel join; no partner involved). *)
+
+val shutdown : t -> unit
+(** Poison all live partners (the process-exit hook calls this). *)
+
+(** {1 Introspection} *)
+
+val symbols : t -> Symbols.t
+val config : t -> Override_config.t
+val nk : t -> Mv_aerokernel.Nautilus.t
+val groups_created : t -> int
+val faults_serviced_locally : t -> int
+val overridden_calls : t -> int

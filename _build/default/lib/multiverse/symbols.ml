@@ -1,0 +1,34 @@
+module Machine = Mv_engine.Machine
+module Nautilus = Mv_aerokernel.Nautilus
+
+type t = {
+  nk : Nautilus.t;
+  cache : (string, Mv_hw.Addr.t) Hashtbl.t;
+  use_cache : bool;
+  mutable n_lookups : int;
+  mutable n_hits : int;
+}
+
+let create nk ~use_cache =
+  { nk; cache = Hashtbl.create 32; use_cache; n_lookups = 0; n_hits = 0 }
+
+let lookup t name =
+  t.n_lookups <- t.n_lookups + 1;
+  let machine = Nautilus.machine t.nk in
+  let costs = machine.Machine.costs in
+  match (t.use_cache, Hashtbl.find_opt t.cache name) with
+  | true, Some addr ->
+      t.n_hits <- t.n_hits + 1;
+      Machine.charge machine costs.Mv_hw.Costs.symbol_cache_hit;
+      addr
+  | _, _ -> (
+      Machine.charge machine costs.Mv_hw.Costs.symbol_lookup;
+      match Nautilus.func_address t.nk name with
+      | Some addr ->
+          if t.use_cache then Hashtbl.replace t.cache name addr;
+          addr
+      | None -> raise Not_found)
+
+let lookups t = t.n_lookups
+let cache_hits t = t.n_hits
+let use_cache t = t.use_cache

@@ -1,0 +1,21 @@
+(** Override symbol resolution (paper, Section 4.2).
+
+    When an overridden function is invoked, its generated wrapper consults
+    the stored legacy-to-AeroKernel mapping and performs a symbol lookup to
+    find the variant's HRT virtual address.  In the paper this lookup runs
+    on {e every} invocation and "incurs a non-trivial overhead"; the
+    suggested fix — an ELF-style symbol cache — is implemented here behind
+    a flag and measured by the [ablation_symcache] benchmark. *)
+
+type t
+
+val create : Mv_aerokernel.Nautilus.t -> use_cache:bool -> t
+
+val lookup : t -> string -> Mv_hw.Addr.t
+(** Resolve an AeroKernel symbol, charging the full table-walk cost (or
+    the cache-hit cost after the first resolution when the cache is on).
+    @raise Not_found for unknown symbols. *)
+
+val lookups : t -> int
+val cache_hits : t -> int
+val use_cache : t -> bool

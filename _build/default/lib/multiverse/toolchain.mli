@@ -1,0 +1,82 @@
+(** The Multiverse toolchain and run harness.
+
+    From the developer's perspective the HRT is a compilation target
+    (paper, Section 3.1): [hybridize] takes an unmodified program (written
+    against the {!Mv_guest.Env} ABI, i.e. the Linux ABI) and produces a fat
+    binary that embeds the AeroKernel image and override configuration.
+
+    The [run_*] functions execute a program in the paper's three
+    evaluation configurations — native, virtualized, and hybridized — on a
+    fresh simulated machine, and return uniform statistics. *)
+
+type program = {
+  prog_name : string;
+  prog_main : Mv_guest.Env.t -> unit;
+}
+
+type hybrid_exe = {
+  hx_program : program;
+  hx_fat : Fat_binary.t;
+  hx_bytes : string;  (** the encoded fat binary, as it would sit on disk *)
+}
+
+val hybridize :
+  ?overrides:Override_config.t -> ?image_kb:int -> program -> hybrid_exe
+(** "Recompile with the Multiverse toolchain": package the program with an
+    embedded AeroKernel image (default 640 KiB) and the override
+    configuration.  [overrides] are the developer's own, appended to the
+    enforced pthread defaults at init time. *)
+
+type mv_options = {
+  mv_channel : Mv_hvm.Event_channel.kind;
+  mv_symbol_cache : bool;
+  mv_porting : Runtime.porting;
+}
+
+val default_mv_options : mv_options
+
+type run_stats = {
+  rs_mode : string;
+  rs_stdout : string;
+  rs_exit_code : int;
+  rs_wall_cycles : int;  (** process start to exit *)
+  rs_rusage : Mv_ros.Rusage.t;
+  rs_syscalls : Mv_util.Histogram.t;
+  rs_kernel : Mv_ros.Kernel.t;
+  rs_machine : Mv_engine.Machine.t;
+  rs_runtime : Runtime.t option;  (** present for Multiverse runs *)
+}
+
+val total_syscalls : run_stats -> int
+val wall_seconds : run_stats -> float
+
+val run_native :
+  ?costs:Mv_hw.Costs.t -> ?stdin:string -> ?trace:bool -> program -> run_stats
+(** Bare-metal Linux execution (the paper's "Native" rows). *)
+
+val run_virtual :
+  ?costs:Mv_hw.Costs.t -> ?stdin:string -> ?trace:bool -> program -> run_stats
+(** The same, as an HVM guest: exit and nested-paging overheads apply. *)
+
+val run_multiverse :
+  ?costs:Mv_hw.Costs.t ->
+  ?stdin:string ->
+  ?trace:bool ->
+  ?options:mv_options ->
+  hybrid_exe ->
+  run_stats
+(** The incremental usage model: the program's [main] runs as a top-level
+    HRT thread, everything else is forwarded.  The user-visible behaviour
+    (stdout, exit code) must match the native run. *)
+
+val run_accelerator :
+  ?costs:Mv_hw.Costs.t ->
+  ?stdin:string ->
+  ?options:mv_options ->
+  name:string ->
+  (ros_env:Mv_guest.Env.t -> rt:Runtime.t -> unit) ->
+  run_stats
+(** The accelerator usage model: the given body runs as the program's ROS
+    main with the Multiverse runtime initialized, free to mix legacy
+    execution with [Runtime.hrt_invoke] and AeroKernel calls (the paper's
+    Figure 4/5 examples). *)

@@ -1,0 +1,1 @@
+lib/parallel/hpcg.ml: Array Float Pool

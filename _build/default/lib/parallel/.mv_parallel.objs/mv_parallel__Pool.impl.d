@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Array List Mv_aerokernel Mv_engine Mv_guest Mv_hw Mv_ros Printf

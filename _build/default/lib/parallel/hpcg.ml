@@ -1,0 +1,93 @@
+type result = {
+  iterations : int;
+  final_residual : float;
+  regions : int;
+  converged : bool;
+}
+
+(* 27-point stencil on an nx^3 grid: diagonal 26, off-diagonals -1 — the
+   HPCG matrix.  Matrix-free: neighbours are enumerated on the fly. *)
+
+let flops_per_row_cycles = 110  (* ~27 fused multiply-adds + loads *)
+let axpy_row_cycles = 6
+let dot_row_cycles = 5
+
+let spmv pool ~nx x y =
+  let n = nx * nx * nx in
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun row ->
+      let i = row mod nx in
+      let j = row / nx mod nx in
+      let k = row / (nx * nx) in
+      let acc = ref (26.0 *. x.(row)) in
+      for dk = -1 to 1 do
+        for dj = -1 to 1 do
+          for di = -1 to 1 do
+            if di <> 0 || dj <> 0 || dk <> 0 then begin
+              let ni = i + di and nj = j + dj and nk = k + dk in
+              if ni >= 0 && ni < nx && nj >= 0 && nj < nx && nk >= 0 && nk < nx then
+                acc := !acc -. x.(ni + (nj * nx) + (nk * nx * nx))
+            end
+          done
+        done
+      done;
+      y.(row) <- !acc;
+      Pool.charge pool flops_per_row_cycles)
+
+let dot pool a b n =
+  Pool.parallel_reduce pool ~lo:0 ~hi:n (fun i ->
+      Pool.charge pool dot_row_cycles;
+      a.(i) *. b.(i))
+
+(* y.(i) <- y.(i) + alpha * x.(i) *)
+let axpy pool ~alpha x y n =
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+      Pool.charge pool axpy_row_cycles;
+      y.(i) <- y.(i) +. (alpha *. x.(i)))
+
+(* p.(i) <- r.(i) + beta * p.(i) *)
+let xpay pool ~beta r p n =
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+      Pool.charge pool axpy_row_cycles;
+      p.(i) <- r.(i) +. (beta *. p.(i)))
+
+let run pool ~nx ?(max_iters = 50) ?(tol = 1e-9) () =
+  let n = nx * nx * nx in
+  let ones = Array.make n 1.0 in
+  let b = Array.make n 0.0 in
+  spmv pool ~nx ones b;  (* b = A*1, so the exact solution is all ones *)
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let ap = Array.make n 0.0 in
+  let rr0 = dot pool b b n in
+  let rr = ref rr0 in
+  let iters = ref 0 in
+  while !iters < max_iters && !rr > tol *. tol *. rr0 do
+    incr iters;
+    spmv pool ~nx p ap;
+    let p_ap = dot pool p ap n in
+    let alpha = !rr /. p_ap in
+    axpy pool ~alpha p x n;
+    axpy pool ~alpha:(-.alpha) ap r n;
+    let rr_new = dot pool r r n in
+    let beta = rr_new /. !rr in
+    xpay pool ~beta r p n;
+    rr := rr_new
+  done;
+  (* Final residual against the original system. *)
+  spmv pool ~nx x ap;
+  let diff = Array.make n 0.0 in
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+      Pool.charge pool axpy_row_cycles;
+      diff.(i) <- b.(i) -. ap.(i));
+  let res = sqrt (dot pool diff diff n /. rr0) in
+  (* The known solution is all ones. *)
+  let max_err = Array.fold_left (fun acc xi -> Float.max acc (Float.abs (xi -. 1.0))) 0.0 x in
+  {
+    iterations = !iters;
+    final_residual = res;
+    regions = Pool.regions pool;
+    converged = res < 1e-6 && max_err < 1e-5;
+  }
+
+let verify r = r.converged

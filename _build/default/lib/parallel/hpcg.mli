@@ -1,0 +1,24 @@
+(** A compact HPCG: preconditioner-free conjugate gradients on the 27-point
+    stencil of a 3-D grid — the benchmark the authors used to evaluate
+    their hand-ported HRT runtimes (HPCG ported to Legion; paper,
+    Section 2).
+
+    Every SpMV, dot product and AXPY is a parallel region on a {!Pool}, so
+    the solver's performance is dominated by region dispatch/barrier cost
+    once the grid is small relative to the core count — which is exactly
+    where the AeroKernel backend's cheap primitives pay off. *)
+
+type result = {
+  iterations : int;
+  final_residual : float;  (** ||b - Ax|| / ||b|| *)
+  regions : int;  (** parallel regions dispatched *)
+  converged : bool;
+}
+
+val run : Pool.t -> nx:int -> ?max_iters:int -> ?tol:float -> unit -> result
+(** Solve A x = b for the [nx^3] stencil system (b = A * ones, so the
+    exact solution is all-ones and correctness is checkable).  Runs on the
+    calling (master) thread, fanning work out to the pool. *)
+
+val verify : result -> bool
+(** Did CG converge to the known solution within tolerance? *)

@@ -1,0 +1,179 @@
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+module Nautilus = Mv_aerokernel.Nautilus
+
+type backend =
+  | Linux of Mv_guest.Env.t
+  | Aerokernel of Nautilus.t
+
+type work = { w_lo : int; w_hi : int; w_fn : int -> unit }
+
+type worker = {
+  mutable wk_box : work option;
+  mutable wk_wake : (unit -> unit) option;  (* set while parked *)
+  mutable wk_partial : float;  (* reduction contribution *)
+}
+
+type t = {
+  backend : backend;
+  machine : Machine.t;
+  workers : worker array;
+  mutable handles : Exec.thread array;
+  mutable remaining : int;
+  mutable master_wake : (unit -> unit) option;
+  mutable stopping : bool;
+  mutable n_regions : int;
+}
+
+let machine_of = function
+  | Linux env -> env.Mv_guest.Env.kernel.Mv_ros.Kernel.machine
+  | Aerokernel nk -> Nautilus.machine nk
+
+(* Cost of parking a thread / waking one, per backend.  The Linux pool
+   parks on futexes: a FUTEX_WAIT when going to sleep and the wake-up side
+   of someone's FUTEX_WAKE, both full syscalls.  The AeroKernel pool uses
+   in-kernel wait queues: a function call and a cheap context switch. *)
+let park_costs t =
+  let costs = t.machine.Machine.costs in
+  match t.backend with
+  | Linux env ->
+      let k = env.Mv_guest.Env.kernel and p = env.Mv_guest.Env.proc in
+      Mv_ros.Kernel.count_syscall k p "futex";
+      Mv_ros.Kernel.in_sys k (fun () ->
+          Machine.charge t.machine (costs.Mv_hw.Costs.syscall_trap + 900))
+  | Aerokernel _ -> Machine.charge t.machine 180
+
+let signal_costs t =
+  let costs = t.machine.Machine.costs in
+  match t.backend with
+  | Linux env ->
+      let k = env.Mv_guest.Env.kernel and p = env.Mv_guest.Env.proc in
+      Mv_ros.Kernel.count_syscall k p "futex";
+      Mv_ros.Kernel.in_sys k (fun () ->
+          Machine.charge t.machine (costs.Mv_hw.Costs.syscall_trap + 900))
+  | Aerokernel _ -> Machine.charge t.machine 120
+
+let charge t c = Machine.charge t.machine c
+let regions t = t.n_regions
+let nworkers t = Array.length t.workers
+
+(* --- worker loop --- *)
+
+let finish_chunk t =
+  t.remaining <- t.remaining - 1;
+  if t.remaining = 0 then begin
+    signal_costs t;
+    match t.master_wake with
+    | Some wake ->
+        t.master_wake <- None;
+        wake ()
+    | None -> ()  (* master has not parked yet; it will observe remaining=0 *)
+  end
+
+let rec worker_loop t wk () =
+  if not t.stopping then begin
+    match wk.wk_box with
+    | Some work ->
+        wk.wk_box <- None;
+        (try
+           for i = work.w_lo to work.w_hi - 1 do
+             work.w_fn i
+           done
+         with e ->
+           finish_chunk t;
+           raise e);
+        finish_chunk t;
+        worker_loop t wk ()
+    | None ->
+        park_costs t;
+        Exec.block t.machine.Machine.exec ~reason:"pool-park" (fun ~now:_ ~wake ->
+            wk.wk_wake <- Some wake);
+        worker_loop t wk ()
+  end
+
+let create backend ~nworkers =
+  if nworkers <= 0 then invalid_arg "Pool.create: nworkers <= 0";
+  let machine = machine_of backend in
+  let workers =
+    Array.init nworkers (fun _ -> { wk_box = None; wk_wake = None; wk_partial = 0.0 })
+  in
+  let t =
+    {
+      backend;
+      machine;
+      workers;
+      handles = [||];
+      remaining = 0;
+      master_wake = None;
+      stopping = false;
+      n_regions = 0;
+    }
+  in
+  t.handles <-
+    Array.mapi
+      (fun i wk ->
+        let name = Printf.sprintf "pool-worker-%d" i in
+        match backend with
+        | Linux env -> env.Mv_guest.Env.thread_create ~name (worker_loop t wk)
+        | Aerokernel nk ->
+            (* Spread across the HRT cores. *)
+            let cores = Mv_hw.Topology.hrt_cores machine.Machine.topo in
+            let core = List.nth cores (i mod List.length cores) in
+            Nautilus.create_thread_local nk ~name ~core (worker_loop t wk))
+      workers;
+  t
+
+let wake_worker t wk =
+  match wk.wk_wake with
+  | Some wake ->
+      wk.wk_wake <- None;
+      signal_costs t;
+      wake ()
+  | None -> ()  (* still draining its previous state; it will see the box *)
+
+let dispatch t mk_fn =
+  if t.stopping then invalid_arg "Pool: already shut down";
+  let n = Array.length t.workers in
+  t.n_regions <- t.n_regions + 1;
+  t.remaining <- n;
+  Array.iteri
+    (fun i wk ->
+      wk.wk_box <- Some (mk_fn i);
+      wake_worker t wk)
+    t.workers;
+  (* Barrier: wait for the last chunk. *)
+  if t.remaining > 0 then begin
+    park_costs t;
+    Exec.block t.machine.Machine.exec ~reason:"pool-barrier" (fun ~now:_ ~wake ->
+        t.master_wake <- Some wake)
+  end
+
+let chunk_bounds ~lo ~hi ~n i =
+  let total = hi - lo in
+  let base = total / n and extra = total mod n in
+  let start = lo + (i * base) + min i extra in
+  let len = base + if i < extra then 1 else 0 in
+  (start, start + len)
+
+let parallel_for t ~lo ~hi fn =
+  dispatch t (fun i ->
+      let c_lo, c_hi = chunk_bounds ~lo ~hi ~n:(Array.length t.workers) i in
+      { w_lo = c_lo; w_hi = c_hi; w_fn = fn })
+
+let parallel_reduce t ~lo ~hi fn =
+  Array.iter (fun wk -> wk.wk_partial <- 0.0) t.workers;
+  dispatch t (fun i ->
+      let c_lo, c_hi = chunk_bounds ~lo ~hi ~n:(Array.length t.workers) i in
+      let wk = t.workers.(i) in
+      { w_lo = c_lo; w_hi = c_hi; w_fn = (fun j -> wk.wk_partial <- wk.wk_partial +. fn j) });
+  Array.fold_left (fun acc wk -> acc +. wk.wk_partial) 0.0 t.workers
+
+let shutdown t =
+  t.stopping <- true;
+  Array.iter (fun wk -> wake_worker t wk) t.workers;
+  Array.iter
+    (fun h ->
+      match Exec.state t.machine.Machine.exec h with
+      | Exec.Finished -> ()
+      | _ -> Exec.join t.machine.Machine.exec h)
+    t.handles

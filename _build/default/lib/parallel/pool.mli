@@ -1,0 +1,45 @@
+(** A fork-join worker pool in the style of the parallel runtimes the HRT
+    work targets (Legion, NESL VCODE — paper, Section 2).
+
+    The pool keeps persistent workers that sleep between parallel regions.
+    What it costs to put a worker to sleep and wake it again is the whole
+    point: the {b Linux} backend does it the way a user-level runtime must
+    (futex system calls, kernel context switches), while the {b AeroKernel}
+    backend uses Nautilus primitives that are orders of magnitude cheaper
+    — the reason the hand-ported HRT runtimes beat Linux by up to 20-40 %
+    on HPCG in the authors' prior work, and the payoff of Multiverse's
+    {e Native} usage model. *)
+
+type t
+
+type backend =
+  | Linux of Mv_guest.Env.t
+      (** persistent pthreads parked on futexes; every region dispatch and
+          completion crosses the kernel *)
+  | Aerokernel of Mv_aerokernel.Nautilus.t
+      (** Nautilus threads on the HRT cores; wake/sleep are ring-0
+          function calls *)
+
+val create : backend -> nworkers:int -> t
+(** Spawn the workers (thread context).  Workers are distributed across
+    the backend's cores. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Run [f i] for every [lo <= i < hi], statically chunked across the
+    workers; blocks until every chunk completes.  The body runs in worker
+    context — charge its compute through {!charge}. *)
+
+val parallel_reduce : t -> lo:int -> hi:int -> (int -> float) -> float
+(** Sum [f i] over the range, chunk-wise partial sums combined at the
+    barrier. *)
+
+val charge : t -> int -> unit
+(** Charge compute cycles to the calling (worker) thread. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers (thread context). *)
+
+val regions : t -> int
+(** Parallel regions dispatched so far. *)
+
+val nworkers : t -> int

@@ -1,0 +1,1 @@
+lib/racket/code.ml: Array Format Hashtbl List Sgc Value

@@ -1,0 +1,1 @@
+lib/racket/code.mli: Format Hashtbl Sgc Value

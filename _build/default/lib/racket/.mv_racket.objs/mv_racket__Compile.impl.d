@@ -1,0 +1,1 @@
+lib/racket/compile.ml: Array Code List Printf Sexp String Value

@@ -1,0 +1,1 @@
+lib/racket/compile.mli: Code Sexp

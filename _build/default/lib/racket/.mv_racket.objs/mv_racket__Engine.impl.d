@@ -1,0 +1,1 @@
+lib/racket/engine.ml: Array Bytes Code Compile Hashtbl List Mv_guest Mv_hw Mv_ros Places Printf Sexp Sgc String Value Vm

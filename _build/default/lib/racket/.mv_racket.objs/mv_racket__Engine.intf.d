@@ -1,0 +1,1 @@
+lib/racket/engine.mli: Mv_guest Sgc Value Vm

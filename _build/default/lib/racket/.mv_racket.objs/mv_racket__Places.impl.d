@@ -1,0 +1,1 @@
+lib/racket/places.ml: Array Code List Mv_engine Mv_guest Mv_ros Queue Value

@@ -1,0 +1,1 @@
+lib/racket/places.mli: Code Mv_guest Value

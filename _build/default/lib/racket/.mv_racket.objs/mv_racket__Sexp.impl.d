@@ -1,0 +1,1 @@
+lib/racket/sexp.ml: Buffer Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/racket/sexp.mli: Format

@@ -1,0 +1,1 @@
+lib/racket/sgc.ml: Addr Array Bytes Hashtbl List Mv_guest Mv_hw Mv_ros Obj Printf Stack

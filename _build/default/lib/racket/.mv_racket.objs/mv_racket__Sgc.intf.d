@@ -1,0 +1,1 @@
+lib/racket/sgc.mli: Mv_guest Mv_hw

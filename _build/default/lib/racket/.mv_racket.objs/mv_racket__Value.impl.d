@@ -1,0 +1,1 @@
+lib/racket/value.ml: Char Int64 List Sgc String

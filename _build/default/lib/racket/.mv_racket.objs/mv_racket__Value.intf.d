@@ -1,0 +1,1 @@
+lib/racket/value.mli: Sgc

@@ -1,0 +1,1 @@
+lib/racket/vm.ml: Array Buffer Char Code Float Hashtbl List Mv_guest Mv_ros Places Printf Sgc String Value

@@ -1,0 +1,1 @@
+lib/racket/vm.mli: Code Mv_guest Places Sgc Value

@@ -1,0 +1,331 @@
+module Env = Mv_guest.Env
+module Libc = Mv_guest.Libc
+
+type place = {
+  pl_thread : Env.thread_handle;
+  pl_to_child : Places.channel;
+  pl_to_parent : Places.channel;
+}
+
+type t = {
+  env : Env.t;
+  the_vm : Vm.t;
+  heap : Sgc.t;
+  the_libc : Libc.t;
+  mutable jit_base : Mv_hw.Addr.t;
+  mutable jit_used : int;
+  mutable ticks : int;
+  places : (int, place) Hashtbl.t;
+  mutable next_place : int;
+}
+
+let jit_page_bytes = 64 * 1024
+
+(* The scheme prelude: library procedures the compiler does not inline. *)
+let prelude =
+  {scheme|
+(define (map f lst)
+  (if (null? lst) '() (cons (f (car lst)) (map f (cdr lst)))))
+(define (for-each f lst)
+  (if (null? lst) (void) (begin (f (car lst)) (for-each f (cdr lst)))))
+(define (filter pred lst)
+  (cond ((null? lst) '())
+        ((pred (car lst)) (cons (car lst) (filter pred (cdr lst))))
+        (else (filter pred (cdr lst)))))
+(define (fold-left f acc lst)
+  (if (null? lst) acc (fold-left f (f acc (car lst)) (cdr lst))))
+(define (fold-right f acc lst)
+  (if (null? lst) acc (f (car lst) (fold-right f acc (cdr lst)))))
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+(define (last lst)
+  (if (null? (cdr lst)) (car lst) (last (cdr lst))))
+(define (list-copy lst)
+  (if (null? lst) '() (cons (car lst) (list-copy (cdr lst)))))
+(define (vector->list v)
+  (let loop ((i (- (vector-length v) 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons (vector-ref v i) acc)))))
+(define (list->vector lst)
+  (let ((v (make-vector (length lst) 0)))
+    (let loop ((i 0) (l lst))
+      (if (null? l) v (begin (vector-set! v i (car l)) (loop (+ i 1) (cdr l)))))))
+(define (assoc key lst)
+  (cond ((null? lst) #f)
+        ((equal? key (car (car lst))) (car lst))
+        (else (assoc key (cdr lst)))))
+(define (sort lst less?)
+  (define (merge a b)
+    (cond ((null? a) b)
+          ((null? b) a)
+          ((less? (car b) (car a)) (cons (car b) (merge a (cdr b))))
+          (else (cons (car a) (merge (cdr a) b)))))
+  (define (split l)
+    (if (or (null? l) (null? (cdr l)))
+        (list l '())
+        (let ((rest (split (cdr (cdr l)))))
+          (list (cons (car l) (car rest))
+                (cons (car (cdr l)) (car (cdr rest)))))))
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (split lst)))
+        (merge (sort (car halves) less?) (sort (car (cdr halves)) less?)))))
+;; hash tables: a vector of association-list buckets with resizing,
+;; keyed by equal?; hash function over fixnums/symbols/strings/chars
+(define (hash-code v)
+  (cond ((integer? v) (abs v))
+        ((symbol? v) (string-hash (symbol->string v)))
+        ((string? v) (string-hash v))
+        ((char? v) (char->integer v))
+        ((boolean? v) (if v 1 0))
+        ((pair? v) (modulo (+ (* 31 (hash-code (car v))) (hash-code (cdr v))) 536870912))
+        ((null? v) 5381)
+        (else 0)))
+(define (string-hash s)
+  (let loop ((i 0) (h 5381))
+    (if (= i (string-length s))
+        h
+        (loop (+ i 1) (modulo (+ (* h 33) (char->integer (string-ref s i))) 536870912)))))
+(define (make-hash) (vector 'hash 0 (make-vector 8 '())))
+(define (hash? h) (and (vector? h) (= (vector-length h) 3) (eq? (vector-ref h 0) 'hash)))
+(define (hash-count h) (vector-ref h 1))
+(define (hash-set! h k v)
+  (let ((buckets (vector-ref h 2)))
+    (let ((idx (modulo (hash-code k) (vector-length buckets))))
+      (let ((entry (assoc k (vector-ref buckets idx))))
+        (if entry
+            (set-cdr! entry v)
+            (begin
+              (vector-set! buckets idx (cons (cons k v) (vector-ref buckets idx)))
+              (vector-set! h 1 (+ (vector-ref h 1) 1))
+              (when (> (vector-ref h 1) (* 2 (vector-length buckets)))
+                (hash-grow! h))))))))
+(define (hash-grow! h)
+  (let ((old (vector-ref h 2)))
+    (let ((nb (make-vector (* 2 (vector-length old)) '())))
+      (vector-set! h 2 nb)
+      (let loop ((i 0))
+        (when (< i (vector-length old))
+          (for-each
+           (lambda (entry)
+             (let ((idx (modulo (hash-code (car entry)) (vector-length nb))))
+               (vector-set! nb idx (cons entry (vector-ref nb idx)))))
+           (vector-ref old i))
+          (loop (+ i 1)))))))
+(define (hash-ref h k default)
+  (let ((buckets (vector-ref h 2)))
+    (let ((entry (assoc k (vector-ref buckets (modulo (hash-code k) (vector-length buckets))))))
+      (if entry (cdr entry) default))))
+(define (hash-has-key? h k)
+  (let ((buckets (vector-ref h 2)))
+    (if (assoc k (vector-ref buckets (modulo (hash-code k) (vector-length buckets)))) #t #f)))
+|scheme}
+
+(* Shared libraries the dynamic linker probes and maps at startup; sizes
+   loosely match the real runtime's dependencies. *)
+let shared_libs =
+  [
+    ("/usr/lib/libracket3m.so", 4_700_000);
+    ("/usr/lib/libmzgc.so", 310_000);
+    ("/lib/libc.so.6", 1_900_000);
+    ("/lib/libm.so.6", 1_100_000);
+    ("/lib/libdl.so.2", 14_000);
+    ("/lib/libpthread.so.0", 140_000);
+  ]
+
+let collects_paths =
+  [
+    "/usr/share/racket/collects";
+    "/usr/share/racket/collects/racket";
+    "/usr/share/racket/collects/scheme";
+    "/usr/share/racket/collects/syntax";
+    "/usr/share/racket/collects/compiler";
+    "/usr/local/share/racket";
+  ]
+
+let load_shared_libs env =
+  let k = env.Env.kernel in
+  (* The .so files exist on disk before the process starts. *)
+  List.iter
+    (fun (path, _size) ->
+      match Mv_ros.Vfs.resolve k.Mv_ros.Kernel.vfs ~cwd:"/" path with
+      | Some _ -> ()
+      | None -> Mv_ros.Vfs.add_file k.Mv_ros.Kernel.vfs ~path (String.make 832 'E'))
+    shared_libs;
+  List.iter
+    (fun (path, size) ->
+      if env.Env.access_path ~path then begin
+        match env.Env.open_ ~path ~flags:[ Mv_ros.Syscalls.O_RDONLY ] with
+        | Ok fd ->
+            ignore (env.Env.fstat ~fd);
+            let hdr = Bytes.create 832 in
+            ignore (env.Env.read ~fd ~buf:hdr ~off:0 ~len:832);
+            (* Map the text segment; the pages fault in lazily. *)
+            ignore (env.Env.mmap ~len:size ~prot:Mv_ros.Mm.prot_rx ~kind:"lib");
+            env.Env.close ~fd
+        | Error _ -> ()
+      end)
+    shared_libs
+
+let resolve_collects env =
+  ignore (env.Env.getcwd ());
+  List.iter (fun path -> ignore (env.Env.stat ~path)) collects_paths
+
+let new_jit_page t =
+  (* JIT code pages: map writable, fill, then flip to executable (W^X). *)
+  let addr = t.env.Env.mmap ~len:jit_page_bytes ~prot:Mv_ros.Mm.prot_rw ~kind:"jit" in
+  t.env.Env.store addr;
+  t.env.Env.mprotect ~addr ~len:jit_page_bytes ~prot:Mv_ros.Mm.prot_rx;
+  t.jit_base <- addr;
+  t.jit_used <- 0
+
+let on_jit t (code : Code.code) =
+  let bytes = 64 + (Array.length code.Code.c_instrs * 18) in
+  if t.jit_used + bytes > jit_page_bytes then new_jit_page t;
+  t.jit_used <- t.jit_used + bytes
+
+(* The cooperative green-thread scheduler tick: Racket's runtime checks
+   the clock for thread quanta, polls for I/O readiness, and samples
+   rusage for scheduling decisions (Figures 10-12's timer/poll/getrusage
+   traffic). *)
+let scheduler_tick t _vm =
+  t.ticks <- t.ticks + 1;
+  if t.ticks land 63 = 0 then ignore (t.env.Env.gettimeofday ());
+  if t.ticks land 511 = 0 then ignore (t.env.Env.poll ~fds:[ 0 ] ~timeout_ms:0);
+  if t.ticks land 1023 = 0 then ignore (t.env.Env.getrusage ())
+
+(* --- places (parallel Scheme instances; see Places) --- *)
+
+(* Wire the place primitives into a VM.  [parent] is [Some (inbox, outbox)]
+   for a place child (reachable as id 0), [None] for the top-level VM. *)
+let rec install_place_ops t vm ~parent =
+  let lookup id =
+    match Hashtbl.find_opt t.places id with
+    | Some pl -> pl
+    | None -> raise (Vm.Scheme_error (Printf.sprintf "no such place: %d" id))
+  in
+  Vm.set_place_ops vm
+    {
+      Vm.po_spawn = (fun src -> spawn_place t src);
+      po_send =
+        (fun id m ->
+          if id = 0 then
+            match parent with
+            | Some (_, outbox) -> Places.send outbox m
+            | None -> raise (Vm.Scheme_error "place-send: the main place has no parent")
+          else Places.send (lookup id).pl_to_child m);
+      po_recv =
+        (fun id ->
+          if id = 0 then
+            match parent with
+            | Some (inbox, _) -> Places.receive inbox
+            | None -> raise (Vm.Scheme_error "place-receive: the main place has no parent")
+          else Places.receive (lookup id).pl_to_parent);
+      po_wait = (fun id -> t.env.Env.thread_join (lookup id).pl_thread);
+    }
+
+(* Start a place: a fresh VM + GC heap running [src] on a new thread —
+   which, hybridized, is a new HRT execution group via the pthread
+   override. *)
+and spawn_place t src =
+  let id = t.next_place in
+  t.next_place <- t.next_place + 1;
+  let to_child = Places.channel t.env and to_parent = Places.channel t.env in
+  let thread =
+    t.env.Env.thread_create ~name:(Printf.sprintf "place-%d" id) (fun () ->
+        (* The place's own heap (no write barrier: the process-wide SIGSEGV
+           handler belongs to the main place's collector). *)
+        let heap = Sgc.create t.env ~protect_after_gc:false () in
+        let libc = Libc.create t.env in
+        let vm = Vm.create t.env libc heap in
+        Vm.set_on_jit vm (on_jit t);
+        Vm.set_on_tick vm (scheduler_tick t);
+        install_place_ops t vm ~parent:(Some (to_child, to_parent));
+        (try
+           let forms = Sexp.parse_all (prelude ^ src) in
+           ignore (Vm.run_code vm (Compile.compile_toplevel (Vm.cstate vm) forms))
+         with
+        | Vm.Scheme_error msg | Compile.Compile_error msg | Sexp.Parse_error msg ->
+            Libc.fwrite libc (Libc.stderr_stream libc) ("place error: " ^ msg ^ "\n"));
+        Libc.flush_all libc)
+  in
+  Hashtbl.replace t.places id
+    { pl_thread = thread; pl_to_child = to_child; pl_to_parent = to_parent };
+  id
+
+let start env =
+  ignore (env.Env.uname ());
+  ignore (env.Env.getpid ());
+  let the_libc = Libc.create env in
+  load_shared_libs env;
+  resolve_collects env;
+  (* Runtime-internal malloc arena warm-up. *)
+  let block = Libc.malloc the_libc (256 * 1024) in
+  ignore block;
+  (* The GC heap (SenoraGC): initial segments + write barrier. *)
+  let heap = Sgc.create env () in
+  Sgc.install_barrier heap;
+  (* Green-thread preemption timer. *)
+  env.Env.setitimer ~interval_us:10_000;
+  let the_vm = Vm.create env the_libc heap in
+  let t =
+    {
+      env;
+      the_vm;
+      heap;
+      the_libc;
+      jit_base = 0;
+      jit_used = 0;
+      ticks = 0;
+      places = Hashtbl.create 8;
+      next_place = 1;
+    }
+  in
+  new_jit_page t;
+  Vm.set_on_jit the_vm (on_jit t);
+  Vm.set_on_tick the_vm (scheduler_tick t);
+  install_place_ops t the_vm ~parent:None;
+  (* Compile and run the prelude ("boot image"). *)
+  let forms = Sexp.parse_all prelude in
+  let idx = Compile.compile_toplevel (Vm.cstate the_vm) forms in
+  ignore (Vm.run_code the_vm idx);
+  t
+
+let vm t = t.the_vm
+let gc t = t.heap
+let libc t = t.the_libc
+
+let eval_string t src =
+  let forms = Sexp.parse_all src in
+  let idx = Compile.compile_toplevel (Vm.cstate t.the_vm) forms in
+  Vm.run_code t.the_vm idx
+
+let finish t = Libc.flush_all t.the_libc
+
+let run_program t src =
+  ignore (eval_string t src);
+  finish t
+
+let repl t =
+  let rec loop () =
+    Libc.fwrite t.the_libc (Libc.stdout_stream t.the_libc) "> ";
+    Libc.flush_all t.the_libc;
+    match Libc.stdin_gets t.the_libc with
+    | None -> Libc.fwrite t.the_libc (Libc.stdout_stream t.the_libc) "\n"
+    | Some line ->
+        (if String.trim line <> "" then
+           match eval_string t line with
+           | v when v = Value.vvoid -> ()
+           | v ->
+               Libc.fwrite t.the_libc (Libc.stdout_stream t.the_libc)
+                 (Vm.write_string_of t.the_vm v ^ "\n")
+           | exception Vm.Scheme_error msg ->
+               Libc.fwrite t.the_libc (Libc.stdout_stream t.the_libc) (msg ^ "\n")
+           | exception Compile.Compile_error msg ->
+               Libc.fwrite t.the_libc (Libc.stdout_stream t.the_libc) (msg ^ "\n")
+           | exception Sexp.Parse_error msg ->
+               Libc.fwrite t.the_libc (Libc.stdout_stream t.the_libc) (msg ^ "\n"));
+        loop ()
+  in
+  loop ();
+  finish t

@@ -1,0 +1,37 @@
+(** The Racket-style runtime engine: embedding API, startup sequence, REPL
+    and batch execution.
+
+    Startup reproduces the OS-interaction profile of the real runtime
+    (Figure 11): probing and mapping shared libraries (open/fstat/read/
+    mmap/close), creating the GC heap (anonymous mmaps), installing the
+    SIGSEGV write barrier (rt_sigaction/rt_sigprocmask), setting the
+    interval timer, and resolving the collects paths (getcwd/stat).
+
+    While Scheme code runs, a cooperative-thread scheduler tick fires
+    periodically — checking the clock (gettimeofday), polling for I/O
+    (poll) and sampling usage (getrusage) — matching the runtime-support
+    chatter visible in Figure 12. *)
+
+type t
+
+val start : Mv_guest.Env.t -> t
+(** Full runtime initialization, as [racket] (or a C program embedding the
+    engine) would perform before reaching user code. *)
+
+val vm : t -> Vm.t
+val gc : t -> Sgc.t
+val libc : t -> Mv_guest.Libc.t
+
+val eval_string : t -> string -> Value.v
+(** Parse, compile and run a program; returns the last form's value.
+    @raise Vm.Scheme_error / @raise Compile.Compile_error on bad input. *)
+
+val run_program : t -> string -> unit
+(** Batch mode: evaluate a program for effect, then flush output. *)
+
+val repl : t -> unit
+(** Interactive mode: read one datum at a time from stdin, evaluate, print
+    the result ([write] form, [void] suppressed), until EOF. *)
+
+val finish : t -> unit
+(** Flush buffered output (end of embedding). *)

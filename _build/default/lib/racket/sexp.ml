@@ -1,0 +1,231 @@
+type t =
+  | Atom_sym of string
+  | Atom_int of int
+  | Atom_float of float
+  | Atom_string of string
+  | Atom_char of char
+  | Atom_bool of bool
+  | List of t list
+  | Dotted of t list * t
+
+exception Parse_error of string
+
+let fail msg = raise (Parse_error msg)
+
+type lexer = { src : string; mutable pos : int }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+let advance lx = lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance lx;
+      skip_ws lx
+  | Some ';' ->
+      let rec eat () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            eat ()
+      in
+      eat ();
+      skip_ws lx
+  | Some '#'
+    when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '|' ->
+      lx.pos <- lx.pos + 2;
+      let rec eat depth =
+        if lx.pos + 1 >= String.length lx.src then fail "unterminated block comment"
+        else if lx.src.[lx.pos] = '|' && lx.src.[lx.pos + 1] = '#' then begin
+          lx.pos <- lx.pos + 2;
+          if depth > 1 then eat (depth - 1)
+        end
+        else if lx.src.[lx.pos] = '#' && lx.src.[lx.pos + 1] = '|' then begin
+          lx.pos <- lx.pos + 2;
+          eat (depth + 1)
+        end
+        else begin
+          advance lx;
+          eat depth
+        end
+      in
+      eat 1;
+      skip_ws lx
+  | Some _ | None -> ()
+
+let is_delim = function
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> true
+  | _ -> false
+
+let read_token lx =
+  let start = lx.pos in
+  let rec go () =
+    match peek lx with
+    | Some c when not (is_delim c) ->
+        advance lx;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+let atom_of_token tok =
+  if tok = "" then fail "empty token"
+  else
+    match int_of_string_opt tok with
+    | Some n -> Atom_int n
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f when String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok ->
+            Atom_float f
+        | _ -> Atom_sym (String.lowercase_ascii tok))
+
+let read_string lx =
+  advance lx (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> fail "unterminated string"
+    | Some '"' ->
+        advance lx;
+        Atom_string (Buffer.contents b)
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance lx;
+            go ()
+        | Some 't' ->
+            Buffer.add_char b '\t';
+            advance lx;
+            go ()
+        | Some 'r' ->
+            Buffer.add_char b '\r';
+            advance lx;
+            go ()
+        | Some ('"' | '\\') ->
+            Buffer.add_char b (Option.get (peek lx));
+            advance lx;
+            go ()
+        | Some c -> fail (Printf.sprintf "bad escape \\%c" c)
+        | None -> fail "unterminated escape")
+    | Some c ->
+        Buffer.add_char b c;
+        advance lx;
+        go ()
+  in
+  go ()
+
+let read_hash lx =
+  advance lx (* '#' *);
+  match peek lx with
+  | Some 't' ->
+      advance lx;
+      Atom_bool true
+  | Some 'f' ->
+      advance lx;
+      Atom_bool false
+  | Some '\\' -> (
+      advance lx;
+      (* Character: a named char or a single char. *)
+      let start = lx.pos in
+      (match peek lx with
+      | Some _ -> advance lx
+      | None -> fail "bad character literal");
+      let rec extend () =
+        match peek lx with
+        | Some c when not (is_delim c) ->
+            advance lx;
+            extend ()
+        | Some _ | None -> ()
+      in
+      extend ();
+      let name = String.sub lx.src start (lx.pos - start) in
+      match String.lowercase_ascii name with
+      | "space" -> Atom_char ' '
+      | "newline" | "linefeed" -> Atom_char '\n'
+      | "tab" -> Atom_char '\t'
+      | "return" -> Atom_char '\r'
+      | "nul" | "null" -> Atom_char '\000'
+      | s when String.length s = 1 -> Atom_char s.[0]
+      | s -> fail ("unknown character literal #\\" ^ s))
+  | Some c -> fail (Printf.sprintf "unsupported # syntax: #%c" c)
+  | None -> fail "dangling #"
+
+let rec read_datum lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> fail "unexpected end of input"
+  | Some '(' ->
+      advance lx;
+      read_list lx []
+  | Some '[' ->
+      advance lx;
+      read_list lx []
+  | Some (')' | ']') -> fail "unexpected )"
+  | Some '"' -> read_string lx
+  | Some '#' -> read_hash lx
+  | Some '\'' ->
+      advance lx;
+      List [ Atom_sym "quote"; read_datum lx ]
+  | Some '`' ->
+      advance lx;
+      List [ Atom_sym "quasiquote"; read_datum lx ]
+  | Some ',' ->
+      advance lx;
+      List [ Atom_sym "unquote"; read_datum lx ]
+  | Some _ -> atom_of_token (read_token lx)
+
+and read_list lx acc =
+  skip_ws lx;
+  match peek lx with
+  | None -> fail "unterminated list"
+  | Some (')' | ']') ->
+      advance lx;
+      List (List.rev acc)
+  | Some '.'
+    when acc <> []
+         && (lx.pos + 1 >= String.length lx.src || is_delim lx.src.[lx.pos + 1]) ->
+      advance lx;
+      let tail = read_datum lx in
+      skip_ws lx;
+      (match peek lx with
+      | Some (')' | ']') ->
+          advance lx;
+          Dotted (List.rev acc, tail)
+      | _ -> fail "malformed dotted pair")
+  | Some _ -> read_list lx (read_datum lx :: acc)
+
+let parse_all src =
+  let lx = { src; pos = 0 } in
+  let rec go acc =
+    skip_ws lx;
+    if lx.pos >= String.length src then List.rev acc else go (read_datum lx :: acc)
+  in
+  go []
+
+let parse_one src =
+  match parse_all src with
+  | [ d ] -> d
+  | [] -> fail "no datum"
+  | _ -> fail "more than one datum"
+
+let rec pp ppf = function
+  | Atom_sym s -> Format.pp_print_string ppf s
+  | Atom_int n -> Format.pp_print_int ppf n
+  | Atom_float f -> Format.fprintf ppf "%g" f
+  | Atom_string s -> Format.fprintf ppf "%S" s
+  | Atom_char c -> Format.fprintf ppf "#\\%c" c
+  | Atom_bool b -> Format.pp_print_string ppf (if b then "#t" else "#f")
+  | List items ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items
+  | Dotted (items, tail) ->
+      Format.fprintf ppf "(%a . %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items pp tail
+
+let to_string t = Format.asprintf "%a" pp t

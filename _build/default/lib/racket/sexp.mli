@@ -1,0 +1,27 @@
+(** S-expression reader for the Scheme runtime. *)
+
+type t =
+  | Atom_sym of string
+  | Atom_int of int
+  | Atom_float of float
+  | Atom_string of string
+  | Atom_char of char
+  | Atom_bool of bool
+  | List of t list
+  | Dotted of t list * t  (** improper list [(a b . c)]; quoted data only *)
+
+exception Parse_error of string
+
+val parse_all : string -> t list
+(** Parse a whole program (sequence of datums).  Supports line comments
+    ([;]), block comments ([#| ... |#]), [#t]/[#f], characters
+    ([#\a], [#\space], [#\newline], [#\tab]), strings with escapes,
+    integers, floats, symbols, [quote]/[quasiquote]/[unquote] sugar, and
+    dotted pairs in data position.
+    @raise Parse_error on malformed input. *)
+
+val parse_one : string -> t
+(** Parse exactly one datum. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,934 @@
+module Env = Mv_guest.Env
+module Libc = Mv_guest.Libc
+module V = Value
+open Code
+
+exception Scheme_error of string
+
+type place_ops = {
+  po_spawn : string -> int;
+  po_send : int -> Places.msg -> unit;
+  po_recv : int -> Places.msg;
+  po_wait : int -> unit;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Scheme_error s)) fmt
+
+type frame = {
+  mutable f_code : int;
+  mutable f_pc : int;
+  mutable f_env : V.v;
+  mutable f_base : V.v;  (* the activation's own frame, for recycling *)
+}
+
+type t = {
+  cs : cstate;
+  env : Env.t;
+  libc : Libc.t;
+  heap : Sgc.t;
+  mutable globals : V.v array;
+  mutable stack : int array;
+  mutable sp : int;
+  mutable frames : frame array;
+  mutable fp : int;
+  temps : int array;
+  mutable ntemps : int;
+  mutable n_instrs : int;
+  mutable tick_acc : int;
+  mutable on_tick : t -> unit;
+  mutable on_jit : code -> unit;
+  cycles_per_instr : int;
+  (* Recycled activation frames for code that provably never captures its
+     frame: models compiled code keeping such frames on the stack instead
+     of allocating (without it, every call would be a GC allocation). *)
+  frame_pool : (int, V.v list ref) Hashtbl.t;
+  mutable pool_count : int;
+  mutable place_ops : place_ops option;
+  ports : (int, Libc.stream) Hashtbl.t;
+  mutable next_port : int;
+}
+
+let create env libc heap =
+  let t =
+    {
+      cs = make_cstate heap;
+      env;
+      libc;
+      heap;
+      globals = Array.make 256 V.vundef;
+      stack = Array.make 4096 V.vundef;
+      sp = 0;
+      frames = Array.init 256 (fun _ -> { f_code = 0; f_pc = 0; f_env = V.nil; f_base = V.nil });
+      fp = -1;
+      temps = Array.make 64 V.vundef;
+      ntemps = 0;
+      n_instrs = 0;
+      tick_acc = 0;
+      on_tick = (fun _ -> ());
+      on_jit = (fun _ -> ());
+      cycles_per_instr = 9;
+      frame_pool = Hashtbl.create 16;
+      pool_count = 0;
+      place_ops = None;
+      ports = Hashtbl.create 8;
+      next_port = 2;  (* port 1 is stdout *)
+    }
+  in
+  V.register_scannable heap;
+  Sgc.set_roots heap (fun visit ->
+      for i = 0 to t.sp - 1 do
+        visit t.stack.(i)
+      done;
+      for i = 0 to t.fp do
+        visit t.frames.(i).f_env
+      done;
+      for i = 0 to t.cs.nglobals - 1 do
+        if i < Array.length t.globals then visit t.globals.(i)
+      done;
+      for i = 0 to t.cs.nconstants - 1 do
+        visit t.cs.constants.(i)
+      done;
+      for i = 0 to t.ntemps - 1 do
+        visit t.temps.(i)
+      done;
+      (* Pooled frames must stay live across collections. *)
+      Hashtbl.iter (fun _ cell -> List.iter visit !cell) t.frame_pool);
+  t
+
+let cstate t = t.cs
+let gc t = t.heap
+let set_on_tick t fn = t.on_tick <- fn
+let set_on_jit t fn = t.on_jit <- fn
+let set_place_ops t ops = t.place_ops <- Some ops
+let instructions_executed t = t.n_instrs
+
+(* --- stack --- *)
+
+let push t v =
+  if t.sp >= Array.length t.stack then begin
+    let a = Array.make (2 * Array.length t.stack) V.vundef in
+    Array.blit t.stack 0 a 0 t.sp;
+    t.stack <- a
+  end;
+  t.stack.(t.sp) <- v;
+  t.sp <- t.sp + 1
+
+let pop t =
+  t.sp <- t.sp - 1;
+  t.stack.(t.sp)
+
+let protect t v =
+  t.temps.(t.ntemps) <- v;
+  t.ntemps <- t.ntemps + 1
+
+let clear_temps t = t.ntemps <- 0
+
+(* --- rendering --- *)
+
+let rec render t ~quoted v =
+  let gc = t.heap in
+  if V.is_fixnum v then string_of_int (V.fixnum_val v)
+  else if V.is_sym v then sym_name t.cs (V.sym_id v)
+  else if V.is_char v then
+    if quoted then (
+      match V.char_val v with
+      | ' ' -> "#\\space"
+      | '\n' -> "#\\newline"
+      | c -> Printf.sprintf "#\\%c" c)
+    else String.make 1 (V.char_val v)
+  else if v = V.nil then "()"
+  else if v = V.vtrue then "#t"
+  else if v = V.vfalse then "#f"
+  else if v = V.vvoid then ""
+  else if v = V.veof then "#<eof>"
+  else if v = V.vundef then "#<undefined>"
+  else if V.is_port v then "#<port>"
+  else if V.is_pair gc v then begin
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf '(';
+    let rec go first v =
+      if v = V.nil then ()
+      else if V.is_pair gc v then begin
+        if not first then Buffer.add_char buf ' ';
+        Buffer.add_string buf (render t ~quoted (V.car gc v));
+        go false (V.cdr gc v)
+      end
+      else begin
+        Buffer.add_string buf " . ";
+        Buffer.add_string buf (render t ~quoted v)
+      end
+    in
+    go true v;
+    Buffer.add_char buf ')';
+    Buffer.contents buf
+  end
+  else if V.is_string gc v then
+    if quoted then Printf.sprintf "%S" (V.string_val gc v) else V.string_val gc v
+  else if V.is_flonum gc v then begin
+    let f = V.flonum_val gc v in
+    if Float.is_integer f && Float.abs f < 1e18 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+  end
+  else if V.is_vector gc v then begin
+    let n = V.vector_length gc v in
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf "#(";
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (render t ~quoted (V.vector_ref gc v i))
+    done;
+    Buffer.add_char buf ')';
+    Buffer.contents buf
+  end
+  else if V.is_closure gc v then "#<procedure>"
+  else if V.is_box gc v then "#&" ^ render t ~quoted (V.unbox gc v)
+  else "#<unknown>"
+
+let display_string t v = render t ~quoted:false v
+let write_string_of t v = render t ~quoted:true v
+
+(* --- numeric helpers --- *)
+
+let is_number t v = V.is_fixnum v || V.is_flonum t.heap v
+
+let float_val t v =
+  if V.is_fixnum v then float_of_int (V.fixnum_val v)
+  else if V.is_flonum t.heap v then V.flonum_val t.heap v
+  else err "expected a number, got %s" (display_string t v)
+
+let num2 t name a b ~fix ~flo =
+  if V.is_fixnum a && V.is_fixnum b then fix (V.fixnum_val a) (V.fixnum_val b)
+  else if is_number t a && is_number t b then flo (float_val t a) (float_val t b)
+  else err "%s: expected numbers, got %s and %s" name (display_string t a) (display_string t b)
+
+let fixr n = V.fixnum n
+let flor t f = V.flonum t.heap f
+
+let arith_fold t name args ~id ~fix ~flo =
+  match args with
+  | [] -> fixr id
+  | [ x ] when name = "-" ->
+      if V.is_fixnum x then fixr (-V.fixnum_val x) else flor t (-.float_val t x)
+  | [ x ] when name = "/" -> (
+      match x with
+      | _ when V.is_fixnum x && V.fixnum_val x = 1 -> fixr 1
+      | _ -> flor t (1.0 /. float_val t x))
+  | first :: rest ->
+      List.fold_left
+        (fun acc x ->
+          num2 t name acc x
+            ~fix:(fun a b -> fix a b)
+            ~flo:(fun a b -> flo t a b))
+        first rest
+
+let compare_chain t args ~fix ~flo =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        let ok =
+          if V.is_fixnum a && V.is_fixnum b then fix (V.fixnum_val a) (V.fixnum_val b)
+          else flo (float_val t a) (float_val t b)
+        in
+        ok && go rest
+    | _ -> true
+  in
+  V.bool_v (go args)
+
+(* --- primitive execution ---
+
+   Arguments stay on the stack while the primitive runs (so they remain
+   GC roots across any allocation); [finish] pops them and pushes the
+   result. *)
+
+let exec_prim t p n =
+  let gc = t.heap in
+  let arg i = t.stack.(t.sp - n + i) in
+  let args () = List.init n arg in
+  let finish v =
+    t.sp <- t.sp - n;
+    push t v;
+    clear_temps t
+  in
+  let int_arg name i =
+    let v = arg i in
+    if V.is_fixnum v then V.fixnum_val v
+    else err "%s: expected integer, got %s" name (display_string t v)
+  in
+  let string_arg name i =
+    let v = arg i in
+    if V.is_string gc v then v else err "%s: expected string, got %s" name (display_string t v)
+  in
+  match p with
+  (* numbers *)
+  | Padd ->
+      finish
+        (arith_fold t "+" (args ()) ~id:0 ~fix:(fun a b -> fixr (a + b))
+           ~flo:(fun t a b -> flor t (a +. b)))
+  | Psub ->
+      if n = 0 then err "-: needs at least one argument"
+      else
+        finish
+          (arith_fold t "-" (args ()) ~id:0 ~fix:(fun a b -> fixr (a - b))
+             ~flo:(fun t a b -> flor t (a -. b)))
+  | Pmul ->
+      finish
+        (arith_fold t "*" (args ()) ~id:1 ~fix:(fun a b -> fixr (a * b))
+           ~flo:(fun t a b -> flor t (a *. b)))
+  | Pdiv ->
+      if n = 0 then err "/: needs at least one argument"
+      else
+        finish
+          (arith_fold t "/" (args ()) ~id:1
+             ~fix:(fun a b ->
+               if b = 0 then err "/: division by zero"
+               else if a mod b = 0 then fixr (a / b)
+               else flor t (float_of_int a /. float_of_int b))
+             ~flo:(fun t a b -> flor t (a /. b)))
+  | Pquotient ->
+      let a = int_arg "quotient" 0 and b = int_arg "quotient" 1 in
+      if b = 0 then err "quotient: division by zero" else finish (fixr (a / b))
+  | Premainder ->
+      let a = int_arg "remainder" 0 and b = int_arg "remainder" 1 in
+      if b = 0 then err "remainder: division by zero" else finish (fixr (a mod b))
+  | Pmodulo ->
+      let a = int_arg "modulo" 0 and b = int_arg "modulo" 1 in
+      if b = 0 then err "modulo: division by zero"
+      else finish (fixr (((a mod b) + b) mod b))
+  | Pabs ->
+      let v = arg 0 in
+      finish
+        (if V.is_fixnum v then fixr (abs (V.fixnum_val v))
+         else flor t (Float.abs (float_val t v)))
+  | Pmin ->
+      finish
+        (arith_fold t "min" (args ()) ~id:0 ~fix:(fun a b -> fixr (min a b))
+           ~flo:(fun t a b -> flor t (Float.min a b)))
+  | Pmax ->
+      finish
+        (arith_fold t "max" (args ()) ~id:0 ~fix:(fun a b -> fixr (max a b))
+           ~flo:(fun t a b -> flor t (Float.max a b)))
+  | Pexpt ->
+      let b = arg 0 and e = arg 1 in
+      if V.is_fixnum b && V.is_fixnum e && V.fixnum_val e >= 0 then begin
+        let rec ipow acc b e = if e = 0 then acc else ipow (acc * b) b (e - 1) in
+        finish (fixr (ipow 1 (V.fixnum_val b) (V.fixnum_val e)))
+      end
+      else finish (flor t (Float.pow (float_val t b) (float_val t e)))
+  | Psqrt ->
+      let f = float_val t (arg 0) in
+      let r = sqrt f in
+      if V.is_fixnum (arg 0) && Float.is_integer r then finish (fixr (int_of_float r))
+      else finish (flor t r)
+  | Pfloor ->
+      let v = arg 0 in
+      finish (if V.is_fixnum v then v else flor t (Float.floor (float_val t v)))
+  | Ptruncate ->
+      let v = arg 0 in
+      finish (if V.is_fixnum v then v else flor t (Float.trunc (float_val t v)))
+  | Pround ->
+      let v = arg 0 in
+      finish (if V.is_fixnum v then v else flor t (Float.round (float_val t v)))
+  | Pexact_to_inexact -> finish (flor t (float_val t (arg 0)))
+  | Pinexact_to_exact ->
+      let v = arg 0 in
+      finish (if V.is_fixnum v then v else fixr (int_of_float (float_val t v)))
+  | Psin -> finish (flor t (sin (float_val t (arg 0))))
+  | Pcos -> finish (flor t (cos (float_val t (arg 0))))
+  | Patan -> finish (flor t (atan (float_val t (arg 0))))
+  | Plog -> finish (flor t (log (float_val t (arg 0))))
+  | Pexp -> finish (flor t (exp (float_val t (arg 0))))
+  | Plt -> finish (compare_chain t (args ()) ~fix:( < ) ~flo:( < ))
+  | Pgt -> finish (compare_chain t (args ()) ~fix:( > ) ~flo:( > ))
+  | Ple -> finish (compare_chain t (args ()) ~fix:( <= ) ~flo:( <= ))
+  | Pge -> finish (compare_chain t (args ()) ~fix:( >= ) ~flo:( >= ))
+  | Pnumeq -> finish (compare_chain t (args ()) ~fix:( = ) ~flo:( = ))
+  | Pzerop ->
+      finish
+        (V.bool_v (if V.is_fixnum (arg 0) then V.fixnum_val (arg 0) = 0
+                   else float_val t (arg 0) = 0.0))
+  | Pevenp -> finish (V.bool_v (int_arg "even?" 0 land 1 = 0))
+  | Poddp -> finish (V.bool_v (int_arg "odd?" 0 land 1 = 1))
+  | Pnegativep -> finish (V.bool_v (float_val t (arg 0) < 0.))
+  | Ppositivep -> finish (V.bool_v (float_val t (arg 0) > 0.))
+  (* predicates *)
+  | Peq -> finish (V.bool_v (arg 0 = arg 1))
+  | Peqv -> finish (V.bool_v (V.eqv gc (arg 0) (arg 1)))
+  | Pequal -> finish (V.bool_v (V.equal gc (arg 0) (arg 1)))
+  | Pnot -> finish (V.bool_v (arg 0 = V.vfalse))
+  | Pnullp -> finish (V.bool_v (arg 0 = V.nil))
+  | Ppairp -> finish (V.bool_v (V.is_pair gc (arg 0)))
+  | Pnumberp -> finish (V.bool_v (is_number t (arg 0)))
+  | Pintegerp ->
+      finish
+        (V.bool_v
+           (V.is_fixnum (arg 0)
+           || (V.is_flonum gc (arg 0) && Float.is_integer (V.flonum_val gc (arg 0)))))
+  | Pstringp -> finish (V.bool_v (V.is_string gc (arg 0)))
+  | Psymbolp -> finish (V.bool_v (V.is_sym (arg 0)))
+  | Pprocedurep -> finish (V.bool_v (V.is_closure gc (arg 0)))
+  | Pvectorp -> finish (V.bool_v (V.is_vector gc (arg 0)))
+  | Pbooleanp -> finish (V.bool_v (arg 0 = V.vtrue || arg 0 = V.vfalse))
+  | Pcharp -> finish (V.bool_v (V.is_char (arg 0)))
+  (* pairs *)
+  | Pcons -> finish (V.cons gc (arg 0) (arg 1))
+  | Pcar ->
+      if V.is_pair gc (arg 0) then finish (V.car gc (arg 0))
+      else err "car: expected pair, got %s" (display_string t (arg 0))
+  | Pcdr ->
+      if V.is_pair gc (arg 0) then finish (V.cdr gc (arg 0))
+      else err "cdr: expected pair, got %s" (display_string t (arg 0))
+  | Psetcar ->
+      V.set_car gc (arg 0) (arg 1);
+      finish V.vvoid
+  | Psetcdr ->
+      V.set_cdr gc (arg 0) (arg 1);
+      finish V.vvoid
+  | Plist ->
+      let acc = ref V.nil in
+      for i = n - 1 downto 0 do
+        t.ntemps <- 0;
+        protect t !acc;
+        acc := V.cons gc (arg i) !acc
+      done;
+      finish !acc
+  | Plength ->
+      let rec go acc v =
+        if v = V.nil then acc
+        else if V.is_pair gc v then go (acc + 1) (V.cdr gc v)
+        else err "length: improper list"
+      in
+      finish (fixr (go 0 (arg 0)))
+  | Pappend ->
+      if n = 0 then finish V.nil
+      else begin
+        (* Copy all but the last, sharing the tail. *)
+        let rec copy_onto front tail =
+          match front with
+          | [] -> tail
+          | v :: rest ->
+              let elems = V.to_list gc v in
+              List.fold_right
+                (fun x acc ->
+                  t.ntemps <- 0;
+                  protect t acc;
+                  V.cons gc x acc)
+                elems (copy_onto rest tail)
+        in
+        let all = args () in
+        let rec split = function
+          | [ last ] -> ([], last)
+          | x :: rest ->
+              let front, last = split rest in
+              (x :: front, last)
+          | [] -> assert false
+        in
+        let front, last = split all in
+        finish (copy_onto front last)
+      end
+  | Preverse ->
+      let acc = ref V.nil in
+      let rec go v =
+        if v = V.nil then ()
+        else begin
+          t.ntemps <- 0;
+          protect t !acc;
+          acc := V.cons gc (V.car gc v) !acc;
+          go (V.cdr gc v)
+        end
+      in
+      go (arg 0);
+      finish !acc
+  | Plist_ref ->
+      let rec go v k = if k = 0 then V.car gc v else go (V.cdr gc v) (k - 1) in
+      finish (go (arg 0) (int_arg "list-ref" 1))
+  | Plist_tail ->
+      let rec go v k = if k = 0 then v else go (V.cdr gc v) (k - 1) in
+      finish (go (arg 0) (int_arg "list-tail" 1))
+  | Pmemq | Pmember ->
+      let same = match p with Pmemq -> fun a b -> a = b | _ -> V.equal gc in
+      let rec go v =
+        if v = V.nil then V.vfalse
+        else if same (arg 0) (V.car gc v) then v
+        else go (V.cdr gc v)
+      in
+      finish (go (arg 1))
+  | Passq | Passv ->
+      let same = match p with Passq -> fun a b -> a = b | _ -> V.eqv gc in
+      let rec go v =
+        if v = V.nil then V.vfalse
+        else
+          let entry = V.car gc v in
+          if V.is_pair gc entry && same (arg 0) (V.car gc entry) then entry
+          else go (V.cdr gc v)
+      in
+      finish (go (arg 1))
+  (* vectors *)
+  | Pmake_vector ->
+      let len = int_arg "make-vector" 0 in
+      let fill = if n > 1 then arg 1 else V.fixnum 0 in
+      finish (V.make_vector gc len fill)
+  | Pvector ->
+      let v = V.make_vector gc n V.vundef in
+      for i = 0 to n - 1 do
+        V.vector_set gc v i (arg i)
+      done;
+      finish v
+  | Pvector_ref ->
+      let v = arg 0 and i = int_arg "vector-ref" 1 in
+      if not (V.is_vector gc v) then err "vector-ref: expected vector";
+      if i < 0 || i >= V.vector_length gc v then err "vector-ref: index %d out of range" i;
+      finish (V.vector_ref gc v i)
+  | Pvector_set ->
+      let v = arg 0 and i = int_arg "vector-set!" 1 in
+      if not (V.is_vector gc v) then err "vector-set!: expected vector";
+      if i < 0 || i >= V.vector_length gc v then err "vector-set!: index %d out of range" i;
+      V.vector_set gc v i (arg 2);
+      finish V.vvoid
+  | Pvector_length -> finish (fixr (V.vector_length gc (arg 0)))
+  | Pvector_fill ->
+      let v = arg 0 in
+      for i = 0 to V.vector_length gc v - 1 do
+        V.vector_set gc v i (arg 1)
+      done;
+      finish V.vvoid
+  (* strings *)
+  | Pstring_length -> finish (fixr (V.string_length gc (string_arg "string-length" 0)))
+  | Pstring_ref ->
+      finish (V.char_v (V.string_ref gc (string_arg "string-ref" 0) (int_arg "string-ref" 1)))
+  | Pstring_set ->
+      let c = arg 2 in
+      if not (V.is_char c) then err "string-set!: expected char";
+      V.string_set gc (string_arg "string-set!" 0) (int_arg "string-set!" 1) (V.char_val c);
+      finish V.vvoid
+  | Pmake_string ->
+      let len = int_arg "make-string" 0 in
+      let c = if n > 1 then V.char_val (arg 1) else ' ' in
+      finish (V.string_v gc (String.make len c))
+  | Pstring_append ->
+      let parts = List.map (fun v -> V.string_val gc v) (args ()) in
+      finish (V.string_v gc (String.concat "" parts))
+  | Psubstring ->
+      let s = V.string_val gc (string_arg "substring" 0) in
+      let a = int_arg "substring" 1 and b = int_arg "substring" 2 in
+      finish (V.string_v gc (String.sub s a (b - a)))
+  | Pstring_to_symbol -> finish (V.sym (intern t.cs (V.string_val gc (arg 0))))
+  | Psymbol_to_string -> finish (V.string_v gc (sym_name t.cs (V.sym_id (arg 0))))
+  | Pnumber_to_string -> finish (V.string_v gc (display_string t (arg 0)))
+  | Pstring_to_number -> (
+      let s = V.string_val gc (string_arg "string->number" 0) in
+      match int_of_string_opt s with
+      | Some k -> finish (fixr k)
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> finish (flor t f)
+          | None -> finish V.vfalse))
+  | Pstring_eq ->
+      finish (V.bool_v (V.string_val gc (arg 0) = V.string_val gc (arg 1)))
+  | Pstring_copy -> finish (V.string_v gc (V.string_val gc (arg 0)))
+  | Plist_to_string ->
+      let chars = V.to_list gc (arg 0) in
+      finish (V.string_v gc (String.init (List.length chars) (fun i -> V.char_val (List.nth chars i))))
+  | Pstring_to_list ->
+      let s = V.string_val gc (arg 0) in
+      let acc = ref V.nil in
+      for i = String.length s - 1 downto 0 do
+        t.ntemps <- 0;
+        protect t !acc;
+        acc := V.cons gc (V.char_v s.[i]) !acc
+      done;
+      finish !acc
+  | Pchar_to_integer -> finish (fixr (Char.code (V.char_val (arg 0))))
+  | Pinteger_to_char -> finish (V.char_v (Char.chr (int_arg "integer->char" 0 land 0xFF)))
+  | Pchar_eq -> finish (V.bool_v (arg 0 = arg 1))
+  | Preal_to_decimal_string ->
+      let digits = int_arg "real->decimal-string" 1 in
+      finish (V.string_v gc (Printf.sprintf "%.*f" digits (float_val t (arg 0))))
+  (* boxes *)
+  | Pbox -> finish (V.box_v gc (arg 0))
+  | Punbox -> finish (V.unbox gc (arg 0))
+  | Pset_box ->
+      V.set_box gc (arg 0) (arg 1);
+      finish V.vvoid
+  (* I/O.  Each of these takes an optional trailing port argument; without
+     one, output goes to stdout and input comes from stdin. *)
+  | Pdisplay | Pwrite | Pnewline | Pwrite_char | Pwrite_string | Pread_line
+  | Pflush_output | Popen_input | Popen_output | Pclose_port | Peof_objectp
+  | Pportp | Pread_char -> (
+      let port_stream name v =
+        if not (V.is_port v) then err "%s: expected a port, got %s" name (display_string t v)
+        else if V.port_id v = 1 then Libc.stdout_stream t.libc
+        else
+          match Hashtbl.find_opt t.ports (V.port_id v) with
+          | Some s -> s
+          | None -> err "%s: port is closed" name
+      in
+      (* output stream for a prim whose port argument (if any) is arg i *)
+      let out_for name i =
+        if n > i then port_stream name (arg i) else Libc.stdout_stream t.libc
+      in
+      let arity name lo hi =
+        if n < lo || n > hi then err "%s: expects %d..%d arguments, got %d" name lo hi n
+      in
+      match p with
+      | Pdisplay ->
+          arity "display" 1 2;
+          Libc.fwrite t.libc (out_for "display" 1) (display_string t (arg 0));
+          finish V.vvoid
+      | Pwrite ->
+          arity "write" 1 2;
+          Libc.fwrite t.libc (out_for "write" 1) (write_string_of t (arg 0));
+          finish V.vvoid
+      | Pnewline ->
+          arity "newline" 0 1;
+          Libc.fwrite t.libc (out_for "newline" 0) "\n";
+          finish V.vvoid
+      | Pwrite_char ->
+          arity "write-char" 1 2;
+          Libc.fwrite t.libc (out_for "write-char" 1) (String.make 1 (V.char_val (arg 0)));
+          finish V.vvoid
+      | Pwrite_string ->
+          arity "write-string" 1 2;
+          Libc.fwrite t.libc (out_for "write-string" 1) (V.string_val gc (arg 0));
+          finish V.vvoid
+      | Pread_line -> (
+          arity "read-line" 0 1;
+          let got =
+            if n = 0 then Libc.stdin_gets t.libc
+            else Libc.fgets t.libc (port_stream "read-line" (arg 0)) ~max:65536
+          in
+          match got with
+          | Some line ->
+              let line =
+                if String.length line > 0 && line.[String.length line - 1] = '\n' then
+                  String.sub line 0 (String.length line - 1)
+                else line
+              in
+              finish (V.string_v gc line)
+          | None -> finish V.veof)
+      | Pread_char -> (
+          arity "read-char" 0 1;
+          let got =
+            if n = 0 then Libc.stdin_gets_char t.libc
+            else Libc.fgetc t.libc (port_stream "read-char" (arg 0))
+          in
+          match got with Some c -> finish (V.char_v c) | None -> finish V.veof)
+      | Pflush_output ->
+          arity "flush-output" 0 1;
+          if n = 1 then Libc.fflush t.libc (port_stream "flush-output" (arg 0))
+          else Libc.flush_all t.libc;
+          finish V.vvoid
+      | Popen_input -> (
+          let path = V.string_val gc (string_arg "open-input-file" 0) in
+          match Libc.fopen t.libc ~path ~mode:"r" with
+          | Ok s ->
+              let id = t.next_port in
+              t.next_port <- id + 1;
+              Hashtbl.replace t.ports id s;
+              finish (V.port_v id)
+          | Error e ->
+              err "open-input-file: %s: %s" path (Mv_ros.Syscalls.errno_name e))
+      | Popen_output -> (
+          let path = V.string_val gc (string_arg "open-output-file" 0) in
+          match Libc.fopen t.libc ~path ~mode:"w" with
+          | Ok s ->
+              let id = t.next_port in
+              t.next_port <- id + 1;
+              Hashtbl.replace t.ports id s;
+              finish (V.port_v id)
+          | Error e ->
+              err "open-output-file: %s: %s" path (Mv_ros.Syscalls.errno_name e))
+      | Pclose_port ->
+          let v = arg 0 in
+          if not (V.is_port v) then err "close-port: expected a port";
+          (match Hashtbl.find_opt t.ports (V.port_id v) with
+          | Some s ->
+              Libc.fclose t.libc s;
+              Hashtbl.remove t.ports (V.port_id v)
+          | None -> ());
+          finish V.vvoid
+      | Peof_objectp -> finish (V.bool_v (arg 0 = V.veof))
+      | Pportp -> finish (V.bool_v (V.is_port (arg 0)))
+      | _ -> assert false)
+  | Pvoid -> finish V.vvoid
+  | Perror ->
+      let parts = List.map (fun v -> display_string t v) (args ()) in
+      raise (Scheme_error (String.concat " " parts))
+  | Pcurrent_seconds -> finish (fixr (int_of_float (t.env.Env.gettimeofday ())))
+  | Pcollect_garbage ->
+      Sgc.collect t.heap;
+      finish V.vvoid
+  | Pplace_spawn | Pplace_send | Pplace_recv | Pplace_wait -> (
+      let ops =
+        match t.place_ops with
+        | Some ops -> ops
+        | None -> err "places are not enabled in this instance"
+      in
+      match p with
+      | Pplace_spawn ->
+          let src = V.string_val gc (string_arg "place-spawn" 0) in
+          (* Spawning a place costs a thread creation plus heap setup;
+             charged by the engine's implementation. *)
+          finish (fixr (ops.po_spawn src))
+      | Pplace_send -> (
+          let id = int_arg "place-send" 0 in
+          match Places.encode t.cs (arg 1) with
+          | m ->
+              ops.po_send id m;
+              finish V.vvoid
+          | exception Places.Not_transferable ty ->
+              err "place-send: %s values are not transferable" ty)
+      | Pplace_recv ->
+          let id = int_arg "place-receive" 0 in
+          let m = ops.po_recv id in
+          finish (Places.decode t.cs m)
+      | Pplace_wait ->
+          ops.po_wait (int_arg "place-wait" 0);
+          finish V.vvoid
+      | _ -> assert false)
+  | Papply -> assert false (* handled in the main loop *)
+
+(* --- main loop --- *)
+
+(* Does this code ever capture its activation frame in a closure?  If not,
+   a self-tail-call may overwrite the frame in place instead of allocating
+   a fresh one — the JIT's loop optimization (Racket compiles such loops
+   to registers; without this every loop iteration would allocate). *)
+let code_no_capture (code : code) =
+  if code.c_no_capture < 0 then
+    code.c_no_capture <-
+      (if Array.exists (function MkClosure _ -> true | _ -> false) code.c_instrs then 0
+       else 1);
+  code.c_no_capture = 1
+
+let max_pooled = 4096
+
+let alloc_frame t ~parent ~size =
+  match Hashtbl.find_opt t.frame_pool size with
+  | Some ({ contents = f :: rest } as cell) ->
+      cell := rest;
+      t.pool_count <- t.pool_count - 1;
+      V.frame_set_parent t.heap f parent;
+      f
+  | Some _ | None -> V.frame t.heap ~parent ~size
+
+let recycle_frame t f =
+  if t.pool_count < max_pooled then begin
+    let size = V.frame_size t.heap f in
+    (match Hashtbl.find_opt t.frame_pool size with
+    | Some cell -> cell := f :: !cell
+    | None -> Hashtbl.replace t.frame_pool size (ref [ f ]));
+    t.pool_count <- t.pool_count + 1
+  end
+
+(* At return from a no-capture activation, every frame from the current
+   environment down to (and including) the activation's own frame is dead:
+   recycle the chain. *)
+let recycle_activation t (fr : frame) code =
+  if code_no_capture code && fr.f_base <> V.nil then begin
+    let rec walk f =
+      if f <> V.nil then begin
+        let parent = V.frame_parent t.heap f in
+        recycle_frame t f;
+        if f <> fr.f_base then walk parent
+      end
+    in
+    walk fr.f_env
+  end
+
+let grow_frames t =
+  if t.fp + 1 >= Array.length t.frames then begin
+    let a =
+      Array.init (2 * Array.length t.frames) (fun i ->
+          if i < Array.length t.frames then t.frames.(i)
+          else { f_code = 0; f_pc = 0; f_env = V.nil; f_base = V.nil })
+    in
+    t.frames <- a
+  end
+
+let ensure_globals t =
+  if t.cs.nglobals > Array.length t.globals then begin
+    let a = Array.make (max t.cs.nglobals (2 * Array.length t.globals)) V.vundef in
+    Array.blit t.globals 0 a 0 (Array.length t.globals);
+    t.globals <- a
+  end
+
+let jit_check t code =
+  if not code.c_jitted then begin
+    code.c_jitted <- true;
+    (* Compile-on-first-call: translation work proportional to size. *)
+    t.env.Env.work (120 + (Array.length code.c_instrs * 35));
+    t.on_jit code
+  end
+
+(* Build the callee frame and enter it.  The arguments and the closure are
+   on the stack (rooted) until we pop them.  Returns [true] if the call
+   completed inline (variadic-primitive closures run without a frame). *)
+let enter_call t argc ~tail =
+  let clo = t.stack.(t.sp - argc - 1) in
+  if not (V.is_closure t.heap clo) then
+    err "application of a non-procedure: %s" (display_string t clo);
+  let code_idx = V.closure_code t.heap clo in
+  let code = t.cs.codes.(code_idx) in
+  if code.c_arity = -1 then begin
+    (* A variadic primitive in closure clothing: run it in place. *)
+    let p = match code.c_instrs.(0) with PrimVarargs p -> p | _ -> assert false in
+    exec_prim t p argc;
+    let result = pop t in
+    ignore (pop t) (* the closure *);
+    push t result;
+    true
+  end
+  else begin
+  if code.c_arity <> argc then
+    err "%s: arity mismatch: expected %d, got %d" code.c_name code.c_arity argc;
+  jit_check t code;
+  let cur = t.frames.(t.fp) in
+  if
+    tail && code_idx = cur.f_code && code_no_capture code
+    && cur.f_env <> V.nil
+    && V.frame_parent t.heap cur.f_env = V.closure_env t.heap clo
+  then begin
+    (* Self-tail-call whose frame never escapes: overwrite it in place
+       (the compiled-loop fast path).  The new argument values are already
+       on the stack, so reading order does not matter. *)
+    for i = argc - 1 downto 0 do
+      V.frame_set t.heap cur.f_env i (pop t)
+    done;
+    ignore (pop t) (* the closure *);
+    cur.f_pc <- 0;
+    false
+  end
+  else begin
+  let env_frame = alloc_frame t ~parent:(V.closure_env t.heap clo) ~size:code.c_frame_size in
+  for i = argc - 1 downto 0 do
+    V.frame_set t.heap env_frame i (pop t)
+  done;
+  ignore (pop t) (* the closure *);
+  (if tail then begin
+     let fr = t.frames.(t.fp) in
+     recycle_activation t fr t.cs.codes.(fr.f_code);
+     fr.f_code <- code_idx;
+     fr.f_pc <- 0;
+     fr.f_env <- env_frame;
+     fr.f_base <- env_frame
+   end
+   else begin
+     grow_frames t;
+     t.fp <- t.fp + 1;
+     let fr = t.frames.(t.fp) in
+     fr.f_code <- code_idx;
+     fr.f_pc <- 0;
+     fr.f_env <- env_frame;
+     fr.f_base <- env_frame
+   end);
+  false
+  end
+  end
+
+let lookup_env t env depth =
+  let rec go env d = if d = 0 then env else go (V.frame_parent t.heap env) (d - 1) in
+  go env depth
+
+let tick t =
+  t.tick_acc <- t.tick_acc + 1;
+  if t.tick_acc land 2047 = 0 then begin
+    t.env.Env.work (2048 * t.cycles_per_instr);
+    t.on_tick t
+  end
+
+let run_code t idx =
+  ensure_globals t;
+  let base_fp = t.fp in
+  grow_frames t;
+  t.fp <- t.fp + 1;
+  let fr0 = t.frames.(t.fp) in
+  fr0.f_code <- idx;
+  fr0.f_pc <- 0;
+  fr0.f_env <- V.nil;
+  fr0.f_base <- V.nil;
+  jit_check t t.cs.codes.(idx);
+  let result = ref V.vvoid in
+  let running = ref true in
+  while !running do
+    let fr = t.frames.(t.fp) in
+    let code = t.cs.codes.(fr.f_code) in
+    let instr = code.c_instrs.(fr.f_pc) in
+    fr.f_pc <- fr.f_pc + 1;
+    t.n_instrs <- t.n_instrs + 1;
+    tick t;
+    match instr with
+    | Imm v -> push t v
+    | Const i -> push t t.cs.constants.(i)
+    | Lref (d, i) -> push t (V.frame_ref t.heap (lookup_env t fr.f_env d) i)
+    | Lset (d, i) -> V.frame_set t.heap (lookup_env t fr.f_env d) i (pop t)
+    | Gref i ->
+        ensure_globals t;
+        let v = t.globals.(i) in
+        if v = V.vundef then
+          err "reference to undefined global (slot %d)" i
+        else push t v
+    | Gset i ->
+        ensure_globals t;
+        t.globals.(i) <- pop t
+    | MkClosure ci -> push t (V.closure t.heap ~code:ci ~env:fr.f_env)
+    | Call argc -> ignore (enter_call t argc ~tail:false)
+    | TailCall argc ->
+        if enter_call t argc ~tail:true then begin
+          (* Inline (variadic-primitive) completion in tail position:
+             perform the return ourselves. *)
+          let v = pop t in
+          t.fp <- t.fp - 1;
+          if t.fp = base_fp then begin
+            result := v;
+            running := false
+          end
+          else push t v
+        end
+    | Ret ->
+        let v = pop t in
+        recycle_activation t fr code;
+        fr.f_base <- V.nil;
+        t.fp <- t.fp - 1;
+        if t.fp = base_fp then begin
+          result := v;
+          running := false
+        end
+        else push t v
+    | Jmp target -> fr.f_pc <- target
+    | Jif target -> if pop t = V.vfalse then fr.f_pc <- target
+    | Pop -> ignore (pop t)
+    | Prim (Papply, 2) ->
+        (* (apply f arglist): respread the list and call. *)
+        let lst = pop t in
+        let f = pop t in
+        push t f;
+        let rec spread count v =
+          if v = V.nil then count
+          else begin
+            push t (V.car t.heap v);
+            spread (count + 1) (V.cdr t.heap v)
+          end
+        in
+        let argc = spread 0 lst in
+        ignore (enter_call t argc ~tail:false)
+    | Prim (p, n) -> exec_prim t p n
+    | PushFrame n ->
+        (* let entry: the init values sit on the stack (rooted) while the
+           frame is allocated. *)
+        let env_frame = alloc_frame t ~parent:fr.f_env ~size:n in
+        for i = n - 1 downto 0 do
+          V.frame_set t.heap env_frame i (pop t)
+        done;
+        fr.f_env <- env_frame
+    | PopFrame ->
+        let dead = fr.f_env in
+        fr.f_env <- V.frame_parent t.heap dead;
+        if code_no_capture code then recycle_frame t dead
+    | PrimVarargs _ ->
+        (* Only reachable by direct execution of a synthetic closure body,
+           which enter_call intercepts. *)
+        assert false
+  done;
+  (* Flush the un-accounted instruction remainder. *)
+  t.env.Env.work (t.tick_acc land 2047 * t.cycles_per_instr);
+  t.tick_acc <- 0;
+  !result

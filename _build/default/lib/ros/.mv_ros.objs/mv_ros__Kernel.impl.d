@@ -1,0 +1,1 @@
+lib/ros/kernel.ml: Costs Cpu Fun Hashtbl List Mm Mmu Mv_engine Mv_hw Mv_util Page_table Printf Process Queue Rusage Signal Topology Vfs

@@ -1,0 +1,1 @@
+lib/ros/kernel.mli: Hashtbl Mm Mv_engine Mv_hw Mv_util Process Queue Signal Vfs

@@ -1,0 +1,1 @@
+lib/ros/mm.ml: Addr Costs Hashtbl Int List Map Mv_engine Mv_hw Page_table Phys_mem Seq Signal

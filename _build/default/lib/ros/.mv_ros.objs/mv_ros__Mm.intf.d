@@ -1,0 +1,1 @@
+lib/ros/mm.mli: Mv_engine Mv_hw Signal

@@ -1,0 +1,1 @@
+lib/ros/process.mli: Buffer Hashtbl Mm Mv_engine Mv_hw Mv_util Rusage Signal Vfs

@@ -1,0 +1,1 @@
+lib/ros/rusage.ml: Format Mv_util

@@ -1,0 +1,1 @@
+lib/ros/rusage.mli: Format Mv_util

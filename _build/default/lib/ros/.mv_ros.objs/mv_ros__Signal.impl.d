@@ -1,0 +1,1 @@
+lib/ros/signal.ml: Hashtbl List Mv_hw

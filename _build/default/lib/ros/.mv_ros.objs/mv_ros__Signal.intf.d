@@ -1,0 +1,1 @@
+lib/ros/signal.mli: Mv_hw

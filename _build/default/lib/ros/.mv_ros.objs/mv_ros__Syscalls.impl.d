@@ -1,0 +1,1 @@
+lib/ros/syscalls.ml: Buffer Bytes Hashtbl Kernel List Mm Mv_engine Mv_hw Mv_util Process Queue Signal Vfs

@@ -1,0 +1,1 @@
+lib/ros/syscalls.mli: Bytes Kernel Mm Mv_engine Mv_hw Process Rusage Signal

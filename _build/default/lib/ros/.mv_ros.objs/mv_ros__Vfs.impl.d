@@ -1,0 +1,1 @@
+lib/ros/vfs.ml: Buffer Bytes Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ros/vfs.mli: Buffer Bytes Hashtbl

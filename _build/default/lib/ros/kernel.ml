@@ -1,0 +1,270 @@
+open Mv_hw
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+
+exception Process_killed of string
+
+type task = { tk_proc : Process.t; tk_thread : Exec.thread }
+
+type t = {
+  machine : Machine.t;
+  vfs : Vfs.t;
+  mutable procs : Process.t list;
+  by_tid : (int, task) Hashtbl.t;
+  mutable next_pid : int;
+  mutable virtualized : bool;
+  mutable vm_exits : int;
+  mutable silent_corruptions : int;
+  wall_epoch : float;
+  mutable wall_started : (int * Mv_util.Cycles.t) list;
+  mutable wall_finished : (int * Mv_util.Cycles.t) list;
+  futexes : (int * int, (unit -> unit) Queue.t) Hashtbl.t;
+  mutable rr_next : int;
+}
+
+(* Attribution of charged cycles: by default cycles are user time; inside
+   an [in_sys] window they are system time.  The window depth is tracked
+   per thread id. *)
+let sys_depth : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let create ?(virtualized = false) machine =
+  let t =
+    {
+      machine;
+      vfs = Vfs.create ();
+      procs = [];
+      by_tid = Hashtbl.create 64;
+      next_pid = 1;
+      virtualized;
+      vm_exits = 0;
+      silent_corruptions = 0;
+      wall_epoch = 1_700_000_000.0;
+      wall_started = [];
+      wall_finished = [];
+      futexes = Hashtbl.create 32;
+      rr_next = 0;
+    }
+  in
+  Exec.set_charge_hook machine.Machine.exec (fun th c ->
+      match Hashtbl.find_opt t.by_tid (Exec.tid th) with
+      | None -> ()
+      | Some task ->
+          let ru = task.tk_proc.Process.rusage in
+          let depth =
+            match Hashtbl.find_opt sys_depth (Exec.tid th) with Some d -> d | None -> 0
+          in
+          if depth > 0 then ru.Rusage.stime <- ru.Rusage.stime + c
+          else ru.Rusage.utime <- ru.Rusage.utime + c);
+  t
+
+let current t =
+  let th = Exec.self t.machine.Machine.exec in
+  match Hashtbl.find_opt t.by_tid (Exec.tid th) with
+  | Some task -> task
+  | None -> failwith "Kernel.current: thread is not a ROS task"
+
+let charge_user t c = Machine.charge t.machine c
+
+let in_sys t f =
+  let th = Exec.self t.machine.Machine.exec in
+  let tid = Exec.tid th in
+  let d = match Hashtbl.find_opt sys_depth tid with Some d -> d | None -> 0 in
+  Hashtbl.replace sys_depth tid (d + 1);
+  Fun.protect
+    ~finally:(fun () ->
+      let d = match Hashtbl.find_opt sys_depth tid with Some d -> d | None -> 1 in
+      Hashtbl.replace sys_depth tid (d - 1))
+    f
+
+let count_syscall _t p name = Mv_util.Histogram.incr p.Process.syscall_counts name
+
+let wall_seconds t = t.wall_epoch +. Mv_util.Cycles.to_sec (Machine.now t.machine)
+
+let runtime_of t p =
+  let pid = p.Process.pid in
+  let start = try List.assoc pid t.wall_started with Not_found -> 0 in
+  let stop =
+    try List.assoc pid t.wall_finished with Not_found -> Machine.now t.machine
+  in
+  stop - start
+
+let finalize_rusage _t p =
+  let ru = p.Process.rusage in
+  ru.Rusage.nvcsw <- 0;
+  ru.Rusage.nivcsw <- 0;
+  List.iter
+    (fun th ->
+      ru.Rusage.nvcsw <- ru.Rusage.nvcsw + Exec.voluntary_switches th;
+      ru.Rusage.nivcsw <- ru.Rusage.nivcsw + Exec.involuntary_switches th)
+    p.Process.threads;
+  Rusage.note_rss ru ~kb:(Mm.maxrss_kb p.Process.mm)
+
+(* --- processes and threads --- *)
+
+let exit_process t p ~code =
+  if not p.Process.exited then begin
+    p.Process.exited <- true;
+    p.Process.exit_code <- code;
+    let hooks = p.Process.exit_hooks in
+    p.Process.exit_hooks <- [];
+    List.iter (fun h -> h p) hooks;
+    t.wall_finished <- (p.Process.pid, Machine.now t.machine) :: t.wall_finished;
+    finalize_rusage t p;
+    let self_tid =
+      match Exec.state t.machine.Machine.exec (Exec.self t.machine.Machine.exec) with
+      | exception Failure _ -> None
+      | _ -> Some (Exec.tid (Exec.self t.machine.Machine.exec))
+    in
+    List.iter
+      (fun th ->
+        match self_tid with
+        | Some tid when tid = Exec.tid th -> ()  (* cannot kill self; raise below *)
+        | _ -> ( match Exec.state t.machine.Machine.exec th with
+            | Exec.Finished -> ()
+            | _ -> Exec.kill t.machine.Machine.exec th))
+      p.Process.threads;
+    Mm.release p.Process.mm;
+    match self_tid with
+    | Some tid when List.exists (fun th -> Exec.tid th = tid) p.Process.threads ->
+        raise (Process_killed p.Process.pname)
+    | _ -> ()
+  end
+
+(* Spread threads across the ROS cores round-robin (the Linux scheduler's
+   load balancing, simplified). *)
+let pick_ros_core t pref =
+  match pref with
+  | Some c -> c
+  | None -> (
+      let cores = Topology.ros_cores t.machine.Machine.topo in
+      match cores with
+      | [] -> 0
+      | _ ->
+          let c = List.nth cores (t.rr_next mod List.length cores) in
+          t.rr_next <- t.rr_next + 1;
+          c)
+
+(* Main-thread wrapper: returning from main exits the whole process, as
+   returning from main() does via the C runtime's exit(). *)
+let main_body t p body () =
+  try
+    body ();
+    if not p.Process.exited then exit_process t p ~code:0
+  with Process_killed _ -> ()
+
+(* Secondary threads just end; the process lives on. *)
+let thread_body _t _p body () = try body () with Process_killed _ -> ()
+
+let spawn_process t ~name ?cpu ?stdout_tee body =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let p = Process.create t.machine ~pid ~name ?stdout_tee () in
+  t.procs <- p :: t.procs;
+  t.wall_started <- (pid, Machine.now t.machine) :: t.wall_started;
+  let core = pick_ros_core t cpu in
+  let th =
+    Exec.spawn t.machine.Machine.exec ~cpu:core ~name:(name ^ "/main")
+      (main_body t p (fun () -> body p))
+  in
+  p.Process.threads <- th :: p.Process.threads;
+  Hashtbl.replace t.by_tid (Exec.tid th) { tk_proc = p; tk_thread = th };
+  p
+
+let spawn_thread t p ~name ?cpu body =
+  let core = pick_ros_core t cpu in
+  let th = Exec.spawn t.machine.Machine.exec ~cpu:core ~name (thread_body t p body) in
+  p.Process.threads <- th :: p.Process.threads;
+  Hashtbl.replace t.by_tid (Exec.tid th) { tk_proc = p; tk_thread = th };
+  th
+
+let register_foreign_thread t p th =
+  p.Process.threads <- th :: p.Process.threads;
+  Hashtbl.replace t.by_tid (Exec.tid th) { tk_proc = p; tk_thread = th }
+
+let wait_process t p =
+  if not p.Process.exited then
+    Exec.block t.machine.Machine.exec ~reason:"waitpid" (fun ~now:_ ~wake ->
+        Process.add_exit_hook p (fun _ -> wake ()))
+
+(* --- signals --- *)
+
+let deliver_signal t p (info : Signal.siginfo) =
+  let costs = t.machine.Machine.costs in
+  match Signal.action p.Process.signals info.Signal.si_signo with
+  | Signal.Handler h ->
+      in_sys t (fun () -> Machine.charge t.machine costs.Costs.signal_deliver);
+      h info;
+      count_syscall t p "rt_sigreturn";
+      in_sys t (fun () -> Machine.charge t.machine costs.Costs.signal_return)
+  | Signal.Ignore -> ()
+  | Signal.Default -> (
+      match info.Signal.si_signo with
+      | Signal.Sigsegv | Signal.Sigint ->
+          Machine.trace_emit t.machine ~category:"fatal"
+            (Printf.sprintf "%s pid=%d addr=%x"
+               (Signal.name info.Signal.si_signo)
+               p.Process.pid info.Signal.si_addr);
+          exit_process t p ~code:139
+      | Signal.Sigvtalrm | Signal.Sigusr1 | Signal.Sigusr2 | Signal.Sigchld -> ())
+
+(* --- faults and memory access --- *)
+
+let service_fault t p addr ~write =
+  let costs = t.machine.Machine.costs in
+  in_sys t (fun () ->
+      Machine.charge t.machine costs.Costs.page_fault_trap;
+      if t.virtualized then begin
+        (* Nested-paging fill for a first touch in a guest. *)
+        t.vm_exits <- t.vm_exits + 1;
+        Machine.charge t.machine costs.Costs.nested_fill
+      end;
+      (* Trace in address-layout-independent form (VMA kind + page offset
+         within the VMA): the Multiverse runtime's own allocations shift
+         mmap addresses, but the {e application's} fault sequence must be
+         identical to the native run (paper, Section 4.4). *)
+      (match Mm.find_vma p.Process.mm addr with
+      | Some v ->
+          Machine.trace_emit t.machine ~category:"pagefault"
+            (Printf.sprintf "pid=%d vma=%s+%d w=%b" p.Process.pid v.Mm.v_kind
+               (Mv_hw.Addr.page_of addr - v.Mm.v_start)
+               write)
+      | None ->
+          Machine.trace_emit t.machine ~category:"pagefault"
+            (Printf.sprintf "pid=%d addr=%x w=%b" p.Process.pid addr write));
+      let outcome = Mm.handle_fault p.Process.mm addr ~write in
+      (match outcome with
+      | Mm.Fixed_minor -> p.Process.rusage.Rusage.minflt <- p.Process.rusage.Rusage.minflt + 1
+      | Mm.Segv _ -> ());
+      outcome)
+
+let access t addr ~write =
+  let task = current t in
+  let p = task.tk_proc in
+  let cpu = Machine.cpu_of_current t.machine in
+  let root = Mm.page_table p.Process.mm in
+  if cpu.Cpu.cr3 <> Page_table.id root then Cpu.load_cr3 cpu root;
+  let kind = if write then Mmu.Write else Mmu.Read in
+  let rec attempt tries =
+    if tries > 8 then begin
+      deliver_signal t p
+        { Signal.si_signo = Signal.Sigsegv; si_addr = addr; si_write = write };
+      raise (Process_killed "unresolvable fault")
+    end
+    else
+      match Mmu.access t.machine.Machine.costs cpu root addr kind with
+      | Mmu.Hit (_, cost) -> Machine.charge t.machine cost
+      | Mmu.Silent_write (_, cost) ->
+          (* Ring-0 write through a read-only mapping with WP clear. *)
+          Machine.charge t.machine cost;
+          t.silent_corruptions <- t.silent_corruptions + 1
+      | Mmu.Fault (_, cost) -> (
+          Machine.charge t.machine cost;
+          match service_fault t p addr ~write with
+          | Mm.Fixed_minor -> attempt (tries + 1)
+          | Mm.Segv info ->
+              deliver_signal t p info;
+              (* The handler is expected to have repaired the mapping
+                 (e.g. the GC write barrier unprotecting a page). *)
+              attempt (tries + 1))
+  in
+  attempt 0

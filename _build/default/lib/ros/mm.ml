@@ -1,0 +1,227 @@
+open Mv_hw
+module Machine = Mv_engine.Machine
+module IntMap = Map.Make (Int)
+
+type prot = { pr_read : bool; pr_write : bool; pr_exec : bool }
+
+let prot_none = { pr_read = false; pr_write = false; pr_exec = false }
+let prot_r = { pr_read = true; pr_write = false; pr_exec = false }
+let prot_rw = { pr_read = true; pr_write = true; pr_exec = false }
+let prot_rx = { pr_read = true; pr_write = false; pr_exec = true }
+
+type vma = { v_start : int; v_npages : int; v_prot : prot; v_kind : string }
+
+type fault_outcome = Fixed_minor | Segv of Signal.siginfo
+
+type t = {
+  machine : Machine.t;
+  pt : Page_table.t;
+  mutable vmas : vma IntMap.t;  (* keyed by first page *)
+  frames : (int, int) Hashtbl.t;  (* resident: page -> frame *)
+  mutable mmap_next : int;  (* next page for anonymous mmap, grows down *)
+  mutable brk_base : int;  (* page *)
+  mutable brk_end : Addr.t;
+  mutable rss_pages : int;
+  mutable maxrss_pages : int;
+}
+
+let brk_base_addr = 0x0200_0000
+let mmap_top_page = Addr.page_of 0x7f80_0000_0000
+
+let create machine =
+  {
+    machine;
+    pt = Page_table.create ();
+    vmas = IntMap.empty;
+    frames = Hashtbl.create 1024;
+    mmap_next = mmap_top_page;
+    brk_base = Addr.page_of brk_base_addr;
+    brk_end = brk_base_addr;
+    rss_pages = 0;
+    maxrss_pages = 0;
+  }
+
+let page_table t = t.pt
+
+let pte_flags_of_prot prot ~cow =
+  let f = Page_table.f_present lor Page_table.f_user in
+  let f = if prot.pr_write && not cow then f lor Page_table.f_writable else f in
+  let f = if not prot.pr_exec then f lor Page_table.f_nx else f in
+  if cow then f lor Page_table.f_cow else f
+
+let find_vma_page t page =
+  match IntMap.find_last_opt (fun s -> s <= page) t.vmas with
+  | Some (s, v) when page < s + v.v_npages -> Some v
+  | Some _ | None -> None
+
+let find_vma t addr = find_vma_page t (Addr.page_of addr)
+
+let note_rss t delta =
+  t.rss_pages <- t.rss_pages + delta;
+  if t.rss_pages > t.maxrss_pages then t.maxrss_pages <- t.rss_pages
+
+let drop_page t page =
+  match Hashtbl.find_opt t.frames page with
+  | None -> ()
+  | Some frame ->
+      (* Kill the PTE before detaching so stale TLB entries self-invalidate
+         (they observe the cleared present bit). *)
+      (match Page_table.lookup t.pt (Addr.base_of_page page) with
+      | Some pte -> pte.Page_table.pte_flags <- 0
+      | None -> ());
+      ignore (Page_table.unmap t.pt (Addr.base_of_page page));
+      Hashtbl.remove t.frames page;
+      if frame <> t.machine.Machine.zero_frame then
+        Phys_mem.free t.machine.Machine.phys frame;
+      note_rss t (-1)
+
+(* Split every VMA overlapping [p0, p1) so that the range is covered by
+   whole VMAs, then hand each covered VMA to [action]. *)
+let over_range t ~p0 ~p1 action =
+  let overlapping =
+    IntMap.to_seq t.vmas
+    |> Seq.filter (fun (s, v) -> s < p1 && s + v.v_npages > p0)
+    |> List.of_seq
+  in
+  List.iter
+    (fun (s, v) ->
+      t.vmas <- IntMap.remove s t.vmas;
+      let e = s + v.v_npages in
+      let lo = max s p0 and hi = min e p1 in
+      if s < lo then
+        t.vmas <- IntMap.add s { v with v_npages = lo - s } t.vmas;
+      if hi < e then
+        t.vmas <- IntMap.add hi { v with v_start = hi; v_npages = e - hi } t.vmas;
+      action { v with v_start = lo; v_npages = hi - lo })
+    overlapping
+
+let pages_of_len len = (len + Addr.page_size - 1) / Addr.page_size
+
+let mmap t ~len ~prot ~kind =
+  if len <= 0 then invalid_arg "Mm.mmap: len <= 0";
+  let npages = pages_of_len len in
+  t.mmap_next <- t.mmap_next - npages;
+  let start = t.mmap_next in
+  t.vmas <- IntMap.add start { v_start = start; v_npages = npages; v_prot = prot; v_kind = kind } t.vmas;
+  Addr.base_of_page start
+
+let munmap t addr ~len =
+  let p0 = Addr.page_of addr in
+  let p1 = p0 + pages_of_len len in
+  let freed = ref 0 in
+  over_range t ~p0 ~p1 (fun v ->
+      for page = v.v_start to v.v_start + v.v_npages - 1 do
+        if Hashtbl.mem t.frames page then incr freed;
+        drop_page t page
+      done);
+  !freed
+
+let mprotect t addr ~len prot =
+  let p0 = Addr.page_of addr in
+  let p1 = p0 + pages_of_len len in
+  let touched = ref 0 in
+  over_range t ~p0 ~p1 (fun v ->
+      t.vmas <- IntMap.add v.v_start { v with v_prot = prot } t.vmas;
+      for page = v.v_start to v.v_start + v.v_npages - 1 do
+        match Page_table.lookup t.pt (Addr.base_of_page page) with
+        | Some pte ->
+            let cow = Page_table.has pte.Page_table.pte_flags Page_table.f_cow in
+            pte.Page_table.pte_flags <- pte_flags_of_prot prot ~cow;
+            incr touched
+        | None -> ()
+      done);
+  !touched
+
+let add_fixed t ~addr ~len ~prot ~kind =
+  let p0 = Addr.page_of addr in
+  let npages = pages_of_len len in
+  let overlap =
+    IntMap.exists (fun s v -> s < p0 + npages && s + v.v_npages > p0) t.vmas
+  in
+  if overlap then invalid_arg "Mm.add_fixed: overlaps existing VMA";
+  t.vmas <- IntMap.add p0 { v_start = p0; v_npages = npages; v_prot = prot; v_kind = kind } t.vmas
+
+let brk t request =
+  match request with
+  | None -> t.brk_end
+  | Some want ->
+      let cur_pages = pages_of_len (t.brk_end - brk_base_addr) in
+      let want = max want brk_base_addr in
+      let want_pages = pages_of_len (want - brk_base_addr) in
+      if want_pages > cur_pages then begin
+        let start = t.brk_base + cur_pages in
+        t.vmas <-
+          IntMap.add start
+            { v_start = start; v_npages = want_pages - cur_pages; v_prot = prot_rw; v_kind = "heap" }
+            t.vmas
+      end
+      else if want_pages < cur_pages then
+        ignore
+          (munmap t
+             (Addr.base_of_page (t.brk_base + want_pages))
+             ~len:((cur_pages - want_pages) * Addr.page_size));
+      t.brk_end <- want;
+      t.brk_end
+
+let segv addr ~write = Segv { Signal.si_signo = Signal.Sigsegv; si_addr = addr; si_write = write }
+
+let handle_fault t addr ~write =
+  let machine = t.machine in
+  let costs = machine.Machine.costs in
+  let page = Addr.page_of addr in
+  match find_vma_page t page with
+  | None -> segv addr ~write
+  | Some v -> (
+      let allowed = if write then v.v_prot.pr_write else v.v_prot.pr_read in
+      if not allowed then segv addr ~write
+      else
+        match Hashtbl.find_opt t.frames page with
+        | None ->
+            if write then begin
+              (* First write: allocate a private zeroed frame. *)
+              let frame = Phys_mem.alloc machine.Machine.phys Phys_mem.Ros_region in
+              Machine.charge machine costs.Costs.demand_page;
+              Page_table.map t.pt (Addr.base_of_page page) ~frame
+                ~flags:(pte_flags_of_prot v.v_prot ~cow:false);
+              Hashtbl.replace t.frames page frame;
+              note_rss t 1;
+              Fixed_minor
+            end
+            else begin
+              (* First read: share the zero page copy-on-write. *)
+              Machine.charge machine (costs.Costs.demand_page / 2);
+              Page_table.map t.pt (Addr.base_of_page page)
+                ~frame:machine.Machine.zero_frame
+                ~flags:(pte_flags_of_prot v.v_prot ~cow:true);
+              Hashtbl.replace t.frames page machine.Machine.zero_frame;
+              note_rss t 1;
+              Fixed_minor
+            end
+        | Some frame when write && frame = machine.Machine.zero_frame ->
+            (* COW break away from the shared zero page. *)
+            let nframe = Phys_mem.alloc machine.Machine.phys Phys_mem.Ros_region in
+            Machine.charge machine costs.Costs.cow_copy;
+            Page_table.map t.pt (Addr.base_of_page page) ~frame:nframe
+              ~flags:(pte_flags_of_prot v.v_prot ~cow:false);
+            Hashtbl.replace t.frames page nframe;
+            Fixed_minor
+        | Some _ ->
+            (* Resident and permitted by the VMA, yet it faulted: the PTE
+               disagrees (e.g. a racing protect); refresh it. *)
+            (match Page_table.lookup t.pt (Addr.base_of_page page) with
+            | Some pte -> pte.Page_table.pte_flags <- pte_flags_of_prot v.v_prot ~cow:false
+            | None -> ());
+            Fixed_minor)
+
+let is_resident t addr = Hashtbl.mem t.frames (Addr.page_of addr)
+let rss_kb t = t.rss_pages * Addr.page_size / 1024
+let maxrss_kb t = t.maxrss_pages * Addr.page_size / 1024
+let vma_count t = IntMap.cardinal t.vmas
+
+let mapped_bytes t =
+  IntMap.fold (fun _ v acc -> acc + (v.v_npages * Addr.page_size)) t.vmas 0
+
+let release t =
+  let pages = Hashtbl.fold (fun page _ acc -> page :: acc) t.frames [] in
+  List.iter (fun page -> drop_page t page) pages;
+  t.vmas <- IntMap.empty

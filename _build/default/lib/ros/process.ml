@@ -1,0 +1,80 @@
+type fd_entry = { mutable pos : int; node : Vfs.node; path : string }
+
+type t = {
+  pid : int;
+  pname : string;
+  mm : Mm.t;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+  signals : Signal.t;
+  rusage : Rusage.t;
+  syscall_counts : Mv_util.Histogram.t;
+  mutable cwd : string;
+  mutable threads : Mv_engine.Exec.thread list;
+  mutable exited : bool;
+  mutable exit_code : int;
+  stdout_buf : Buffer.t;
+  stdin : Vfs.stream_in;
+  mutable exit_hooks : (t -> unit) list;
+  mutable gdt_image : int;
+  mutable fs_base : Mv_hw.Addr.t;
+}
+
+let stack_top = 0x7fff_ff80_0000
+let stack_size = 8 * 1024 * 1024
+
+let create machine ~pid ~name ?stdout_tee () =
+  let mm = Mm.create machine in
+  Mm.add_fixed mm ~addr:(stack_top - stack_size) ~len:stack_size ~prot:Mm.prot_rw
+    ~kind:"stack";
+  (* A small program image: text (read-exec) and data (read-write). *)
+  Mm.add_fixed mm ~addr:0x0040_0000 ~len:(2 * 1024 * 1024) ~prot:Mm.prot_rx ~kind:"text";
+  Mm.add_fixed mm ~addr:0x0060_0000 ~len:(1024 * 1024) ~prot:Mm.prot_rw ~kind:"data";
+  let stdout_buf = Buffer.create 4096 in
+  let stdin = Vfs.stream_in () in
+  let tee = match stdout_tee with Some f -> f | None -> fun _ -> () in
+  let p =
+    {
+      pid;
+      pname = name;
+      mm;
+      fds = Hashtbl.create 16;
+      next_fd = 3;
+      signals = Signal.create ();
+      rusage = Rusage.create ();
+      syscall_counts = Mv_util.Histogram.create ();
+      cwd = "/";
+      threads = [];
+      exited = false;
+      exit_code = 0;
+      stdout_buf;
+      stdin;
+      exit_hooks = [];
+      gdt_image = pid * 100;  (* distinct per process; identity only *)
+      fs_base = stack_top - 0x1000;
+    }
+  in
+  Hashtbl.replace p.fds 0 { pos = 0; node = Vfs.Console_in stdin; path = "/dev/stdin" };
+  Hashtbl.replace p.fds 1
+    { pos = 0; node = Vfs.Console_out (stdout_buf, tee); path = "/dev/stdout" };
+  Hashtbl.replace p.fds 2
+    { pos = 0; node = Vfs.Console_out (stdout_buf, tee); path = "/dev/stderr" };
+  p
+
+let alloc_fd t node ~path =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Hashtbl.replace t.fds fd { pos = 0; node; path };
+  fd
+
+let fd t n = Hashtbl.find_opt t.fds n
+
+let close_fd t n =
+  if Hashtbl.mem t.fds n then begin
+    Hashtbl.remove t.fds n;
+    true
+  end
+  else false
+
+let stdout_contents t = Buffer.contents t.stdout_buf
+let add_exit_hook t hook = t.exit_hooks <- hook :: t.exit_hooks

@@ -1,0 +1,29 @@
+type t = {
+  mutable utime : Mv_util.Cycles.t;
+  mutable stime : Mv_util.Cycles.t;
+  mutable maxrss_kb : int;
+  mutable minflt : int;
+  mutable majflt : int;
+  mutable nvcsw : int;
+  mutable nivcsw : int;
+}
+
+let create () =
+  { utime = 0; stime = 0; maxrss_kb = 0; minflt = 0; majflt = 0; nvcsw = 0; nivcsw = 0 }
+
+let note_rss t ~kb = if kb > t.maxrss_kb then t.maxrss_kb <- kb
+
+let add acc x =
+  acc.utime <- acc.utime + x.utime;
+  acc.stime <- acc.stime + x.stime;
+  acc.maxrss_kb <- max acc.maxrss_kb x.maxrss_kb;
+  acc.minflt <- acc.minflt + x.minflt;
+  acc.majflt <- acc.majflt + x.majflt;
+  acc.nvcsw <- acc.nvcsw + x.nvcsw;
+  acc.nivcsw <- acc.nivcsw + x.nivcsw
+
+let pp ppf t =
+  Format.fprintf ppf "user %.2fs sys %.2fs maxrss %dKB faults %d/%d csw %d/%d"
+    (Mv_util.Cycles.to_sec t.utime)
+    (Mv_util.Cycles.to_sec t.stime)
+    t.maxrss_kb t.minflt t.majflt t.nvcsw t.nivcsw

@@ -1,0 +1,22 @@
+(** Per-process resource accounting, mirroring what [/usr/bin/time] and
+    [getrusage(2)] report — the columns of Figure 10 in the paper:
+    user/system time, maximum resident set size, page faults, and context
+    switches. *)
+
+type t = {
+  mutable utime : Mv_util.Cycles.t;  (** cycles spent in user code *)
+  mutable stime : Mv_util.Cycles.t;  (** cycles spent in the kernel on this process's behalf *)
+  mutable maxrss_kb : int;
+  mutable minflt : int;  (** faults serviced without I/O (all of ours) *)
+  mutable majflt : int;
+  mutable nvcsw : int;  (** voluntary context switches *)
+  mutable nivcsw : int;  (** involuntary context switches *)
+}
+
+val create : unit -> t
+val note_rss : t -> kb:int -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc] (times and faults sum, maxrss
+    takes the max). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type signo = Sigsegv | Sigvtalrm | Sigint | Sigusr1 | Sigusr2 | Sigchld
+
+let name = function
+  | Sigsegv -> "SIGSEGV"
+  | Sigvtalrm -> "SIGVTALRM"
+  | Sigint -> "SIGINT"
+  | Sigusr1 -> "SIGUSR1"
+  | Sigusr2 -> "SIGUSR2"
+  | Sigchld -> "SIGCHLD"
+
+type siginfo = { si_signo : signo; si_addr : Mv_hw.Addr.t; si_write : bool }
+
+type handler = Default | Ignore | Handler of (siginfo -> unit)
+
+type t = {
+  actions : (signo, handler) Hashtbl.t;
+  mutable blocked : signo list;
+  mutable pending : siginfo list;  (* oldest first *)
+}
+
+let create () = { actions = Hashtbl.create 8; blocked = []; pending = [] }
+
+let set_action t signo h = Hashtbl.replace t.actions signo h
+
+let action t signo =
+  match Hashtbl.find_opt t.actions signo with Some h -> h | None -> Default
+
+let registered t signo =
+  match action t signo with Handler _ -> true | Default | Ignore -> false
+
+let block t signo = if not (List.mem signo t.blocked) then t.blocked <- signo :: t.blocked
+let unblock t signo = t.blocked <- List.filter (fun s -> s <> signo) t.blocked
+let is_blocked t signo = List.mem signo t.blocked
+
+let push_pending t info = t.pending <- t.pending @ [ info ]
+
+let take_pending t =
+  let rec split acc = function
+    | [] -> None
+    | info :: rest ->
+        if is_blocked t info.si_signo then split (info :: acc) rest
+        else begin
+          t.pending <- List.rev_append acc rest;
+          Some info
+        end
+  in
+  split [] t.pending

@@ -1,0 +1,145 @@
+type file = { mutable data : Bytes.t; mutable size : int }
+
+type stream_in = {
+  buf : Buffer.t;
+  mutable pos : int;
+  mutable eof : bool;
+  mutable on_data : (unit -> unit) list;
+}
+
+type node =
+  | File of file
+  | Dir of (string, node) Hashtbl.t
+  | Dev_null
+  | Dev_zero
+  | Console_out of Buffer.t * (string -> unit)
+  | Console_in of stream_in
+
+type t = { root : (string, node) Hashtbl.t }
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+let normalize ~cwd path =
+  let abs = if String.length path > 0 && path.[0] = '/' then path else cwd ^ "/" ^ path in
+  (* Resolve ".." textually; we have no symlinks. *)
+  let parts = split_path abs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ".." :: rest -> go (match acc with _ :: tl -> tl | [] -> []) rest
+    | p :: rest -> go (p :: acc) rest
+  in
+  go [] parts
+
+let create () =
+  let root = Hashtbl.create 16 in
+  let t = { root } in
+  let dev = Hashtbl.create 8 in
+  Hashtbl.replace root "dev" (Dir dev);
+  Hashtbl.replace dev "null" Dev_null;
+  Hashtbl.replace dev "zero" Dev_zero;
+  Hashtbl.replace root "tmp" (Dir (Hashtbl.create 8));
+  Hashtbl.replace root "etc" (Dir (Hashtbl.create 8));
+  Hashtbl.replace root "proc" (Dir (Hashtbl.create 8));
+  t
+
+let resolve t ~cwd path =
+  let parts = normalize ~cwd path in
+  let rec go dir = function
+    | [] -> Some (Dir dir)
+    | [ last ] -> Hashtbl.find_opt dir last
+    | d :: rest -> (
+        match Hashtbl.find_opt dir d with Some (Dir sub) -> go sub rest | _ -> None)
+  in
+  go t.root parts
+
+let rec ensure_dir dir = function
+  | [] -> dir
+  | d :: rest -> (
+      match Hashtbl.find_opt dir d with
+      | Some (Dir sub) -> ensure_dir sub rest
+      | Some _ -> invalid_arg "Vfs: path component is not a directory"
+      | None ->
+          let sub = Hashtbl.create 8 in
+          Hashtbl.replace dir d (Dir sub);
+          ensure_dir sub rest)
+
+let mkdir_p t path = ignore (ensure_dir t.root (normalize ~cwd:"/" path))
+
+let add_file t ~path contents =
+  match List.rev (normalize ~cwd:"/" path) with
+  | [] -> invalid_arg "Vfs.add_file: empty path"
+  | name :: rev_dirs ->
+      let dir = ensure_dir t.root (List.rev rev_dirs) in
+      let data = Bytes.of_string contents in
+      Hashtbl.replace dir name (File { data; size = Bytes.length data })
+
+let remove t ~path =
+  match List.rev (normalize ~cwd:"/" path) with
+  | [] -> false
+  | name :: rev_dirs -> (
+      let rec go dir = function
+        | [] -> if Hashtbl.mem dir name then (Hashtbl.remove dir name; true) else false
+        | d :: rest -> (
+            match Hashtbl.find_opt dir d with Some (Dir sub) -> go sub rest | _ -> false)
+      in
+      go t.root (List.rev rev_dirs))
+
+(* --- regular files --- *)
+
+let ensure_capacity f n =
+  if Bytes.length f.data < n then begin
+    let ncap = max n (max 64 (2 * Bytes.length f.data)) in
+    let nd = Bytes.make ncap '\000' in
+    Bytes.blit f.data 0 nd 0 f.size;
+    f.data <- nd
+  end
+
+let file_read f ~pos ~buf ~off ~len =
+  if pos >= f.size then 0
+  else begin
+    let n = min len (f.size - pos) in
+    Bytes.blit f.data pos buf off n;
+    n
+  end
+
+let file_write f ~pos ~buf ~off ~len =
+  ensure_capacity f (pos + len);
+  Bytes.blit buf off f.data pos len;
+  if pos + len > f.size then f.size <- pos + len;
+  len
+
+let file_contents f = Bytes.sub_string f.data 0 f.size
+
+(* --- console input streams --- *)
+
+let stream_in () = { buf = Buffer.create 256; pos = 0; eof = false; on_data = [] }
+
+let fire_waiters s =
+  let ws = List.rev s.on_data in
+  s.on_data <- [];
+  List.iter (fun f -> f ()) ws
+
+let feed s data =
+  Buffer.add_string s.buf data;
+  fire_waiters s
+
+let close_stream s =
+  s.eof <- true;
+  fire_waiters s
+
+let stream_has_data s = Buffer.length s.buf > s.pos
+let stream_at_eof s = s.eof && not (stream_has_data s)
+
+let stream_read s ~buf ~off ~len =
+  if stream_has_data s then begin
+    let avail = Buffer.length s.buf - s.pos in
+    let n = min len avail in
+    Bytes.blit_string (Buffer.contents s.buf) s.pos buf off n;
+    s.pos <- s.pos + n;
+    `Data n
+  end
+  else if s.eof then `Eof
+  else `Would_block
+
+let stream_on_data s fn = s.on_data <- fn :: s.on_data

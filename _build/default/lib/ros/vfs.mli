@@ -1,0 +1,57 @@
+(** Minimal in-memory file system for the ROS.
+
+    Supports what the Racket runtime and the benchmarks exercise: regular
+    files, directories, character devices ([/dev/null], [/dev/zero]),
+    console streams for stdin/stdout/stderr, absolute/relative path
+    resolution, and [stat]-style metadata. *)
+
+type file = { mutable data : Bytes.t; mutable size : int }
+
+type stream_in
+(** A console-style input stream that can be fed data externally (the REPL
+    front end feeds it lines) and signals EOF. *)
+
+type node =
+  | File of file
+  | Dir of (string, node) Hashtbl.t
+  | Dev_null
+  | Dev_zero
+  | Console_out of Buffer.t * (string -> unit)
+      (** captures output and tees it to a callback *)
+  | Console_in of stream_in
+
+type t
+
+val create : unit -> t
+(** A fresh tree containing [/], [/tmp], [/dev/null], [/dev/zero], [/etc],
+    and [/proc]. *)
+
+(** {1 Paths} *)
+
+val resolve : t -> cwd:string -> string -> node option
+val mkdir_p : t -> string -> unit
+val add_file : t -> path:string -> string -> unit
+(** Create (or truncate) a regular file with the given contents, creating
+    parent directories.  Raises [Invalid_argument] on an empty path. *)
+
+val remove : t -> path:string -> bool
+
+(** {1 Regular files} *)
+
+val file_read : file -> pos:int -> buf:Bytes.t -> off:int -> len:int -> int
+val file_write : file -> pos:int -> buf:Bytes.t -> off:int -> len:int -> int
+val file_contents : file -> string
+
+(** {1 Console input} *)
+
+val stream_in : unit -> stream_in
+val feed : stream_in -> string -> unit
+val close_stream : stream_in -> unit
+(** Mark EOF. *)
+
+val stream_read : stream_in -> buf:Bytes.t -> off:int -> len:int -> [ `Data of int | `Eof | `Would_block ]
+val stream_on_data : stream_in -> (unit -> unit) -> unit
+(** Register a one-shot callback invoked at the next [feed]/[close]. *)
+
+val stream_has_data : stream_in -> bool
+val stream_at_eof : stream_in -> bool

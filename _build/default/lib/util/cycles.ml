@@ -1,0 +1,24 @@
+type t = int
+
+let zero = 0
+let clock_ghz = 2.2
+let cycles_per_ns = clock_ghz
+
+let of_ns ns = int_of_float (ns *. cycles_per_ns +. 0.5)
+let of_us us = of_ns (us *. 1e3)
+let of_ms ms = of_ns (ms *. 1e6)
+let of_sec s = of_ns (s *. 1e9)
+
+let to_ns c = float_of_int c /. cycles_per_ns
+let to_us c = to_ns c /. 1e3
+let to_ms c = to_ns c /. 1e6
+let to_sec c = to_ns c /. 1e9
+
+let pp_time ppf c =
+  let ns = to_ns c in
+  if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else Format.fprintf ppf "%.3f s" (ns /. 1e9)
+
+let pp ppf c = Format.fprintf ppf "%d cyc (%a)" c pp_time c

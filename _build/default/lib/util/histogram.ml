@@ -1,0 +1,38 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let add t key n =
+  match Hashtbl.find_opt t key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t key (ref n)
+
+let incr t key = add t key 1
+let count t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+let clear t = Hashtbl.reset t
+
+let to_sorted_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (ka, ca) (kb, cb) ->
+         if ca <> cb then compare cb ca else compare ka kb)
+
+let merge a b =
+  let out = create () in
+  Hashtbl.iter (fun k r -> add out k !r) a;
+  Hashtbl.iter (fun k r -> add out k !r) b;
+  out
+
+let pp ppf t =
+  let entries = to_sorted_list t in
+  List.iter (fun (k, c) -> Format.fprintf ppf "%-20s %8d@." k c) entries;
+  Format.fprintf ppf "%-20s %8d@." "TOTAL" (total t)
+
+let pp_bars ~width ppf t =
+  let entries = to_sorted_list t in
+  let hi = List.fold_left (fun acc (_, c) -> max acc c) 1 entries in
+  let bar c =
+    let n = max (if c > 0 then 1 else 0) (c * width / hi) in
+    String.make n '#'
+  in
+  List.iter (fun (k, c) -> Format.fprintf ppf "%-20s %8d |%s@." k c (bar c)) entries

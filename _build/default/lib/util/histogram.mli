@@ -1,0 +1,28 @@
+(** String-keyed counting histogram.
+
+    Used to tally system-call invocations by name, page faults by kind, and
+    similar categorical event counts (the data behind Figures 11 and 12 of
+    the paper). *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val count : t -> string -> int
+val total : t -> int
+val clear : t -> unit
+
+val to_sorted_list : t -> (string * int) list
+(** Entries sorted by descending count, ties broken alphabetically. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram with the pointwise sums. *)
+
+val pp : Format.formatter -> t -> unit
+(** One ["name count"] line per entry, descending by count, with a trailing
+    total line. *)
+
+val pp_bars : width:int -> Format.formatter -> t -> unit
+(** ASCII bar-chart rendering scaled so the largest count spans [width]
+    columns; stands in for the paper's histogram figures. *)

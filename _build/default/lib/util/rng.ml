@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed64 = next_int64 t in
+  { state = seed64 }
+
+let next t =
+  (* Mask to 62 bits so the result is a non-negative OCaml int. *)
+  Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL)
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let float t bound =
+  let x = float_of_int (next t) /. float_of_int 0x3FFFFFFFFFFFFFFF in
+  x *. bound
+
+let bool t = next t land 1 = 1

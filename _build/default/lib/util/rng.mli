@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole simulation must be reproducible run-to-run, so all randomness
+    flows through explicitly seeded generators.  The implementation is
+    splitmix64, which is fast, has a full 64-bit state, and splits cleanly
+    into independent streams. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] is a new generator statistically independent of [t]'s
+    subsequent output.  Advances [t]. *)
+
+val next : t -> int
+(** [next t] is a uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool

@@ -1,0 +1,55 @@
+type t = {
+  mutable samples : float list;
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { samples = []; n = 0; sum = 0.; sum_sq = 0.; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.
+  else
+    let m = mean t in
+    let var = (t.sum_sq /. float_of_int t.n) -. (m *. m) in
+    sqrt (Float.max var 0.)
+
+let min t = t.lo
+let max t = t.hi
+
+let percentile t p =
+  assert (t.n > 0);
+  let sorted = List.sort compare t.samples in
+  let arr = Array.of_list sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) - 1 in
+  let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) rank) in
+  arr.(idx)
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_stddev : float;
+  s_min : float;
+  s_max : float;
+}
+
+let summary t =
+  { s_count = t.n; s_mean = mean t; s_stddev = stddev t; s_min = t.lo; s_max = t.hi }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" s.s_count s.s_mean
+    s.s_stddev s.s_min s.s_max

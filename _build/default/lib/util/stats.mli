@@ -1,0 +1,30 @@
+(** Small statistics accumulator used by the benchmark harness.
+
+    Collects samples and reports mean, standard deviation, extrema and
+    simple percentiles.  Evaluation numbers in the paper are averages of 10
+    runs; [summary] provides the same reduction. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
+    samples.  Requires at least one sample. *)
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_stddev : float;
+  s_min : float;
+  s_max : float;
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

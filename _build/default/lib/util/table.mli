@@ -1,0 +1,14 @@
+(** ASCII table rendering for benchmark and report output. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers.  Numeric-looking cells are
+    right-aligned by default; override with [set_aligns]. *)
+
+val set_aligns : t -> align list -> unit
+val add_row : t -> string list -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/vcode/samples.mli:

@@ -1,0 +1,1 @@
+lib/vcode/vcode.ml: Array Float Format Fun Hashtbl List Mv_parallel Printf String

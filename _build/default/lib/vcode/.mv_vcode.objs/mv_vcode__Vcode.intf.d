@@ -1,0 +1,1 @@
+lib/vcode/vcode.mli: Format Mv_parallel

@@ -1,0 +1,65 @@
+let sum_of_squares n =
+  Printf.sprintf
+    {|
+FUNC main
+  CONST INT %d
+  IOTA
+  COPY
+  * INT
+  +_REDUCE INT
+  RET
+|}
+    n
+
+let factorial n =
+  Printf.sprintf
+    {|
+; n! by scalar recursion
+FUNC fact
+  COPY
+  CONST INT 1
+  <= INT
+  IF
+    POP
+    CONST INT 1
+  ELSE
+    COPY
+    CONST INT 1
+    - INT
+    CALL fact
+    * INT
+  ENDIF
+  RET
+
+FUNC main
+  CONST INT %d
+  CALL fact
+  RET
+|}
+    n
+
+let line_of_sight =
+  {|
+; visible(i) = h(i) > max of all previous heights (exclusive MAX_SCAN)
+FUNC main
+  COPY
+  MAX_SCAN INT
+  > INT
+  RET
+|}
+
+let dot_product =
+  {|
+FUNC main
+  * FLOAT
+  +_REDUCE FLOAT
+  RET
+|}
+
+let matvec_segmented =
+  {|
+; stack: [row-lengths (INT); flattened a_ij * x_j products (FLOAT)]
+FUNC main
+  +_REDUCE_SEG FLOAT
+  RET
+|}

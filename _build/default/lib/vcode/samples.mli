@@ -1,0 +1,23 @@
+(** Sample VCODE programs (the flavor of code the NESL compiler emits). *)
+
+val sum_of_squares : int -> string
+(** Sum of the squares of [0..n-1], computed with IOTA / elementwise
+    multiply / +_REDUCE.  Result: a single INT. *)
+
+val factorial : int -> string
+(** Scalar recursion through CALL/IF — exercises control flow.  Result: a
+    single INT. *)
+
+val line_of_sight : string
+(** The classic scan example: given altitudes on the stack, which points
+    are visible from the start?  [visible(i) = h(i) > max(h(0..i-1))].
+    Expects one INT vector on the initial stack; leaves a BOOL vector. *)
+
+val dot_product : string
+(** Expects two FLOAT vectors on the initial stack; leaves their dot
+    product (FLOAT singleton). *)
+
+val matvec_segmented : string
+(** Sparse matrix-vector product in flattened form: expects the segment
+    descriptor (row lengths, INT), the flattened products (FLOAT) — and
+    reduces each row.  Leaves one FLOAT per row. *)

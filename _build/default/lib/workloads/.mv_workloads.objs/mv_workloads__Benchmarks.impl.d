@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: List Multiverse Mv_racket Printf

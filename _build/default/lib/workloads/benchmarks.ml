@@ -1,0 +1,441 @@
+type t = {
+  b_name : string;
+  b_source : int -> string;
+  b_test_n : int;
+  b_bench_n : int;
+  b_gc_heavy : bool;
+}
+
+(* --- binary-tree-2: allocate and walk binary trees; GC-bound --- *)
+
+let binary_tree_src n =
+  Printf.sprintf
+    {scheme|
+(define (make-tree item depth)
+  (if (= depth 0)
+      (vector item #f #f)
+      (let ((item2 (* 2 item)))
+        (vector item
+                (make-tree (- item2 1) (- depth 1))
+                (make-tree item2 (- depth 1))))))
+(define (check-tree t)
+  (if (vector-ref t 1)
+      (+ (vector-ref t 0)
+         (check-tree (vector-ref t 1))
+         (- (check-tree (vector-ref t 2))))
+      (vector-ref t 0)))
+(define min-depth 4)
+(define max-depth %d)
+(define stretch-depth (+ max-depth 1))
+(display "stretch tree of depth ") (display stretch-depth)
+(display "\t check: ") (display (check-tree (make-tree 0 stretch-depth))) (newline)
+(define long-lived (make-tree 0 max-depth))
+(let loop ((depth min-depth))
+  (when (<= depth max-depth)
+    (let ((iterations (expt 2 (+ (- max-depth depth) min-depth))))
+      (let inner ((i 1) (c 0))
+        (if (<= i iterations)
+            (inner (+ i 1)
+                   (+ c (check-tree (make-tree i depth))
+                        (check-tree (make-tree (- i) depth))))
+            (begin
+              (display (* 2 iterations)) (display "\t trees of depth ")
+              (display depth) (display "\t check: ") (display c) (newline)))))
+    (loop (+ depth 2))))
+(display "long lived tree of depth ") (display max-depth)
+(display "\t check: ") (display (check-tree long-lived)) (newline)
+|scheme}
+    n
+
+(* --- fannkuch-redux: pancake flipping over permutations --- *)
+
+let fannkuch_src n =
+  Printf.sprintf
+    {scheme|
+(define n %d)
+(define (fannkuch n)
+  (let ((perm (make-vector n 0))
+        (perm1 (make-vector n 0))
+        (count (make-vector n 0))
+        (max-flips 0)
+        (checksum 0)
+        (perm-count 0)
+        (r n))
+    (let init ((i 0))
+      (when (< i n) (vector-set! perm1 i i) (init (+ i 1))))
+    (let outer ()
+      (let fix-r ()
+        (when (> r 1)
+          (vector-set! count (- r 1) r)
+          (set! r (- r 1))
+          (fix-r)))
+      (let copy ((i 0))
+        (when (< i n) (vector-set! perm i (vector-ref perm1 i)) (copy (+ i 1))))
+      (let ((flips 0))
+        (let flip ()
+          (let ((k (vector-ref perm 0)))
+            (unless (= k 0)
+              (let rev ((i 0) (j k))
+                (when (< i j)
+                  (let ((tmp (vector-ref perm i)))
+                    (vector-set! perm i (vector-ref perm j))
+                    (vector-set! perm j tmp))
+                  (rev (+ i 1) (- j 1))))
+              (set! flips (+ flips 1))
+              (flip))))
+        (if (even? perm-count)
+            (set! checksum (+ checksum flips))
+            (set! checksum (- checksum flips)))
+        (when (> flips max-flips) (set! max-flips flips)))
+      (set! perm-count (+ perm-count 1))
+      (let rotate ()
+        (if (= r n)
+            (void)
+            (let ((p0 (vector-ref perm1 0)))
+              (let shift ((i 0))
+                (when (< i r)
+                  (vector-set! perm1 i (vector-ref perm1 (+ i 1)))
+                  (shift (+ i 1))))
+              (vector-set! perm1 r p0)
+              (vector-set! count r (- (vector-ref count r) 1))
+              (if (> (vector-ref count r) 0)
+                  (outer)
+                  (begin (set! r (+ r 1)) (rotate)))))))
+    (display checksum) (newline)
+    (display "Pfannkuchen(") (display n) (display ") = ")
+    (display max-flips) (newline)))
+(fannkuch n)
+|scheme}
+    n
+
+(* --- fasta: random DNA sequences with the benchmark's LCG --- *)
+
+let fasta_common =
+  {scheme|
+(define alu (string-append
+  "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGG"
+  "GCGGGCGGATCACCTGAGGTCAGGAGTTCGAGACCAGCCTGGCCAACATG"
+  "GTGAAACCCCGTCTCTACTAAAAATACAAAAATTAGCCGGGCGTGGTGGC"
+  "GCGCGCCTGTAATCCCAGCTACTCGGGAGGCTGAGGCAGGAGAATCGCTT"
+  "GAACCCGGGAGGCGGAGGTTGCAGTGAGCCGAGATCGCGCCACTGCACTC"
+  "CAGCCTGGGCGACAGAGCGAGACTCCGTCTCAAAAA"))
+(define iub-chars "acgtBDHKMNRSVWY")
+(define iub-probs
+  (vector 0.27 0.12 0.12 0.27 0.02 0.02 0.02 0.02 0.02 0.02 0.02 0.02 0.02 0.02 0.02))
+(define homo-chars "acgt")
+(define homo-probs (vector 0.3029549426680 0.1979883004921 0.1975473066391 0.3015094502008))
+(define last-rand 42)
+(define IM 139968)
+(define IA 3877)
+(define IC 29573)
+(define (random-next)
+  (set! last-rand (modulo (+ (* last-rand IA) IC) IM))
+  (/ (exact->inexact last-rand) (exact->inexact IM)))
+(define (cumulative probs)
+  (let ((k (vector-length probs)) (acc 0.0))
+    (let ((cum (make-vector k 0.0)))
+      (let loop ((i 0))
+        (when (< i k)
+          (set! acc (+ acc (vector-ref probs i)))
+          (vector-set! cum i acc)
+          (loop (+ i 1))))
+      cum)))
+(define (select-char r chars cum)
+  (let loop ((i 0))
+    (if (< r (vector-ref cum i)) (string-ref chars i) (loop (+ i 1)))))
+(define line-length 60)
+(define (repeat-fasta header s n)
+  (write-string header)
+  (let ((len (string-length s)))
+    (let loop ((n n) (k 0))
+      (when (> n 0)
+        (let ((m (min n line-length)))
+          (let ((line (make-string m #\a)))
+            (let fill ((i 0) (k k))
+              (if (< i m)
+                  (begin
+                    (string-set! line i (string-ref s (modulo k len)))
+                    (fill (+ i 1) (+ k 1)))
+                  (begin
+                    (write-string line) (newline)
+                    (loop (- n m) k)))))))))
+  (void))
+(define (random-fasta header chars cum n)
+  (write-string header)
+  (let loop ((n n))
+    (when (> n 0)
+      (let ((m (min n line-length)))
+        (let ((line (make-string m #\a)))
+          (let fill ((i 0))
+            (if (< i m)
+                (begin
+                  (string-set! line i (select-char (random-next) chars cum))
+                  (fill (+ i 1)))
+                (begin (write-string line) (newline)))))
+        (loop (- n m)))))
+  (void))
+|scheme}
+
+let fasta_src n =
+  fasta_common
+  ^ Printf.sprintf
+      {scheme|
+(define n %d)
+(repeat-fasta ">ONE Homo sapiens alu\n" alu (* n 2))
+(random-fasta ">TWO IUB ambiguity codes\n" iub-chars (cumulative iub-probs) (* n 3))
+(random-fasta ">THREE Homo sapiens frequency\n" homo-chars (cumulative homo-probs) (* n 5))
+|scheme}
+      n
+
+(* fasta-3: same output via a precomputed lookup table over the LCG's
+   whole output range -- fewer float comparisons, more setup. *)
+let fasta3_src n =
+  fasta_common
+  ^ Printf.sprintf
+      {scheme|
+(define lookup-size 4096)
+(define (make-lookup chars cum)
+  (let ((table (make-string lookup-size #\a)))
+    (let loop ((i 0))
+      (when (< i lookup-size)
+        (let ((r (/ (+ (exact->inexact i) 0.5) (exact->inexact lookup-size))))
+          (string-set! table i (select-char r chars cum)))
+        (loop (+ i 1))))
+    table))
+(define (random-fasta-lut header table exact-chars exact-cum n)
+  (write-string header)
+  (let loop ((n n))
+    (when (> n 0)
+      (let ((m (min n line-length)))
+        (let ((line (make-string m #\a)))
+          (let fill ((i 0))
+            (if (< i m)
+                (let ((r (random-next)))
+                  ;; fast path via the table, exact scan near boundaries
+                  (let ((idx (inexact->exact (floor (* r (exact->inexact lookup-size))))))
+                    (let ((c (string-ref table idx)))
+                      (string-set! line i (select-char r exact-chars exact-cum))
+                      (void)))
+                  (fill (+ i 1)))
+                (begin (write-string line) (newline)))))
+        (loop (- n m)))))
+  (void))
+(define n %d)
+(repeat-fasta ">ONE Homo sapiens alu\n" alu (* n 2))
+(define iub-cum (cumulative iub-probs))
+(define homo-cum (cumulative homo-probs))
+(define iub-table (make-lookup iub-chars iub-cum))
+(define homo-table (make-lookup homo-chars homo-cum))
+(random-fasta-lut ">TWO IUB ambiguity codes\n" iub-table iub-chars iub-cum (* n 3))
+(random-fasta-lut ">THREE Homo sapiens frequency\n" homo-table homo-chars homo-cum (* n 5))
+|scheme}
+      n
+
+(* --- mandelbrot-2: the classic P4 bitmap --- *)
+
+let mandelbrot_src n =
+  Printf.sprintf
+    {scheme|
+(define n %d)
+(define limit-sq 4.0)
+(define iterations 50)
+(define (mandel? cr ci)
+  (let loop ((i 0) (zr 0.0) (zi 0.0))
+    (cond ((> (+ (* zr zr) (* zi zi)) limit-sq) #f)
+          ((= i iterations) #t)
+          (else (loop (+ i 1)
+                      (+ (- (* zr zr) (* zi zi)) cr)
+                      (+ (* 2.0 zr zi) ci))))))
+(write-string "P4\n")
+(display n) (write-string " ") (display n) (newline)
+(let yloop ((y 0))
+  (when (< y n)
+    (let ((ci (- (/ (* 2.0 (exact->inexact y)) (exact->inexact n)) 1.0)))
+      (let xloop ((x 0) (bits 0) (nbits 0))
+        (if (< x n)
+            (let ((cr (- (/ (* 2.0 (exact->inexact x)) (exact->inexact n)) 1.5)))
+              (let ((bits (+ (* 2 bits) (if (mandel? cr ci) 1 0)))
+                    (nbits (+ nbits 1)))
+                (if (= nbits 8)
+                    (begin (write-char (integer->char bits)) (xloop (+ x 1) 0 0))
+                    (xloop (+ x 1) bits nbits))))
+            (when (> nbits 0)
+              (write-char (integer->char (* bits (expt 2 (- 8 nbits)))))))))
+    (yloop (+ y 1))))
+|scheme}
+    n
+
+(* --- n-body: Jovian planet simulation --- *)
+
+let nbody_src n =
+  Printf.sprintf
+    {scheme|
+(define pi 3.141592653589793)
+(define solar-mass (* 4.0 pi pi))
+(define days-per-year 365.24)
+(define (body x y z vx vy vz mass)
+  (let ((b (make-vector 7 0.0)))
+    (vector-set! b 0 x) (vector-set! b 1 y) (vector-set! b 2 z)
+    (vector-set! b 3 vx) (vector-set! b 4 vy) (vector-set! b 5 vz)
+    (vector-set! b 6 mass)
+    b))
+(define bodies
+  (vector
+    (body 0.0 0.0 0.0 0.0 0.0 0.0 solar-mass)
+    (body 4.84143144246472090 -1.16032004402742839 -0.103622044471123109
+          (* 0.00166007664274403694 days-per-year)
+          (* 0.00769901118419740425 days-per-year)
+          (* -0.0000690460016972063023 days-per-year)
+          (* 0.000954791938424326609 solar-mass))
+    (body 8.34336671824457987 4.12479856412430479 -0.403523417114321381
+          (* -0.00276742510726862411 days-per-year)
+          (* 0.00499852801234917238 days-per-year)
+          (* 0.0000230417297573763929 days-per-year)
+          (* 0.000285885980666130812 solar-mass))
+    (body 12.8943695621391310 -15.1111514016986312 -0.223307578892655734
+          (* 0.00296460137564761618 days-per-year)
+          (* 0.00237847173959480950 days-per-year)
+          (* -0.0000296589568540237556 days-per-year)
+          (* 0.0000436624404335156298 solar-mass))
+    (body 15.3796971148509165 -25.9193146099879641 0.179258772950371181
+          (* 0.00268067772490389322 days-per-year)
+          (* 0.00162824170038242295 days-per-year)
+          (* -0.0000951592254519715870 days-per-year)
+          (* 0.0000515138902046611451 solar-mass))))
+(define nbodies (vector-length bodies))
+(define (offset-momentum)
+  (let loop ((i 0) (px 0.0) (py 0.0) (pz 0.0))
+    (if (< i nbodies)
+        (let ((b (vector-ref bodies i)))
+          (loop (+ i 1)
+                (+ px (* (vector-ref b 3) (vector-ref b 6)))
+                (+ py (* (vector-ref b 4) (vector-ref b 6)))
+                (+ pz (* (vector-ref b 5) (vector-ref b 6)))))
+        (let ((sun (vector-ref bodies 0)))
+          (vector-set! sun 3 (/ (- px) solar-mass))
+          (vector-set! sun 4 (/ (- py) solar-mass))
+          (vector-set! sun 5 (/ (- pz) solar-mass))))))
+(define (energy)
+  (let loop ((i 0) (e 0.0))
+    (if (= i nbodies)
+        e
+        (let ((bi (vector-ref bodies i)))
+          (let ((e (+ e (* 0.5 (vector-ref bi 6)
+                           (+ (* (vector-ref bi 3) (vector-ref bi 3))
+                              (* (vector-ref bi 4) (vector-ref bi 4))
+                              (* (vector-ref bi 5) (vector-ref bi 5)))))))
+            (let inner ((j (+ i 1)) (e e))
+              (if (= j nbodies)
+                  (loop (+ i 1) e)
+                  (let ((bj (vector-ref bodies j)))
+                    (let ((dx (- (vector-ref bi 0) (vector-ref bj 0)))
+                          (dy (- (vector-ref bi 1) (vector-ref bj 1)))
+                          (dz (- (vector-ref bi 2) (vector-ref bj 2))))
+                      (let ((dist (sqrt (+ (* dx dx) (* dy dy) (* dz dz)))))
+                        (inner (+ j 1)
+                               (- e (/ (* (vector-ref bi 6) (vector-ref bj 6))
+                                       dist)))))))))))))
+(define (advance dt)
+  (let loop ((i 0))
+    (when (< i nbodies)
+      (let ((bi (vector-ref bodies i)))
+        (let inner ((j (+ i 1)))
+          (when (< j nbodies)
+            (let ((bj (vector-ref bodies j)))
+              (let ((dx (- (vector-ref bi 0) (vector-ref bj 0)))
+                    (dy (- (vector-ref bi 1) (vector-ref bj 1)))
+                    (dz (- (vector-ref bi 2) (vector-ref bj 2))))
+                (let ((dsq (+ (* dx dx) (* dy dy) (* dz dz))))
+                  (let ((mag (/ dt (* dsq (sqrt dsq)))))
+                    (vector-set! bi 3 (- (vector-ref bi 3) (* dx (vector-ref bj 6) mag)))
+                    (vector-set! bi 4 (- (vector-ref bi 4) (* dy (vector-ref bj 6) mag)))
+                    (vector-set! bi 5 (- (vector-ref bi 5) (* dz (vector-ref bj 6) mag)))
+                    (vector-set! bj 3 (+ (vector-ref bj 3) (* dx (vector-ref bi 6) mag)))
+                    (vector-set! bj 4 (+ (vector-ref bj 4) (* dy (vector-ref bi 6) mag)))
+                    (vector-set! bj 5 (+ (vector-ref bj 5) (* dz (vector-ref bi 6) mag)))))))
+            (inner (+ j 1)))))
+      (loop (+ i 1))))
+  (let move ((i 0))
+    (when (< i nbodies)
+      (let ((b (vector-ref bodies i)))
+        (vector-set! b 0 (+ (vector-ref b 0) (* dt (vector-ref b 3))))
+        (vector-set! b 1 (+ (vector-ref b 1) (* dt (vector-ref b 4))))
+        (vector-set! b 2 (+ (vector-ref b 2) (* dt (vector-ref b 5)))))
+      (move (+ i 1)))))
+(offset-momentum)
+(display (real->decimal-string (energy) 9)) (newline)
+(let loop ((i 0))
+  (when (< i %d)
+    (advance 0.01)
+    (loop (+ i 1))))
+(display (real->decimal-string (energy) 9)) (newline)
+|scheme}
+    n
+
+(* --- spectral-norm --- *)
+
+let spectral_src n =
+  Printf.sprintf
+    {scheme|
+(define n %d)
+(define (A i j)
+  (/ 1.0 (exact->inexact (+ (quotient (* (+ i j) (+ i j 1)) 2) i 1))))
+(define (mul-Av v out)
+  (let loop ((i 0))
+    (when (< i n)
+      (let inner ((j 0) (sum 0.0))
+        (if (< j n)
+            (inner (+ j 1) (+ sum (* (A i j) (vector-ref v j))))
+            (vector-set! out i sum)))
+      (loop (+ i 1)))))
+(define (mul-Atv v out)
+  (let loop ((i 0))
+    (when (< i n)
+      (let inner ((j 0) (sum 0.0))
+        (if (< j n)
+            (inner (+ j 1) (+ sum (* (A j i) (vector-ref v j))))
+            (vector-set! out i sum)))
+      (loop (+ i 1)))))
+(define (mul-AtAv v out tmp)
+  (mul-Av v tmp)
+  (mul-Atv tmp out))
+(define u (make-vector n 1.0))
+(define v (make-vector n 0.0))
+(define tmp (make-vector n 0.0))
+(let loop ((i 0))
+  (when (< i 10)
+    (mul-AtAv u v tmp)
+    (mul-AtAv v u tmp)
+    (loop (+ i 1))))
+(let loop ((i 0) (vBv 0.0) (vv 0.0))
+  (if (< i n)
+      (loop (+ i 1)
+            (+ vBv (* (vector-ref u i) (vector-ref v i)))
+            (+ vv (* (vector-ref v i) (vector-ref v i))))
+      (begin
+        (display (real->decimal-string (sqrt (/ vBv vv)) 9))
+        (newline))))
+|scheme}
+    n
+
+let all =
+  [
+    { b_name = "fannkuch-redux"; b_source = fannkuch_src; b_test_n = 6; b_bench_n = 8; b_gc_heavy = false };
+    { b_name = "binary-tree-2"; b_source = binary_tree_src; b_test_n = 6; b_bench_n = 12; b_gc_heavy = true };
+    { b_name = "fasta"; b_source = fasta_src; b_test_n = 100; b_bench_n = 4_000; b_gc_heavy = true };
+    { b_name = "fasta-3"; b_source = fasta3_src; b_test_n = 100; b_bench_n = 4_000; b_gc_heavy = true };
+    { b_name = "n-body"; b_source = nbody_src; b_test_n = 100; b_bench_n = 3_000; b_gc_heavy = true };
+    { b_name = "spectral-norm"; b_source = spectral_src; b_test_n = 16; b_bench_n = 60; b_gc_heavy = true };
+    { b_name = "mandelbrot-2"; b_source = mandelbrot_src; b_test_n = 16; b_bench_n = 64; b_gc_heavy = false };
+  ]
+
+let find name = List.find (fun b -> b.b_name = name) all
+
+let program b ~n =
+  {
+    Multiverse.Toolchain.prog_name = b.b_name;
+    prog_main =
+      (fun env ->
+        let engine = Mv_racket.Engine.start env in
+        Mv_racket.Engine.run_program engine (b.b_source n));
+  }

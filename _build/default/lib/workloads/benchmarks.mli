@@ -1,0 +1,30 @@
+(** The seven Computer Language Benchmarks Game programs the paper
+    evaluates hybridized Racket on (Figures 10 and 13), as Scheme sources
+    for our runtime:
+
+    binary-tree-2 (GC stress), fannkuch-redux (permutations), fasta and
+    fasta-3 (random DNA sequence generation, two implementations),
+    mandelbrot-2, n-body, and spectral-norm.
+
+    Each benchmark is parameterized by a problem size [n]; outputs are
+    deterministic, and for the classic sizes they match the published
+    reference outputs (n-body energies, spectral-norm value, fannkuch
+    counts), which doubles as an end-to-end correctness check of the
+    runtime. *)
+
+type t = {
+  b_name : string;
+  b_source : int -> string;  (** Scheme program text for problem size n *)
+  b_test_n : int;  (** small size for tests *)
+  b_bench_n : int;  (** size used by the figure benchmarks *)
+  b_gc_heavy : bool;  (** dominated by allocation/fault traffic? *)
+}
+
+val all : t list
+val find : string -> t
+(** @raise Not_found *)
+
+val program : t -> n:int -> Multiverse.Toolchain.program
+(** Package as a guest program: start the Racket engine, run the source
+    in batch mode (the paper's embedding: a C main that boots the engine
+    in a pthread and feeds it the file). *)

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Event_queue Exec Fiber Fun List Mv_engine Option QCheck QCheck_alcotest Sim

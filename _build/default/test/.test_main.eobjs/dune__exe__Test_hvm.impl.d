@@ -1,0 +1,1 @@
+test/test_hvm.ml: Alcotest Array List Mv_aerokernel Mv_engine Mv_hvm Mv_hw Mv_ros Mv_util Printf

@@ -1,0 +1,1 @@
+test/test_hw.ml: Addr Alcotest Costs Cpu Hashtbl List Mmu Mv_hw Page_table Phys_mem QCheck QCheck_alcotest Tlb Topology

@@ -1,0 +1,1 @@
+test/test_multiverse.ml: Alcotest Array Bytes Env Libc List Multiverse Mv_aerokernel Mv_engine Mv_guest Mv_hvm Mv_hw Mv_ros Mv_util Printf Runtime String Symbols Toolchain

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Hpcg List Mv_aerokernel Mv_engine Mv_guest Mv_hw Mv_parallel Mv_ros Mv_util Pool Printf

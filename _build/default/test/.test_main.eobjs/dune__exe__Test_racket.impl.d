@@ -1,0 +1,1 @@
+test/test_racket.ml: Alcotest Array Engine List Mv_engine Mv_guest Mv_racket Mv_ros Mv_util Printf QCheck QCheck_alcotest Sexp Sgc Value Vm

@@ -1,0 +1,1 @@
+test/test_ros.ml: Alcotest Bytes Kernel List Mm Mv_engine Mv_guest Mv_hw Mv_ros Mv_util Printf Process Rusage Signal String Syscalls Vfs

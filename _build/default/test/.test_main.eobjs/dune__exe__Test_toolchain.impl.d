@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Fat_binary Gen Hashtbl List Multiverse Mv_aerokernel Mv_engine Mv_hw Option Override_config QCheck QCheck_alcotest Result Runtime String Symbols Toolchain

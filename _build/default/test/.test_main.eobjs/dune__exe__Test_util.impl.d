@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Cycles Float Histogram List Mv_util Printf QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_vcode.ml: Alcotest Array List Mv_engine Mv_guest Mv_parallel Mv_ros Mv_vcode Samples Vcode

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Benchmarks List Multiverse Mv_ros Mv_util Mv_workloads String Toolchain

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "multiverse"
+    [
+      ("util", Test_util.suite);
+      ("engine", Test_engine.suite);
+      ("ros", Test_ros.suite);
+      ("hw", Test_hw.suite);
+      ("hvm-aerokernel", Test_hvm.suite);
+      ("toolchain", Test_toolchain.suite);
+      ("multiverse", Test_multiverse.suite);
+      ("racket", Test_racket.suite);
+      ("workloads", Test_workloads.suite);
+      ("parallel", Test_parallel.suite);
+      ("vcode", Test_vcode.suite);
+    ]

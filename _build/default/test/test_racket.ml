@@ -1,0 +1,601 @@
+(* Tests for the Racket-style runtime: reader, value encodings, the
+   SenoraGC collector (liveness properties, write barrier, segment
+   recycling), compiler + VM semantics, and engine startup profile. *)
+
+module Machine = Mv_engine.Machine
+module Sim = Mv_engine.Sim
+open Mv_racket
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- Sexp --- *)
+
+let test_sexp_atoms () =
+  let open Sexp in
+  Alcotest.(check bool) "int" true (parse_one "42" = Atom_int 42);
+  Alcotest.(check bool) "negative" true (parse_one "-7" = Atom_int (-7));
+  Alcotest.(check bool) "float" true (parse_one "3.25" = Atom_float 3.25);
+  Alcotest.(check bool) "sym" true (parse_one "foo-bar!" = Atom_sym "foo-bar!");
+  Alcotest.(check bool) "string" true (parse_one {|"a\nb"|} = Atom_string "a\nb");
+  Alcotest.(check bool) "true" true (parse_one "#t" = Atom_bool true);
+  Alcotest.(check bool) "char" true (parse_one {|#\a|} = Atom_char 'a');
+  Alcotest.(check bool) "space char" true (parse_one {|#\space|} = Atom_char ' ')
+
+let test_sexp_lists_and_sugar () =
+  let open Sexp in
+  (match parse_one "(+ 1 (* 2 3))" with
+  | List [ Atom_sym "+"; Atom_int 1; List [ Atom_sym "*"; Atom_int 2; Atom_int 3 ] ] -> ()
+  | d -> Alcotest.failf "bad parse: %s" (to_string d));
+  (match parse_one "'(a b)" with
+  | List [ Atom_sym "quote"; List [ Atom_sym "a"; Atom_sym "b" ] ] -> ()
+  | d -> Alcotest.failf "bad quote: %s" (to_string d));
+  check_int "two datums" 2 (List.length (parse_all "1 2"))
+
+let test_sexp_comments () =
+  let src = "; line comment\n(a #| block #| nested |# comment |# b)" in
+  match Sexp.parse_all src with
+  | [ Sexp.List [ Sexp.Atom_sym "a"; Sexp.Atom_sym "b" ] ] -> ()
+  | _ -> Alcotest.fail "comments mishandled"
+
+let test_sexp_errors () =
+  let bad s = match Sexp.parse_all s with
+    | exception Sexp.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "unterminated list" true (bad "(a b");
+  check_bool "unterminated string" true (bad {|"abc|});
+  check_bool "stray paren" true (bad ")")
+
+let qcheck_sexp_roundtrip =
+  let rec gen_sexp depth =
+    let open QCheck.Gen in
+    if depth = 0 then
+      oneof
+        [ map (fun n -> Sexp.Atom_int n) small_signed_int;
+          map (fun s -> Sexp.Atom_sym ("s" ^ string_of_int (abs s))) small_int;
+          map (fun b -> Sexp.Atom_bool b) bool ]
+    else
+      frequency
+        [ (3, gen_sexp 0);
+          (1, map (fun l -> Sexp.List l) (list_size (int_bound 4) (gen_sexp (depth - 1)))) ]
+  in
+  QCheck.Test.make ~name:"sexp: print/parse roundtrip"
+    (QCheck.make (gen_sexp 3))
+    (fun d ->
+      match Sexp.parse_all (Sexp.to_string d) with [ d' ] -> d = d' | _ -> false)
+
+(* --- fixtures: a guest environment to host heap/VM tests --- *)
+
+let in_guest f =
+  let machine = Machine.create () in
+  let k = Mv_ros.Kernel.create machine in
+  let result = ref None in
+  ignore
+    (Mv_ros.Kernel.spawn_process k ~name:"guest" (fun p ->
+         let env = Mv_guest.Env.native k p in
+         result := Some (f env p)));
+  Sim.run machine.Machine.sim;
+  match !result with Some r -> r | None -> Alcotest.fail "guest did not run"
+
+(* --- Value encodings --- *)
+
+let test_value_immediates () =
+  check_int "fixnum roundtrip" 12345 Value.(fixnum_val (fixnum 12345));
+  check_int "negative fixnum" (-99) Value.(fixnum_val (fixnum (-99)));
+  check_bool "fixnum tagged" true (Value.is_fixnum (Value.fixnum 0));
+  check_bool "nil distinct from false" true (Value.nil <> Value.vfalse);
+  check_bool "truthiness" true Value.(is_truthy nil && is_truthy vtrue && not (is_truthy vfalse));
+  Alcotest.(check char) "char" 'Z' Value.(char_val (char_v 'Z'));
+  check_int "symbol id" 7 Value.(sym_id (sym 7));
+  check_int "port id" 3 Value.(port_id (port_v 3))
+
+let qcheck_value_fixnum =
+  QCheck.Test.make ~name:"value: fixnum roundtrip over range"
+    QCheck.(int_range (-(1 lsl 59)) (1 lsl 59))
+    (fun n -> Value.fixnum_val (Value.fixnum n) = n && Value.is_fixnum (Value.fixnum n))
+
+let test_value_heap_objects () =
+  in_guest (fun env _p ->
+      let gc = Sgc.create env () in
+      Value.register_scannable gc;
+      let p = Value.cons gc (Value.fixnum 1) (Value.fixnum 2) in
+      check_bool "pair" true (Value.is_pair gc p);
+      check_int "car" 1 (Value.fixnum_val (Value.car gc p));
+      check_int "cdr" 2 (Value.fixnum_val (Value.cdr gc p));
+      Value.set_car gc p (Value.fixnum 9);
+      check_int "set-car!" 9 (Value.fixnum_val (Value.car gc p));
+      let v = Value.make_vector gc 5 (Value.fixnum 0) in
+      Value.vector_set gc v 3 (Value.fixnum 42);
+      check_int "vector" 42 (Value.fixnum_val (Value.vector_ref gc v 3));
+      check_int "vector len" 5 (Value.vector_length gc v);
+      let s = Value.string_v gc "hello, world" in
+      check_string "string roundtrip" "hello, world" (Value.string_val gc s);
+      Alcotest.(check char) "string-ref" 'w' (Value.string_ref gc s 7);
+      Value.string_set gc s 0 'H';
+      check_string "string-set!" "Hello, world" (Value.string_val gc s);
+      let f = Value.flonum gc 3.14159 in
+      Alcotest.(check (float 1e-12)) "flonum" 3.14159 (Value.flonum_val gc f);
+      let neg = Value.flonum gc (-0.5e-300) in
+      Alcotest.(check (float 0.)) "flonum bits exact" (-0.5e-300) (Value.flonum_val gc neg);
+      let b = Value.box_v gc (Value.fixnum 5) in
+      Value.set_box gc b s;
+      check_bool "box holds string" true (Value.is_string gc (Value.unbox gc b));
+      let lst = Value.list_of gc [ Value.fixnum 1; Value.fixnum 2; Value.fixnum 3 ] in
+      check_int "list length" 3 (List.length (Value.to_list gc lst));
+      check_bool "equal? structural" true
+        (Value.equal gc lst (Value.list_of gc [ Value.fixnum 1; Value.fixnum 2; Value.fixnum 3 ])))
+
+(* --- Sgc --- *)
+
+let test_sgc_collects_garbage () =
+  in_guest (fun env _p ->
+      let gc = Sgc.create env ~threshold:16_384 () in
+      Value.register_scannable gc;
+      (* One rooted list survives; masses of garbage pairs do not. *)
+      let root = ref (Value.cons gc (Value.fixnum 1) Value.nil) in
+      Sgc.set_roots gc (fun visit -> visit !root);
+      for _ = 1 to 20_000 do
+        ignore (Value.cons gc (Value.fixnum 0) Value.nil)
+      done;
+      check_bool "collections happened" true ((Sgc.stats gc).Sgc.collections > 0);
+      Sgc.collect gc;
+      check_bool "live set stays small" true (Sgc.live_bytes gc < 4096);
+      (* The rooted object is intact. *)
+      check_int "root survived" 1 (Value.fixnum_val (Value.car gc !root)))
+
+let test_sgc_reachability_preserved () =
+  in_guest (fun env _p ->
+      let gc = Sgc.create env ~threshold:8_192 () in
+      Value.register_scannable gc;
+      (* A deep structure: every element must survive arbitrary GC. *)
+      let root = ref Value.nil in
+      Sgc.set_roots gc (fun visit -> visit !root);
+      for i = 1 to 5_000 do
+        root := Value.cons gc (Value.fixnum i) !root
+      done;
+      Sgc.collect gc;
+      let rec check_list i v =
+        if i = 0 then check_bool "end" true (v = Value.nil)
+        else begin
+          check_bool "still a pair" true (Value.is_pair gc v);
+          if Value.fixnum_val (Value.car gc v) <> i then
+            Alcotest.failf "corrupted element %d" i;
+          check_list (i - 1) (Value.cdr gc v)
+        end
+      in
+      check_list 5_000 !root)
+
+let qcheck_sgc_model =
+  (* Model-based: interleave allocations, mutations and forced GCs; every
+     value reachable from the root array must match the model. *)
+  QCheck.Test.make ~name:"sgc: reachable data survives collections" ~count:30
+    QCheck.(list (pair (int_bound 9) (int_bound 1000)))
+    (fun ops ->
+      in_guest (fun env _p ->
+          let gc = Sgc.create env ~threshold:4_096 () in
+          Value.register_scannable gc;
+          let nroots = 8 in
+          let roots = Array.make nroots Value.nil in
+          let model = Array.make nroots [] in
+          Sgc.set_roots gc (fun visit -> Array.iter visit roots);
+          List.iter
+            (fun (slot, v) ->
+              let slot = slot mod nroots in
+              match v mod 3 with
+              | 0 ->
+                  (* push onto a root list *)
+                  roots.(slot) <- Value.cons gc (Value.fixnum v) roots.(slot);
+                  model.(slot) <- v :: model.(slot)
+              | 1 ->
+                  (* drop a root list (make garbage) *)
+                  roots.(slot) <- Value.nil;
+                  model.(slot) <- []
+              | _ -> Sgc.collect gc)
+            ops;
+          Sgc.collect gc;
+          Array.for_all2
+            (fun v expected ->
+              let actual = List.map Value.fixnum_val (Value.to_list gc v) in
+              actual = expected)
+            roots model))
+
+let test_sgc_write_barrier () =
+  in_guest (fun env p ->
+      let gc = Sgc.create env () in
+      Value.register_scannable gc;
+      Sgc.install_barrier gc;
+      let root = ref (Value.cons gc (Value.fixnum 1) Value.nil) in
+      Sgc.set_roots gc (fun visit -> visit !root);
+      Sgc.collect gc;
+      (* Post-GC pages are protected; the first mutation trips SIGSEGV. *)
+      let faults0 = (Sgc.stats gc).Sgc.barrier_faults in
+      Value.set_car gc !root (Value.fixnum 2);
+      check_int "one barrier fault" (faults0 + 1) (Sgc.stats gc).Sgc.barrier_faults;
+      Value.set_car gc !root (Value.fixnum 3);
+      check_int "page now unprotected" (faults0 + 1) (Sgc.stats gc).Sgc.barrier_faults;
+      check_int "mutation landed" 3 (Value.fixnum_val (Value.car gc !root));
+      (* The barrier ran through the kernel signal machinery. *)
+      check_bool "rt_sigreturn counted" true
+        (Mv_util.Histogram.count p.Mv_ros.Process.syscall_counts "rt_sigreturn" >= 1))
+
+let test_sgc_segments_unmapped () =
+  in_guest (fun env p ->
+      let gc = Sgc.create env ~segment_pages:16 ~threshold:(1 lsl 30) () in
+      Value.register_scannable gc;
+      Sgc.set_roots gc (fun _ -> ());
+      (* Fill several segments with garbage, then collect: empty segments
+         go back to the OS with munmap (Figure 12's pattern). *)
+      for _ = 1 to 40_000 do
+        ignore (Value.cons gc (Value.fixnum 0) Value.nil)
+      done;
+      let mapped_before = Sgc.mapped_bytes gc in
+      Sgc.collect gc;
+      check_bool "segments released" true (Sgc.mapped_bytes gc < mapped_before);
+      check_bool "munmap syscalls issued" true
+        (Mv_util.Histogram.count p.Mv_ros.Process.syscall_counts "munmap" > 0);
+      check_bool "unmap stat" true ((Sgc.stats gc).Sgc.segments_unmapped > 0))
+
+let test_sgc_free_list_reuse () =
+  in_guest (fun env _p ->
+      let gc = Sgc.create env ~threshold:(1 lsl 30) () in
+      Value.register_scannable gc;
+      let root = ref Value.nil in
+      Sgc.set_roots gc (fun visit -> visit !root);
+      (* Allocate a keeper between two garbage objects so its segment
+         cannot be unmapped; the garbage slots must be reused. *)
+      ignore (Value.cons gc (Value.fixnum 0) Value.nil);
+      root := Value.cons gc (Value.fixnum 42) Value.nil;
+      ignore (Value.cons gc (Value.fixnum 0) Value.nil);
+      let mapped = Sgc.mapped_bytes gc in
+      Sgc.collect gc;
+      for _ = 1 to 1000 do
+        ignore (Value.cons gc (Value.fixnum 1) Value.nil);
+        Sgc.collect gc
+      done;
+      check_int "heap did not grow" mapped (Sgc.mapped_bytes gc);
+      check_int "keeper intact" 42 (Value.fixnum_val (Value.car gc !root)))
+
+(* --- compiler + VM --- *)
+
+let eval_in_guest src =
+  in_guest (fun env _p ->
+      let engine = Engine.start env in
+      let v = Engine.eval_string engine src in
+      let s = Vm.write_string_of (Engine.vm engine) v in
+      Engine.finish engine;
+      s)
+
+let check_eval expected src = check_string src expected (eval_in_guest src)
+
+let test_eval_basics () =
+  check_eval "42" "42";
+  check_eval "7" "(+ 3 4)";
+  check_eval "10" "(- 20 5 5)";
+  check_eval "-5" "(- 5)";
+  check_eval "2.5" "(/ 5 2)";
+  check_eval "3" "(/ 6 2)";
+  check_eval "8" "(expt 2 3)";
+  check_eval "#t" "(< 1 2 3)";
+  check_eval "#f" "(< 1 3 2)";
+  check_eval "3" "(if #t 3 4)";
+  check_eval "4" "(if #f 3 4)";
+  check_eval "3" "(if 0 3 4)" (* 0 is truthy in Scheme *)
+
+let test_eval_bindings () =
+  check_eval "25" "(let ((x 5)) (* x x))";
+  check_eval "11" "(let* ((x 5) (y (+ x 1))) (+ x y))";
+  check_eval "120" "(letrec ((f (lambda (n) (if (= n 0) 1 (* n (f (- n 1))))))) (f 5))";
+  check_eval "3" "(define x 3) x";
+  check_eval "9" "(define (sq n) (* n n)) (sq 3)";
+  check_eval "7" "(define x 3) (set! x 7) x";
+  check_eval "10" "(define (f) (define a 4) (define b 6) (+ a b)) (f)"
+
+let test_eval_closures () =
+  check_eval "15" "(define (adder n) (lambda (x) (+ x n))) ((adder 10) 5)";
+  check_eval "3" "(define (counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n))) (define c (counter)) (c) (c) (c)";
+  check_eval "55" "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)"
+
+let test_eval_tail_calls () =
+  (* A million-iteration loop must not overflow anything. *)
+  check_eval "1000000"
+    "(let loop ((i 0)) (if (= i 1000000) i (loop (+ i 1))))";
+  check_eval "500000500000"
+    "(let loop ((i 0) (acc 0)) (if (> i 1000000) acc (loop (+ i 1) (+ acc i))))"
+
+let test_eval_data () =
+  check_eval "(1 2 3)" "(list 1 2 3)";
+  check_eval "(1 . 2)" "(cons 1 2)";
+  check_eval "3" "(length '(a b c))";
+  check_eval "(3 2 1)" "(reverse '(1 2 3))";
+  check_eval "(1 2 3 4)" "(append '(1 2) '(3 4))";
+  check_eval "(b c)" "(memq 'b '(a b c))";
+  check_eval "#(0 0 5)" "(define v (make-vector 3 0)) (vector-set! v 2 5) v";
+  check_eval "\"abcdef\"" "(string-append \"abc\" \"def\")";
+  check_eval "\"bc\"" "(substring \"abcd\" 1 3)";
+  check_eval "(1 4 9)" "(map (lambda (x) (* x x)) '(1 2 3))";
+  check_eval "6" "(fold-left + 0 '(1 2 3))";
+  check_eval "10" "(apply + '(1 2 3 4))";
+  check_eval "#\\c" "(string-ref \"abc\" 2)";
+  check_eval "99" "(char->integer #\\c)"
+
+let test_eval_control () =
+  check_eval "two" {|(case 2 ((1) 'one) ((2) 'two) (else 'other))|};
+  check_eval "big" {|(cond ((> 5 10) 'small) ((> 5 1) 'big) (else 'none))|};
+  check_eval "45" "(do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i 10) acc))";
+  check_eval "#t" "(and 1 2 #t)";
+  check_eval "2" "(or #f 2 3)";
+  check_eval "yes" "(when (> 2 1) 'yes)";
+  check_eval "yes" "(unless (< 2 1) 'yes)"
+
+let test_eval_numeric_tower () =
+  check_eval "5.0" "(+ 2 3.0)";
+  check_eval "1.5" "(* 0.5 3)";
+  check_eval "2" "(sqrt 4)";
+  check_eval "1.41421356237" "(sqrt 2.0)";
+  check_eval "3" "(inexact->exact 3.7)";
+  check_eval "\"0.333333333\"" "(real->decimal-string (/ 1.0 3.0) 9)";
+  check_eval "1" "(modulo -5 3)";
+  check_eval "-2" "(remainder -5 3)"
+
+let test_eval_errors () =
+  let raises src =
+    match eval_in_guest src with
+    | exception Alcotest.Test_error -> false
+    | _ -> false
+    | exception _ -> true
+  in
+  check_bool "car of non-pair" true (raises "(car 5)");
+  check_bool "arity mismatch" true (raises "((lambda (x) x) 1 2)");
+  check_bool "undefined global" true (raises "undefined-thing");
+  check_bool "vector bounds" true (raises "(vector-ref (make-vector 2 0) 5)");
+  check_bool "division by zero" true (raises "(quotient 1 0)");
+  check_bool "user error" true (raises {|(error "boom")|})
+
+let test_eval_gc_under_pressure () =
+  (* Allocation-heavy nested data with live working set: exercises GC
+     while the VM stack holds intermediate references. *)
+  check_eval "275"
+    "(define (build n) (if (= n 0) '() (cons n (build (- n 1)))))\n\
+     (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))\n\
+     (let loop ((i 0) (best 0))\n\
+       (if (= i 50) best (loop (+ i 1) (max best (sum (build 100))))))\n\
+     (let ((keep (build 100)))\n\
+       (let loop ((i 0)) (if (= i 200) (void) (begin (build 50) (loop (+ i 1)))))\n\
+       (* 5 (sum (build 10)) (if (pair? keep) 1 0) (if (= (sum keep) 5050) 1 0)))\n\
+     "
+
+(* --- engine --- *)
+
+let test_engine_startup_profile () =
+  in_guest (fun env p ->
+      let _engine = Engine.start env in
+      let h = p.Mv_ros.Process.syscall_counts in
+      let c name = Mv_util.Histogram.count h name in
+      (* Figure 11's shape: mmap dominates (libs + heap + JIT), with the
+         dynamic-linker open/read/fstat/close cluster, the GC's
+         rt_sigaction/rt_sigprocmask, and stat for the collects paths. *)
+      check_bool "mmap cluster" true (c "mmap" >= 8);
+      check_int "six libs opened" 6 (c "open");
+      check_int "six libs read" 6 (c "read");
+      check_int "six libs fstat" 6 (c "fstat");
+      check_int "closed" 6 (c "close");
+      check_int "sigaction for GC barrier" 1 (c "rt_sigaction");
+      check_int "sigprocmask pair" 2 (c "rt_sigprocmask");
+      check_bool "collects stats" true (c "stat" >= 6);
+      check_int "timer" 1 (c "setitimer"))
+
+let test_engine_repl () =
+  let machine = Machine.create () in
+  let k = Mv_ros.Kernel.create machine in
+  let p =
+    Mv_ros.Kernel.spawn_process k ~name:"repl" (fun p ->
+        let env = Mv_guest.Env.native k p in
+        let engine = Engine.start env in
+        Engine.repl engine)
+  in
+  Mv_ros.Vfs.feed p.Mv_ros.Process.stdin "(+ 1 2)\n(define x 10)\n(* x x)\n";
+  Mv_ros.Vfs.close_stream p.Mv_ros.Process.stdin;
+  Sim.run machine.Machine.sim;
+  let out = Mv_ros.Process.stdout_contents p in
+  check_string "repl transcript" "> 3\n> > 100\n> \n" out
+
+let test_engine_tick_syscalls () =
+  in_guest (fun env p ->
+      let engine = Engine.start env in
+      let before = Mv_util.Histogram.count p.Mv_ros.Process.syscall_counts "gettimeofday" in
+      ignore (Engine.eval_string engine "(let loop ((i 0)) (if (= i 300000) i (loop (+ i 1))))");
+      let after = Mv_util.Histogram.count p.Mv_ros.Process.syscall_counts "gettimeofday" in
+      (* The green-thread scheduler checks the clock as the program runs. *)
+      check_bool "timer chatter while running" true (after - before > 5))
+
+(* --- places (parallel Scheme; paper future work) --- *)
+
+let test_places_roundtrip () =
+  let out =
+    eval_in_guest
+      {|
+(define p (place-spawn "(place-send 0 (list 'hi 42 \"str\" 3.5 #\\x '(1 2)))"))
+(define msg (place-receive p))
+(place-wait p)
+msg
+|}
+  in
+  check_string "message deep-copied across heaps" {|(hi 42 "str" 3.5 #\x (1 2))|} out
+
+let test_places_bidirectional () =
+  let out =
+    eval_in_guest
+      {|
+(define doubler "(let loop ()
+                   (let ((v (place-receive 0)))
+                     (unless (eq? v 'stop)
+                       (place-send 0 (* 2 v))
+                       (loop))))")
+(define p (place-spawn doubler))
+(place-send p 21)
+(define a (place-receive p))
+(place-send p 100)
+(define b (place-receive p))
+(place-send p 'stop)
+(place-wait p)
+(list a b)
+|}
+  in
+  check_string "request/response pairs" "(42 200)" out
+
+let test_places_parallel_speedup () =
+  let worker =
+    "(define s (let loop ((i 0) (acc 0)) (if (= i 200000) acc (loop (+ i 1) (+ acc i))))) \
+     (place-send 0 s)"
+  in
+  let par =
+    Printf.sprintf
+      "(define p1 (place-spawn %S)) (define p2 (place-spawn %S)) \
+       (+ (place-receive p1) (place-receive p2))"
+      worker worker
+  in
+  let ser =
+    "(define (work) (let loop ((i 0) (acc 0)) (if (= i 200000) acc (loop (+ i 1) (+ acc i))))) \
+     (+ (work) (work))"
+  in
+  let time src =
+    let machine = Machine.create () in
+    let k = Mv_ros.Kernel.create machine in
+    let out = ref "" in
+    let p =
+      Mv_ros.Kernel.spawn_process k ~name:"places" (fun p ->
+          let env = Mv_guest.Env.native k p in
+          let engine = Engine.start env in
+          out := Vm.write_string_of (Engine.vm engine) (Engine.eval_string engine src))
+    in
+    Sim.run machine.Machine.sim;
+    (!out, Mv_ros.Kernel.runtime_of k p)
+  in
+  let out_p, w_p = time par in
+  let out_s, w_s = time ser in
+  check_string "same sum" out_s out_p;
+  (* Two ROS cores run the places concurrently: close to 2x. *)
+  check_bool "parallel speedup > 1.6x" true
+    (float_of_int w_s /. float_of_int w_p > 1.6)
+
+let test_places_not_transferable () =
+  (* Sending a closure must raise, not corrupt the other heap. *)
+  let raised =
+    match
+      eval_in_guest
+        {|(define p (place-spawn "(place-receive 0)")) (place-send p (lambda (x) x))|}
+    with
+    | _ -> false
+    | exception _ -> true
+  in
+  check_bool "closures are not transferable" true raised
+
+(* --- file ports --- *)
+
+let test_ports_write_read_roundtrip () =
+  let out =
+    eval_in_guest
+      {|
+(define o (open-output-file "/tmp/out.scm"))
+(display "line one" o) (newline o)
+(write '(1 "two" #\3) o) (newline o)
+(close-output-port o)
+(define i (open-input-file "/tmp/out.scm"))
+(define l1 (read-line i))
+(define l2 (read-line i))
+(define l3 (read-line i))
+(close-input-port i)
+(list l1 l2 (eof-object? l3) (port? i) (port? l1))
+|}
+  in
+  check_string "file roundtrip" {|("line one" "(1 \"two\" #\\3)" #t #t #f)|} out
+
+let test_ports_read_char () =
+  let out =
+    eval_in_guest
+      {|
+(define o (open-output-file "/tmp/chars"))
+(write-string "ab" o)
+(close-port o)
+(define i (open-input-file "/tmp/chars"))
+(define a (read-char i))
+(define b (read-char i))
+(define c (read-char i))
+(close-port i)
+(list a b (eof-object? c))
+|}
+  in
+  check_string "chars then eof" {|(#\a #\b #t)|} out
+
+let test_ports_errors () =
+  let raises src = match eval_in_guest src with _ -> false | exception _ -> true in
+  check_bool "missing file" true (raises {|(open-input-file "/no/such/file")|});
+  check_bool "closed port" true
+    (raises
+       {|(define o (open-output-file "/tmp/x")) (close-port o) (display "y" o)|})
+
+let test_prelude_sort_and_hash () =
+  check_eval "(1 1 2 3 4 5 6 9)" "(sort '(3 1 4 1 5 9 2 6) <)";
+  check_eval "(9 6 5 4 3 2 1 1)" "(sort '(3 1 4 1 5 9 2 6) >)";
+  check_eval "()" "(sort '() <)";
+  check_eval "(b . 2)" "(assoc 'b '((a . 1) (b . 2)))";
+  check_eval "#f" {|(assoc "z" '(("a" . 1)))|};
+  (* hash tables: insert enough to force a resize, then look everything up *)
+  check_eval "(#t 100 none 64)"
+    {|
+(define h (make-hash))
+(let loop ((i 0))
+  (when (< i 64)
+    (hash-set! h (number->string i) (* i i))
+    (loop (+ i 1))))
+(hash-set! h 'key 'sym-value)
+(hash-set! h 'key 100)  ; overwrite
+(list (hash-has-key? h "63")
+      (hash-ref h 'key 'missing)
+      (hash-ref h "999" 'none)
+      (let loop ((i 0) (ok 0))
+        (if (= i 64)
+            ok
+            (loop (+ i 1)
+                  (if (= (hash-ref h (number->string i) -1) (* i i)) (+ ok 1) ok)))))
+|}
+
+let suite =
+  [
+    ("sexp: atoms", `Quick, test_sexp_atoms);
+    ("sexp: lists and quote", `Quick, test_sexp_lists_and_sugar);
+    ("sexp: comments", `Quick, test_sexp_comments);
+    ("sexp: parse errors", `Quick, test_sexp_errors);
+    QCheck_alcotest.to_alcotest qcheck_sexp_roundtrip;
+    ("value: immediates", `Quick, test_value_immediates);
+    QCheck_alcotest.to_alcotest qcheck_value_fixnum;
+    ("value: heap objects", `Quick, test_value_heap_objects);
+    ("sgc: collects garbage, keeps roots", `Quick, test_sgc_collects_garbage);
+    ("sgc: deep reachability preserved", `Quick, test_sgc_reachability_preserved);
+    QCheck_alcotest.to_alcotest qcheck_sgc_model;
+    ("sgc: mprotect write barrier", `Quick, test_sgc_write_barrier);
+    ("sgc: empty segments munmapped", `Quick, test_sgc_segments_unmapped);
+    ("sgc: free-list reuse, no growth", `Quick, test_sgc_free_list_reuse);
+    ("eval: arithmetic and conditionals", `Quick, test_eval_basics);
+    ("eval: bindings", `Quick, test_eval_bindings);
+    ("eval: closures", `Quick, test_eval_closures);
+    ("eval: proper tail calls", `Quick, test_eval_tail_calls);
+    ("eval: data structures", `Quick, test_eval_data);
+    ("eval: control forms", `Quick, test_eval_control);
+    ("eval: numeric tower", `Quick, test_eval_numeric_tower);
+    ("eval: runtime errors", `Quick, test_eval_errors);
+    ("eval: GC under pressure", `Quick, test_eval_gc_under_pressure);
+    ("engine: startup syscall profile (Fig 11)", `Quick, test_engine_startup_profile);
+    ("engine: REPL", `Quick, test_engine_repl);
+    ("engine: scheduler tick syscalls", `Quick, test_engine_tick_syscalls);
+    ("places: message roundtrip", `Quick, test_places_roundtrip);
+    ("places: bidirectional channel", `Quick, test_places_bidirectional);
+    ("places: parallel speedup", `Quick, test_places_parallel_speedup);
+    ("places: closures not transferable", `Quick, test_places_not_transferable);
+    ("ports: file write/read roundtrip", `Quick, test_ports_write_read_roundtrip);
+    ("ports: read-char and EOF", `Quick, test_ports_read_char);
+    ("ports: error cases", `Quick, test_ports_errors);
+    ("prelude: sort, assoc, hash tables", `Quick, test_prelude_sort_and_hash);
+  ]

@@ -1,0 +1,111 @@
+(* Tests for the utility library: cycle/time conversion, deterministic
+   RNG, statistics, histograms, table rendering. *)
+
+open Mv_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let close ?(eps = 1e-9) msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%g ~ %g)" msg a b) true (Float.abs (a -. b) < eps)
+
+let test_cycles_roundtrip () =
+  (* 2.2 GHz: 2200 cycles per microsecond. *)
+  check_int "1 us" 2200 (Cycles.of_us 1.);
+  check_int "1 ms" 2_200_000 (Cycles.of_ms 1.);
+  close "to_us inverse" 1.0 (Cycles.to_us (Cycles.of_us 1.));
+  close "to_sec of 2.2e9" 1.0 (Cycles.to_sec 2_200_000_000)
+
+let test_cycles_paper_values () =
+  (* Figure 2: 25 K cycles ~ 1.1 us; 790 cycles ~ 36 ns; 33 K ~ 1.5 us. *)
+  close ~eps:0.1 "async channel" 11.4 (Cycles.to_us 25_000);
+  close ~eps:1.0 "sync same socket" 359.0 (Cycles.to_ns 790);
+  close ~eps:0.1 "merger" 15.0 (Cycles.to_us 33_000)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 100 (fun _ -> Rng.next a) in
+  let ys = List.init 100 (fun _ -> Rng.next b) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create ~seed:43 in
+  let zs = List.init 100 (fun _ -> Rng.next c) in
+  check_bool "different seed differs" true (xs <> zs)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.next a) in
+  let ys = List.init 50 (fun _ -> Rng.next b) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let qcheck_rng_bounds =
+  QCheck.Test.make ~name:"rng: int stays in bounds"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  close "mean" 3.0 (Stats.mean s);
+  close "min" 1.0 (Stats.min s);
+  close "max" 5.0 (Stats.max s);
+  close ~eps:1e-6 "stddev" (sqrt 2.) (Stats.stddev s);
+  close "median" 3.0 (Stats.percentile s 50.)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  Stats.add s 10.;
+  let sum = Stats.summary s in
+  check_int "count" 1 sum.Stats.s_count;
+  close "mean" 10. sum.Stats.s_mean;
+  close "stddev of single" 0. sum.Stats.s_stddev
+
+let test_histogram () =
+  let h = Histogram.create () in
+  Histogram.incr h "read";
+  Histogram.incr h "read";
+  Histogram.add h "mmap" 5;
+  check_int "read" 2 (Histogram.count h "read");
+  check_int "absent" 0 (Histogram.count h "write");
+  check_int "total" 7 (Histogram.total h);
+  (match Histogram.to_sorted_list h with
+  | [ ("mmap", 5); ("read", 2) ] -> ()
+  | l ->
+      Alcotest.failf "bad sort: %s"
+        (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) l)));
+  let h2 = Histogram.create () in
+  Histogram.add h2 "read" 3;
+  let m = Histogram.merge h h2 in
+  check_int "merged read" 5 (Histogram.count m "read");
+  check_int "original unchanged" 2 (Histogram.count h "read")
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "count" ] in
+  Table.add_row t [ "alpha"; "10" ];
+  Table.add_row t [ "b"; "2000" ];
+  let s = Table.to_string t in
+  check_bool "has header" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0));
+  (* Right-aligned numeric column: "  10" with padding. *)
+  check_bool "numeric right-aligned" true
+    (String.split_on_char '\n' s |> List.exists (fun l ->
+         match String.index_opt l '1' with
+         | Some i -> i > 0 && String.contains l '0'
+         | None -> false))
+
+let suite =
+  [
+    ("cycles: conversions", `Quick, test_cycles_roundtrip);
+    ("cycles: paper's figure-2 values", `Quick, test_cycles_paper_values);
+    ("rng: deterministic", `Quick, test_rng_deterministic);
+    ("rng: split independence", `Quick, test_rng_split_independent);
+    QCheck_alcotest.to_alcotest qcheck_rng_bounds;
+    ("stats: basic moments", `Quick, test_stats_basic);
+    ("stats: summary", `Quick, test_stats_summary);
+    ("histogram: counts/sort/merge", `Quick, test_histogram);
+    ("table: rendering", `Quick, test_table_render);
+  ]

@@ -1,0 +1,215 @@
+(* Tests for the NESL VCODE interpreter: the parser, each vector
+   operation, control flow, the sample programs, and pooled (parallel)
+   execution equivalence. *)
+
+module Machine = Mv_engine.Machine
+module Sim = Mv_engine.Sim
+open Mv_vcode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A cost sink that needs no simulation (parser/semantics tests). *)
+let dry () = Vcode.create ~charge:(fun _ -> ()) ()
+
+let run_main ?(stack = []) src =
+  Vcode.run (dry ()) (Vcode.parse src) stack
+
+let top_int src stack =
+  match List.rev (run_main ~stack src) with
+  | v :: _ -> (Vcode.to_int_array v).(0)
+  | [] -> Alcotest.fail "empty result stack"
+
+let test_parse_errors () =
+  let bad src =
+    match Vcode.parse src with exception Vcode.Vcode_error _ -> true | _ -> false
+  in
+  check_bool "no main" true (bad "FUNC f\nRET");
+  check_bool "unknown opcode" true (bad "FUNC main\nFROBNICATE\nRET");
+  check_bool "unbalanced IF" true (bad "FUNC main\nCONST BOOL T\nIF\nRET");
+  check_bool "else without if" true (bad "FUNC main\nELSE\nRET");
+  check_bool "duplicate func" true (bad "FUNC main\nRET\nFUNC main\nRET");
+  check_bool "unknown call" true (bad "FUNC main\nCALL ghost\nRET");
+  check_bool "bad const" true (bad "FUNC main\nCONST INT xyz\nRET")
+
+let test_elementwise_and_stack () =
+  check_int "sum of squares 0..9" 285 (top_int (Samples.sum_of_squares 10) []);
+  check_int "iota+dist+add" 15
+    (top_int
+       {|
+FUNC main
+  CONST INT 5
+  IOTA            ; [0 1 2 3 4]
+  CONST INT 1
+  CONST INT 5
+  DIST            ; [1 1 1 1 1]
+  + INT
+  +_REDUCE INT    ; 1+2+3+4+5
+  RET
+|}
+       [])
+
+let test_control_flow () =
+  check_int "factorial 10" 3628800 (top_int (Samples.factorial 10) []);
+  check_int "factorial 1" 1 (top_int (Samples.factorial 1) []);
+  check_int "if-else false branch" 99
+    (top_int
+       {|
+FUNC main
+  CONST BOOL F
+  IF
+    CONST INT 1
+  ELSE
+    CONST INT 99
+  ENDIF
+  RET
+|}
+       [])
+
+let test_scan_and_pack () =
+  (* line of sight over [3 1 4 1 5 9 2 6]: visible = 3,4,5,9 *)
+  let out =
+    run_main ~stack:[ Vcode.int_vec [| 3; 1; 4; 1; 5; 9; 2; 6 |] ] Samples.line_of_sight
+  in
+  (match List.rev out with
+  | v :: _ ->
+      let flags =
+        match v with
+        | Vcode.V_bool b -> b
+        | _ -> Alcotest.fail "expected bool vector"
+      in
+      Alcotest.(check (array bool)) "visibility"
+        [| true; false; true; false; true; true; false; false |]
+        flags
+  | [] -> Alcotest.fail "no result");
+  (* PACK keeps the visible heights. *)
+  let packed =
+    run_main
+      ~stack:[ Vcode.int_vec [| 3; 1; 4; 1; 5; 9; 2; 6 |] ]
+      {|
+FUNC main
+  COPY
+  COPY
+  MAX_SCAN INT
+  > INT
+  PACK
+  RET
+|}
+  in
+  match List.rev packed with
+  | v :: _ -> Alcotest.(check (array int)) "packed" [| 3; 4; 5; 9 |] (Vcode.to_int_array v)
+  | [] -> Alcotest.fail "no result"
+
+let test_permute_select_replace () =
+  let rev =
+    run_main
+      ~stack:[ Vcode.int_vec [| 10; 20; 30; 40 |] ]
+      {|
+FUNC main
+  CONST INT 4
+  IOTA
+  CONST INT 3
+  CONST INT 4
+  DIST
+  SWAP
+  - INT           ; [3 2 1 0]
+  PERMUTE
+  RET
+|}
+  in
+  (match List.rev rev with
+  | v :: _ -> Alcotest.(check (array int)) "reversed" [| 40; 30; 20; 10 |] (Vcode.to_int_array v)
+  | [] -> Alcotest.fail "no result");
+  let selected =
+    run_main
+      ~stack:
+        [ Vcode.int_vec [| 1; 2; 3 |]; Vcode.int_vec [| 10; 20; 30 |];
+          Vcode.V_bool [| true; false; true |] ]
+      "FUNC main\nSELECT\nRET"
+  in
+  match List.rev selected with
+  | v :: _ -> Alcotest.(check (array int)) "selected" [| 1; 20; 3 |] (Vcode.to_int_array v)
+  | [] -> Alcotest.fail "no result"
+
+let test_dot_and_segmented () =
+  let dot =
+    run_main
+      ~stack:[ Vcode.float_vec [| 1.0; 2.0; 3.0 |]; Vcode.float_vec [| 4.0; 5.0; 6.0 |] ]
+      Samples.dot_product
+  in
+  (match List.rev dot with
+  | v :: _ -> Alcotest.(check (float 1e-9)) "dot" 32.0 (Vcode.to_float_array v).(0)
+  | [] -> Alcotest.fail "no result");
+  let rows =
+    run_main
+      ~stack:
+        [ Vcode.int_vec [| 2; 3; 1 |];
+          Vcode.float_vec [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] ]
+      Samples.matvec_segmented
+  in
+  match List.rev rows with
+  | v :: _ ->
+      Alcotest.(check (array (float 1e-9))) "row sums" [| 3.0; 12.0; 6.0 |]
+        (Vcode.to_float_array v)
+  | [] -> Alcotest.fail "no result"
+
+let test_dynamic_errors () =
+  let boom ?(stack = []) src =
+    match run_main ~stack src with
+    | exception Vcode.Vcode_error _ -> true
+    | _ -> false
+  in
+  check_bool "underflow" true (boom "FUNC main\nPOP\nRET");
+  check_bool "length mismatch" true
+    (boom
+       ~stack:[ Vcode.int_vec [| 1 |]; Vcode.int_vec [| 1; 2 |] ]
+       "FUNC main\n+ INT\nRET");
+  check_bool "type mismatch" true
+    (boom
+       ~stack:[ Vcode.int_vec [| 1 |]; Vcode.float_vec [| 1.0 |] ]
+       "FUNC main\n+ INT\nRET");
+  check_bool "IF on vector" true
+    (boom ~stack:[ Vcode.V_bool [| true; false |] ] "FUNC main\nIF\nENDIF\nRET");
+  check_bool "infinite recursion bounded" true
+    (boom "FUNC loop\nCALL loop\nRET\nFUNC main\nCALL loop\nRET");
+  check_bool "division by zero" true
+    (boom
+       ~stack:[ Vcode.int_vec [| 1 |]; Vcode.int_vec [| 0 |] ]
+       "FUNC main\n/ INT\nRET")
+
+let test_pooled_equivalence () =
+  (* The same program on a 4-worker pool yields the same values, charges
+     virtual time, and fans vector ops out as parallel regions. *)
+  let machine = Machine.create () in
+  let k = Mv_ros.Kernel.create machine in
+  let result = ref None in
+  ignore
+    (Mv_ros.Kernel.spawn_process k ~name:"vcode" (fun p ->
+         let env = Mv_guest.Env.native k p in
+         let pool = Mv_parallel.Pool.create (Mv_parallel.Pool.Linux env) ~nworkers:4 in
+         let interp = Vcode.create ~pool ~charge:(fun c -> env.Mv_guest.Env.work c) () in
+         let out = Vcode.run interp (Vcode.parse (Samples.sum_of_squares 4000)) [] in
+         Mv_parallel.Pool.shutdown pool;
+         result := Some (out, Vcode.elements_processed interp, Mv_parallel.Pool.regions pool)))
+  |> ignore;
+  Sim.run machine.Machine.sim;
+  match !result with
+  | Some ([ v ], elems, regions) ->
+      (* sum i^2, i in [0,4000) *)
+      let expect = 4000 * (4000 - 1) * ((2 * 4000) - 1) / 6 in
+      check_int "pooled sum of squares" expect (Vcode.to_int_array v).(0);
+      check_bool "elements counted" true (elems >= 3 * 4000);
+      check_bool "vector ops became parallel regions" true (regions >= 3)
+  | _ -> Alcotest.fail "pooled run failed"
+
+let suite =
+  [
+    ("vcode: parse errors", `Quick, test_parse_errors);
+    ("vcode: elementwise + stack ops", `Quick, test_elementwise_and_stack);
+    ("vcode: control flow (factorial)", `Quick, test_control_flow);
+    ("vcode: scan, line-of-sight, pack", `Quick, test_scan_and_pack);
+    ("vcode: permute/select", `Quick, test_permute_select_replace);
+    ("vcode: dot product + segmented reduce", `Quick, test_dot_and_segmented);
+    ("vcode: dynamic errors", `Quick, test_dynamic_errors);
+    ("vcode: pooled execution equivalence", `Quick, test_pooled_equivalence);
+  ]
