@@ -10,8 +10,23 @@
 
 open Multiverse
 open Cmdliner
+module Fault_plan = Mv_faults.Fault_plan
 
-let run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog =
+let parse_fault_sites spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "" | "all" -> Fault_plan.all_sites
+  | spec ->
+      String.split_on_char ',' spec
+      |> List.map (fun name ->
+             let name = String.trim name in
+             match Fault_plan.site_of_name name with
+             | Some site -> site
+             | None ->
+                 failwith
+                   (Printf.sprintf "unknown fault site %S (known: %s)" name
+                      (String.concat ", " (List.map Fault_plan.site_name Fault_plan.all_sites))))
+
+let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet prog =
   let options =
     {
       Toolchain.mv_channel =
@@ -24,13 +39,17 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog =
         | "faults" -> { Runtime.port_mmap = true; port_signals = false; port_faults = true }
         | "full" -> Runtime.full_porting
         | other -> failwith ("unknown porting level: " ^ other));
+      mv_faults = faults;
     }
   in
+  (* A fault run keeps the trace on so the injected faults and the
+     resilience reactions can be shown afterwards. *)
+  let trace = Fault_plan.enabled faults in
   let rs =
     match mode with
     | "native" -> Toolchain.run_native prog
     | "virtual" -> Toolchain.run_virtual prog
-    | "multiverse" -> Toolchain.run_multiverse ~options (Toolchain.hybridize prog)
+    | "multiverse" -> Toolchain.run_multiverse ~trace ~options (Toolchain.hybridize prog)
     | other -> failwith ("unknown mode: " ^ other)
   in
   if not quiet then print_string rs.Toolchain.rs_stdout;
@@ -47,7 +66,25 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog =
         (Mv_aerokernel.Nautilus.stats_syscalls_forwarded nk)
         (Mv_aerokernel.Nautilus.stats_faults_forwarded nk)
         (Mv_aerokernel.Nautilus.stats_remerges nk)
-        (Runtime.faults_serviced_locally rt)
+        (Runtime.faults_serviced_locally rt);
+      if Fault_plan.enabled faults then begin
+        Printf.eprintf "[faults] %s | retries %d | fallbacks %d | respawns %d | reroutes %d\n"
+          (Format.asprintf "%a" Fault_plan.pp_summary faults)
+          (Runtime.retries rt) (Runtime.fallbacks rt) (Runtime.respawns rt)
+          (Runtime.reroutes rt);
+        let trace = rs.Toolchain.rs_machine.Mv_engine.Machine.trace in
+        let dump category =
+          List.iter
+            (fun r ->
+              Printf.eprintf "  %12d [%s] %s\n" r.Mv_engine.Trace.at
+                r.Mv_engine.Trace.category r.Mv_engine.Trace.message)
+            (Mv_engine.Trace.records_in trace ~category)
+        in
+        Printf.eprintf "[fault trace]\n";
+        dump "fault";
+        Printf.eprintf "[resilience trace]\n";
+        dump "resilience"
+      end
   | None -> ());
   if stats then begin
     Printf.eprintf "\nsystem calls:\n";
@@ -56,7 +93,22 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog =
       (Mv_util.Histogram.to_sorted_list rs.Toolchain.rs_syscalls)
   end
 
-let main bench file n mode porting sync_channel symbol_cache stats quiet list_benches =
+let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
+    stats quiet list_benches =
+  match
+    match fault_seed with
+    | Some seed -> (
+        if mode <> "multiverse" then Error "fault injection requires --mode multiverse"
+        else
+          try Ok (Fault_plan.create ~seed ~rate:fault_rate ~sites:(parse_fault_sites fault_sites) ())
+          with Failure msg | Invalid_argument msg -> Error msg)
+    | None ->
+        if fault_rate <> 0.05 || fault_sites <> "all" then
+          Error "--fault-rate/--fault-sites have no effect without --fault-seed"
+        else Ok Fault_plan.none
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok faults ->
   if list_benches then begin
     List.iter
       (fun b ->
@@ -71,7 +123,7 @@ let main bench file n mode porting sync_channel symbol_cache stats quiet list_be
         match Mv_workloads.Benchmarks.find name with
         | b ->
             let n = match n with Some n -> n | None -> b.Mv_workloads.Benchmarks.b_test_n in
-            run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet
+            run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet
               (Mv_workloads.Benchmarks.program b ~n);
             `Ok ()
         | exception Not_found -> `Error (false, "unknown benchmark " ^ name))
@@ -89,7 +141,7 @@ let main bench file n mode porting sync_channel symbol_cache stats quiet list_be
                 Mv_racket.Engine.run_program engine src);
           }
         in
-        run_one ~mode ~porting ~sync_channel ~symbol_cache ~stats ~quiet prog;
+        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet prog;
         `Ok ()
     | None, None -> `Error (true, "pass --bench NAME or --file PROG.scm (or --list)")
 
@@ -109,14 +161,26 @@ let cmd =
   in
   let sync_channel = Arg.(value & flag & info [ "sync-channel" ] ~doc:"Use synchronous (polling) event channels.") in
   let symbol_cache = Arg.(value & flag & info [ "symbol-cache" ] ~doc:"Enable the override symbol cache.") in
+  let fault_seed =
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
+         ~doc:"Arm deterministic fault injection with this seed (multiverse only).")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.05 & info [ "fault-rate" ] ~docv:"RATE"
+         ~doc:"Per-site injection probability, 0.0-1.0 (with --fault-seed).")
+  in
+  let fault_sites =
+    Arg.(value & opt string "all" & info [ "fault-sites" ] ~docv:"SITES"
+         ~doc:"Comma-separated fault sites to arm, or 'all': chan-drop, chan-delay, chan-dup, chan-corrupt, partner-kill, boot-stall, syscall-eagain, syscall-enosys.")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the per-syscall histogram.") in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's stdout.") in
   let list_benches = Arg.(value & flag & info [ "list" ] ~doc:"List benchmarks.") in
   let term =
     Term.(
       ret
-        (const main $ bench $ file $ n $ mode $ porting $ sync_channel $ symbol_cache $ stats
-       $ quiet $ list_benches))
+        (const main $ bench $ file $ n $ mode $ porting $ sync_channel $ symbol_cache
+       $ fault_seed $ fault_rate $ fault_sites $ stats $ quiet $ list_benches))
   in
   Cmd.v (Cmd.info "multiverse_run" ~doc:"Run workloads on the Multiverse simulation") term
 

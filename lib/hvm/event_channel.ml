@@ -1,48 +1,86 @@
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
 module Sim = Mv_engine.Sim
+module Fault_plan = Mv_faults.Fault_plan
 open Mv_hw
 
 type kind = Async | Sync
 
+exception Protocol_error of string
+exception Channel_failure of string
+
 type request = { req_kind : string; req_run : unit -> unit }
+
+(* A message on the channel.  [e_done] is shared by every entry of one
+   logical call (retries, injected duplicates): the payload runs exactly
+   once, re-deliveries only re-acknowledge.  [e_complete] wakes the caller
+   attempt that sent this entry; it self-guards so that a completion and a
+   timeout racing for the same attempt consume the waker at most once. *)
+type entry = {
+  e_req : request;
+  e_complete : (unit -> unit) option;  (* [None] for posted requests *)
+  e_done : bool ref;
+  e_corrupt : bool;
+}
+
+type resilience = { r_timeout : int; r_max_retries : int; r_backoff : int }
 
 type t = {
   machine : Machine.t;
-  ckind : kind;
+  mutable ckind : kind;
   ros_core : int;
   hrt_core : int;
-  queue : (request * (unit -> unit) option) Queue.t;
-      (* request + caller waker ([None] for posted requests) *)
-  mutable serving : (unit -> unit) option option;
-      (* [Some waker_opt] while the server handles a request *)
-  mutable server_wake : (request -> unit) option;
+  faults : Fault_plan.t;
+  mutable res : resilience option;
+  queue : entry Queue.t;
+  mutable serving : entry option;
+  mutable server_wake : (entry -> unit) option;
+  mutable failed : bool;
   mutable n_calls : int;
+  mutable n_timeouts : int;
+  mutable n_retries : int;
+  mutable n_protocol_errors : int;
+  mutable n_degraded : int;
 }
 
-let create machine ~kind ~ros_core ~hrt_core =
+let rtt_of machine ~kind ~ros_core ~hrt_core =
+  let costs = machine.Machine.costs in
+  match kind with
+  | Async -> costs.Costs.async_channel_rtt
+  | Sync ->
+      if Topology.same_socket machine.Machine.topo ros_core hrt_core then
+        costs.Costs.sync_channel_same_socket
+      else costs.Costs.sync_channel_cross_socket
+
+let create ?(faults = Fault_plan.none) machine ~kind ~ros_core ~hrt_core =
+  let res =
+    (* Resilience (attempt timeout + bounded retry) arms only under a
+       fault plan: the default channel is byte-identical to the seed. *)
+    if Fault_plan.enabled faults then
+      let rtt = rtt_of machine ~kind ~ros_core ~hrt_core in
+      Some { r_timeout = 64 * rtt; r_max_retries = 6; r_backoff = rtt }
+    else None
+  in
   {
     machine;
     ckind = kind;
     ros_core;
     hrt_core;
+    faults;
+    res;
     queue = Queue.create ();
     serving = None;
     server_wake = None;
+    failed = false;
     n_calls = 0;
+    n_timeouts = 0;
+    n_retries = 0;
+    n_protocol_errors = 0;
+    n_degraded = 0;
   }
 
 let kind t = t.ckind
-
-let rtt t =
-  let costs = t.machine.Machine.costs in
-  match t.ckind with
-  | Async -> costs.Costs.async_channel_rtt
-  | Sync ->
-      if Topology.same_socket t.machine.Machine.topo t.ros_core t.hrt_core then
-        costs.Costs.sync_channel_same_socket
-      else costs.Costs.sync_channel_cross_socket
-
+let rtt t = rtt_of t.machine ~kind:t.ckind ~ros_core:t.ros_core ~hrt_core:t.hrt_core
 let one_way t = rtt t / 2
 
 let signal_cost t =
@@ -56,61 +94,185 @@ let sched_at t time fn =
   let sim = Exec.sim t.machine.Machine.exec in
   Sim.schedule_at sim (max time (Sim.now sim)) fn
 
+(* Extra in-flight latency when a delay fault fires on this message. *)
+let deliver_latency t req_kind =
+  let base = one_way t in
+  if Fault_plan.fire t.faults Fault_plan.Chan_delay req_kind then
+    base + Fault_plan.extra_delay t.faults Fault_plan.Chan_delay ~base:(rtt t * 4)
+  else base
+
 (* If the server is parked and work is queued, deliver the head request
    after the one-way propagation delay. *)
 let try_deliver t =
   match t.server_wake with
   | Some swake when not (Queue.is_empty t.queue) ->
       t.server_wake <- None;
-      let req, waker = Queue.pop t.queue in
-      t.serving <- Some waker;
-      sched_at t (Exec.local_now t.machine.Machine.exec + one_way t) (fun () -> swake req)
+      let e = Queue.pop t.queue in
+      t.serving <- Some e;
+      sched_at t
+        (Exec.local_now t.machine.Machine.exec + deliver_latency t e.e_req.req_kind)
+        (fun () -> swake e)
   | Some _ | None -> ()
 
 let call t req =
-  t.n_calls <- t.n_calls + 1;
-  Machine.charge t.machine (signal_cost t);
-  Exec.block t.machine.Machine.exec ~reason:("evtchan:" ^ req.req_kind)
-    (fun ~now:_ ~wake ->
-      Queue.add (req, Some wake) t.queue;
-      try_deliver t)
+  if t.failed then raise (Channel_failure req.req_kind);
+  let done_ = ref false in
+  let rec attempt n backoff =
+    t.n_calls <- t.n_calls + 1;
+    Machine.charge t.machine (signal_cost t);
+    let outcome =
+      Exec.block t.machine.Machine.exec ~reason:("evtchan:" ^ req.req_kind)
+        (fun ~now ~wake ->
+          let live = ref true in
+          let entry =
+            {
+              e_req = req;
+              e_complete =
+                Some
+                  (fun () ->
+                    if !live then begin
+                      live := false;
+                      wake `Done
+                    end);
+              e_done = done_;
+              e_corrupt = Fault_plan.fire t.faults Fault_plan.Chan_corrupt req.req_kind;
+            }
+          in
+          if not (Fault_plan.fire t.faults Fault_plan.Chan_drop req.req_kind) then begin
+            Queue.add entry t.queue;
+            if Fault_plan.fire t.faults Fault_plan.Chan_duplicate req.req_kind then
+              Queue.add entry t.queue;
+            try_deliver t
+          end;
+          match t.res with
+          | Some r ->
+              Sim.schedule_at
+                (Exec.sim t.machine.Machine.exec)
+                (now + r.r_timeout)
+                (fun () ->
+                  if !live then begin
+                    live := false;
+                    wake `Timeout
+                  end)
+          | None -> ())
+    in
+    match outcome with
+    | `Done -> ()
+    | `Timeout -> (
+        t.n_timeouts <- t.n_timeouts + 1;
+        match t.res with
+        | None -> assert false
+        | Some r ->
+            if n >= r.r_max_retries then begin
+              Machine.trace_emit t.machine ~category:"resilience"
+                (Printf.sprintf "channel failure after %d retries: %s" n req.req_kind);
+              raise (Channel_failure req.req_kind)
+            end
+            else begin
+              t.n_retries <- t.n_retries + 1;
+              Machine.trace_emit t.machine ~category:"resilience"
+                (Printf.sprintf "retry %d backoff=%d: %s" (n + 1) backoff req.req_kind);
+              (* Exponential backoff, charged to the caller through the
+                 ordinary cycle model. *)
+              Machine.charge t.machine backoff;
+              attempt (n + 1) (backoff * 2)
+            end)
+  in
+  attempt 0 (match t.res with Some r -> r.r_backoff | None -> rtt t)
 
 let post t req =
+  (* Posts carry control messages (hrt-exit, shutdown) whose loss is not
+     recoverable by a caller-side timeout, so they are not fault sites. *)
   t.n_calls <- t.n_calls + 1;
-  Queue.add (req, None) t.queue;
+  Queue.add { e_req = req; e_complete = None; e_done = ref false; e_corrupt = false } t.queue;
   try_deliver t
-
-let serve_next t =
-  if not (Queue.is_empty t.queue) then begin
-    let req, waker = Queue.pop t.queue in
-    t.serving <- Some waker;
-    (* The request already sat in the shared page; pay the poll/notice
-       latency. *)
-    Machine.charge t.machine (one_way t);
-    req
-  end
-  else
-    Exec.block t.machine.Machine.exec ~reason:"evtchan:serve" (fun ~now:_ ~wake ->
-        t.server_wake <- Some wake)
 
 let complete t =
   match t.serving with
-  | None -> failwith "Event_channel.complete: nothing being served"
-  | Some waker_opt -> (
+  | None -> raise (Protocol_error "Event_channel.complete: nothing being served")
+  | Some e -> (
       t.serving <- None;
-      match waker_opt with
+      e.e_done := true;
+      match e.e_complete with
       | None -> ()  (* posted request: fire-and-forget *)
-      | Some wake ->
+      | Some fire_wake ->
           Machine.charge t.machine (signal_cost t);
-          sched_at t (Exec.local_now t.machine.Machine.exec + one_way t) (fun () -> wake ()))
+          sched_at t (Exec.local_now t.machine.Machine.exec + one_way t) fire_wake)
+
+let rec serve_next t =
+  let accept e =
+    if e.e_corrupt then begin
+      (* The shared-page payload fails validation: discard; the caller's
+         timeout-and-retry recovers the request. *)
+      t.serving <- None;
+      t.n_protocol_errors <- t.n_protocol_errors + 1;
+      raise (Protocol_error ("corrupt request discarded: " ^ e.e_req.req_kind))
+    end
+    else if !(e.e_done) then begin
+      (* Duplicate or retried delivery of an already-executed request:
+         acknowledge without re-running the payload. *)
+      complete t;
+      serve_next t
+    end
+    else e.e_req
+  in
+  match Queue.take_opt t.queue with
+  | Some e ->
+      t.serving <- Some e;
+      (* The request already sat in the shared page; pay the poll/notice
+         latency. *)
+      Machine.charge t.machine (one_way t);
+      accept e
+  | None ->
+      let e =
+        Exec.block t.machine.Machine.exec ~reason:"evtchan:serve" (fun ~now:_ ~wake ->
+            t.server_wake <- Some wake)
+      in
+      accept e
 
 let serve_loop t ~on_request =
   let rec go () =
-    let req = serve_next t in
-    on_request req;
-    complete t;
+    (match serve_next t with
+    | req ->
+        on_request req;
+        complete t
+    | exception Protocol_error msg ->
+        Machine.trace_emit t.machine ~category:"resilience" ("server survived: " ^ msg));
     go ()
   in
   go ()
 
+let degrade_to_async t =
+  if t.ckind = Sync then begin
+    t.ckind <- Async;
+    t.n_degraded <- t.n_degraded + 1;
+    (* Timeout and backoff were sized for sync latencies; re-arm for the
+       (much slower) hypercall channel. *)
+    (match t.res with
+    | Some r ->
+        let rtt = rtt t in
+        t.res <- Some { r with r_timeout = 64 * rtt; r_backoff = rtt }
+    | None -> ());
+    Machine.trace_emit t.machine ~category:"resilience" "degrade sync->async"
+  end
+
+let mark_failed t =
+  if not t.failed then begin
+    t.failed <- true;
+    Machine.trace_emit t.machine ~category:"resilience" "channel marked failed"
+  end
+
+let reset_server t =
+  (* A dead server's parked waker and half-served entry are both stale;
+     the respawned server re-enters [serve_next] against a clean slate.
+     Unserved entries stay queued, an unacknowledged-but-executed entry is
+     recovered by its caller's retry hitting the [e_done] dedup path. *)
+  t.server_wake <- None;
+  t.serving <- None
+
 let calls t = t.n_calls
+let timeouts t = t.n_timeouts
+let retries t = t.n_retries
+let protocol_errors t = t.n_protocol_errors
+let degraded t = t.n_degraded > 0
+let failed t = t.failed

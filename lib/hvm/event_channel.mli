@@ -12,9 +12,28 @@
     The server (a Multiverse partner thread in the ROS) handles one request
     at a time; requests from multiple HRT threads of one execution group
     queue ("the top-level HRT thread's corresponding partner acting as the
-    communication end-point", paper Section 4.2). *)
+    communication end-point", paper Section 4.2).
+
+    {b Failure model.}  By default the channel is infallible and the code
+    path is byte-identical to a lossless channel.  Under a
+    {!Mv_faults.Fault_plan} the channel becomes lossy (drop / delay /
+    duplicate / corrupt per the plan) and {e resilient}: each {!call}
+    attempt carries a cycle-budget timeout, timed-out calls retry with
+    exponential backoff (latencies charged through the ordinary cycle
+    model), and payloads are deduplicated server-side so a logical call
+    executes exactly once however many times its message is delivered. *)
 
 type kind = Async | Sync
+
+exception Protocol_error of string
+(** A violation of the request/complete protocol: completing with nothing
+    being served, or a corrupt (injected) request the server must discard.
+    Server loops are expected to trace and survive it. *)
+
+exception Channel_failure of string
+(** Raised by {!call} when every retry of a request timed out (carries the
+    request kind), and by calls on a channel {!mark_failed} earlier.  The
+    runtime reacts by degrading: Sync -> Async, then ROS-native rerouting. *)
 
 type request = { req_kind : string; req_run : unit -> unit }
 (** A named request carrying its executable payload; the server runs
@@ -23,7 +42,15 @@ type request = { req_kind : string; req_run : unit -> unit }
 type t
 
 val create :
-  Mv_engine.Machine.t -> kind:kind -> ros_core:int -> hrt_core:int -> t
+  ?faults:Mv_faults.Fault_plan.t ->
+  Mv_engine.Machine.t ->
+  kind:kind ->
+  ros_core:int ->
+  hrt_core:int ->
+  t
+(** A fault plan (when enabled) arms both injection and the
+    timeout/retry/backoff resilience machinery; without one the channel
+    behaves exactly as the seed implementation. *)
 
 val kind : t -> kind
 
@@ -32,22 +59,48 @@ val rtt : t -> int
 
 val call : t -> request -> unit
 (** Issue a request and block until the server completes it (thread
-    context, caller side). *)
+    context, caller side).
+    @raise Channel_failure when resilience is armed and retries exhaust. *)
 
 val post : t -> request -> unit
 (** Fire-and-forget: enqueue a request with no completion expected.  Safe
-    to use outside thread context (e.g. from a signal-injection event). *)
+    to use outside thread context (e.g. from a signal-injection event).
+    Posts carry control messages and are never fault-injected. *)
 
 val serve_next : t -> request
-(** Block until a request arrives (server side). *)
+(** Block until a request arrives (server side).
+    @raise Protocol_error on an injected-corrupt request (discarded). *)
 
 val complete : t -> unit
 (** Finish the request obtained from {!serve_next}: wakes the caller if it
     was a {!call}; a no-op for {!post}ed requests.
-    @raise Failure if nothing is being served. *)
+    @raise Protocol_error if nothing is being served. *)
 
 val serve_loop : t -> on_request:(request -> unit) -> unit
 (** Convenience server: forever take a request, run [on_request] (which
-    should execute [req_run]), complete.  Never returns. *)
+    should execute [req_run]), complete.  Traces and survives
+    {!Protocol_error}.  Never returns. *)
+
+(** {1 Degradation and recovery} *)
+
+val degrade_to_async : t -> unit
+(** Fall back from Sync polling to the always-works Async hypercall
+    channel (no-op if already Async); re-arms timeouts for async latency. *)
+
+val mark_failed : t -> unit
+(** Declare the channel dead: subsequent {!call}s raise {!Channel_failure}
+    immediately so the runtime reroutes work ROS-natively. *)
+
+val reset_server : t -> unit
+(** Drop server-side state left behind by a dead partner thread (parked
+    waker, half-served entry) so a respawned partner can re-enter
+    {!serve_next} cleanly. *)
+
+(** {1 Counters} *)
 
 val calls : t -> int
+val timeouts : t -> int
+val retries : t -> int
+val protocol_errors : t -> int
+val degraded : t -> bool
+val failed : t -> bool

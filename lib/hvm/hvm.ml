@@ -4,6 +4,8 @@ module Sim = Mv_engine.Sim
 module Nautilus = Mv_aerokernel.Nautilus
 open Mv_hw
 
+module Fault_plan = Mv_faults.Fault_plan
+
 type t = {
   machine : Machine.t;
   ros : Mv_ros.Kernel.t;
@@ -12,6 +14,7 @@ type t = {
   mutable n_hypercalls : int;
   mutable n_exits : int;
   mutable ros_signal_handler : (int -> unit) option;
+  mutable faults : Fault_plan.t;
 }
 
 let create machine ~ros =
@@ -24,7 +27,10 @@ let create machine ~ros =
     n_hypercalls = 0;
     n_exits = 0;
     ros_signal_handler = None;
+    faults = Fault_plan.none;
   }
+
+let set_faults t plan = t.faults <- plan
 
 let machine t = t.machine
 let ros t = t.ros
@@ -48,6 +54,12 @@ let install_hrt_image t ~image_kb nk =
 let boot_hrt t =
   hypercall t ~name:"hrt_boot";
   let nk = require_hrt t in
+  if Fault_plan.fire t.faults Fault_plan.Boot_stall "hrt_boot" then begin
+    (* The boot handshake stalls: the ROS-side init waits out a full boot
+       budget, then reissues the boot hypercall. *)
+    Machine.charge t.machine t.machine.Machine.costs.Costs.hrt_boot;
+    hypercall t ~name:"hrt_boot"
+  end;
   Nautilus.boot nk
 
 let merge_address_space t p =

@@ -14,6 +14,10 @@ type t
 val create : Mv_engine.Machine.t -> ros:Mv_ros.Kernel.t -> t
 (** Wrap the machine; the ROS kernel is marked virtualized. *)
 
+val set_faults : t -> Mv_faults.Fault_plan.t -> unit
+(** Arm fault injection for HVM-mediated protocols (today: the HRT boot
+    stall site). *)
+
 val machine : t -> Mv_engine.Machine.t
 val ros : t -> Mv_ros.Kernel.t
 val hrt : t -> Mv_aerokernel.Nautilus.t option
@@ -29,7 +33,9 @@ val install_hrt_image : t -> image_kb:int -> Mv_aerokernel.Nautilus.t -> unit
 
 val boot_hrt : t -> unit
 (** Boot (or reboot) the installed HRT; blocks the caller for the boot's
-    milliseconds.  @raise Failure if no image is installed. *)
+    milliseconds.  Under an armed fault plan the boot protocol may stall
+    once, costing an extra boot budget plus a reissued hypercall.
+    @raise Failure if no image is installed. *)
 
 val merge_address_space : t -> Mv_ros.Process.t -> unit
 (** The address-space-merger hypercall: the shared data page carries the

@@ -1,8 +1,10 @@
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
+module Sim = Mv_engine.Sim
 module Nautilus = Mv_aerokernel.Nautilus
 module Hvm = Mv_hvm.Hvm
 module Event_channel = Mv_hvm.Event_channel
+module Fault_plan = Mv_faults.Fault_plan
 open Mv_ros
 open Mv_hw
 
@@ -17,9 +19,11 @@ type group = {
   g_id : int;
   g_name : string;
   g_channel : Event_channel.t;
+  g_ros_core : int;
   mutable g_partner : Exec.thread option;
   mutable g_hrt : Exec.thread option;
   mutable g_done : bool;  (* flipped by the HRT-exit signal handler *)
+  mutable g_stack : Addr.t option;  (* ROS-side stack, freed by whichever partner survives *)
 }
 
 type t = {
@@ -31,12 +35,19 @@ type t = {
   the_config : Override_config.t;
   channel_kind : Event_channel.kind;
   porting : porting;
+  faults : Fault_plan.t;
+  heartbeat : int;  (* watchdog / kill-driver period in cycles *)
   channels : (int, Event_channel.t) Hashtbl.t;  (* HRT tid -> channel *)
   groups : (int, group) Hashtbl.t;
+  partner_groups : (int, group) Hashtbl.t;  (* partner tid -> its group *)
   mutable next_group : int;
   nk_signals : Signal.t;  (* HRT-local signal table when port_signals *)
   mutable n_local_faults : int;
   mutable n_overridden : int;
+  mutable n_fwd_retries : int;  (* retries after spurious forwarded errnos *)
+  mutable n_fallbacks : int;  (* sync -> async channel degradations *)
+  mutable n_respawns : int;  (* watchdog partner respawns *)
+  mutable n_reroutes : int;  (* requests rerouted to ROS-native execution *)
   mutable the_env : Mv_guest.Env.t option;
   mutable shutting_down : bool;
   mutable hrt_rr : int;  (* round-robin cursor over the HRT cores *)
@@ -56,14 +67,85 @@ let chan_of_self t =
   | Some ch -> ch
   | None -> failwith "Multiverse: HRT thread has no event channel"
 
+let resilient t = Fault_plan.enabled t.faults
+
+(* Last-resort degradation: the HRT partition (or its channel) is lost, so
+   instead of wedging, run the group's work in ROS-native fashion — pay a
+   native trap and execute the payload directly (paper framing: fall all
+   the way back to the legacy path that always works). *)
+let reroute t name run =
+  t.n_reroutes <- t.n_reroutes + 1;
+  Machine.trace_emit (machine t) ~category:"resilience" ("reroute ros-native: " ^ name);
+  Machine.charge (machine t) (machine t).Machine.costs.Costs.syscall_trap;
+  run ()
+
+(* Channel call with graceful degradation: on exhausted retries a Sync
+   channel falls back to the always-works Async hypercall channel (the
+   paper's baseline); if even that fails, the channel is declared dead and
+   this plus all subsequent requests reroute to ROS-native execution. *)
+let resilient_call t ch (req : Event_channel.request) =
+  if not (resilient t) then Event_channel.call ch req
+  else if Event_channel.failed ch then reroute t req.req_kind req.req_run
+  else
+    try Event_channel.call ch req
+    with Event_channel.Channel_failure _ ->
+      if Event_channel.kind ch = Event_channel.Sync then begin
+        Event_channel.degrade_to_async ch;
+        t.n_fallbacks <- t.n_fallbacks + 1;
+        Machine.trace_emit (machine t) ~category:"resilience"
+          ("fallback sync->async: " ^ req.req_kind);
+        try Event_channel.call ch req
+        with Event_channel.Channel_failure _ ->
+          Event_channel.mark_failed ch;
+          reroute t req.req_kind req.req_run
+      end
+      else begin
+        Event_channel.mark_failed ch;
+        reroute t req.req_kind req.req_run
+      end
+
 (* Forward a typed operation over the current execution group's channel;
-   the partner thread runs the payload in ROS context. *)
+   the partner thread runs the payload in ROS context.  Under a fault plan
+   the forwarded syscall may spuriously fail (EAGAIN/ENOSYS): retry with
+   exponential backoff, and after persistent failures run it ROS-natively. *)
 let forward (type a) t name (f : unit -> a) : a =
-  let result = ref None in
-  Nautilus.syscall t.the_nk ~name (fun () -> result := Some (f ()));
-  match !result with
-  | Some v -> v
-  | None -> failwith ("Multiverse.forward: no result for " ^ name)
+  if not (resilient t) then begin
+    let result = ref None in
+    Nautilus.syscall t.the_nk ~name (fun () -> result := Some (f ()));
+    match !result with
+    | Some v -> v
+    | None -> failwith ("Multiverse.forward: no result for " ^ name)
+  end
+  else begin
+    let ch = chan_of_self t in
+    let rec go attempt backoff =
+      let result = ref None in
+      Nautilus.syscall t.the_nk ~name (fun () ->
+          if Event_channel.failed ch then result := Some (f ())
+          else
+            match Fault_plan.syscall_errno t.faults name with
+            | Some _errno -> ()  (* spurious errno: the payload never ran *)
+            | None -> result := Some (f ()));
+      match !result with
+      | Some v -> v
+      | None ->
+          if attempt >= 4 then begin
+            t.n_reroutes <- t.n_reroutes + 1;
+            Machine.trace_emit (machine t) ~category:"resilience"
+              ("reroute ros-native after spurious errnos: " ^ name);
+            Machine.charge (machine t) (machine t).Machine.costs.Costs.syscall_trap;
+            f ()
+          end
+          else begin
+            t.n_fwd_retries <- t.n_fwd_retries + 1;
+            Machine.trace_emit (machine t) ~category:"resilience"
+              (Printf.sprintf "retry %d after spurious errno: %s" (attempt + 1) name);
+            Machine.charge (machine t) backoff;
+            go (attempt + 1) (backoff * 2)
+          end
+    in
+    go 0 (Event_channel.rtt ch)
+  end
 
 (* --- Nautilus service wiring --- *)
 
@@ -101,7 +183,7 @@ let service_fault_local t addr ~write =
       else begin
         (* Signals not ported: replicate to the ROS for delivery. *)
         let ch = chan_of_self t in
-        Event_channel.call ch
+        resilient_call t ch
           {
             Event_channel.req_kind = "#signal";
             req_run = (fun () -> Kernel.deliver_signal t.ros t.proc info);
@@ -111,7 +193,7 @@ let service_fault_local t addr ~write =
 
 let service_fault_forwarded t addr ~write =
   let ch = chan_of_self t in
-  Event_channel.call ch
+  resilient_call t ch
     {
       Event_channel.req_kind = "#pf";
       req_run =
@@ -135,7 +217,7 @@ let wire_services t =
       svc_forward_syscall =
         (fun name run ->
           let ch = chan_of_self t in
-          Event_channel.call ch { Event_channel.req_kind = name; req_run = run });
+          resilient_call t ch { Event_channel.req_kind = name; req_run = run });
       svc_request_remerge =
         (fun () -> Mm.page_table t.proc.Process.mm);
     }
@@ -143,10 +225,70 @@ let wire_services t =
 (* --- execution groups (split execution) --- *)
 
 let rec serve_group t g =
-  let req = Event_channel.serve_next g.g_channel in
-  req.Event_channel.req_run ();
-  Event_channel.complete g.g_channel;
-  if not g.g_done then serve_group t g
+  match Event_channel.serve_next g.g_channel with
+  | req ->
+      req.Event_channel.req_run ();
+      Event_channel.complete g.g_channel;
+      if not g.g_done then serve_group t g
+  | exception Event_channel.Protocol_error msg ->
+      (* A protocol violation (e.g. an injected-corrupt request) must not
+         take the partner down with it: trace and keep serving. *)
+      Machine.trace_emit (machine t) ~category:"resilience" ("server survived: " ^ msg);
+      if not g.g_done then serve_group t g
+
+(* HRT thread exited (or the partner is winding down): unbind the HRT tid
+   and free the ROS-side stack.  Runs in whichever partner incarnation
+   survives to the end — a killed partner leaves [g_stack] set for its
+   respawned successor. *)
+let partner_cleanup t g =
+  let mach = machine t in
+  (match g.g_hrt with
+  | Some hrt_th -> Hashtbl.remove t.channels (Exec.tid hrt_th)
+  | None -> ());
+  match g.g_stack with
+  | Some stack ->
+      g.g_stack <- None;
+      Kernel.in_sys t.ros (fun () -> Machine.charge mach mach.Machine.costs.Costs.syscall_trap);
+      ignore (Syscalls.munmap t.ros t.proc ~addr:stack ~len:hrt_stack_size)
+  | None -> ()
+
+let partner_serve t g =
+  serve_group t g;
+  partner_cleanup t g
+
+(* Watchdog (armed only under a fault plan): every heartbeat, check the
+   group's partner.  A dead partner is respawned and the channel's server
+   state reset — in-flight calls recover via their own timeout/retry.  The
+   same beat doubles as the Partner_kill injection driver: a partner may
+   only be killed while parked in [serve_next] (no payload can be
+   mid-execution there, so exactly-once semantics survive the kill). *)
+let rec group_monitor t g () =
+  if (not g.g_done) && not t.shutting_down then begin
+    (match g.g_partner with
+    | Some p -> (
+        match Exec.state (machine t).Machine.exec p with
+        | Exec.Finished -> respawn_partner t g
+        | Exec.Blocked r
+          when r = "evtchan:serve"
+               && Fault_plan.fire t.faults Fault_plan.Partner_kill g.g_name ->
+            Exec.kill (machine t).Machine.exec p;
+            Event_channel.reset_server g.g_channel
+        | _ -> ())
+    | None -> ());
+    Sim.schedule_after (Exec.sim (machine t).Machine.exec) t.heartbeat (group_monitor t g)
+  end
+
+and respawn_partner t g =
+  t.n_respawns <- t.n_respawns + 1;
+  Machine.trace_emit (machine t) ~category:"resilience"
+    (Printf.sprintf "watchdog respawn partner for group %d (%s)" g.g_id g.g_name);
+  Event_channel.reset_server g.g_channel;
+  let partner =
+    Kernel.spawn_thread t.ros t.proc ~name:(g.g_name ^ "/partner+") ~cpu:g.g_ros_core
+      (fun () -> partner_serve t g)
+  in
+  Hashtbl.replace t.partner_groups (Exec.tid partner) g;
+  g.g_partner <- Some partner
 
 let create_group t ~name fn =
   let gid = t.next_group in
@@ -157,9 +299,18 @@ let create_group t ~name fn =
   let hrt_cores = Topology.hrt_cores mach.Machine.topo in
   let hrt_core = List.nth hrt_cores (t.hrt_rr mod List.length hrt_cores) in
   t.hrt_rr <- t.hrt_rr + 1;
-  let ch = Event_channel.create mach ~kind:t.channel_kind ~ros_core ~hrt_core in
+  let ch = Event_channel.create ~faults:t.faults mach ~kind:t.channel_kind ~ros_core ~hrt_core in
   let g =
-    { g_id = gid; g_name = name; g_channel = ch; g_partner = None; g_hrt = None; g_done = false }
+    {
+      g_id = gid;
+      g_name = name;
+      g_channel = ch;
+      g_ros_core = ros_core;
+      g_partner = None;
+      g_hrt = None;
+      g_done = false;
+      g_stack = None;
+    }
   in
   Hashtbl.replace t.groups gid g;
   let hrt_body () =
@@ -183,22 +334,22 @@ let create_group t ~name fn =
       | Ok a -> a
       | Error e -> failwith ("partner: stack mmap failed: " ^ Syscalls.errno_name e)
     in
+    g.g_stack <- Some stack;
     (* ... then asks the HVM to create the HRT thread (superimposing
        GDT/TLS state on the target core), and serves the event channel. *)
     let hrt_th = Hvm.hrt_create_thread t.hvm t.proc ~name:(name ^ "/hrt") ~core:hrt_core hrt_body in
     g.g_hrt <- Some hrt_th;
     Hashtbl.replace t.channels (Exec.tid hrt_th) ch;
     Kernel.register_foreign_thread t.ros t.proc hrt_th;
-    serve_group t g;
-    (* HRT thread exited: clean up and let joiners of the partner through. *)
-    Hashtbl.remove t.channels (Exec.tid hrt_th);
-    Kernel.in_sys t.ros (fun () -> Machine.charge mach costs.Costs.syscall_trap);
-    ignore (Syscalls.munmap t.ros t.proc ~addr:stack ~len:hrt_stack_size)
+    partner_serve t g
   in
   let partner =
     Kernel.spawn_thread t.ros t.proc ~name:(name ^ "/partner") ~cpu:ros_core partner_body
   in
   g.g_partner <- Some partner;
+  Hashtbl.replace t.partner_groups (Exec.tid partner) g;
+  if resilient t then
+    Sim.schedule_after (Exec.sim mach.Machine.exec) t.heartbeat (group_monitor t g);
   partner
 
 let hrt_invoke t ~name fn =
@@ -209,7 +360,27 @@ let hrt_invoke t ~name fn =
     forward t "hrt-invoke" (fun () -> create_group t ~name fn)
   else create_group t ~name fn
 
-let join t partner = Exec.join (machine t).Machine.exec partner
+(* Joining a group must survive partner respawns: [Exec.join] on a killed
+   partner returns as soon as that incarnation dies, so chase the group's
+   current partner until the group is done and its last partner finished. *)
+let join t partner =
+  let exec = (machine t).Machine.exec in
+  if not (resilient t) then Exec.join exec partner
+  else
+    match Hashtbl.find_opt t.partner_groups (Exec.tid partner) with
+    | None -> Exec.join exec partner
+    | Some g ->
+        let rec wait th =
+          Exec.join exec th;
+          let cur = Option.value g.g_partner ~default:th in
+          if Exec.tid cur <> Exec.tid th then wait cur
+          else if not g.g_done then begin
+            (* Partner dead, respawn pending: give the watchdog a beat. *)
+            Exec.sleep exec t.heartbeat;
+            wait (Option.value g.g_partner ~default:th)
+          end
+        in
+        wait partner
 
 (* Nested HRT threads (paper, Figure 7): created from inside the HRT,
    cheap AeroKernel threads with no partner; their events go through the
@@ -444,7 +615,7 @@ let register_nk_variants nk config =
   ensure "nk_sigaction" 180
 
 let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
-    ?(use_symbol_cache = false) ?(porting = no_porting) () =
+    ?(use_symbol_cache = false) ?(porting = no_porting) ?(faults = Fault_plan.none) () =
   if porting.port_signals && not porting.port_faults then
     invalid_arg "Multiverse: porting signals requires porting fault handling";
   let ros = Hvm.ros hvm in
@@ -491,6 +662,8 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
          [ ("rt_sigaction", "nk_sigaction", 180); ("rt_sigprocmask", "nk_sigaction", 120) ]
   in
   register_nk_variants nk config;
+  Fault_plan.bind faults mach;
+  Hvm.set_faults hvm faults;
   let t =
     {
       hvm;
@@ -501,12 +674,21 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
       the_config = config;
       channel_kind;
       porting;
+      faults;
+      (* Watchdog period: a few async round trips — long enough that a
+         healthy partner always beats it, short enough to respawn quickly. *)
+      heartbeat = 4 * costs.Costs.async_channel_rtt;
       channels = Hashtbl.create 16;
       groups = Hashtbl.create 8;
+      partner_groups = Hashtbl.create 8;
       next_group = 1;
       nk_signals = Signal.create ();
       n_local_faults = 0;
       n_overridden = 0;
+      n_fwd_retries = 0;
+      n_fallbacks = 0;
+      n_respawns = 0;
+      n_reroutes = 0;
       the_env = None;
       shutting_down = false;
       hrt_rr = 0;
@@ -539,3 +721,16 @@ let nk t = t.the_nk
 let groups_created t = t.next_group - 1
 let faults_serviced_locally t = t.n_local_faults
 let overridden_calls t = t.n_overridden
+
+(* --- resilience counters --- *)
+
+let fault_plan t = t.faults
+let faults_injected t = Fault_plan.injected t.faults
+
+let retries t =
+  (* Channel-level retries across all groups, plus forwarded-errno retries. *)
+  Hashtbl.fold (fun _ g acc -> acc + Event_channel.retries g.g_channel) t.groups t.n_fwd_retries
+
+let fallbacks t = t.n_fallbacks
+let respawns t = t.n_respawns
+let reroutes t = t.n_reroutes

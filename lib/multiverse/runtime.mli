@@ -36,11 +36,19 @@ val init :
   ?channel_kind:Mv_hvm.Event_channel.kind ->
   ?use_symbol_cache:bool ->
   ?porting:porting ->
+  ?faults:Mv_faults.Fault_plan.t ->
   unit ->
   t
 (** Run the Multiverse initialization sequence (thread context: call from
     the program's main ROS thread).  Installs the default pthread
-    overrides plus any from the fat binary's [.mv.overrides] section. *)
+    overrides plus any from the fat binary's [.mv.overrides] section.
+
+    An enabled [faults] plan arms the whole resilience stack: lossy event
+    channels with timeout/retry/backoff, a per-group partner watchdog that
+    respawns killed partners, spurious-errno retry on forwarded syscalls,
+    and graceful degradation (Sync -> Async channel fallback, ROS-native
+    rerouting when a channel dies).  With the default [Fault_plan.none]
+    every code path is byte-identical to the fault-free runtime. *)
 
 val hrt_env : t -> Mv_guest.Env.t
 (** The guest ABI as seen from HRT context: syscalls forward over the
@@ -75,3 +83,24 @@ val nk : t -> Mv_aerokernel.Nautilus.t
 val groups_created : t -> int
 val faults_serviced_locally : t -> int
 val overridden_calls : t -> int
+
+(** {1 Resilience counters} *)
+
+val fault_plan : t -> Mv_faults.Fault_plan.t
+
+val faults_injected : t -> int
+(** Total faults the plan injected (all sites). *)
+
+val retries : t -> int
+(** Channel call retries (timeout + backoff) plus forwarded-syscall
+    retries after spurious errnos. *)
+
+val fallbacks : t -> int
+(** Sync -> Async channel degradations. *)
+
+val respawns : t -> int
+(** Partner threads respawned by the watchdog. *)
+
+val reroutes : t -> int
+(** Requests rerouted to ROS-native execution after channel death or
+    persistent spurious errnos. *)

@@ -36,6 +36,7 @@ type mv_options = {
   mv_channel : Mv_hvm.Event_channel.kind;
   mv_symbol_cache : bool;
   mv_porting : Runtime.porting;
+  mv_faults : Mv_faults.Fault_plan.t;
 }
 
 let default_mv_options =
@@ -43,6 +44,7 @@ let default_mv_options =
     mv_channel = Mv_hvm.Event_channel.Async;
     mv_symbol_cache = false;
     mv_porting = Runtime.no_porting;
+    mv_faults = Mv_faults.Fault_plan.none;
   }
 
 type run_stats = {
@@ -112,7 +114,8 @@ let setup_multiverse ?costs ~options ~name ~fat body =
     Kernel.spawn_process kernel ~name (fun p ->
         let rt =
           Runtime.init ~hvm ~proc:p ~fat ~nk ~channel_kind:options.mv_channel
-            ~use_symbol_cache:options.mv_symbol_cache ~porting:options.mv_porting ()
+            ~use_symbol_cache:options.mv_symbol_cache ~porting:options.mv_porting
+            ~faults:options.mv_faults ()
         in
         body kernel p rt)
   in

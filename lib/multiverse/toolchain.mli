@@ -31,6 +31,9 @@ type mv_options = {
   mv_channel : Mv_hvm.Event_channel.kind;
   mv_symbol_cache : bool;
   mv_porting : Runtime.porting;
+  mv_faults : Mv_faults.Fault_plan.t;
+      (** Fault-injection plan; {!Mv_faults.Fault_plan.none} (the default)
+          keeps every code path identical to the fault-free runtime. *)
 }
 
 val default_mv_options : mv_options

@@ -1,0 +1,226 @@
+(* Fault-injection and resilience tests: plan determinism, byte-identical
+   fault traces from one seed, zero-cost-when-disabled, and graceful
+   degradation (channel fallback, partner respawn) under injected faults. *)
+
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+module Sim = Mv_engine.Sim
+module Trace = Mv_engine.Trace
+module Event_channel = Mv_hvm.Event_channel
+module Fault_plan = Mv_faults.Fault_plan
+open Multiverse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- the plan itself --- *)
+
+let test_plan_determinism () =
+  let seq p = List.init 200 (fun i -> Fault_plan.fire p Fault_plan.Chan_drop (string_of_int i)) in
+  let p1 = Fault_plan.create ~seed:123 ~rate:0.3 () in
+  let p2 = Fault_plan.create ~seed:123 ~rate:0.3 () in
+  Alcotest.(check (list bool)) "same seed, same decisions" (seq p1) (seq p2);
+  let p5 = Fault_plan.create ~seed:124 ~rate:0.3 () in
+  check_bool "different seed, different decisions" true (seq p1 <> seq p5);
+  (* Disabling other sites must not shift this site's stream. *)
+  let seq_delay p =
+    List.init 200 (fun i -> Fault_plan.fire p Fault_plan.Chan_delay (string_of_int i))
+  in
+  let p3 = Fault_plan.create ~seed:123 ~rate:0.3 ~sites:[ Fault_plan.Chan_delay ] () in
+  let p4 = Fault_plan.create ~seed:123 ~rate:0.3 () in
+  ignore (seq p4);  (* drain the drop stream; the delay stream is independent *)
+  Alcotest.(check (list bool)) "per-site streams independent" (seq_delay p3) (seq_delay p4)
+
+let test_plan_none_inert () =
+  check_bool "none disabled" false (Fault_plan.enabled Fault_plan.none);
+  check_bool "none never fires" false (Fault_plan.fire Fault_plan.none Fault_plan.Chan_drop "x");
+  check_int "none injects nothing" 0 (Fault_plan.injected Fault_plan.none)
+
+(* --- channel-level protocol and retry behaviour --- *)
+
+let test_complete_protocol_error () =
+  let machine = Machine.create () in
+  let ch = Event_channel.create machine ~kind:Event_channel.Async ~ros_core:0 ~hrt_core:7 in
+  Alcotest.check_raises "complete with nothing served"
+    (Event_channel.Protocol_error "Event_channel.complete: nothing being served")
+    (fun () -> Event_channel.complete ch)
+
+let test_channel_failure_after_retries () =
+  let faults = Fault_plan.create ~seed:1 ~rate:1.0 ~sites:[ Fault_plan.Chan_drop ] () in
+  let machine = Machine.create () in
+  Fault_plan.bind faults machine;
+  let ch =
+    Event_channel.create ~faults machine ~kind:Event_channel.Async ~ros_core:0 ~hrt_core:7
+  in
+  (* The server parks forever: every request is dropped before reaching it. *)
+  ignore
+    (Exec.spawn machine.Machine.exec ~cpu:0 ~name:"server" (fun () ->
+         ignore (Event_channel.serve_next ch)));
+  let outcome = ref "no outcome" in
+  ignore
+    (Exec.spawn machine.Machine.exec ~cpu:7 ~name:"caller" (fun () ->
+         try
+           Event_channel.call ch { Event_channel.req_kind = "doomed"; req_run = (fun () -> ()) };
+           outcome := "completed"
+         with Event_channel.Channel_failure k -> outcome := "failed:" ^ k));
+  Sim.run machine.Machine.sim;
+  check_string "call fails after retries exhaust" "failed:doomed" !outcome;
+  check_int "bounded retries" 6 (Event_channel.retries ch);
+  check_int "every attempt timed out" 7 (Event_channel.timeouts ch);
+  check_int "every attempt was dropped" 7 (Fault_plan.injected_at faults Fault_plan.Chan_drop)
+
+let test_duplicate_runs_payload_once () =
+  let faults = Fault_plan.create ~seed:5 ~rate:1.0 ~sites:[ Fault_plan.Chan_duplicate ] () in
+  let machine = Machine.create () in
+  Fault_plan.bind faults machine;
+  let ch =
+    Event_channel.create ~faults machine ~kind:Event_channel.Async ~ros_core:0 ~hrt_core:7
+  in
+  let runs = ref 0 in
+  ignore
+    (Exec.spawn machine.Machine.exec ~cpu:0 ~name:"server" (fun () ->
+         (* Serve both deliveries: the duplicate must only re-acknowledge. *)
+         let req = Event_channel.serve_next ch in
+         req.Event_channel.req_run ();
+         Event_channel.complete ch;
+         ignore (Event_channel.serve_next ch)));
+  ignore
+    (Exec.spawn machine.Machine.exec ~cpu:7 ~name:"caller" (fun () ->
+         Event_channel.call ch { Event_channel.req_kind = "dup"; req_run = (fun () -> incr runs) }));
+  Sim.run machine.Machine.sim;
+  check_int "duplicated delivery" 1 (Fault_plan.injected_at faults Fault_plan.Chan_duplicate);
+  check_int "payload ran exactly once" 1 !runs
+
+(* --- end-to-end workload under injected faults --- *)
+
+(* Enough iterations (and forwarded calls) to span many watchdog
+   heartbeats, with deterministic output to compare against native. *)
+let work_program =
+  {
+    Toolchain.prog_name = "fault-workload";
+    prog_main =
+      (fun env ->
+        let open Mv_guest in
+        let libc = Libc.create env in
+        let addr = env.Env.mmap ~len:8192 ~prot:Mv_ros.Mm.prot_rw ~kind:"buf" in
+        let acc = ref 0 in
+        for i = 1 to 40 do
+          env.Env.work 50_000;
+          env.Env.store addr;
+          ignore (env.Env.getrusage ());
+          acc := !acc + i;
+          if i mod 8 = 0 then Libc.printf libc "tick %d acc=%d\n" i !acc
+        done;
+        env.Env.munmap ~addr ~len:8192;
+        Libc.printf libc "done acc=%d\n" !acc;
+        Libc.flush_all libc)
+  }
+
+let expected_stdout = lazy (Toolchain.run_native work_program).Toolchain.rs_stdout
+
+let run_with ?(sync = false) faults =
+  let options =
+    {
+      Toolchain.default_mv_options with
+      mv_channel = (if sync then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
+      mv_faults = faults;
+    }
+  in
+  Toolchain.run_multiverse ~trace:true ~options (Toolchain.hybridize work_program)
+
+let runtime_of rs =
+  match rs.Toolchain.rs_runtime with
+  | Some rt -> rt
+  | None -> Alcotest.fail "no runtime handle"
+
+let trace_in rs category =
+  List.map
+    (fun r -> Printf.sprintf "%d %s" r.Trace.at r.Trace.message)
+    (Trace.records_in rs.Toolchain.rs_machine.Machine.trace ~category)
+
+let test_fault_trace_deterministic () =
+  let run () = run_with (Fault_plan.create ~seed:1234 ~rate:0.08 ()) in
+  let a = run () and b = run () in
+  check_bool "faults were injected" true (trace_in a "fault" <> []);
+  Alcotest.(check (list string)) "identical fault trace" (trace_in a "fault") (trace_in b "fault");
+  Alcotest.(check (list string))
+    "identical resilience trace" (trace_in a "resilience") (trace_in b "resilience");
+  check_string "identical stdout" a.Toolchain.rs_stdout b.Toolchain.rs_stdout;
+  check_int "identical wall cycles" a.Toolchain.rs_wall_cycles b.Toolchain.rs_wall_cycles;
+  check_string "output still correct" (Lazy.force expected_stdout) a.Toolchain.rs_stdout
+
+let test_zero_fault_plan_neutral () =
+  (* A rate-0 plan arms every resilience path (timeouts, watchdog,
+     errno checks) but never fires: the run must be indistinguishable
+     from the fault-free runtime. *)
+  let off = run_with Fault_plan.none in
+  let zero = run_with (Fault_plan.create ~seed:99 ~rate:0.0 ()) in
+  check_string "stdout identical" off.Toolchain.rs_stdout zero.Toolchain.rs_stdout;
+  check_int "wall cycles identical" off.Toolchain.rs_wall_cycles zero.Toolchain.rs_wall_cycles;
+  check_int "syscall totals identical" (Toolchain.total_syscalls off)
+    (Toolchain.total_syscalls zero);
+  Alcotest.(check (list string))
+    "no fault or resilience records" [] (trace_in zero "fault" @ trace_in zero "resilience");
+  let rt = runtime_of zero in
+  check_int "nothing injected" 0 (Runtime.faults_injected rt);
+  check_int "no retries" 0 (Runtime.retries rt);
+  check_int "no fallbacks" 0 (Runtime.fallbacks rt);
+  check_int "no respawns" 0 (Runtime.respawns rt)
+
+let test_sync_loss_falls_back_to_async () =
+  let rs =
+    run_with ~sync:true (Fault_plan.create ~seed:7 ~rate:0.7 ~sites:[ Fault_plan.Chan_drop ] ())
+  in
+  check_string "output correct under heavy loss" (Lazy.force expected_stdout)
+    rs.Toolchain.rs_stdout;
+  check_int "clean exit" 0 rs.Toolchain.rs_exit_code;
+  let rt = runtime_of rs in
+  check_bool "retried with backoff" true (Runtime.retries rt >= 1);
+  check_bool "fell back sync->async" true (Runtime.fallbacks rt >= 1)
+
+let test_partner_kill_respawns () =
+  let rs = run_with (Fault_plan.create ~seed:11 ~rate:0.5 ~sites:[ Fault_plan.Partner_kill ] ()) in
+  check_string "output correct across partner deaths" (Lazy.force expected_stdout)
+    rs.Toolchain.rs_stdout;
+  let rt = runtime_of rs in
+  check_bool "partner was killed" true
+    (Fault_plan.injected_at (Runtime.fault_plan rt) Fault_plan.Partner_kill >= 1);
+  check_bool "watchdog respawned it" true (Runtime.respawns rt >= 1)
+
+let test_spurious_errno_retries () =
+  let rs =
+    run_with
+      (Fault_plan.create ~seed:3 ~rate:0.3
+         ~sites:[ Fault_plan.Syscall_eagain; Fault_plan.Syscall_enosys ]
+         ())
+  in
+  check_string "output correct under spurious errnos" (Lazy.force expected_stdout)
+    rs.Toolchain.rs_stdout;
+  check_bool "forwarded syscalls retried" true (Runtime.retries (runtime_of rs) >= 1)
+
+let test_boot_stall () =
+  let faults = Fault_plan.create ~seed:2 ~rate:1.0 ~sites:[ Fault_plan.Boot_stall ] () in
+  let rs = run_with faults in
+  check_string "output correct after boot stall" (Lazy.force expected_stdout)
+    rs.Toolchain.rs_stdout;
+  check_int "boot stalled exactly once" 1 (Fault_plan.injected_at faults Fault_plan.Boot_stall)
+
+let suite =
+  [
+    Alcotest.test_case "plan: deterministic per-site streams" `Quick test_plan_determinism;
+    Alcotest.test_case "plan: none is inert" `Quick test_plan_none_inert;
+    Alcotest.test_case "channel: complete without serve is a protocol error" `Quick
+      test_complete_protocol_error;
+    Alcotest.test_case "channel: bounded retries then Channel_failure" `Quick
+      test_channel_failure_after_retries;
+    Alcotest.test_case "channel: duplicated delivery runs payload once" `Quick
+      test_duplicate_runs_payload_once;
+    Alcotest.test_case "e2e: fault trace reproducible from seed" `Quick
+      test_fault_trace_deterministic;
+    Alcotest.test_case "e2e: zero-fault plan is cycle-neutral" `Quick test_zero_fault_plan_neutral;
+    Alcotest.test_case "e2e: sync loss degrades to async" `Quick test_sync_loss_falls_back_to_async;
+    Alcotest.test_case "e2e: killed partners are respawned" `Quick test_partner_kill_respawns;
+    Alcotest.test_case "e2e: spurious errnos are retried" `Quick test_spurious_errno_retries;
+    Alcotest.test_case "e2e: boot stall is survived" `Quick test_boot_stall;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("ros", Test_ros.suite);
       ("hw", Test_hw.suite);
       ("hvm-aerokernel", Test_hvm.suite);
+      ("faults", Test_faults.suite);
       ("toolchain", Test_toolchain.suite);
       ("multiverse", Test_multiverse.suite);
       ("racket", Test_racket.suite);
