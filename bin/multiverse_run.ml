@@ -13,18 +13,9 @@ open Cmdliner
 module Fault_plan = Mv_faults.Fault_plan
 
 let parse_fault_sites spec =
-  match String.lowercase_ascii (String.trim spec) with
-  | "" | "all" -> Fault_plan.all_sites
-  | spec ->
-      String.split_on_char ',' spec
-      |> List.map (fun name ->
-             let name = String.trim name in
-             match Fault_plan.site_of_name name with
-             | Some site -> site
-             | None ->
-                 failwith
-                   (Printf.sprintf "unknown fault site %S (known: %s)" name
-                      (String.concat ", " (List.map Fault_plan.site_name Fault_plan.all_sites))))
+  match Fault_plan.sites_of_string spec with
+  | Ok sites -> sites
+  | Error msg -> failwith msg
 
 let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet prog =
   let options =

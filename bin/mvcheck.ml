@@ -1,0 +1,157 @@
+(* mvcheck: the schedule-exploration model checker CLI.
+
+   Scenarios build a slice of the Multiverse stack and run it under
+   explicit scheduling control (see lib/check).  `run` sweeps random
+   schedules and fault plans looking for invariant violations, shrinks any
+   failure to a minimal (seed, choice-trace) and writes a replayable
+   counterexample artifact; `replay` re-executes one.  `golden` prints the
+   canonical traced run used by the golden regression test. *)
+
+open Cmdliner
+module Explore = Mv_check.Explore
+module Scenario = Mv_check.Scenario
+module Scenarios = Mv_check.Scenarios
+
+let list_scenarios () =
+  List.iter
+    (fun sc ->
+      Printf.printf "%-16s %s%s\n" sc.Scenario.sc_name
+        (if sc.Scenario.sc_expect_bug then "[expected-bug] " else "")
+        sc.Scenario.sc_descr)
+    Scenarios.all_scenarios;
+  `Ok ()
+
+let print_counterexample cx =
+  print_string (Explore.to_artifact cx);
+  if not cx.Explore.cx_confirmed then
+    print_endline "WARNING: replay did not reproduce the original failure"
+
+let save_artifact path cx =
+  let oc = open_out path in
+  output_string oc (Explore.to_artifact cx);
+  close_out oc;
+  Printf.printf "counterexample written to %s\n" path
+
+(* A scenario "behaves" when exploration finds a bug iff one is seeded.
+   The process exits 0 only if every selected scenario behaves. *)
+let run_scenario ~seeds ~shrink_budget ~out sc =
+  let r = Explore.explore ~seeds ~shrink_budget sc in
+  match (r.Explore.ex_counterexample, sc.Scenario.sc_expect_bug) with
+  | Some cx, expected ->
+      Printf.printf "%s: FAILURE after %d runs%s\n" sc.Scenario.sc_name
+        r.Explore.ex_runs
+        (if expected then " (expected: seeded bug found)" else "");
+      print_counterexample cx;
+      Option.iter (fun path -> save_artifact path cx) out;
+      expected
+  | None, true ->
+      Printf.printf "%s: seeded bug NOT found in %d runs (seed budget %d)\n"
+        sc.Scenario.sc_name r.Explore.ex_runs seeds;
+      false
+  | None, false ->
+      Printf.printf "%s: no violation in %d runs\n" sc.Scenario.sc_name
+        r.Explore.ex_runs;
+      true
+
+let run name seeds shrink_budget out =
+  let selected =
+    match name with
+    | "all" -> Ok Scenarios.all_scenarios
+    | name -> (
+        match Scenarios.find name with
+        | Some sc -> Ok [ sc ]
+        | None ->
+            Error
+              (Printf.sprintf "unknown scenario %S (try `mvcheck list')" name))
+  in
+  match selected with
+  | Error msg -> `Error (false, msg)
+  | Ok scenarios ->
+      let ok =
+        List.for_all (run_scenario ~seeds ~shrink_budget ~out) scenarios
+      in
+      if ok then `Ok () else `Error (false, "scenario check failed")
+
+let replay path =
+  let text =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Explore.of_artifact text with
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  | Ok cx -> (
+      match Scenarios.find cx.Explore.cx_scenario with
+      | None ->
+          `Error (false, Printf.sprintf "unknown scenario %S" cx.Explore.cx_scenario)
+      | Some sc -> (
+          match Explore.replay sc cx with
+          | Scenario.Fail msg, _ ->
+              Printf.printf "reproduced: %s\n" msg;
+              if msg = cx.Explore.cx_message then `Ok ()
+              else begin
+                Printf.printf "note: artifact recorded %S\n" cx.Explore.cx_message;
+                `Ok ()
+              end
+          | Scenario.Pass, _ ->
+              `Error (false, "replay PASSED: counterexample did not reproduce")))
+
+let golden show_stdout =
+  if show_stdout then print_string (Mv_check.Golden.stdout_string ())
+  else print_string (Mv_check.Golden.trace_string ());
+  `Ok ()
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the checkable scenarios")
+    Term.(ret (const list_scenarios $ const ()))
+
+let run_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"SCENARIO"
+         ~doc:"Scenario name, or 'all'.")
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N"
+         ~doc:"Random schedule seeds to sweep per fault shape.")
+  in
+  let shrink_budget =
+    Arg.(value & opt int 300 & info [ "shrink-budget" ] ~docv:"N"
+         ~doc:"Max extra runs spent shrinking a failing trace.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Write the counterexample artifact to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Explore schedules/fault plans; shrink and report any violation")
+    Term.(ret (const run $ scenario $ seeds $ shrink_budget $ out))
+
+let replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Counterexample artifact produced by `mvcheck run'.")
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Re-execute a counterexample artifact")
+    Term.(ret (const replay $ file))
+
+let golden_cmd =
+  let show_stdout =
+    Arg.(value & flag & info [ "stdout" ]
+         ~doc:"Print the run's guest stdout instead of the machine trace.")
+  in
+  Cmd.v
+    (Cmd.info "golden"
+       ~doc:"Print the canonical traced multiverse run (golden-file regen)")
+    Term.(ret (const golden $ show_stdout))
+
+let cmd =
+  Cmd.group
+    (Cmd.info "mvcheck"
+       ~doc:"Deterministic schedule-exploration model checker for the \
+             Multiverse runtime")
+    [ list_cmd; run_cmd; replay_cmd; golden_cmd ]
+
+let () = exit (Cmd.eval cmd)

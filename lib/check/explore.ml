@@ -1,0 +1,229 @@
+module Fault_plan = Mv_faults.Fault_plan
+open Scenario
+
+type fault_config = {
+  fc_seed : int;
+  fc_rate : float;
+  fc_sites : Fault_plan.site list;
+}
+
+let no_faults = { fc_seed = 0; fc_rate = 0.0; fc_sites = [] }
+
+let plan_of fc =
+  if fc.fc_rate <= 0.0 || fc.fc_sites = [] then Fault_plan.none
+  else Fault_plan.create ~seed:fc.fc_seed ~rate:fc.fc_rate ~sites:fc.fc_sites ()
+
+let run_once sc ~spec ~fc =
+  let strategy = Strategy.create spec in
+  let faults = plan_of fc in
+  let outcome =
+    try sc.sc_run ~strategy ~faults
+    with e -> Fail ("uncaught exception: " ^ Printexc.to_string e)
+  in
+  (outcome, Strategy.recorded strategy)
+
+type counterexample = {
+  cx_scenario : string;
+  cx_found_by : string;
+  cx_trace : int list;
+  cx_fault : fault_config;
+  cx_message : string;
+  cx_confirmed : bool;
+}
+
+type result = {
+  ex_scenario : string;
+  ex_runs : int;
+  ex_counterexample : counterexample option;
+}
+
+(* --- trace surgery --- *)
+
+let strip_trailing_zeros trace =
+  let rec strip = function 0 :: rest -> strip rest | t -> t in
+  List.rev (strip (List.rev trace))
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let zero_at i l = List.mapi (fun j x -> if j = i then 0 else x) l
+
+(* --- shrinking --- *)
+
+let shrink sc ~fc ~budget trace =
+  let spent = ref 0 in
+  let fails cand =
+    incr spent;
+    match run_once sc ~spec:(Strategy.Replay cand) ~fc with
+    | Fail _, _ -> true
+    | Pass, _ -> false
+  in
+  (* Trailing zeros are free to drop: replay past the end answers 0, so
+     the two traces denote the same schedule. *)
+  let t = ref (strip_trailing_zeros trace) in
+  (* Halving truncation: cutting the tail means "finish the run FIFO". *)
+  let chunk = ref (max 1 (List.length !t / 2)) in
+  while !chunk >= 1 && !spent < budget && !t <> [] do
+    let n = List.length !t in
+    let cand = take (max 0 (n - !chunk)) !t in
+    if fails cand then t := strip_trailing_zeros cand
+    else if !chunk = 1 then chunk := 0
+    else chunk := !chunk / 2
+  done;
+  (* Zero out the surviving nonzero decisions one by one. *)
+  let n = List.length !t in
+  let i = ref 0 in
+  while !i < n && !spent < budget do
+    (if List.nth !t !i <> 0 then
+       let cand = zero_at !i !t in
+       if fails cand then t := cand);
+    incr i
+  done;
+  (strip_trailing_zeros !t, !spent)
+
+(* --- the sweep --- *)
+
+exception Found of counterexample
+
+let explore ?(seeds = 20) ?(shrink_budget = 300) sc =
+  let runs = ref 0 in
+  let attempt spec fc =
+    incr runs;
+    run_once sc ~spec ~fc
+  in
+  let investigate ~spec ~fc ~msg ~recorded =
+    (* Confirm determinism: replaying the recorded trace must reproduce
+       the identical failure and make the identical decisions. *)
+    let confirmed =
+      match attempt (Strategy.Replay recorded) fc with
+      | Fail msg', recorded' -> msg' = msg && recorded' = recorded
+      | Pass, _ -> false
+    in
+    let trace, spent =
+      if confirmed then shrink sc ~fc ~budget:shrink_budget recorded
+      else (strip_trailing_zeros recorded, 0)
+    in
+    runs := !runs + spent;
+    (* The shrunk trace's own message is what the artifact reports. *)
+    let msg =
+      if trace = strip_trailing_zeros recorded then msg
+      else
+        match attempt (Strategy.Replay trace) fc with
+        | Fail m, _ -> m
+        | Pass, _ -> msg
+    in
+    raise
+      (Found
+         {
+           cx_scenario = sc.sc_name;
+           cx_found_by = Strategy.spec_to_string spec;
+           cx_trace = trace;
+           cx_fault = fc;
+           cx_message = msg;
+           cx_confirmed = confirmed;
+         })
+  in
+  let try_config spec fc =
+    match attempt spec fc with
+    | Pass, _ -> ()
+    | Fail msg, recorded -> investigate ~spec ~fc ~msg ~recorded
+  in
+  let configs_for seed =
+    no_faults
+    :: List.map
+         (fun fs -> { fc_seed = seed; fc_rate = fs.fs_rate; fc_sites = fs.fs_sites })
+         sc.sc_fault_specs
+  in
+  let cx =
+    try
+      (* Baseline: the default schedule, fault-free and under each fault
+         shape — bugs reachable without randomness shrink to trace []. *)
+      List.iter (fun fc -> try_config Strategy.Fifo fc) (configs_for 1);
+      for seed = 1 to seeds do
+        List.iter (fun fc -> try_config (Strategy.Random seed) fc) (configs_for seed)
+      done;
+      None
+    with Found cx -> Some cx
+  in
+  { ex_scenario = sc.sc_name; ex_runs = !runs; ex_counterexample = cx }
+
+let replay sc cx = run_once sc ~spec:(Strategy.Replay cx.cx_trace) ~fc:cx.cx_fault
+
+(* --- the replayable artifact --- *)
+
+let trace_to_string trace = String.concat "," (List.map string_of_int trace)
+
+let trace_of_string s =
+  match String.trim s with
+  | "" -> Ok []
+  | s -> (
+      try Ok (List.map (fun x -> int_of_string (String.trim x)) (String.split_on_char ',' s))
+      with _ -> Error (Printf.sprintf "bad trace %S" s))
+
+let to_artifact cx =
+  String.concat "\n"
+    [
+      "mvcheck counterexample v1";
+      "scenario: " ^ cx.cx_scenario;
+      "found-by: " ^ cx.cx_found_by;
+      "fault-seed: " ^ string_of_int cx.cx_fault.fc_seed;
+      "fault-rate: " ^ string_of_float cx.cx_fault.fc_rate;
+      "fault-sites: "
+      ^ (if cx.cx_fault.fc_sites = [] then "none"
+         else Fault_plan.sites_to_string cx.cx_fault.fc_sites);
+      "trace: " ^ trace_to_string cx.cx_trace;
+      "message: " ^ String.escaped cx.cx_message;
+      "";
+    ]
+
+let of_artifact text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | header :: rest when String.trim header = "mvcheck counterexample v1" -> (
+      let field key =
+        let prefix = key ^ ": " in
+        let plen = String.length prefix in
+        List.find_map
+          (fun line ->
+            if String.length line >= plen && String.sub line 0 plen = prefix then
+              Some (String.sub line plen (String.length line - plen))
+            else if String.trim line = key ^ ":" then Some ""
+            else None)
+          rest
+      in
+      let ( let* ) r f = Result.bind r f in
+      let require key =
+        match field key with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "missing field %S" key)
+      in
+      let int_field key =
+        let* v = require key in
+        try Ok (int_of_string (String.trim v))
+        with _ -> Error (Printf.sprintf "bad %s: %S" key v)
+      in
+      let* scenario = require "scenario" in
+      let* found_by = require "found-by" in
+      let* fault_seed = int_field "fault-seed" in
+      let* rate_s = require "fault-rate" in
+      let* rate =
+        try Ok (float_of_string (String.trim rate_s))
+        with _ -> Error (Printf.sprintf "bad fault-rate: %S" rate_s)
+      in
+      let* sites_s = require "fault-sites" in
+      let* sites =
+        if String.trim sites_s = "none" || rate <= 0.0 then Ok []
+        else Fault_plan.sites_of_string sites_s
+      in
+      let* trace_s = require "trace" in
+      let* trace = trace_of_string trace_s in
+      let* message = require "message" in
+      Ok
+        {
+          cx_scenario = String.trim scenario;
+          cx_found_by = String.trim found_by;
+          cx_trace = trace;
+          cx_fault = { fc_seed = fault_seed; fc_rate = rate; fc_sites = sites };
+          cx_message = Scanf.unescaped message;
+          cx_confirmed = true;
+        })
+  | _ -> Error "not an mvcheck counterexample (bad header)"

@@ -1,0 +1,69 @@
+(** The schedule/fault-plan explorer: sweep a {!Scenario} across many
+    random schedules (and the scenario's fault shapes), confirm any
+    failure by replay, and greedily shrink its choice trace to a minimal
+    counterexample.
+
+    Everything is deterministic: a failure is fully identified by
+    (scenario, choice trace, fault seed/rate/sites), and that tuple is
+    what the counterexample artifact serializes.  Because decision 0 is
+    the FIFO default and a replay trace past its end answers 0,
+    {e truncating} a trace means "run the tail FIFO" — which is why
+    shrinking is truncate-then-zero. *)
+
+type fault_config = {
+  fc_seed : int;
+  fc_rate : float;
+  fc_sites : Mv_faults.Fault_plan.site list;
+}
+
+val no_faults : fault_config
+val plan_of : fault_config -> Mv_faults.Fault_plan.t
+
+val run_once :
+  Scenario.t ->
+  spec:Strategy.spec ->
+  fc:fault_config ->
+  Scenario.outcome * int list
+(** One bounded run with a fresh strategy and a fresh fault plan; returns
+    the outcome and the recorded choice trace.  Exceptions escaping the
+    scenario become [Fail]. *)
+
+type counterexample = {
+  cx_scenario : string;
+  cx_found_by : string;  (** strategy spec that first hit the failure *)
+  cx_trace : int list;  (** shrunk choice trace; [[]] = pure FIFO *)
+  cx_fault : fault_config;
+  cx_message : string;  (** failure message of the shrunk run *)
+  cx_confirmed : bool;
+      (** replaying the original recorded trace reproduced the identical
+          failure message and identical choice trace *)
+}
+
+type result = {
+  ex_scenario : string;
+  ex_runs : int;  (** total bounded runs, including confirm + shrink *)
+  ex_counterexample : counterexample option;
+}
+
+val explore : ?seeds:int -> ?shrink_budget:int -> Scenario.t -> result
+(** Sweep: FIFO/no-fault baseline, then for each seed in [1..seeds] run
+    [Random seed] under no faults and under each of the scenario's
+    {!Scenario.fault_spec}s (instantiated with the same seed).  The first
+    failure is confirmed by replay, shrunk (at most [shrink_budget] extra
+    runs), and returned.  Defaults: [seeds = 20], [shrink_budget = 300]. *)
+
+val shrink :
+  Scenario.t -> fc:fault_config -> budget:int -> int list -> int list * int
+(** [shrink sc ~fc ~budget trace] greedily minimizes a failing trace:
+    strip trailing zeros (free — they replay as defaults), halving
+    truncation, then zeroing individual nonzero entries.  Returns the
+    shrunk trace and the number of runs spent.  The input trace must fail;
+    every kept candidate fails too. *)
+
+val replay : Scenario.t -> counterexample -> Scenario.outcome * int list
+(** Re-run a counterexample: [Replay cx_trace] under [cx_fault]. *)
+
+val to_artifact : counterexample -> string
+(** Line-based replayable artifact ("mvcheck counterexample v1"). *)
+
+val of_artifact : string -> (counterexample, string) Stdlib.result

@@ -1,0 +1,19 @@
+module Trace = Mv_engine.Trace
+module Machine = Mv_engine.Machine
+open Multiverse
+
+let benchmark = "binary-tree-2"
+
+let run () =
+  let b = Mv_workloads.Benchmarks.find benchmark in
+  let prog = Mv_workloads.Benchmarks.program b ~n:b.Mv_workloads.Benchmarks.b_test_n in
+  let hx = Toolchain.hybridize prog in
+  Toolchain.run_multiverse ~trace:true hx
+
+let trace_string () =
+  let rs = run () in
+  Format.asprintf "%a" Trace.pp rs.Toolchain.rs_machine.Machine.trace
+
+let stdout_string () =
+  let rs = run () in
+  rs.Toolchain.rs_stdout

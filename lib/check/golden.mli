@@ -1,0 +1,20 @@
+(** The golden-trace oracle: one canonical hybridized run, fully traced.
+
+    [trace_string ()] runs the binary-tree-2 benchmark (test size) through
+    {!Multiverse.Toolchain.run_multiverse} with machine tracing enabled and
+    renders the trace with {!Mv_engine.Trace.pp}.  The result is committed
+    at [test/golden/multiverse_default.trace]; the regression test fails on
+    any byte difference, which pins down the FIFO schedule, the cycle
+    accounting, and the forwarding protocol all at once.
+
+    Regenerate (after an intentional behaviour change) with:
+    {[ dune exec bin/mvcheck.exe -- golden > test/golden/multiverse_default.trace ]} *)
+
+val benchmark : string
+(** The workload used ("binary-tree-2"). *)
+
+val trace_string : unit -> string
+(** Deterministic: same bytes on every run of the same build. *)
+
+val stdout_string : unit -> string
+(** The run's guest stdout, also covered by the golden test. *)

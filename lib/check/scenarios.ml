@@ -1,0 +1,327 @@
+(* The scenario registry: each entry builds a slice of the stack, runs it
+   to quiescence under the given strategy/fault plan, and judges the final
+   state.  The two [sc_expect_bug] entries are deliberately broken — they
+   exist to prove the explorer can find and shrink real schedule and
+   protocol bugs (ISSUE acceptance: a broken invariant is found within the
+   default seed budget). *)
+
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+module Sim = Mv_engine.Sim
+module Addr = Mv_hw.Addr
+module Event_channel = Mv_hvm.Event_channel
+module Fault_plan = Mv_faults.Fault_plan
+module Nautilus = Mv_aerokernel.Nautilus
+module Env = Mv_guest.Env
+module Libc = Mv_guest.Libc
+open Multiverse
+open Scenario
+
+(* --- racy-wakeup: a seeded lost-wakeup bug at the engine level --- *)
+
+(* The classic stale-check sleep: the consumer samples "mailbox empty",
+   politely yields, then blocks on the {e stale} sample without
+   re-checking.  Spawn order puts the producer first, so the default FIFO
+   schedule delivers before the consumer ever looks — the bug only fires
+   when the scheduler picks the consumer first (decision 1 at the first
+   choice point), making [1] the minimal counterexample trace. *)
+let racy_wakeup_run ~strategy ~faults:_ =
+  let machine = Machine.create () in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  let mailbox = Queue.create () in
+  let waiting = ref None in
+  let consumed = ref false in
+  ignore
+    (Exec.spawn exec ~cpu:0 ~name:"producer" (fun () ->
+         Queue.push () mailbox;
+         match !waiting with
+         | Some wake ->
+             waiting := None;
+             wake ()
+         | None -> ()));
+  ignore
+    (Exec.spawn exec ~cpu:0 ~name:"consumer" (fun () ->
+         let empty = Queue.is_empty mailbox in
+         if empty then Exec.yield exec;
+         (* BUG: blocks on the pre-yield sample instead of re-checking. *)
+         if empty then
+           Exec.block exec ~reason:"mailbox" (fun ~now:_ ~wake ->
+               waiting := Some (fun () -> wake ()));
+         match Queue.take_opt mailbox with
+         | Some () -> consumed := true
+         | None -> ()));
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  all
+    [
+      (fun () -> check_quiesced exec ~quiesced);
+      (fun () -> if !consumed then Pass else Fail "item never consumed");
+    ]
+
+let racy_wakeup =
+  {
+    sc_name = "racy-wakeup";
+    sc_descr =
+      "seeded lost-wakeup bug (stale empty-check before block); FIFO passes, \
+       picking the consumer first deadlocks it";
+    sc_fault_specs = [];
+    sc_expect_bug = true;
+    sc_run = racy_wakeup_run;
+  }
+
+(* --- ping-pong: event-channel at-most-once under a lossy channel --- *)
+
+let server_name = "chan-server"
+
+let ping_pong_run ~dedup ~kind ~calls ~strategy ~faults =
+  let machine = Machine.create () in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  if Fault_plan.enabled faults then Fault_plan.bind faults machine;
+  let faults_opt = if Fault_plan.enabled faults then Some faults else None in
+  let ch =
+    Event_channel.create ?faults:faults_opt ~dedup machine ~kind ~ros_core:0
+      ~hrt_core:7
+  in
+  let runs = Array.make calls 0 in
+  let completed = Array.make calls false in
+  ignore
+    (Exec.spawn exec ~cpu:0 ~name:server_name (fun () ->
+         Event_channel.serve_loop ch ~on_request:(fun r -> r.Event_channel.req_run ())));
+  let caller =
+    Exec.spawn exec ~cpu:7 ~name:"caller" (fun () ->
+        try
+          for i = 0 to calls - 1 do
+            Event_channel.call ch
+              {
+                Event_channel.req_kind = Printf.sprintf "ping-%d" i;
+                req_run = (fun () -> runs.(i) <- runs.(i) + 1);
+              };
+            completed.(i) <- true
+          done
+        with Event_channel.Channel_failure _ -> ())
+  in
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  let at_most_once () =
+    let bad = ref Pass in
+    Array.iteri
+      (fun i n ->
+        if !bad = Pass then
+          if n > 1 then
+            bad := failf "call %d payload executed %d times (at-most-once violated)" i n
+          else if completed.(i) && n <> 1 then
+            bad := failf "call %d completed but payload ran %d times" i n)
+      runs;
+    !bad
+  in
+  all
+    [
+      (fun () ->
+        check_quiesced exec ~quiesced ~allow_blocked:(fun n -> n = server_name));
+      (fun () ->
+        if Exec.state exec caller = Exec.Finished then Pass
+        else Fail "caller never finished");
+      at_most_once;
+    ]
+
+let lossy_spec =
+  {
+    fs_rate = 0.3;
+    fs_sites = [ Fault_plan.Chan_drop; Fault_plan.Chan_delay; Fault_plan.Chan_duplicate ];
+  }
+
+let ping_pong kind =
+  let kname = match kind with Event_channel.Async -> "async" | Event_channel.Sync -> "sync" in
+  {
+    sc_name = "ping-pong-" ^ kname;
+    sc_descr =
+      Printf.sprintf
+        "%s event-channel call/serve/complete round trips; at-most-once payload \
+         execution must hold even under drop/delay/duplicate faults"
+        kname;
+    sc_fault_specs = [ lossy_spec ];
+    sc_expect_bug = false;
+    sc_run = (fun ~strategy ~faults -> ping_pong_run ~dedup:true ~kind ~calls:6 ~strategy ~faults);
+  }
+
+let broken_dedup =
+  {
+    sc_name = "broken-dedup";
+    sc_descr =
+      "same ping-pong protocol with server-side dedup disabled: a duplicated \
+       delivery executes the payload twice (seeded at-most-once violation)";
+    sc_fault_specs = [ { fs_rate = 1.0; fs_sites = [ Fault_plan.Chan_duplicate ] } ];
+    sc_expect_bug = true;
+    sc_run =
+      (fun ~strategy ~faults ->
+        ping_pong_run ~dedup:false ~kind:Event_channel.Async ~calls:6 ~strategy ~faults);
+  }
+
+(* --- full-stack scenarios: boot, execution groups, merge + forwarding --- *)
+
+(* Daemons that legitimately stay parked after a healthy full-stack run:
+   the AeroKernel event loop and any partner thread re-entered into
+   [serve_next] after its group completed. *)
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let full_stack_daemon name =
+  name = "nk/event-loop" || contains_sub name "/partner"
+
+let run_full ?(options = Toolchain.default_mv_options) ~name ~expect_stdout
+    ~extra_checks prog ~strategy ~faults =
+  let hx = Toolchain.hybridize prog in
+  let rt_box = ref None in
+  let machine, _kernel, proc =
+    Toolchain.setup_multiverse
+      ~options:{ options with Toolchain.mv_faults = faults }
+      ~name ~fat:hx.Toolchain.hx_fat
+      (fun _kernel _p rt ->
+        rt_box := Some rt;
+        let partner =
+          Runtime.hrt_invoke rt ~name:"main" (fun env ->
+              prog.Toolchain.prog_main env)
+        in
+        Runtime.join rt partner)
+  in
+  Strategy.install strategy machine.Machine.exec;
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  all
+    [
+      (fun () ->
+        check_quiesced machine.Machine.exec ~quiesced
+          ~allow_blocked:full_stack_daemon);
+      (fun () ->
+        if not proc.Mv_ros.Process.exited then Fail "process never exited"
+        else if proc.Mv_ros.Process.exit_code <> 0 then
+          failf "exit code %d" proc.Mv_ros.Process.exit_code
+        else Pass);
+      (fun () ->
+        let out = Mv_ros.Process.stdout_contents proc in
+        if out = expect_stdout then Pass
+        else failf "stdout mismatch: got %S, want %S" out expect_stdout);
+      (fun () ->
+        match !rt_box with
+        | None -> Fail "runtime never initialized"
+        | Some rt -> all (List.map (fun check () -> check rt) extra_checks));
+    ]
+
+let boot_prog =
+  {
+    Toolchain.prog_name = "mvcheck-boot";
+    prog_main =
+      (fun env ->
+        let libc = Libc.create env in
+        env.Env.work 10_000;
+        ignore (env.Env.getpid ());
+        Libc.printf libc "booted pid ok\n";
+        Libc.flush_all libc);
+  }
+
+let boot_handshake =
+  {
+    sc_name = "boot-handshake";
+    sc_descr =
+      "full stack boot: HVM install, AeroKernel boot handshake, one forwarded \
+       syscall, clean exit (swept under boot stalls and EAGAIN faults)";
+    sc_fault_specs =
+      [
+        { fs_rate = 1.0; fs_sites = [ Fault_plan.Boot_stall ] };
+        { fs_rate = 0.5; fs_sites = [ Fault_plan.Syscall_eagain ] };
+      ];
+    sc_expect_bug = false;
+    sc_run =
+      run_full ~name:"mvcheck-boot" ~expect_stdout:"booted pid ok\n"
+        ~extra_checks:[] boot_prog;
+  }
+
+let group_prog =
+  {
+    Toolchain.prog_name = "mvcheck-groups";
+    prog_main =
+      (fun env ->
+        let libc = Libc.create env in
+        let slots = Array.make 2 0 in
+        let spawn i =
+          env.Env.thread_create ~name:(Printf.sprintf "worker-%d" i) (fun () ->
+              let acc = ref 0 in
+              for k = 1 to 6 do
+                env.Env.work 20_000;
+                ignore (env.Env.getrusage ());
+                acc := !acc + k
+              done;
+              slots.(i) <- !acc)
+        in
+        let t0 = spawn 0 in
+        let t1 = spawn 1 in
+        env.Env.thread_join t0;
+        env.Env.thread_join t1;
+        Libc.printf libc "groups done %d %d\n" slots.(0) slots.(1);
+        Libc.flush_all libc);
+  }
+
+let group_respawn =
+  {
+    sc_name = "group-respawn";
+    sc_descr =
+      "execution group spawn/join with forwarded syscalls; joins must complete \
+       and results survive partner kills (watchdog respawn converges)";
+    sc_fault_specs = [ { fs_rate = 0.5; fs_sites = [ Fault_plan.Partner_kill ] } ];
+    sc_expect_bug = false;
+    sc_run =
+      run_full ~name:"mvcheck-groups" ~expect_stdout:"groups done 21 21\n"
+        ~extra_checks:[] group_prog;
+  }
+
+let merge_prog =
+  {
+    Toolchain.prog_name = "mvcheck-merge";
+    prog_main =
+      (fun env ->
+        let libc = Libc.create env in
+        let pages = 12 in
+        let len = pages * Addr.page_size in
+        let base = env.Env.mmap ~len ~prot:Mv_ros.Mm.prot_rw ~kind:"mvcheck-buf" in
+        for p = 0 to pages - 1 do
+          env.Env.store (base + (p * Addr.page_size));
+          env.Env.work 5_000
+        done;
+        env.Env.munmap ~addr:base ~len;
+        Libc.printf libc "merge done\n";
+        Libc.flush_all libc);
+  }
+
+let merge_fault =
+  {
+    sc_name = "merge-fault";
+    sc_descr =
+      "address-space merge plus lower-half page faults forwarded to the ROS; \
+       every touched page must be resolved, also under a lossy channel";
+    sc_fault_specs = [ { fs_rate = 0.3; fs_sites = [ Fault_plan.Chan_drop; Fault_plan.Chan_delay ] } ];
+    sc_expect_bug = false;
+    sc_run =
+      run_full ~name:"mvcheck-merge" ~expect_stdout:"merge done\n"
+        ~extra_checks:
+          [
+            (fun rt ->
+              let forwarded = Nautilus.stats_faults_forwarded (Runtime.nk rt) in
+              if forwarded >= 1 then Pass
+              else failf "expected forwarded page faults, saw %d" forwarded);
+          ]
+        merge_prog;
+  }
+
+let all_scenarios =
+  [
+    racy_wakeup;
+    ping_pong Event_channel.Async;
+    ping_pong Event_channel.Sync;
+    broken_dedup;
+    boot_handshake;
+    group_respawn;
+    merge_fault;
+  ]
+
+let find name = List.find_opt (fun sc -> sc.sc_name = name) all_scenarios

@@ -1,0 +1,19 @@
+(** The built-in scenario registry (see {!Scenario}).
+
+    - [racy-wakeup] {e (expected bug)}: a seeded lost-wakeup at the
+      executor level; FIFO passes, picking the consumer first at the first
+      choice point deadlocks it (minimal trace [[1]]).
+    - [ping-pong-async] / [ping-pong-sync]: event-channel round trips;
+      at-most-once payload execution under drop/delay/duplicate faults.
+    - [broken-dedup] {e (expected bug)}: the same protocol with
+      server-side dedup disabled; a duplicated delivery runs a payload
+      twice.
+    - [boot-handshake]: full-stack boot + one forwarded syscall under boot
+      stalls and EAGAIN injection.
+    - [group-respawn]: execution-group spawn/join while partners are
+      killed; the watchdog respawn must converge and joins complete.
+    - [merge-fault]: address-space merge with forwarded lower-half page
+      faults over a lossy channel. *)
+
+val all_scenarios : Scenario.t list
+val find : string -> Scenario.t option

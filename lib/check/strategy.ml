@@ -1,0 +1,58 @@
+module Exec = Mv_engine.Exec
+module Rng = Mv_util.Rng
+
+type spec = Fifo | Random of int | Replay of int list
+
+let spec_to_string = function
+  | Fifo -> "fifo"
+  | Random seed -> "random:" ^ string_of_int seed
+  | Replay trace ->
+      "replay:" ^ String.concat "," (List.map string_of_int trace)
+
+type t = {
+  spec : spec;
+  rng : Rng.t option;
+  mutable replaying : int list;
+  mutable recorded_rev : int list;
+}
+
+let create spec =
+  {
+    spec;
+    rng = (match spec with Random seed -> Some (Rng.create ~seed) | Fifo | Replay _ -> None);
+    replaying = (match spec with Replay trace -> trace | Fifo | Random _ -> []);
+    recorded_rev = [];
+  }
+
+let spec t = t.spec
+
+(* One scheduling decision among [n] alternatives.  Decision 0 is always
+   the FIFO-equivalent default, which is what makes traces shrinkable
+   toward 0s and lets a replay trace end early (the tail defaults). *)
+let decide t ~n =
+  let c =
+    match t.spec with
+    | Fifo -> 0
+    | Random _ -> Rng.int (Option.get t.rng) n
+    | Replay _ -> (
+        match t.replaying with
+        | [] -> 0
+        | x :: rest ->
+            t.replaying <- rest;
+            if x >= 0 && x < n then x else 0)
+  in
+  t.recorded_rev <- c :: t.recorded_rev;
+  c
+
+let recorded t = List.rev t.recorded_rev
+let decisions t = List.length t.recorded_rev
+
+let hook t =
+  {
+    Exec.sh_pick = (fun ~cpu:_ cands -> decide t ~n:(Array.length cands));
+    (* Preemption decision: 0 = preempt (the FIFO/OS default), 1 = extend
+       the slice once.  Encoded in the same decision stream as the picks. *)
+    sh_preempt = (fun ~cpu:_ _th -> decide t ~n:2 = 0);
+  }
+
+let install t exec = Exec.set_sched_hook exec (Some (hook t))

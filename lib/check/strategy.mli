@@ -1,0 +1,42 @@
+(** Scheduling strategies for the mv_check model checker.
+
+    A strategy answers every {!Mv_engine.Exec.sched_hook} choice point —
+    which Ready thread to dispatch when several are runnable at the same
+    virtual instant, and whether a slice expiry preempts — and records the
+    decisions it made as a flat [int list] {e choice trace}:
+
+    - {!Fifo} always answers 0, reproducing the executor's default FIFO
+      schedule decision-for-decision (and therefore byte-for-byte).
+    - [Random seed] draws uniformly from a splitmix64 stream; one seed is
+      one deterministic schedule.
+    - [Replay trace] replays a recorded trace decision-for-decision; past
+      the end of the trace (or on an out-of-range entry) it answers 0, so
+      truncating a trace means "run the tail FIFO" — the shrinking move.
+
+    Decision 0 is always the FIFO-equivalent default; a trace of all zeros
+    is the default schedule. *)
+
+type spec = Fifo | Random of int | Replay of int list
+
+val spec_to_string : spec -> string
+
+type t
+
+val create : spec -> t
+val spec : t -> spec
+
+val decide : t -> n:int -> int
+(** Draw (and record) one decision among [n >= 1] alternatives. *)
+
+val recorded : t -> int list
+(** The choice trace so far, in decision order. *)
+
+val decisions : t -> int
+
+val hook : t -> Mv_engine.Exec.sched_hook
+(** The executor hook backed by this strategy: dispatch picks are
+    [decide ~n:(Array.length candidates)]; preemption decisions are
+    [decide ~n:2] with 0 = preempt. *)
+
+val install : t -> Mv_engine.Exec.t -> unit
+(** [Exec.set_sched_hook exec (Some (hook t))]. *)

@@ -32,6 +32,11 @@ type cpu = {
          report on a real (non-idle) machine *)
 }
 
+type sched_hook = {
+  sh_pick : cpu:int -> thread array -> int;
+  sh_preempt : cpu:int -> thread -> bool;
+}
+
 type t = {
   sim : Sim.t;
   cpus : cpu array;
@@ -39,6 +44,8 @@ type t = {
   mutable ctx_now : int option;  (* timestamp override for callback windows *)
   mutable next_tid : int;
   mutable charge_hook : (thread -> int -> unit) option;
+  mutable sched_hook : sched_hook option;
+  mutable all_threads_rev : thread list;  (* every thread ever spawned *)
 }
 
 let create sim ~ncpus =
@@ -55,10 +62,21 @@ let create sim ~ncpus =
           c_idle_expiries = 0;
         })
   in
-  { sim; cpus; current = None; ctx_now = None; next_tid = 0; charge_hook = None }
+  {
+    sim;
+    cpus;
+    current = None;
+    ctx_now = None;
+    next_tid = 0;
+    charge_hook = None;
+    sched_hook = None;
+    all_threads_rev = [];
+  }
 
 let sim t = t.sim
 let ncpus t = Array.length t.cpus
+let set_sched_hook t hook = t.sched_hook <- hook
+let threads t = List.rev t.all_threads_rev
 
 let set_cpu_params t ~cpu ?switch_cost ?slice () =
   let c = t.cpus.(cpu) in
@@ -83,10 +101,33 @@ let rec dispatch t cpu () =
     if now < cpu.c_busy_until then
       Sim.schedule_at t.sim cpu.c_busy_until (dispatch t cpu)
     else
-      match Queue.take_opt cpu.c_runq with
-      | None -> ()
-      | Some th when th.t_state <> Ready -> dispatch t cpu ()
-      | Some th -> run_segment t cpu th
+      match t.sched_hook with
+      | None -> (
+          match Queue.take_opt cpu.c_runq with
+          | None -> ()
+          | Some th when th.t_state <> Ready -> dispatch t cpu ()
+          | Some th -> run_segment t cpu th)
+      | Some hook -> (
+          (* Schedule-exploration choice point: collect the Ready threads
+             in FIFO order (dropping stale entries), let the hook pick one,
+             and re-queue the rest in their original order.  A hook that
+             always picks index 0 reproduces the FIFO path exactly. *)
+          let cands =
+            List.rev
+              (Queue.fold
+                 (fun acc th -> if th.t_state = Ready then th :: acc else acc)
+                 [] cpu.c_runq)
+          in
+          Queue.clear cpu.c_runq;
+          match cands with
+          | [] -> ()
+          | [ th ] -> run_segment t cpu th
+          | cands ->
+              let arr = Array.of_list cands in
+              let i = hook.sh_pick ~cpu:cpu.c_id arr in
+              let i = if i < 0 || i >= Array.length arr then 0 else i in
+              Array.iteri (fun j th -> if j <> i then Queue.add th cpu.c_runq) arr;
+              run_segment t cpu arr.(i))
   end
 
 and request_dispatch t cpu ~at =
@@ -221,7 +262,14 @@ let charge t c =
               th.t_charge <- th.t_charge + (2 * cpu.c_switch_cost)
             end
           end
-          else preempt t
+          else begin
+            (* Preemption-point choice: a hook may extend the slice instead
+               of preempting (modelling timer jitter); default is preempt. *)
+            match t.sched_hook with
+            | Some hook when not (hook.sh_preempt ~cpu:cpu.c_id th) ->
+                th.t_slice_base <- th.t_charge
+            | Some _ | None -> preempt t
+          end
       | Some _ | None -> ())
 
 let sleep t delay =
@@ -269,6 +317,7 @@ let spawn t ~cpu ~name body =
                    current segment belongs to the killer — do not touch it. *)
                 ()));
   th.t_state <- Ready;
+  t.all_threads_rev <- th :: t.all_threads_rev;
   enqueue_at t th ~at:(local_now t);
   th
 

@@ -17,9 +17,31 @@ type thread
 
 type thread_state = Ready | Running | Blocked of string | Finished
 
+type sched_hook = {
+  sh_pick : cpu:int -> thread array -> int;
+      (** Called when two or more Ready threads compete for a CPU at the
+          same virtual instant.  Candidates are in FIFO order; return the
+          index to dispatch (out-of-range falls back to 0).  Returning 0
+          everywhere reproduces the default FIFO schedule exactly. *)
+  sh_preempt : cpu:int -> thread -> bool;
+      (** Called at a slice expiry while local competitors wait.  [true]
+          preempts (the default behaviour); [false] extends the slice by
+          one quantum, modelling timer jitter.  Hooks must not starve:
+          return [true] eventually. *)
+}
+
 val create : Sim.t -> ncpus:int -> t
 val sim : t -> Sim.t
 val ncpus : t -> int
+
+val set_sched_hook : t -> sched_hook option -> unit
+(** Install (or clear) the schedule-exploration hook.  With [None] — the
+    default — dispatch is plain FIFO and behaviour is byte-identical to an
+    executor that never heard of hooks. *)
+
+val threads : t -> thread list
+(** Every thread ever spawned on this executor, in spawn order — the model
+    checker's view for quiescence and lost-wakeup oracles. *)
 
 val set_cpu_params :
   t -> cpu:int -> ?switch_cost:int -> ?slice:Mv_util.Cycles.t option -> unit -> unit

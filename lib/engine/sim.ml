@@ -31,6 +31,20 @@ let step t =
 
 let run t = while step t do () done
 
+let run_bounded t ~max_events =
+  let budget = ref max_events in
+  let continue = ref true in
+  let quiesced = ref true in
+  while !continue do
+    if !budget <= 0 then begin
+      continue := false;
+      quiesced := Event_queue.is_empty t.queue
+    end
+    else if step t then decr budget
+    else continue := false
+  done;
+  !quiesced
+
 let run_until t limit =
   let continue = ref true in
   while !continue do

@@ -20,6 +20,11 @@ val schedule_after : t -> Mv_util.Cycles.t -> (unit -> unit) -> unit
 val run : t -> unit
 (** Process events until the queue drains. *)
 
+val run_bounded : t -> max_events:int -> bool
+(** Like {!run}, but process at most [max_events] events; returns [true]
+    if the queue drained (quiescence) and [false] if the budget ran out
+    first — the model checker's livelock guard. *)
+
 val run_until : t -> Mv_util.Cycles.t -> unit
 (** Process events with timestamps [<= limit]; the clock ends at [limit] or
     at quiescence, whichever is earlier. *)

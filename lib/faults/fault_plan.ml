@@ -47,6 +47,27 @@ let site_name = function
 
 let site_of_name name = List.find_opt (fun s -> site_name s = name) all_sites
 
+let sites_of_string spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "" | "all" -> Ok all_sites
+  | spec -> (
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+            let name = String.trim name in
+            match site_of_name name with
+            | Some site -> parse (site :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "unknown fault site %S (known: %s)" name
+                     (String.concat ", " (List.map site_name all_sites))))
+      in
+      parse [] (String.split_on_char ',' spec))
+
+let sites_to_string = function
+  | sites when sites = all_sites -> "all"
+  | sites -> String.concat "," (List.map site_name sites)
+
 type t = {
   p_enabled : bool;
   p_seed : int;

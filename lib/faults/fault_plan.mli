@@ -30,6 +30,14 @@ val all_sites : site list
 val site_name : site -> string
 val site_of_name : string -> site option
 
+val sites_of_string : string -> (site list, string) result
+(** Parse a comma-separated site list (["all"] or [""] mean every site);
+    the error names the offending site and lists the known ones.  Shared
+    by the CLI drivers and the mvcheck counterexample artifacts. *)
+
+val sites_to_string : site list -> string
+(** Inverse of {!sites_of_string} (["all"] when every site is listed). *)
+
 type t
 
 val none : t

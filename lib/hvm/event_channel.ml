@@ -31,6 +31,7 @@ type t = {
   ros_core : int;
   hrt_core : int;
   faults : Fault_plan.t;
+  dedup : bool;
   mutable res : resilience option;
   queue : entry Queue.t;
   mutable serving : entry option;
@@ -52,7 +53,7 @@ let rtt_of machine ~kind ~ros_core ~hrt_core =
         costs.Costs.sync_channel_same_socket
       else costs.Costs.sync_channel_cross_socket
 
-let create ?(faults = Fault_plan.none) machine ~kind ~ros_core ~hrt_core =
+let create ?(faults = Fault_plan.none) ?(dedup = true) machine ~kind ~ros_core ~hrt_core =
   let res =
     (* Resilience (attempt timeout + bounded retry) arms only under a
        fault plan: the default channel is byte-identical to the seed. *)
@@ -67,6 +68,7 @@ let create ?(faults = Fault_plan.none) machine ~kind ~ros_core ~hrt_core =
     ros_core;
     hrt_core;
     faults;
+    dedup;
     res;
     queue = Queue.create ();
     serving = None;
@@ -208,7 +210,7 @@ let rec serve_next t =
       t.n_protocol_errors <- t.n_protocol_errors + 1;
       raise (Protocol_error ("corrupt request discarded: " ^ e.e_req.req_kind))
     end
-    else if !(e.e_done) then begin
+    else if t.dedup && !(e.e_done) then begin
       (* Duplicate or retried delivery of an already-executed request:
          acknowledge without re-running the payload. *)
       complete t;

@@ -43,6 +43,7 @@ type t
 
 val create :
   ?faults:Mv_faults.Fault_plan.t ->
+  ?dedup:bool ->
   Mv_engine.Machine.t ->
   kind:kind ->
   ros_core:int ->
@@ -50,7 +51,10 @@ val create :
   t
 (** A fault plan (when enabled) arms both injection and the
     timeout/retry/backoff resilience machinery; without one the channel
-    behaves exactly as the seed implementation. *)
+    behaves exactly as the seed implementation.  [~dedup:false] disables
+    the server-side payload deduplication — a deliberately broken protocol
+    used only by the mvcheck model checker to prove it can find the
+    resulting at-most-once violation. *)
 
 val kind : t -> kind
 

@@ -72,6 +72,21 @@ val run_multiverse :
     HRT thread, everything else is forwarded.  The user-visible behaviour
     (stdout, exit code) must match the native run. *)
 
+val setup_multiverse :
+  ?costs:Mv_hw.Costs.t ->
+  options:mv_options ->
+  name:string ->
+  fat:Fat_binary.t ->
+  (Mv_ros.Kernel.t -> Mv_ros.Process.t -> Runtime.t -> unit) ->
+  Mv_engine.Machine.t * Mv_ros.Kernel.t * Mv_ros.Process.t
+(** Build the full Multiverse stack (machine, ROS kernel, HVM, AeroKernel,
+    runtime) and spawn the process whose main runs [body kernel proc rt] —
+    but do {e not} run the simulation.  Nothing executes until the caller
+    drives [machine.sim]; the window in between is where the mvcheck model
+    checker installs its {!Mv_engine.Exec.set_sched_hook} and where custom
+    drivers can bound the event budget.  {!run_multiverse} is this plus
+    [Sim.run] plus stat collection. *)
+
 val run_accelerator :
   ?costs:Mv_hw.Costs.t ->
   ?stdin:string ->

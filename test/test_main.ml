@@ -13,4 +13,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("parallel", Test_parallel.suite);
       ("vcode", Test_vcode.suite);
+      ("check", Test_check.suite);
+      ("props", Test_props.suite);
     ]

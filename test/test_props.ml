@@ -1,0 +1,181 @@
+(* Property tests (qcheck) for the protocol-critical invariants the
+   mvcheck model checker leans on:
+
+   - Fault_plan: exact (seed, rate, sites) determinism, and per-site
+     stream independence (masking other sites never shifts a site's
+     randomness — the property that makes fault counterexamples stable
+     under site filtering).
+   - Addr / Page_table: address decomposition round-trips and
+     map/walk/unmap coherence for arbitrary page sets.
+   - Event_channel: server-side dedup keeps payload execution at-most-once
+     under arbitrary duplicate/drop/delay fault seeds and schedules. *)
+
+module Addr = Mv_hw.Addr
+module Page_table = Mv_hw.Page_table
+module Fault_plan = Mv_faults.Fault_plan
+module Explore = Mv_check.Explore
+module Scenario = Mv_check.Scenario
+module Strategy = Mv_check.Strategy
+
+(* QCheck_alcotest marks property tests `Slow by default, which the -q
+   quick tier would skip; these properties are cheap, so force `Quick. *)
+let to_alcotest t =
+  let name, _, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+(* --- Fault_plan --- *)
+
+let arb_rate = QCheck.float_range 0.0 1.0
+let arb_seed = QCheck.int_bound 1_000_000
+
+let arb_sites =
+  (* A non-empty sublist of all_sites, chosen by bitmask. *)
+  let n = List.length Fault_plan.all_sites in
+  QCheck.map
+    (fun mask ->
+      let mask = 1 + (mask land ((1 lsl n) - 2)) in
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) Fault_plan.all_sites)
+    QCheck.(int_bound ((1 lsl n) - 1))
+
+let fire_seq plan site k =
+  List.init k (fun i -> Fault_plan.fire plan site (string_of_int i))
+
+let qcheck_plan_deterministic =
+  QCheck.Test.make ~name:"fault plan: (seed,rate,sites) fully determines decisions"
+    ~count:100
+    QCheck.(triple arb_seed arb_rate arb_sites)
+    (fun (seed, rate, sites) ->
+      let mk () = Fault_plan.create ~seed ~rate ~sites () in
+      let seq plan =
+        List.concat_map (fun site -> fire_seq plan site 50) sites
+      in
+      seq (mk ()) = seq (mk ()))
+
+let qcheck_plan_site_independence =
+  QCheck.Test.make
+    ~name:"fault plan: masking other sites never shifts a site's stream"
+    ~count:100
+    QCheck.(triple arb_seed arb_rate arb_sites)
+    (fun (seed, rate, sites) ->
+      let site = List.hd sites in
+      let full = Fault_plan.create ~seed ~rate () in
+      let masked = Fault_plan.create ~seed ~rate ~sites:[ site ] () in
+      (* Drain unrelated streams on the full plan first: independence means
+         this cannot perturb [site]'s stream. *)
+      List.iter
+        (fun s -> if s <> site then ignore (fire_seq full s 25))
+        Fault_plan.all_sites;
+      fire_seq full site 50 = fire_seq masked site 50)
+
+let qcheck_plan_rate_extremes =
+  QCheck.Test.make ~name:"fault plan: rate 0 never fires, rate 1 always fires"
+    ~count:50
+    QCheck.(pair arb_seed arb_sites)
+    (fun (seed, sites) ->
+      let never = Fault_plan.create ~seed ~rate:0.0 ~sites () in
+      let always = Fault_plan.create ~seed ~rate:1.0 ~sites () in
+      List.for_all
+        (fun site ->
+          (not (List.exists (fun x -> x) (fire_seq never site 20)))
+          && List.for_all (fun x -> x) (fire_seq always site 20))
+        sites)
+
+let qcheck_sites_string_roundtrip =
+  QCheck.Test.make ~name:"fault sites: to_string/of_string round-trip" ~count:200
+    arb_sites
+    (fun sites ->
+      match Fault_plan.sites_of_string (Fault_plan.sites_to_string sites) with
+      | Ok sites' -> sites' = sites
+      | Error _ -> false)
+
+(* --- Addr / Page_table --- *)
+
+let qcheck_addr_indices_roundtrip =
+  QCheck.Test.make ~name:"addr: of_indices/indices round-trip" ~count:200
+    QCheck.(quad (int_bound 511) (int_bound 511) (int_bound 511) (int_bound 511))
+    (fun (pml4, pdpt, pd, pt) ->
+      let a = Addr.of_indices ~pml4 ~pdpt ~pd ~pt ~offset:0 in
+      Addr.pml4_index a = pml4
+      && Addr.pdpt_index a = pdpt
+      && Addr.pd_index a = pd
+      && Addr.pt_index a = pt
+      && Addr.is_page_aligned a)
+
+let qcheck_addr_page_roundtrip =
+  QCheck.Test.make ~name:"addr: page_of/base_of_page round-trip" ~count:200
+    QCheck.(int_bound (Addr.lower_half_limit - 1))
+    (fun a ->
+      let page = Addr.page_of a in
+      Addr.base_of_page page = Addr.align_down a
+      && Addr.page_offset a = a - Addr.align_down a)
+
+(* Distinct page-aligned lower-half addresses from an arbitrary page set. *)
+let pages_of_ints ints =
+  List.sort_uniq compare (List.map (fun i -> abs i mod 100_000) ints)
+  |> List.map Addr.base_of_page
+
+let qcheck_page_table_map_walk_unmap =
+  QCheck.Test.make ~name:"page table: map/walk/unmap coherence" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) int)
+    (fun ints ->
+      let addrs = pages_of_ints ints in
+      let pt = Page_table.create () in
+      List.iteri
+        (fun i a ->
+          Page_table.map pt a ~frame:(1000 + i)
+            ~flags:Page_table.(f_present lor f_writable))
+        addrs;
+      let mapped_ok =
+        List.for_all2
+          (fun i a ->
+            match Page_table.walk pt a with
+            | Some pte, _levels -> pte.Page_table.frame = 1000 + i
+            | None, _ -> false)
+          (List.init (List.length addrs) Fun.id)
+          addrs
+      in
+      let count_ok = Page_table.count_mapped pt = List.length addrs in
+      let unmapped_ok =
+        List.for_all (fun a -> Page_table.unmap pt a) addrs
+        && Page_table.count_mapped pt = 0
+        && List.for_all
+             (fun a -> match Page_table.lookup pt a with None -> true | Some _ -> false)
+             addrs
+        && not (Page_table.unmap pt (List.hd addrs))
+      in
+      mapped_ok && count_ok && unmapped_ok)
+
+(* --- Event_channel dedup idempotence --- *)
+
+let dup_heavy seed =
+  {
+    Explore.fc_seed = seed;
+    fc_rate = 0.8;
+    fc_sites = Fault_plan.[ Chan_duplicate; Chan_drop; Chan_delay ];
+  }
+
+let qcheck_dedup_at_most_once =
+  QCheck.Test.make
+    ~name:"event channel: dedup keeps payloads at-most-once under duplication"
+    ~count:12
+    QCheck.(pair (int_bound 10_000) bool)
+    (fun (seed, sync) ->
+      let name = if sync then "ping-pong-sync" else "ping-pong-async" in
+      let sc = Option.get (Mv_check.Scenarios.find name) in
+      match
+        Explore.run_once sc ~spec:(Strategy.Random seed) ~fc:(dup_heavy seed)
+      with
+      | Scenario.Pass, _ -> true
+      | Scenario.Fail msg, _ -> QCheck.Test.fail_reportf "%s: %s" name msg)
+
+let suite =
+  [
+    to_alcotest qcheck_plan_deterministic;
+    to_alcotest qcheck_plan_site_independence;
+    to_alcotest qcheck_plan_rate_extremes;
+    to_alcotest qcheck_sites_string_roundtrip;
+    to_alcotest qcheck_addr_indices_roundtrip;
+    to_alcotest qcheck_addr_page_roundtrip;
+    to_alcotest qcheck_page_table_map_walk_unmap;
+    to_alcotest qcheck_dedup_at_most_once;
+  ]

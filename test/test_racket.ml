@@ -574,15 +574,16 @@ let suite =
     ("value: heap objects", `Quick, test_value_heap_objects);
     ("sgc: collects garbage, keeps roots", `Quick, test_sgc_collects_garbage);
     ("sgc: deep reachability preserved", `Quick, test_sgc_reachability_preserved);
-    QCheck_alcotest.to_alcotest qcheck_sgc_model;
+    (let name, _, fn = QCheck_alcotest.to_alcotest qcheck_sgc_model in
+     (name, `Slow, fn));
     ("sgc: mprotect write barrier", `Quick, test_sgc_write_barrier);
     ("sgc: empty segments munmapped", `Quick, test_sgc_segments_unmapped);
     ("sgc: free-list reuse, no growth", `Quick, test_sgc_free_list_reuse);
     ("eval: arithmetic and conditionals", `Quick, test_eval_basics);
     ("eval: bindings", `Quick, test_eval_bindings);
     ("eval: closures", `Quick, test_eval_closures);
-    ("eval: proper tail calls", `Quick, test_eval_tail_calls);
-    ("eval: data structures", `Quick, test_eval_data);
+    ("eval: proper tail calls", `Slow, test_eval_tail_calls);
+    ("eval: data structures", `Slow, test_eval_data);
     ("eval: control forms", `Quick, test_eval_control);
     ("eval: numeric tower", `Quick, test_eval_numeric_tower);
     ("eval: runtime errors", `Quick, test_eval_errors);
@@ -592,7 +593,7 @@ let suite =
     ("engine: scheduler tick syscalls", `Quick, test_engine_tick_syscalls);
     ("places: message roundtrip", `Quick, test_places_roundtrip);
     ("places: bidirectional channel", `Quick, test_places_bidirectional);
-    ("places: parallel speedup", `Quick, test_places_parallel_speedup);
+    ("places: parallel speedup", `Slow, test_places_parallel_speedup);
     ("places: closures not transferable", `Quick, test_places_not_transferable);
     ("ports: file write/read roundtrip", `Quick, test_ports_write_read_roundtrip);
     ("ports: read-char and EOF", `Quick, test_ports_read_char);

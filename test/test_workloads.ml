@@ -156,7 +156,7 @@ let suite =
     ("fasta vs fasta-3: identical output", `Quick, test_fasta_outputs_match);
     ("fasta: deterministic LCG sequence", `Quick, test_fasta_deterministic_lcg);
     ("mandelbrot-2: P4 bitmap", `Quick, test_mandelbrot_output);
-    ("binary-tree-2: GC syscall profile (Fig 12)", `Quick, test_gc_heavy_profile);
+    ("binary-tree-2: GC syscall profile (Fig 12)", `Slow, test_gc_heavy_profile);
     ("fasta: write-dominated profile (Fig 10)", `Quick, test_fasta_write_profile);
     ("multiverse equivalence on benchmarks", `Slow, test_multiverse_equivalence_small);
     ("native <= virtual < multiverse (Fig 13)", `Quick, test_runtime_ordering);
