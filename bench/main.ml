@@ -16,6 +16,7 @@ module Exec = Mv_engine.Exec
 module Nautilus = Mv_aerokernel.Nautilus
 module Hvm = Mv_hvm.Hvm
 module Event_channel = Mv_hvm.Event_channel
+module Fabric = Mv_hvm.Fabric
 open Multiverse
 
 let section name = Printf.printf "\n======== %s ========\n%!" name
@@ -642,6 +643,174 @@ let native_model () =
   print_string (Table.to_string t2)
 
 (* ------------------------------------------------------------------ *)
+(* The forwarding fabric: batching, routing and local fast paths       *)
+(* ------------------------------------------------------------------ *)
+
+type fabric_metrics = {
+  fm_async_rtt : int;
+  fm_sync_cross_rtt : int;
+  fm_sync_same_rtt : int;
+  fm_groups : int;
+  fm_riders : int;
+  fm_calls_per_rider : int;
+  fm_forwarded : int;  (* forwarded calls per run (same in both modes) *)
+  fm_unbatched_cycles : int;
+  fm_batched_cycles : int;
+  fm_calls_per_sec : float;
+  fm_rider_count : int;
+  fm_drains : int;
+  fm_drained : int;
+  fm_transport_batched : int;
+  fm_transport_unbatched : int;
+  fm_local_hits : int;
+  fm_local_misses : int;
+  fm_fabric_calls : int;
+}
+
+(* Four concurrent execution groups, each with concurrent nested callers
+   hammering the group's endpoint: the configuration the batching layer is
+   for.  Identical workload with batching on and off; the only variable is
+   whether concurrent calls ride the shared-page ring or ring their own
+   doorbell. *)
+let measure_fabric () =
+  let groups = 4 and riders = 4 and calls = 8 in
+  let run batching =
+    let elapsed = ref 0 in
+    let counters = ref None in
+    ignore
+      (Toolchain.run_accelerator ~name:"fabric-bench" (fun ~ros_env:_ ~rt ->
+           let fabric = Runtime.fabric rt in
+           Fabric.set_batching fabric batching;
+           let exec = (Nautilus.machine (Runtime.nk rt)).Machine.exec in
+           let t0 = Exec.local_now exec in
+           let partners =
+             List.init groups (fun g ->
+                 Runtime.hrt_invoke rt ~name:(Printf.sprintf "grp-%d" g) (fun env ->
+                     let nested =
+                       List.init riders (fun i ->
+                           Runtime.create_nested rt
+                             ~name:(Printf.sprintf "g%d-rider-%d" g i)
+                             (fun () ->
+                               for _ = 1 to calls do
+                                 ignore (env.Mv_guest.Env.getrusage ());
+                                 ignore (env.Mv_guest.Env.getpid ())
+                               done))
+                     in
+                     List.iter (fun th -> Runtime.join_nested rt th) nested))
+           in
+           List.iter (fun p -> Runtime.join rt p) partners;
+           elapsed := Exec.local_now exec - t0;
+           counters :=
+             Some
+               ( Fabric.calls fabric, Fabric.transport_calls fabric,
+                 Fabric.riders fabric, Fabric.drains fabric, Fabric.drained fabric,
+                 Fabric.local_hits fabric, Fabric.local_misses fabric )));
+    (!elapsed, Option.get !counters)
+  in
+  let unbatched_cycles, (_, transport_off, _, _, _, _, _) = run false in
+  let batched_cycles, (fcalls, transport_on, nriders, drains, drained, hits, misses) =
+    run true
+  in
+  let forwarded = groups * riders * calls in
+  {
+    fm_async_rtt = measure_channel_rtt ~kind:Event_channel.Async ~ros_core:0 ~hrt_core:7;
+    fm_sync_cross_rtt = measure_channel_rtt ~kind:Event_channel.Sync ~ros_core:0 ~hrt_core:7;
+    fm_sync_same_rtt = measure_channel_rtt ~kind:Event_channel.Sync ~ros_core:5 ~hrt_core:7;
+    fm_groups = groups;
+    fm_riders = riders;
+    fm_calls_per_rider = calls;
+    fm_forwarded = forwarded;
+    fm_unbatched_cycles = unbatched_cycles;
+    fm_batched_cycles = batched_cycles;
+    fm_calls_per_sec = float_of_int forwarded /. Cycles.to_sec batched_cycles;
+    fm_rider_count = nriders;
+    fm_drains = drains;
+    fm_drained = drained;
+    fm_transport_batched = transport_on;
+    fm_transport_unbatched = transport_off;
+    fm_local_hits = hits;
+    fm_local_misses = misses;
+    fm_fabric_calls = fcalls;
+  }
+
+let cycles_per_call m cycles = float_of_int cycles /. float_of_int m.fm_forwarded
+
+let reduction_pct m =
+  100.0
+  *. (cycles_per_call m m.fm_unbatched_cycles -. cycles_per_call m m.fm_batched_cycles)
+  /. cycles_per_call m m.fm_unbatched_cycles
+
+let batch_occupancy m =
+  if m.fm_drains = 0 then 0.0
+  else float_of_int m.fm_drained /. float_of_int m.fm_drains
+
+let local_hit_rate m =
+  if m.fm_fabric_calls = 0 then 0.0
+  else float_of_int m.fm_local_hits /. float_of_int m.fm_fabric_calls
+
+let fabric_bench () =
+  section "Fabric: batched vs unbatched forwarding (4 concurrent groups)";
+  let m = measure_fabric () in
+  let t = Table.create ~headers:[ "Metric"; "Value" ] in
+  let row name v = Table.add_row t [ name; v ] in
+  row "async RTT (cycles)" (string_of_int m.fm_async_rtt);
+  row "sync RTT cross-socket (cycles)" (string_of_int m.fm_sync_cross_rtt);
+  row "sync RTT same-socket (cycles)" (string_of_int m.fm_sync_same_rtt);
+  row "groups x riders x calls"
+    (Printf.sprintf "%d x %d x %d" m.fm_groups m.fm_riders m.fm_calls_per_rider);
+  row "unbatched cycles/forwarded call"
+    (Printf.sprintf "%.0f" (cycles_per_call m m.fm_unbatched_cycles));
+  row "batched cycles/forwarded call"
+    (Printf.sprintf "%.0f" (cycles_per_call m m.fm_batched_cycles));
+  row "reduction" (Printf.sprintf "%.1f%%" (reduction_pct m));
+  row "forwarded calls/sec (batched)" (Printf.sprintf "%.0f" m.fm_calls_per_sec);
+  row "doorbells (unbatched -> batched)"
+    (Printf.sprintf "%d -> %d" m.fm_transport_unbatched m.fm_transport_batched);
+  row "riders / drains / drained"
+    (Printf.sprintf "%d / %d / %d" m.fm_rider_count m.fm_drains m.fm_drained);
+  row "batch occupancy (drained/drain)" (Printf.sprintf "%.2f" (batch_occupancy m));
+  row "local fast-path hit rate" (Printf.sprintf "%.2f" (local_hit_rate m));
+  print_string (Table.to_string t);
+  printf "(acceptance: batching cuts virtual cycles per forwarded call by >= 25%%)\n"
+
+(* BENCH_fabric.json — hand-rolled (no JSON library in the image). *)
+let write_fabric_json path =
+  let m = measure_fabric () in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"multiverse-fabric-bench/1\",\n";
+  p "  \"rtt_cycles\": {\n";
+  p "    \"async\": %d,\n" m.fm_async_rtt;
+  p "    \"sync_cross_socket\": %d,\n" m.fm_sync_cross_rtt;
+  p "    \"sync_same_socket\": %d\n" m.fm_sync_same_rtt;
+  p "  },\n";
+  p "  \"forwarded_calls_per_sec\": %.1f,\n" m.fm_calls_per_sec;
+  p "  \"batch\": {\n";
+  p "    \"groups\": %d,\n" m.fm_groups;
+  p "    \"riders_per_group\": %d,\n" m.fm_riders;
+  p "    \"calls_per_rider\": %d,\n" m.fm_calls_per_rider;
+  p "    \"forwarded_calls\": %d,\n" m.fm_forwarded;
+  p "    \"unbatched_cycles_per_call\": %.1f,\n" (cycles_per_call m m.fm_unbatched_cycles);
+  p "    \"batched_cycles_per_call\": %.1f,\n" (cycles_per_call m m.fm_batched_cycles);
+  p "    \"reduction_pct\": %.2f,\n" (reduction_pct m);
+  p "    \"doorbells_unbatched\": %d,\n" m.fm_transport_unbatched;
+  p "    \"doorbells_batched\": %d,\n" m.fm_transport_batched;
+  p "    \"riders\": %d,\n" m.fm_rider_count;
+  p "    \"drains\": %d,\n" m.fm_drains;
+  p "    \"drained\": %d,\n" m.fm_drained;
+  p "    \"occupancy\": %.3f\n" (batch_occupancy m);
+  p "  },\n";
+  p "  \"local_fast_path\": {\n";
+  p "    \"hits\": %d,\n" m.fm_local_hits;
+  p "    \"misses\": %d,\n" m.fm_local_misses;
+  p "    \"hit_rate\": %.3f\n" (local_hit_rate m);
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  printf "wrote %s (reduction %.2f%%)\n%!" path (reduction_pct m)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's own hot paths           *)
 (* ------------------------------------------------------------------ *)
 
@@ -701,6 +870,7 @@ let sections =
     ("fig11", fig11);
     ("fig12", fig12);
     ("fig13", fig13);
+    ("fabric", fabric_bench);
     ("ablation_symcache", ablation_symcache);
     ("ablation_channel", ablation_channel);
     ("ablation_porting", ablation_porting);
@@ -711,16 +881,23 @@ let sections =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* --json additionally writes the fabric metrics to BENCH_fabric.json
+     (CI uploads it as an artifact); it composes with section names. *)
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  (match args with
   | [ "--list" ] -> List.iter (fun (name, _) -> printf "%s\n" name) sections
   | [] ->
-      printf "Multiverse reproduction benchmarks (all sections)\n";
-      printf "machine: 2 sockets x 4 cores @ 2.2 GHz (simulated)\n";
-      List.iter (fun (_, f) -> f ()) sections
+      if not json then begin
+        printf "Multiverse reproduction benchmarks (all sections)\n";
+        printf "machine: 2 sockets x 4 cores @ 2.2 GHz (simulated)\n";
+        List.iter (fun (_, f) -> f ()) sections
+      end
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name sections with
           | Some f -> f ()
           | None -> printf "unknown section %s (try --list)\n" name)
-        names
+        names);
+  if json then write_fabric_json "BENCH_fabric.json"

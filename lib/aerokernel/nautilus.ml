@@ -169,6 +169,20 @@ let remerge t =
   Machine.charge t.machine t.machine.Machine.costs.Costs.merge_address_space;
   merge_lower_half t ~from
 
+(* Would the access succeed against the current ROS master table?  True
+   means the HRT's merged copy is merely stale and a local re-merge fixes
+   the fault without any ROS involvement — the promotion-table fast path
+   for repeat lower-half faults. *)
+let page_resolves t addr ~write =
+  match t.merged_from with
+  | None -> false
+  | Some src -> (
+      match Page_table.walk src addr with
+      | Some pte, _ ->
+          Page_table.has pte.Page_table.pte_flags Page_table.f_present
+          && ((not write) || Page_table.has pte.Page_table.pte_flags Page_table.f_writable)
+      | None, _ -> false)
+
 let access t addr ~write =
   let costs = t.machine.Machine.costs in
   let exec = t.machine.Machine.exec in

@@ -75,6 +75,15 @@ val access : t -> Mv_hw.Addr.t -> write:bool -> unit
     the same page re-merges the PML4 (paper, Section 4.4).
     @raise Failure on higher-half faults or when no services are wired. *)
 
+val remerge : t -> unit
+(** Re-copy the lower half from the current ROS root (asking the wired
+    services for it) and shoot down HRT TLBs.  Charges the merge cost. *)
+
+val page_resolves : t -> Mv_hw.Addr.t -> write:bool -> bool
+(** Whether the access would succeed against the {e ROS} master table —
+    i.e. the HRT copy is merely stale and a local {!remerge} fixes the
+    fault with no ROS round trip. *)
+
 val syscall : t -> name:string -> (unit -> unit) -> unit
 (** The system-call stub: charges the ring-0 trap, red-zone stack pull and
     SYSRET emulation, then forwards. *)

@@ -10,6 +10,7 @@ module Exec = Mv_engine.Exec
 module Sim = Mv_engine.Sim
 module Addr = Mv_hw.Addr
 module Event_channel = Mv_hvm.Event_channel
+module Fabric = Mv_hvm.Fabric
 module Fault_plan = Mv_faults.Fault_plan
 module Nautilus = Mv_aerokernel.Nautilus
 module Env = Mv_guest.Env
@@ -157,18 +158,116 @@ let broken_dedup =
         ping_pong_run ~dedup:false ~kind:Event_channel.Async ~calls:6 ~strategy ~faults);
   }
 
+(* --- fabric: batching/routing/degradation on the forwarding fabric --- *)
+
+(* [callers] concurrent HRT-side threads hammer one fabric endpoint: while
+   a leader call is in flight the rest ride the batching ring, so the
+   schedule sweep exercises every leader/rider/drain interleaving and the
+   slot-reclaim race.  At-most-once payload execution must hold for every
+   request even when the channel drops or duplicates deliveries and the
+   watchdog's Partner_kill site takes pollers down mid-run. *)
+let fabric_run ~callers ~calls ~kind ~strategy ~faults =
+  let machine = Machine.create () in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  if Fault_plan.enabled faults then Fault_plan.bind faults machine;
+  let fabric = Fabric.create ~faults machine ~kind in
+  Fabric.start_pool fabric
+    ~spawn:(fun ~name ~core body -> Exec.spawn exec ~cpu:core ~name body)
+    ~cores:[ 0; 1 ] ();
+  let ep = Fabric.endpoint fabric ~name:"shared" ~ros_core:0 ~hrt_core:7 in
+  let runs = Array.make (callers * calls) 0 in
+  let completed = Array.make (callers * calls) false in
+  let threads =
+    List.init callers (fun c ->
+        Exec.spawn exec ~cpu:7 ~name:(Printf.sprintf "hrt-caller-%d" c)
+          (fun () ->
+            for i = 0 to calls - 1 do
+              let slot = (c * calls) + i in
+              Fabric.call fabric ep
+                {
+                  Event_channel.req_kind = Printf.sprintf "req-%d-%d" c i;
+                  req_run = (fun () -> runs.(slot) <- runs.(slot) + 1);
+                };
+              completed.(slot) <- true
+            done))
+  in
+  ignore
+    (Exec.spawn exec ~cpu:0 ~name:"coordinator" (fun () ->
+         List.iter (fun th -> Exec.join exec th) threads;
+         Fabric.shutdown fabric));
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  let at_most_once () =
+    let bad = ref Pass in
+    Array.iteri
+      (fun i n ->
+        if !bad = Pass then
+          if n > 1 then
+            bad := failf "request %d payload executed %d times (at-most-once violated)" i n
+          else if completed.(i) && n <> 1 then
+            bad := failf "request %d completed but payload ran %d times" i n)
+      runs;
+    !bad
+  in
+  all
+    [
+      (fun () -> check_quiesced exec ~quiesced);
+      (fun () ->
+        if Array.for_all (fun c -> c) completed then Pass
+        else Fail "a caller never finished its calls");
+      at_most_once;
+    ]
+
+let fabric_batch =
+  {
+    sc_name = "fabric-batch";
+    sc_descr =
+      "four concurrent callers batching through one fabric endpoint (leader \
+       rings, riders queue into the shared ring); at-most-once and bounded \
+       quiescence must hold under drop/duplicate faults and poller kills";
+    sc_fault_specs =
+      [
+        {
+          fs_rate = 0.4;
+          fs_sites =
+            [ Fault_plan.Chan_drop; Fault_plan.Chan_duplicate; Fault_plan.Partner_kill ];
+        };
+      ];
+    sc_expect_bug = false;
+    sc_run =
+      (fun ~strategy ~faults ->
+        fabric_run ~callers:4 ~calls:4 ~kind:Event_channel.Async ~strategy ~faults);
+  }
+
+let fabric_degrade =
+  {
+    sc_name = "fabric-degrade";
+    sc_descr =
+      "sync fabric endpoint under heavy channel loss: calls must complete \
+       exactly once through the degradation chain (sync -> async fallback, \
+       then ROS-native reroute) under schedule perturbation";
+    sc_fault_specs = [ { fs_rate = 0.7; fs_sites = [ Fault_plan.Chan_drop ] } ];
+    sc_expect_bug = false;
+    sc_run =
+      (fun ~strategy ~faults ->
+        fabric_run ~callers:2 ~calls:4 ~kind:Event_channel.Sync ~strategy ~faults);
+  }
+
 (* --- full-stack scenarios: boot, execution groups, merge + forwarding --- *)
 
 (* Daemons that legitimately stay parked after a healthy full-stack run:
-   the AeroKernel event loop and any partner thread re-entered into
-   [serve_next] after its group completed. *)
+   the AeroKernel event loop, any partner thread still waiting on its
+   group, and fabric pollers parked on the run queue. *)
 let contains_sub s sub =
   let n = String.length s and m = String.length sub in
   let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
   at 0
 
+let has_prefix s p =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
 let full_stack_daemon name =
-  name = "nk/event-loop" || contains_sub name "/partner"
+  name = "nk/event-loop" || contains_sub name "/partner" || has_prefix name "fabric/"
 
 let run_full ?(options = Toolchain.default_mv_options) ~name ~expect_stdout
     ~extra_checks prog ~strategy ~faults =
@@ -313,15 +412,68 @@ let merge_fault =
         merge_prog;
   }
 
+let many_groups_prog =
+  {
+    Toolchain.prog_name = "mvcheck-manygroups";
+    prog_main =
+      (fun env ->
+        let libc = Libc.create env in
+        let n = 4 in
+        let slots = Array.make n 0 in
+        let spawn i =
+          env.Env.thread_create ~name:(Printf.sprintf "grp-%d" i) (fun () ->
+              let acc = ref 0 in
+              for k = 1 to 4 do
+                env.Env.work 15_000;
+                ignore (env.Env.getrusage ());
+                acc := !acc + k
+              done;
+              slots.(i) <- !acc)
+        in
+        let ts = List.init n spawn in
+        List.iter env.Env.thread_join ts;
+        Libc.printf libc "many %d %d %d %d\n" slots.(0) slots.(1) slots.(2) slots.(3);
+        Libc.flush_all libc);
+  }
+
+let multi_group =
+  {
+    sc_name = "multi-group";
+    sc_descr =
+      "four concurrent execution groups routed over the shared poller pool \
+       (more groups than dedicated servers); every forwarded syscall must \
+       complete and every join converge, also under loss and poller kills";
+    sc_fault_specs =
+      [ { fs_rate = 0.3; fs_sites = [ Fault_plan.Chan_drop; Fault_plan.Partner_kill ] } ];
+    sc_expect_bug = false;
+    sc_run =
+      run_full ~name:"mvcheck-manygroups" ~expect_stdout:"many 10 10 10 10\n"
+        ~extra_checks:
+          [
+            (fun rt ->
+              let groups = Runtime.groups_created rt in
+              if groups >= 5 then Pass
+              else failf "expected >= 5 execution groups, saw %d" groups);
+            (fun rt ->
+              let calls = Fabric.calls (Runtime.fabric rt) in
+              if calls >= 16 then Pass
+              else failf "expected >= 16 fabric calls, saw %d" calls);
+          ]
+        many_groups_prog;
+  }
+
 let all_scenarios =
   [
     racy_wakeup;
     ping_pong Event_channel.Async;
     ping_pong Event_channel.Sync;
     broken_dedup;
+    fabric_batch;
+    fabric_degrade;
     boot_handshake;
     group_respawn;
     merge_fault;
+    multi_group;
   ]
 
 let find name = List.find_opt (fun sc -> sc.sc_name = name) all_scenarios

@@ -1,21 +1,51 @@
 type record = { at : Mv_util.Cycles.t; category : string; message : string }
 
+(* Entries are kept newest-first, plus a per-category index maintained on
+   emit so [records_in]/[count_in] are O(category size)/O(1) instead of
+   rebuilding and filtering the full reversed list per call (bench runs
+   with tracing on used to go quadratic in hot categories). *)
+type bucket = { mutable b_entries : record list (* newest first *); mutable b_count : int }
+
 type t = {
   mutable enabled : bool;
   capacity : int;
   mutable entries : record list;  (* newest first *)
   mutable count : int;
+  by_category : (string, bucket) Hashtbl.t;
 }
 
 let create ?(enabled = false) ?(capacity = 100_000) () =
-  { enabled; capacity; entries = []; count = 0 }
+  { enabled; capacity; entries = []; count = 0; by_category = Hashtbl.create 16 }
 
 let enable t flag = t.enabled <- flag
 
+let bucket t category =
+  match Hashtbl.find_opt t.by_category category with
+  | Some b -> b
+  | None ->
+      let b = { b_entries = []; b_count = 0 } in
+      Hashtbl.replace t.by_category category b;
+      b
+
+let reindex t =
+  Hashtbl.reset t.by_category;
+  (* [t.entries] is newest-first; fold from the oldest end so each bucket
+     also ends up newest-first. *)
+  List.fold_right
+    (fun r () ->
+      let b = bucket t r.category in
+      b.b_entries <- r :: b.b_entries;
+      b.b_count <- b.b_count + 1)
+    t.entries ()
+
 let emit t ~at ~category message =
   if t.enabled then begin
-    t.entries <- { at; category; message } :: t.entries;
+    let r = { at; category; message } in
+    t.entries <- r :: t.entries;
     t.count <- t.count + 1;
+    let b = bucket t category in
+    b.b_entries <- r :: b.b_entries;
+    b.b_count <- b.b_count + 1;
     if t.count > t.capacity then begin
       (* Drop the oldest half; O(n) but amortized and rare. *)
       let keep = t.capacity / 2 in
@@ -24,16 +54,27 @@ let emit t ~at ~category message =
         | x :: rest -> if n = 0 then List.rev acc else take (n - 1) (x :: acc) rest
       in
       t.entries <- take keep [] t.entries;
-      t.count <- keep
+      t.count <- keep;
+      reindex t
     end
   end
 
 let records t = List.rev t.entries
-let records_in t ~category = List.filter (fun r -> r.category = category) (records t)
+
+let records_in t ~category =
+  match Hashtbl.find_opt t.by_category category with
+  | Some b -> List.rev b.b_entries
+  | None -> []
+
+let count_in t ~category =
+  match Hashtbl.find_opt t.by_category category with
+  | Some b -> b.b_count
+  | None -> 0
 
 let clear t =
   t.entries <- [];
-  t.count <- 0
+  t.count <- 0;
+  Hashtbl.reset t.by_category
 
 let pp ppf t =
   List.iter

@@ -16,5 +16,11 @@ val records : t -> record list
 (** In emission order. *)
 
 val records_in : t -> category:string -> record list
+(** In emission order; served from a per-category index maintained on
+    emit, so repeated queries don't re-filter the whole trace. *)
+
+val count_in : t -> category:string -> int
+(** O(1) count of records in a category. *)
+
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -36,6 +36,7 @@ type t = {
   queue : entry Queue.t;
   mutable serving : entry option;
   mutable server_wake : (entry -> unit) option;
+  mutable notify : (unit -> unit) option;
   mutable failed : bool;
   mutable n_calls : int;
   mutable n_timeouts : int;
@@ -73,6 +74,7 @@ let create ?(faults = Fault_plan.none) ?(dedup = true) machine ~kind ~ros_core ~
     queue = Queue.create ();
     serving = None;
     server_wake = None;
+    notify = None;
     failed = false;
     n_calls = 0;
     n_timeouts = 0;
@@ -116,6 +118,15 @@ let try_deliver t =
         (fun () -> swake e)
   | Some _ | None -> ()
 
+let set_notify t hook = t.notify <- hook
+
+(* Each enqueued entry raises the doorbell: either the externally-installed
+   notify hook (the fabric's poller pool) or the classic parked-server
+   delivery.  Notify is at-least-once — consumers must treat an empty poll
+   as a no-op. *)
+let kick t =
+  match t.notify with Some f -> f () | None -> try_deliver t
+
 let call t req =
   if t.failed then raise (Channel_failure req.req_kind);
   let done_ = ref false in
@@ -142,9 +153,11 @@ let call t req =
           in
           if not (Fault_plan.fire t.faults Fault_plan.Chan_drop req.req_kind) then begin
             Queue.add entry t.queue;
-            if Fault_plan.fire t.faults Fault_plan.Chan_duplicate req.req_kind then
+            kick t;
+            if Fault_plan.fire t.faults Fault_plan.Chan_duplicate req.req_kind then begin
               Queue.add entry t.queue;
-            try_deliver t
+              kick t
+            end
           end;
           match t.res with
           | Some r ->
@@ -187,7 +200,7 @@ let post t req =
      recoverable by a caller-side timeout, so they are not fault sites. *)
   t.n_calls <- t.n_calls + 1;
   Queue.add { e_req = req; e_complete = None; e_done = ref false; e_corrupt = false } t.queue;
-  try_deliver t
+  kick t
 
 let complete t =
   match t.serving with
@@ -231,6 +244,27 @@ let rec serve_next t =
             t.server_wake <- Some wake)
       in
       accept e
+
+(* Non-blocking server-side take, for poller-pool servers that multiplex
+   several channels and must not park on any single one.  Charges the same
+   poll/notice latency as the queue-pop path of [serve_next] (including
+   injected delivery delay) so single-channel timing is unchanged. *)
+let rec poll_next t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some e ->
+      t.serving <- Some e;
+      Machine.charge t.machine (deliver_latency t e.e_req.req_kind);
+      if e.e_corrupt then begin
+        t.serving <- None;
+        t.n_protocol_errors <- t.n_protocol_errors + 1;
+        raise (Protocol_error ("corrupt request discarded: " ^ e.e_req.req_kind))
+      end
+      else if t.dedup && !(e.e_done) then begin
+        complete t;
+        poll_next t
+      end
+      else Some e.e_req
 
 let serve_loop t ~on_request =
   let rec go () =

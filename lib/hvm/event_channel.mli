@@ -75,6 +75,17 @@ val serve_next : t -> request
 (** Block until a request arrives (server side).
     @raise Protocol_error on an injected-corrupt request (discarded). *)
 
+val poll_next : t -> request option
+(** Non-blocking server-side take: [None] when the queue is empty.  For
+    poller-pool servers multiplexing several channels.  Charges the same
+    poll/notice latency as {!serve_next}'s queue-pop path.
+    @raise Protocol_error on an injected-corrupt request (discarded). *)
+
+val set_notify : t -> (unit -> unit) option -> unit
+(** Install (or clear) a doorbell hook fired once per enqueued entry in
+    place of the parked-server delivery of {!serve_next}.  At-least-once:
+    the consumer must treat an empty {!poll_next} as a no-op. *)
+
 val complete : t -> unit
 (** Finish the request obtained from {!serve_next}: wakes the caller if it
     was a {!call}; a no-op for {!post}ed requests.

@@ -1,0 +1,608 @@
+module Machine = Mv_engine.Machine
+module Exec = Mv_engine.Exec
+module Sim = Mv_engine.Sim
+module Fault_plan = Mv_faults.Fault_plan
+open Mv_hw
+
+(* Ring-slot protocol: a rider's request is Pending until either a server
+   drain takes it (Pending -> Taken -> Done) or the rider's own timeout
+   reclaims it (Pending -> Claimed) to re-dispatch through the transport.
+   Both transitions read-check-write with no cycle charge in between, so
+   they are host-atomic and at most one of them ever wins: the payload
+   runs exactly once. *)
+type slot_state = Slot_pending | Slot_claimed | Slot_taken | Slot_done
+
+type slot = {
+  sl_req : Event_channel.request;
+  mutable sl_state : slot_state;
+  mutable sl_wake : (unit -> unit) option;
+}
+
+type endpoint = {
+  ep_name : string;
+  ep_chan : Event_channel.t;
+  ep_ring : slot Queue.t;  (* the shared-page batching ring *)
+  mutable ep_inflight : bool;  (* a leader call is mid-flight *)
+  mutable ep_npending : int;  (* Pending slots awaiting a drain *)
+  mutable ep_busy : bool;  (* a poller owns this channel's server side *)
+  mutable ep_announced : bool;  (* a run-queue token for this endpoint is outstanding *)
+  mutable ep_attentive : bool;  (* the owning poller is busy-polling the ring *)
+}
+
+type local_entry = { le_promote_after : int; le_cost : int }
+
+type t = {
+  fb_machine : Machine.t;
+  fb_kind : Event_channel.kind;
+  fb_faults : Fault_plan.t;
+  fb_heartbeat : int;
+  mutable fb_batching : bool;
+  fb_runq : endpoint Queue.t;  (* doorbells awaiting a poller *)
+  fb_parked : (Exec.thread * (unit -> unit)) Queue.t;
+  mutable fb_pollers : Exec.thread list;
+  mutable fb_spawn : (name:string -> core:int -> (unit -> unit) -> Exec.thread) option;
+  mutable fb_cores : int list;
+  mutable fb_next_poller : int;
+  mutable fb_stop : bool;
+  mutable fb_wakes_pending : int;  (* poller wakeups scheduled but not yet run *)
+  mutable fb_endpoints : endpoint list;
+  mutable fb_inject_ep : endpoint option;
+  fb_locals : (string, local_entry) Hashtbl.t;
+  fb_promo : (string * string, int ref) Hashtbl.t;  (* (kind, key) -> hits *)
+  mutable n_calls : int;
+  mutable n_transport : int;
+  mutable n_riders : int;
+  mutable n_ride_timeouts : int;
+  mutable n_drains : int;
+  mutable n_drained : int;
+  mutable n_local_hits : int;
+  mutable n_local_misses : int;
+  mutable n_errno_retries : int;
+  mutable n_reroutes : int;
+  mutable n_fallbacks : int;
+  mutable n_respawns : int;
+}
+
+let create ?(faults = Fault_plan.none) ?(batching = true) ?heartbeat machine ~kind =
+  let heartbeat =
+    match heartbeat with
+    | Some h -> h
+    | None -> 4 * machine.Machine.costs.Costs.async_channel_rtt
+  in
+  {
+    fb_machine = machine;
+    fb_kind = kind;
+    fb_faults = faults;
+    fb_heartbeat = heartbeat;
+    fb_batching = batching;
+    fb_runq = Queue.create ();
+    fb_parked = Queue.create ();
+    fb_pollers = [];
+    fb_spawn = None;
+    fb_cores = [];
+    fb_next_poller = 0;
+    fb_stop = false;
+    fb_wakes_pending = 0;
+    fb_endpoints = [];
+    fb_inject_ep = None;
+    fb_locals = Hashtbl.create 8;
+    fb_promo = Hashtbl.create 32;
+    n_calls = 0;
+    n_transport = 0;
+    n_riders = 0;
+    n_ride_timeouts = 0;
+    n_drains = 0;
+    n_drained = 0;
+    n_local_hits = 0;
+    n_local_misses = 0;
+    n_errno_retries = 0;
+    n_reroutes = 0;
+    n_fallbacks = 0;
+    n_respawns = 0;
+  }
+
+let set_batching t flag = t.fb_batching <- flag
+let batching t = t.fb_batching
+let resilient t = Fault_plan.enabled t.fb_faults
+let channel ep = ep.ep_chan
+let endpoint_name ep = ep.ep_name
+
+(* Ring costs: shared-memory stores and flag polls, a fraction of the
+   sync-channel round trip (both live in the shared data page). *)
+let ring_cost t = t.fb_machine.Machine.costs.Costs.sync_channel_same_socket / 4
+let ack_latency t = t.fb_machine.Machine.costs.Costs.sync_channel_same_socket / 2
+
+let sched_now t fn =
+  let exec = t.fb_machine.Machine.exec in
+  let sim = Exec.sim exec in
+  Sim.schedule_at sim (max (Exec.local_now exec) (Sim.now sim)) fn
+
+let sched_after t delay fn =
+  let exec = t.fb_machine.Machine.exec in
+  let sim = Exec.sim exec in
+  Sim.schedule_at sim (max (Exec.local_now exec) (Sim.now sim) + delay) fn
+
+(* --- batching ring drain (shared between servers and leaders) --- *)
+
+(* Runs server-side (in whichever context executes the drain): service
+   every Pending slot, ack riders through the shared page. *)
+let drain_ring t ep =
+  if not (Queue.is_empty ep.ep_ring) then begin
+    t.n_drains <- t.n_drains + 1;
+    let rec go () =
+      match Queue.take_opt ep.ep_ring with
+      | None -> ()
+      | Some slot ->
+          (match slot.sl_state with
+          | Slot_claimed | Slot_done | Slot_taken -> ()  (* reclaimed or stale *)
+          | Slot_pending ->
+              slot.sl_state <- Slot_taken;
+              (* Ring scan + payload fetch from the shared page. *)
+              Machine.charge t.fb_machine (ring_cost t);
+              slot.sl_req.Event_channel.req_run ();
+              slot.sl_state <- Slot_done;
+              ep.ep_npending <- ep.ep_npending - 1;
+              t.n_drained <- t.n_drained + 1;
+              (* Completion flag store + the rider's poll notice. *)
+              (match slot.sl_wake with
+              | Some w ->
+                  slot.sl_wake <- None;
+                  sched_after t (ack_latency t) w
+              | None -> ()));
+          go ()
+    in
+    go ()
+  end
+
+(* --- poller pool (the ROS side) --- *)
+
+let rec wake_poller t =
+  match Queue.take_opt t.fb_parked with
+  | None -> ()  (* every poller is busy; they re-check the runq before parking *)
+  | Some (th, wake) ->
+      if Exec.state t.fb_machine.Machine.exec th = Exec.Finished then
+        (* Killed while parked: its waker is stale, try the next one. *)
+        wake_poller t
+      else begin
+        (* Count scheduled-but-not-yet-run wakeups so the pool watchdog can
+           tell a stranded token (its wakeup died with a killed poller) from
+           one that is already being picked up. *)
+        t.fb_wakes_pending <- t.fb_wakes_pending + 1;
+        sched_now t (fun () ->
+            t.fb_wakes_pending <- t.fb_wakes_pending - 1;
+            wake ())
+      end
+
+(* How many empty ring polls an attentive server tolerates before parking
+   again, and therefore how long doorbell suppression outlives the
+   doorbell: a burst of callers pays one transport round trip total, then
+   rides the shared page at store+poll cost. *)
+let attentive_polls = 4
+
+let serve_endpoint t ep =
+  (* One poller at a time may own a channel's server side ([serving] is
+     per-channel state); losers drop the token — the owner drains until
+     both the channel and the ring are empty, so nothing is lost.  The
+     final empty scan, the flag clears and the exit happen in one
+     host-atomic segment, so a request enqueued after them always raises
+     a fresh doorbell. *)
+  if not ep.ep_busy then begin
+    ep.ep_busy <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        ep.ep_busy <- false;
+        ep.ep_attentive <- false)
+      (fun () ->
+        let rec drain served =
+          match Event_channel.poll_next ep.ep_chan with
+          | None ->
+              let before = t.n_drained in
+              drain_ring t ep;
+              if t.n_drained > before then drain true else served
+          | Some req ->
+              req.Event_channel.req_run ();
+              Event_channel.complete ep.ep_chan;
+              drain true
+          | exception Event_channel.Protocol_error msg ->
+              Machine.trace_emit t.fb_machine ~category:"resilience"
+                ("server survived: " ^ msg);
+              drain served
+        in
+        (* The first pass answers the doorbell that woke us.  Afterwards
+           stay attentive: keep polling the shared ring for a few beats so
+           follow-up requests ride instead of paying a fresh doorbell and
+           transport pickup ("Look Mum, no VM Exits!"-style exit-less
+           servicing on the partitioned server side). *)
+        let rec attentive misses =
+          if misses < attentive_polls && not t.fb_stop then begin
+            Exec.sleep t.fb_machine.Machine.exec (ack_latency t);
+            if drain false then attentive 0 else attentive (misses + 1)
+          end
+        in
+        if drain false then begin
+          ep.ep_attentive <- true;
+          attentive 0
+        end)
+  end
+
+let poller_loop t () =
+  let exec = t.fb_machine.Machine.exec in
+  let me = Exec.self exec in
+  let rec go () =
+    if not t.fb_stop then
+      match Queue.take_opt t.fb_runq with
+      | Some ep ->
+          (* Clearing the token flag before serving keeps the doorbell
+             live: entries enqueued while we drain re-announce themselves
+             (and the announce-then-check order below makes the last one
+             visible to whoever serves). *)
+          ep.ep_announced <- false;
+          serve_endpoint t ep;
+          go ()
+      | None ->
+          Exec.block exec ~reason:"fabric:poll" (fun ~now:_ ~wake ->
+              Queue.add (me, fun () -> wake ()) t.fb_parked);
+          go ()
+  in
+  go ()
+
+let spawn_poller t =
+  match t.fb_spawn with
+  | None -> failwith "Fabric: poller pool not started"
+  | Some spawn ->
+      let cores = match t.fb_cores with [] -> [ 0 ] | cs -> cs in
+      let core = List.nth cores (t.fb_next_poller mod List.length cores) in
+      let name = Printf.sprintf "fabric/poller-%d" t.fb_next_poller in
+      t.fb_next_poller <- t.fb_next_poller + 1;
+      spawn ~name ~core (poller_loop t)
+
+(* Pool watchdog (armed only under a fault plan): respawn dead pollers one
+   beat after they die — recovery mirrors the per-group partner watchdog
+   it replaces — and drive the Partner_kill injection site.  A poller may
+   only be killed while parked idle, so exactly-once payload execution
+   survives the kill. *)
+let rec pool_monitor t () =
+  if not t.fb_stop then begin
+    let exec = t.fb_machine.Machine.exec in
+    t.fb_pollers <-
+      List.map
+        (fun th ->
+          if Exec.state exec th = Exec.Finished then begin
+            t.n_respawns <- t.n_respawns + 1;
+            Machine.trace_emit t.fb_machine ~category:"resilience"
+              (Printf.sprintf "watchdog respawn poller (was %s)" (Exec.name th));
+            spawn_poller t
+          end
+          else th)
+        t.fb_pollers;
+    List.iter
+      (fun th ->
+        match Exec.state exec th with
+        | Exec.Blocked r
+          when r = "fabric:poll"
+               && Fault_plan.fire t.fb_faults Fault_plan.Partner_kill (Exec.name th) ->
+            Exec.kill exec th
+        | _ -> ())
+      t.fb_pollers;
+    (* Tokens whose wakeup died with a killed poller are re-announced.
+       The pending-wake guard keeps this from firing on a token that is
+       already being picked up — under a never-firing plan this branch is
+       unreachable, preserving schedule neutrality. *)
+    if (not (Queue.is_empty t.fb_runq)) && t.fb_wakes_pending = 0 then wake_poller t;
+    Sim.schedule_after (Exec.sim exec) t.fb_heartbeat (pool_monitor t)
+  end
+
+let start_pool t ~spawn ~cores ?size () =
+  let size = match size with Some n -> max 1 n | None -> max 2 (List.length cores) in
+  t.fb_spawn <- Some spawn;
+  t.fb_cores <- cores;
+  for _ = 1 to size do
+    t.fb_pollers <- spawn_poller t :: t.fb_pollers
+  done;
+  if resilient t then
+    Sim.schedule_after (Exec.sim t.fb_machine.Machine.exec) t.fb_heartbeat (pool_monitor t)
+
+let endpoint t ~name ~ros_core ~hrt_core =
+  let ch =
+    Event_channel.create ~faults:t.fb_faults t.fb_machine ~kind:t.fb_kind ~ros_core
+      ~hrt_core
+  in
+  let ep =
+    {
+      ep_name = name;
+      ep_chan = ch;
+      ep_ring = Queue.create ();
+      ep_inflight = false;
+      ep_npending = 0;
+      ep_busy = false;
+      ep_announced = false;
+      ep_attentive = false;
+    }
+  in
+  (* The channel doorbell becomes a fabric run-queue token, suppressed
+     while one is already outstanding for this endpoint: the token's owner
+     drains the channel until empty, so one token covers any number of
+     enqueued entries (and the run queue never accumulates stale tokens). *)
+  Event_channel.set_notify ch
+    (Some
+       (fun () ->
+         if not ep.ep_announced then begin
+           ep.ep_announced <- true;
+           Queue.add ep t.fb_runq;
+           wake_poller t
+         end));
+  t.fb_endpoints <- ep :: t.fb_endpoints;
+  ep
+
+let shutdown t =
+  t.fb_stop <- true;
+  let exec = t.fb_machine.Machine.exec in
+  let rec release () =
+    match Queue.take_opt t.fb_parked with
+    | None -> ()
+    | Some (th, wake) ->
+        if Exec.state exec th <> Exec.Finished then sched_now t wake;
+        release ()
+  in
+  release ()
+
+(* --- transport with graceful degradation --- *)
+
+(* Last-resort degradation: the endpoint (or the whole HRT partition) is
+   lost, so instead of wedging, pay a native trap and run the payload in
+   the caller's context — the legacy path that always works. *)
+let reroute t (req : Event_channel.request) =
+  t.n_reroutes <- t.n_reroutes + 1;
+  Machine.trace_emit t.fb_machine ~category:"resilience"
+    ("reroute ros-native: " ^ req.Event_channel.req_kind);
+  Machine.charge t.fb_machine t.fb_machine.Machine.costs.Costs.syscall_trap;
+  req.Event_channel.req_run ()
+
+(* Channel call with the degradation chain: on exhausted retries a Sync
+   endpoint falls back to the always-works Async hypercall channel; if
+   even that fails, the endpoint is declared dead and this plus all
+   subsequent requests reroute to ROS-native execution. *)
+let transport t ep (req : Event_channel.request) =
+  t.n_transport <- t.n_transport + 1;
+  if not (resilient t) then Event_channel.call ep.ep_chan req
+  else if Event_channel.failed ep.ep_chan then reroute t req
+  else
+    try Event_channel.call ep.ep_chan req
+    with Event_channel.Channel_failure _ ->
+      if Event_channel.kind ep.ep_chan = Event_channel.Sync then begin
+        Event_channel.degrade_to_async ep.ep_chan;
+        t.n_fallbacks <- t.n_fallbacks + 1;
+        Machine.trace_emit t.fb_machine ~category:"resilience"
+          ("fallback sync->async: " ^ req.Event_channel.req_kind);
+        try Event_channel.call ep.ep_chan req
+        with Event_channel.Channel_failure _ ->
+          Event_channel.mark_failed ep.ep_chan;
+          reroute t req
+      end
+      else begin
+        Event_channel.mark_failed ep.ep_chan;
+        reroute t req
+      end
+
+(* --- batching: leaders, riders --- *)
+
+(* Ride while somebody will service the ring without a new doorbell: a
+   leader's doorbell is pending, or the endpoint's server is attentively
+   polling the shared page. *)
+let rec dispatch t ep (req : Event_channel.request) =
+  if t.fb_batching && (ep.ep_inflight || ep.ep_attentive) then ride t ep req
+  else lead t ep req
+
+(* The leader rings the doorbell for everyone: its payload carries a ring
+   drain that services every rider queued so far.  The suppression window
+   is "doorbell rung but not yet answered" — the server closes it (first
+   thing in the payload) before scanning the ring, so a caller arriving
+   after the scan rings its own doorbell instead of waiting on a ride
+   nobody will service.  The post-transport loop is only a backstop for
+   degraded paths; on the healthy path the window discipline guarantees
+   the payload drain leaves no rider pending. *)
+and lead t ep (req : Event_channel.request) =
+  ep.ep_inflight <- true;
+  Fun.protect
+    ~finally:(fun () -> ep.ep_inflight <- false)
+    (fun () ->
+      transport t ep
+        {
+          req with
+          Event_channel.req_run =
+            (fun () ->
+              ep.ep_inflight <- false;
+              req.Event_channel.req_run ();
+              drain_ring t ep);
+        };
+      (* Backstop for degraded paths only: an attentive server is already
+         committed to the remaining slots, and on the healthy path the
+         window discipline leaves none pending. *)
+      while ep.ep_npending > 0 && not ep.ep_attentive do
+        transport t ep
+          { Event_channel.req_kind = "#drain"; req_run = (fun () -> drain_ring t ep) }
+      done)
+
+(* A rider queues into the shared-page ring: no hypercall, no doorbell —
+   the in-flight leader's drain services it.  Under a fault plan the ride
+   carries its own timeout; a timed-out Pending slot is reclaimed
+   (host-atomically, see the slot-state comment) and re-dispatched. *)
+and ride t ep (req : Event_channel.request) =
+  t.n_riders <- t.n_riders + 1;
+  let exec = t.fb_machine.Machine.exec in
+  let slot = { sl_req = req; sl_state = Slot_pending; sl_wake = None } in
+  Queue.add slot ep.ep_ring;
+  ep.ep_npending <- ep.ep_npending + 1;
+  (* The ring-slot store into the shared page. *)
+  Machine.charge t.fb_machine (ring_cost t);
+  let timeout = if resilient t then Some (64 * Event_channel.rtt ep.ep_chan) else None in
+  let rec wait () =
+    let outcome =
+      Exec.block exec
+        ~reason:("fabric:ride:" ^ req.Event_channel.req_kind)
+        (fun ~now ~wake ->
+          let live = ref true in
+          slot.sl_wake <-
+            Some
+              (fun () ->
+                if !live then begin
+                  live := false;
+                  wake `Done
+                end);
+          match timeout with
+          | Some cycles ->
+              Sim.schedule_at (Exec.sim exec) (now + cycles) (fun () ->
+                  if !live then begin
+                    live := false;
+                    wake `Timeout
+                  end)
+          | None -> ())
+    in
+    match outcome with
+    | `Done -> ()
+    | `Timeout -> (
+        match slot.sl_state with
+        | Slot_done -> ()  (* the drain won the race *)
+        | Slot_taken -> wait ()  (* server mid-payload: re-arm and keep waiting *)
+        | Slot_pending ->
+            (* Reclaim and escalate: ring our own doorbell after all. *)
+            slot.sl_state <- Slot_claimed;
+            ep.ep_npending <- ep.ep_npending - 1;
+            t.n_ride_timeouts <- t.n_ride_timeouts + 1;
+            Machine.trace_emit t.fb_machine ~category:"resilience"
+              ("ride timeout, escalating: " ^ req.Event_channel.req_kind);
+            dispatch t ep req
+        | Slot_claimed -> assert false)
+  in
+  wait ()
+
+(* --- promotion table (HRT-local fast paths) --- *)
+
+let install_local t ~kind ?(promote_after = 0) ?(cost = 0) () =
+  Hashtbl.replace t.fb_locals kind { le_promote_after = promote_after; le_cost = cost }
+
+let local_path t ~key ~local_try (req : Event_channel.request) =
+  match Hashtbl.find_opt t.fb_locals req.Event_channel.req_kind with
+  | None -> false
+  | Some le ->
+      let k = (req.Event_channel.req_kind, Option.value key ~default:"") in
+      let hits =
+        match Hashtbl.find_opt t.fb_promo k with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.replace t.fb_promo k r;
+            r
+      in
+      if !hits >= le.le_promote_after then begin
+        let attempt =
+          match local_try with
+          | Some f -> f
+          | None ->
+              fun () ->
+                req.Event_channel.req_run ();
+                true
+        in
+        if attempt () then begin
+          incr hits;
+          if le.le_cost > 0 then Machine.charge t.fb_machine le.le_cost;
+          t.n_local_hits <- t.n_local_hits + 1;
+          true
+        end
+        else begin
+          (* Demote: this key goes back to forwarding and must re-earn
+             promotion (e.g. a write-barrier page that keeps re-faulting). *)
+          hits := 0;
+          t.n_local_misses <- t.n_local_misses + 1;
+          false
+        end
+      end
+      else begin
+        incr hits;
+        false
+      end
+
+(* --- the caller-facing entry point --- *)
+
+let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request) =
+  t.n_calls <- t.n_calls + 1;
+  if not (local_path t ~key ~local_try req) then
+    if not (errno_site && resilient t) then dispatch t ep req
+    else begin
+      (* Spurious-errno injection and retry for forwarded syscalls: the
+         server-side runner draws the errno stream; an injected errno means
+         the payload never ran, so retry with exponential backoff and after
+         persistent failures run it ROS-natively. *)
+      let rec go attempt backoff =
+        let ran = ref false in
+        let wrapped =
+          {
+            req with
+            Event_channel.req_run =
+              (fun () ->
+                if Event_channel.failed ep.ep_chan then begin
+                  ran := true;
+                  req.Event_channel.req_run ()
+                end
+                else
+                  match Fault_plan.syscall_errno t.fb_faults req.Event_channel.req_kind with
+                  | Some _errno -> ()  (* spurious errno: the payload never ran *)
+                  | None ->
+                      ran := true;
+                      req.Event_channel.req_run ());
+          }
+        in
+        dispatch t ep wrapped;
+        if not !ran then
+          if attempt >= 4 then begin
+            t.n_reroutes <- t.n_reroutes + 1;
+            Machine.trace_emit t.fb_machine ~category:"resilience"
+              ("reroute ros-native after spurious errnos: " ^ req.Event_channel.req_kind);
+            Machine.charge t.fb_machine t.fb_machine.Machine.costs.Costs.syscall_trap;
+            req.Event_channel.req_run ()
+          end
+          else begin
+            t.n_errno_retries <- t.n_errno_retries + 1;
+            Machine.trace_emit t.fb_machine ~category:"resilience"
+              (Printf.sprintf "retry %d after spurious errno: %s" (attempt + 1)
+                 req.Event_channel.req_kind);
+            Machine.charge t.fb_machine backoff;
+            go (attempt + 1) (backoff * 2)
+          end
+      in
+      go 0 (Event_channel.rtt ep.ep_chan)
+    end
+
+(* --- injection (signals) --- *)
+
+let set_inject_endpoint t ep = t.fb_inject_ep <- Some ep
+
+let inject t ?(kind = "#signal-inject") fn =
+  match t.fb_inject_ep with
+  | Some ep -> Event_channel.post ep.ep_chan { Event_channel.req_kind = kind; req_run = fn }
+  | None ->
+      (* No injection endpoint wired: deliver after an async round trip,
+         the pre-fabric HVM behavior. *)
+      sched_after t t.fb_machine.Machine.costs.Costs.async_channel_rtt fn
+
+(* --- counters --- *)
+
+let calls t = t.n_calls
+let transport_calls t = t.n_transport
+let riders t = t.n_riders
+let ride_timeouts t = t.n_ride_timeouts
+let drains t = t.n_drains
+let drained t = t.n_drained
+let local_hits t = t.n_local_hits
+let local_misses t = t.n_local_misses
+
+let retries t =
+  List.fold_left
+    (fun acc ep -> acc + Event_channel.retries ep.ep_chan)
+    t.n_errno_retries t.fb_endpoints
+
+let fallbacks t = t.n_fallbacks
+let reroutes t = t.n_reroutes
+let respawns t = t.n_respawns
+let endpoints t = List.length t.fb_endpoints
+let pollers t = List.length t.fb_pollers

@@ -1,0 +1,148 @@
+(** The forwarding fabric: one typed transport layer for every ROS<->HRT
+    interaction (forwarded syscalls, replicated page faults, signal
+    injection), built on {!Event_channel}.
+
+    The fabric adds three things over raw per-group channels:
+
+    - {b Request batching + doorbell suppression.}  While a leader call is
+      in flight on an endpoint, subsequent forwarded calls from the same
+      execution group enqueue into a shared-page ring instead of raising
+      their own doorbell; the server drains the whole ring in one wakeup
+      ("Look Mum, no VM Exits!", arXiv:1705.06932 — exit suppression on
+      partitioned cores).  A rider pays shared-memory stores (a fraction of
+      the sync-channel cost) instead of a hypercall plus a round trip.
+
+    - {b Routing.}  Per-group channels become fabric {e endpoints}, served
+      by a shared ROS-side poller pool instead of one dedicated
+      partner-busy-loop per group, so concurrent execution groups scale
+      past the number of partner threads.  Channel doorbells enqueue the
+      endpoint on a run queue; any idle poller picks it up.
+
+    - {b HRT-local fast paths.}  A promotion table services repeat
+      lower-half faults post-merge and vdso-like calls locally without
+      touching the transport at all (the paper's PML4 re-merge escape
+      hatch, generalized).
+
+    The resilience machinery introduced with the fault-injection harness —
+    per-call timeout/retry at the channel layer, spurious-errno retry for
+    forwarded syscalls, Sync->Async degradation, ROS-native rerouting when
+    a channel dies, and a watchdog that respawns killed servers — lives
+    here once, instead of being copied into every caller.  With
+    {!Mv_faults.Fault_plan.none} every resilience path is dormant and the
+    fabric is cycle-neutral relative to direct channel calls. *)
+
+type t
+type endpoint
+
+val create :
+  ?faults:Mv_faults.Fault_plan.t ->
+  ?batching:bool ->
+  ?heartbeat:int ->
+  Mv_engine.Machine.t ->
+  kind:Event_channel.kind ->
+  t
+(** [heartbeat] is the poller-watchdog period in cycles (default: four
+    async round trips); the watchdog only runs under an enabled fault
+    plan.  [batching] defaults to [true]. *)
+
+val set_batching : t -> bool -> unit
+val batching : t -> bool
+
+val start_pool :
+  t ->
+  spawn:(name:string -> core:int -> (unit -> unit) -> Mv_engine.Exec.thread) ->
+  cores:int list ->
+  ?size:int ->
+  unit ->
+  unit
+(** Spawn the shared ROS-side poller pool ([size] defaults to
+    [max 2 (length cores)]), spreading pollers round-robin over [cores].
+    [spawn] is the host's thread factory (the runtime passes
+    [Kernel.spawn_thread] so pollers account like any process thread).
+    Under an enabled fault plan this also arms the pool watchdog:
+    respawning dead pollers and driving the [Partner_kill] injection site
+    (a poller may only be killed while parked idle, so no payload is ever
+    mid-execution when the kill lands). *)
+
+val endpoint : t -> name:string -> ros_core:int -> hrt_core:int -> endpoint
+(** Create a fabric endpoint (an event channel plus its batching ring) and
+    wire its doorbell into the poller run queue. *)
+
+val channel : endpoint -> Event_channel.t
+val endpoint_name : endpoint -> string
+
+val call :
+  t ->
+  endpoint ->
+  ?key:string ->
+  ?errno_site:bool ->
+  ?local_try:(unit -> bool) ->
+  Event_channel.request ->
+  unit
+(** Forward a request (thread context, HRT side); returns when the payload
+    has executed exactly once — on the ROS side via the transport, batched
+    into another call's drain, locally via a promoted fast path, or
+    ROS-natively after the transport degraded all the way down.
+
+    [key] sub-indexes the promotion table (e.g. the faulting page);
+    [local_try] attempts local servicing once promoted, returning whether
+    it succeeded (failure demotes the entry and falls back to the
+    transport).  [errno_site] arms spurious-errno injection and retry for
+    this request under an enabled fault plan. *)
+
+val inject : t -> ?kind:string -> (unit -> unit) -> unit
+(** Fire-and-forget injection (safe outside thread context): posts onto
+    the dedicated injection endpoint, falling back to an async-RTT
+    delayed event when none is wired. *)
+
+val set_inject_endpoint : t -> endpoint -> unit
+
+val install_local : t -> kind:string -> ?promote_after:int -> ?cost:int -> unit -> unit
+(** Register a request kind in the promotion table: after [promote_after]
+    forwarded calls per key (default 0: immediately), {!call} attempts
+    local servicing first, charging [cost] cycles per local hit
+    (default 0: the [local_try] closure does its own accounting). *)
+
+val shutdown : t -> unit
+(** Stop the pool: wake parked pollers so they exit and stop the
+    watchdog.  Endpoints stay usable for draining in-flight work. *)
+
+(** {1 Counters} *)
+
+val calls : t -> int
+(** Requests entering {!call}. *)
+
+val transport_calls : t -> int
+(** Requests that went through an {!Event_channel.call} (leaders and
+    drain rounds), i.e. doorbells actually rung. *)
+
+val riders : t -> int
+(** Requests batched into a ring instead of ringing their own doorbell
+    (= doorbells suppressed). *)
+
+val ride_timeouts : t -> int
+val drains : t -> int
+(** Ring drain rounds executed server-side. *)
+
+val drained : t -> int
+(** Total ring slots serviced across all drains. *)
+
+val local_hits : t -> int
+val local_misses : t -> int
+
+val retries : t -> int
+(** Channel-level timeout retries across all endpoints plus
+    spurious-errno retries. *)
+
+val fallbacks : t -> int
+(** Sync -> Async endpoint degradations. *)
+
+val reroutes : t -> int
+(** Requests run ROS-natively after their endpoint died (or errno
+    injection persisted). *)
+
+val respawns : t -> int
+(** Pollers respawned by the pool watchdog. *)
+
+val endpoints : t -> int
+val pollers : t -> int

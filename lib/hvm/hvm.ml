@@ -14,6 +14,7 @@ type t = {
   mutable n_hypercalls : int;
   mutable n_exits : int;
   mutable ros_signal_handler : (int -> unit) option;
+  mutable signal_transport : ((unit -> unit) -> unit) option;
   mutable faults : Fault_plan.t;
 }
 
@@ -27,6 +28,7 @@ let create machine ~ros =
     n_hypercalls = 0;
     n_exits = 0;
     ros_signal_handler = None;
+    signal_transport = None;
     faults = Fault_plan.none;
   }
 
@@ -80,6 +82,7 @@ let hrt_create_thread t p ~name ?core body =
   Nautilus.request_create_thread nk ~name ~core body
 
 let register_ros_signal t ~handler = t.ros_signal_handler <- Some handler
+let set_signal_transport t transport = t.signal_transport <- transport
 
 let raise_signal_to_ros t ~payload =
   (* "Interrupt to user": the HVM records the raise and injects the handler
@@ -87,12 +90,15 @@ let raise_signal_to_ros t ~payload =
      Section 2).  Lower priority than real interrupts and guest signals. *)
   match t.ros_signal_handler with
   | None -> failwith "Hvm.raise_signal_to_ros: no handler registered"
-  | Some handler ->
-      let exec = t.machine.Machine.exec in
-      let delay = t.machine.Machine.costs.Costs.async_channel_rtt in
-      Sim.schedule_at (Exec.sim exec)
-        (max (Exec.local_now exec) (Sim.now (Exec.sim exec)) + delay)
-        (fun () -> handler payload)
+  | Some handler -> (
+      match t.signal_transport with
+      | Some transport -> transport (fun () -> handler payload)
+      | None ->
+          let exec = t.machine.Machine.exec in
+          let delay = t.machine.Machine.costs.Costs.async_channel_rtt in
+          Sim.schedule_at (Exec.sim exec)
+            (max (Exec.local_now exec) (Sim.now (Exec.sim exec)) + delay)
+            (fun () -> handler payload))
 
 let inject_exception_to_hrt t f =
   (* Exception injection takes precedence within the HRT; model as a

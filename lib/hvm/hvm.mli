@@ -58,6 +58,12 @@ val raise_signal_to_ros : t -> payload:int -> unit
 (** HRT side: raise an asynchronous signal; the HVM waits for a user-mode
     entry window and injects the handler invocation (~11 us). *)
 
+val set_signal_transport : t -> ((unit -> unit) -> unit) option -> unit
+(** Route HRT-to-ROS signal injections through an external transport (the
+    forwarding fabric's async endpoint) instead of the built-in
+    schedule-at-RTT path.  The transport receives the ready-to-run handler
+    invocation.  [None] restores the built-in path. *)
+
 val inject_exception_to_hrt : t -> (unit -> unit) -> unit
 (** ROS-to-HRT signal: exception injection, highest precedence, prompt. *)
 

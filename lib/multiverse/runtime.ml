@@ -1,9 +1,9 @@
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
-module Sim = Mv_engine.Sim
 module Nautilus = Mv_aerokernel.Nautilus
 module Hvm = Mv_hvm.Hvm
 module Event_channel = Mv_hvm.Event_channel
+module Fabric = Mv_hvm.Fabric
 module Fault_plan = Mv_faults.Fault_plan
 open Mv_ros
 open Mv_hw
@@ -18,12 +18,12 @@ let full_porting = { port_mmap = true; port_signals = true; port_faults = true }
 type group = {
   g_id : int;
   g_name : string;
-  g_channel : Event_channel.t;
-  g_ros_core : int;
+  g_ep : Fabric.endpoint;
   mutable g_partner : Exec.thread option;
   mutable g_hrt : Exec.thread option;
   mutable g_done : bool;  (* flipped by the HRT-exit signal handler *)
-  mutable g_stack : Addr.t option;  (* ROS-side stack, freed by whichever partner survives *)
+  mutable g_wake : (unit -> unit) option;  (* the parked partner *)
+  mutable g_stack : Addr.t option;  (* ROS-side stack, freed by the partner *)
 }
 
 type t = {
@@ -33,21 +33,15 @@ type t = {
   the_nk : Nautilus.t;
   the_symbols : Symbols.t;
   the_config : Override_config.t;
-  channel_kind : Event_channel.kind;
+  the_fabric : Fabric.t;
   porting : porting;
   faults : Fault_plan.t;
-  heartbeat : int;  (* watchdog / kill-driver period in cycles *)
-  channels : (int, Event_channel.t) Hashtbl.t;  (* HRT tid -> channel *)
+  channels : (int, Fabric.endpoint) Hashtbl.t;  (* HRT tid -> endpoint *)
   groups : (int, group) Hashtbl.t;
-  partner_groups : (int, group) Hashtbl.t;  (* partner tid -> its group *)
   mutable next_group : int;
   nk_signals : Signal.t;  (* HRT-local signal table when port_signals *)
   mutable n_local_faults : int;
   mutable n_overridden : int;
-  mutable n_fwd_retries : int;  (* retries after spurious forwarded errnos *)
-  mutable n_fallbacks : int;  (* sync -> async channel degradations *)
-  mutable n_respawns : int;  (* watchdog partner respawns *)
-  mutable n_reroutes : int;  (* requests rerouted to ROS-native execution *)
   mutable the_env : Mv_guest.Env.t option;
   mutable shutting_down : bool;
   mutable hrt_rr : int;  (* round-robin cursor over the HRT cores *)
@@ -61,91 +55,27 @@ let in_hrt_context t =
   let core = Exec.cpu_of (Exec.self (machine t).Machine.exec) in
   Topology.role (machine t).Machine.topo core = Topology.Hrt_core
 
-let chan_of_self t =
-  let tid = Exec.tid (Exec.self (machine t).Machine.exec) in
-  match Hashtbl.find_opt t.channels tid with
-  | Some ch -> ch
-  | None -> failwith "Multiverse: HRT thread has no event channel"
+let ep_of_self t =
+  let self = Exec.self (machine t).Machine.exec in
+  match Hashtbl.find_opt t.channels (Exec.tid self) with
+  | Some ep -> ep
+  | None ->
+      failwith
+        (Printf.sprintf "Multiverse: HRT thread has no fabric endpoint (%s)"
+           (Exec.name self))
 
-let resilient t = Fault_plan.enabled t.faults
-
-(* Last-resort degradation: the HRT partition (or its channel) is lost, so
-   instead of wedging, run the group's work in ROS-native fashion — pay a
-   native trap and execute the payload directly (paper framing: fall all
-   the way back to the legacy path that always works). *)
-let reroute t name run =
-  t.n_reroutes <- t.n_reroutes + 1;
-  Machine.trace_emit (machine t) ~category:"resilience" ("reroute ros-native: " ^ name);
-  Machine.charge (machine t) (machine t).Machine.costs.Costs.syscall_trap;
-  run ()
-
-(* Channel call with graceful degradation: on exhausted retries a Sync
-   channel falls back to the always-works Async hypercall channel (the
-   paper's baseline); if even that fails, the channel is declared dead and
-   this plus all subsequent requests reroute to ROS-native execution. *)
-let resilient_call t ch (req : Event_channel.request) =
-  if not (resilient t) then Event_channel.call ch req
-  else if Event_channel.failed ch then reroute t req.req_kind req.req_run
-  else
-    try Event_channel.call ch req
-    with Event_channel.Channel_failure _ ->
-      if Event_channel.kind ch = Event_channel.Sync then begin
-        Event_channel.degrade_to_async ch;
-        t.n_fallbacks <- t.n_fallbacks + 1;
-        Machine.trace_emit (machine t) ~category:"resilience"
-          ("fallback sync->async: " ^ req.req_kind);
-        try Event_channel.call ch req
-        with Event_channel.Channel_failure _ ->
-          Event_channel.mark_failed ch;
-          reroute t req.req_kind req.req_run
-      end
-      else begin
-        Event_channel.mark_failed ch;
-        reroute t req.req_kind req.req_run
-      end
-
-(* Forward a typed operation over the current execution group's channel;
-   the partner thread runs the payload in ROS context.  Under a fault plan
-   the forwarded syscall may spuriously fail (EAGAIN/ENOSYS): retry with
-   exponential backoff, and after persistent failures run it ROS-natively. *)
+(* Forward a typed operation through the Nautilus syscall stub; its wired
+   service ships the payload over the current execution group's fabric
+   endpoint, where it runs in ROS context (a pool poller, or batched into
+   another call's drain).  All resilience — spurious-errno retry, channel
+   timeout/backoff, Sync->Async degradation, ROS-native rerouting — lives
+   in the fabric now. *)
 let forward (type a) t name (f : unit -> a) : a =
-  if not (resilient t) then begin
-    let result = ref None in
-    Nautilus.syscall t.the_nk ~name (fun () -> result := Some (f ()));
-    match !result with
-    | Some v -> v
-    | None -> failwith ("Multiverse.forward: no result for " ^ name)
-  end
-  else begin
-    let ch = chan_of_self t in
-    let rec go attempt backoff =
-      let result = ref None in
-      Nautilus.syscall t.the_nk ~name (fun () ->
-          if Event_channel.failed ch then result := Some (f ())
-          else
-            match Fault_plan.syscall_errno t.faults name with
-            | Some _errno -> ()  (* spurious errno: the payload never ran *)
-            | None -> result := Some (f ()));
-      match !result with
-      | Some v -> v
-      | None ->
-          if attempt >= 4 then begin
-            t.n_reroutes <- t.n_reroutes + 1;
-            Machine.trace_emit (machine t) ~category:"resilience"
-              ("reroute ros-native after spurious errnos: " ^ name);
-            Machine.charge (machine t) (machine t).Machine.costs.Costs.syscall_trap;
-            f ()
-          end
-          else begin
-            t.n_fwd_retries <- t.n_fwd_retries + 1;
-            Machine.trace_emit (machine t) ~category:"resilience"
-              (Printf.sprintf "retry %d after spurious errno: %s" (attempt + 1) name);
-            Machine.charge (machine t) backoff;
-            go (attempt + 1) (backoff * 2)
-          end
-    in
-    go 0 (Event_channel.rtt ch)
-  end
+  let result = ref None in
+  Nautilus.syscall t.the_nk ~name (fun () -> result := Some (f ()));
+  match !result with
+  | Some v -> v
+  | None -> failwith ("Multiverse.forward: no result for " ^ name)
 
 (* --- Nautilus service wiring --- *)
 
@@ -182,8 +112,7 @@ let service_fault_local t addr ~write =
       end
       else begin
         (* Signals not ported: replicate to the ROS for delivery. *)
-        let ch = chan_of_self t in
-        resilient_call t ch
+        Fabric.call t.the_fabric (ep_of_self t)
           {
             Event_channel.req_kind = "#signal";
             req_run = (fun () -> Kernel.deliver_signal t.ros t.proc info);
@@ -192,13 +121,22 @@ let service_fault_local t addr ~write =
       end
 
 let service_fault_forwarded t addr ~write =
-  let ch = chan_of_self t in
-  resilient_call t ch
+  (* Repeat faults on a page whose mapping already exists in the ROS master
+     table are promoted to an HRT-local re-merge: the PML4 copy is merely
+     stale and no ROS round trip is needed (paper, Section 4.4). *)
+  Fabric.call t.the_fabric (ep_of_self t)
+    ~key:(Printf.sprintf "%x" (Addr.page_of addr))
+    ~local_try:(fun () ->
+      if Nautilus.page_resolves t.the_nk addr ~write then begin
+        Nautilus.remerge t.the_nk;
+        true
+      end
+      else false)
     {
       Event_channel.req_kind = "#pf";
       req_run =
         (fun () ->
-          (* The partner replicates the access; the same exception occurs on
+          (* The server replicates the access; the same exception occurs on
              the ROS core and is handled as it would be natively, including
              SIGSEGV delivery to the registered handler. *)
           match Kernel.service_fault t.ros t.proc addr ~write with
@@ -216,30 +154,16 @@ let wire_services t =
           else service_fault_forwarded t addr ~write);
       svc_forward_syscall =
         (fun name run ->
-          let ch = chan_of_self t in
-          resilient_call t ch { Event_channel.req_kind = name; req_run = run });
-      svc_request_remerge =
-        (fun () -> Mm.page_table t.proc.Process.mm);
+          Fabric.call t.the_fabric (ep_of_self t) ~errno_site:true
+            { Event_channel.req_kind = name; req_run = run });
+      svc_request_remerge = (fun () -> Mm.page_table t.proc.Process.mm);
     }
 
 (* --- execution groups (split execution) --- *)
 
-let rec serve_group t g =
-  match Event_channel.serve_next g.g_channel with
-  | req ->
-      req.Event_channel.req_run ();
-      Event_channel.complete g.g_channel;
-      if not g.g_done then serve_group t g
-  | exception Event_channel.Protocol_error msg ->
-      (* A protocol violation (e.g. an injected-corrupt request) must not
-         take the partner down with it: trace and keep serving. *)
-      Machine.trace_emit (machine t) ~category:"resilience" ("server survived: " ^ msg);
-      if not g.g_done then serve_group t g
-
-(* HRT thread exited (or the partner is winding down): unbind the HRT tid
-   and free the ROS-side stack.  Runs in whichever partner incarnation
-   survives to the end — a killed partner leaves [g_stack] set for its
-   respawned successor. *)
+(* HRT thread exited (or the runtime is winding down): unbind the HRT tid
+   and free the ROS-side stack.  Runs in the partner thread after its wait
+   is released. *)
 let partner_cleanup t g =
   let mach = machine t in
   (match g.g_hrt with
@@ -252,43 +176,18 @@ let partner_cleanup t g =
       ignore (Syscalls.munmap t.ros t.proc ~addr:stack ~len:hrt_stack_size)
   | None -> ()
 
-let partner_serve t g =
-  serve_group t g;
-  partner_cleanup t g
-
-(* Watchdog (armed only under a fault plan): every heartbeat, check the
-   group's partner.  A dead partner is respawned and the channel's server
-   state reset — in-flight calls recover via their own timeout/retry.  The
-   same beat doubles as the Partner_kill injection driver: a partner may
-   only be killed while parked in [serve_next] (no payload can be
-   mid-execution there, so exactly-once semantics survive the kill). *)
-let rec group_monitor t g () =
-  if (not g.g_done) && not t.shutting_down then begin
-    (match g.g_partner with
-    | Some p -> (
-        match Exec.state (machine t).Machine.exec p with
-        | Exec.Finished -> respawn_partner t g
-        | Exec.Blocked r
-          when r = "evtchan:serve"
-               && Fault_plan.fire t.faults Fault_plan.Partner_kill g.g_name ->
-            Exec.kill (machine t).Machine.exec p;
-            Event_channel.reset_server g.g_channel
-        | _ -> ())
-    | None -> ());
-    Sim.schedule_after (Exec.sim (machine t).Machine.exec) t.heartbeat (group_monitor t g)
+(* Mark the group done and release its parked partner.  Runs from the
+   HRT-exit signal handler (delivered through the fabric's injection
+   endpoint) or from [shutdown]. *)
+let finish_group g =
+  if not g.g_done then begin
+    g.g_done <- true;
+    match g.g_wake with
+    | Some wake ->
+        g.g_wake <- None;
+        wake ()
+    | None -> ()
   end
-
-and respawn_partner t g =
-  t.n_respawns <- t.n_respawns + 1;
-  Machine.trace_emit (machine t) ~category:"resilience"
-    (Printf.sprintf "watchdog respawn partner for group %d (%s)" g.g_id g.g_name);
-  Event_channel.reset_server g.g_channel;
-  let partner =
-    Kernel.spawn_thread t.ros t.proc ~name:(g.g_name ^ "/partner+") ~cpu:g.g_ros_core
-      (fun () -> partner_serve t g)
-  in
-  Hashtbl.replace t.partner_groups (Exec.tid partner) g;
-  g.g_partner <- Some partner
 
 let create_group t ~name fn =
   let gid = t.next_group in
@@ -299,24 +198,24 @@ let create_group t ~name fn =
   let hrt_cores = Topology.hrt_cores mach.Machine.topo in
   let hrt_core = List.nth hrt_cores (t.hrt_rr mod List.length hrt_cores) in
   t.hrt_rr <- t.hrt_rr + 1;
-  let ch = Event_channel.create ~faults:t.faults mach ~kind:t.channel_kind ~ros_core ~hrt_core in
+  let ep = Fabric.endpoint t.the_fabric ~name ~ros_core ~hrt_core in
   let g =
     {
       g_id = gid;
       g_name = name;
-      g_channel = ch;
-      g_ros_core = ros_core;
+      g_ep = ep;
       g_partner = None;
       g_hrt = None;
       g_done = false;
+      g_wake = None;
       g_stack = None;
     }
   in
   Hashtbl.replace t.groups gid g;
   let hrt_body () =
-    (* First thing on the HRT side: bind this thread to its group channel
+    (* First thing on the HRT side: bind this thread to its group endpoint
        (nested threads inherit it). *)
-    Hashtbl.replace t.channels (Exec.tid (Exec.self mach.Machine.exec)) ch;
+    Hashtbl.replace t.channels (Exec.tid (Exec.self mach.Machine.exec)) ep;
     (try fn (Option.get t.the_env)
      with Kernel.Process_killed _ -> ());
     (* Signal exit: the HVM injects an "interrupt to user" whose handler
@@ -336,71 +235,57 @@ let create_group t ~name fn =
     in
     g.g_stack <- Some stack;
     (* ... then asks the HVM to create the HRT thread (superimposing
-       GDT/TLS state on the target core), and serves the event channel. *)
+       GDT/TLS state on the target core).  The group's events are served
+       by the fabric's shared poller pool, so the partner itself just
+       waits for the HRT-exit signal: [pthread_join] semantics without a
+       dedicated busy-loop server per group. *)
     let hrt_th = Hvm.hrt_create_thread t.hvm t.proc ~name:(name ^ "/hrt") ~core:hrt_core hrt_body in
     g.g_hrt <- Some hrt_th;
-    Hashtbl.replace t.channels (Exec.tid hrt_th) ch;
+    Hashtbl.replace t.channels (Exec.tid hrt_th) ep;
     Kernel.register_foreign_thread t.ros t.proc hrt_th;
-    partner_serve t g
+    if not g.g_done then
+      Exec.block mach.Machine.exec ~reason:"partner:wait" (fun ~now:_ ~wake ->
+          g.g_wake <- Some (fun () -> wake ()));
+    partner_cleanup t g
   in
   let partner =
     Kernel.spawn_thread t.ros t.proc ~name:(name ^ "/partner") ~cpu:ros_core partner_body
   in
   g.g_partner <- Some partner;
-  Hashtbl.replace t.partner_groups (Exec.tid partner) g;
-  if resilient t then
-    Sim.schedule_after (Exec.sim mach.Machine.exec) t.heartbeat (group_monitor t g);
   partner
 
 let hrt_invoke t ~name fn =
   if t.shutting_down then failwith "Multiverse: runtime is shutting down";
   if in_hrt_context t then
     (* pthread_create from HRT context: the group creation itself is a
-       request to the ROS side, served by our partner. *)
+       request to the ROS side, served through the fabric. *)
     forward t "hrt-invoke" (fun () -> create_group t ~name fn)
   else create_group t ~name fn
 
-(* Joining a group must survive partner respawns: [Exec.join] on a killed
-   partner returns as soon as that incarnation dies, so chase the group's
-   current partner until the group is done and its last partner finished. *)
-let join t partner =
-  let exec = (machine t).Machine.exec in
-  if not (resilient t) then Exec.join exec partner
-  else
-    match Hashtbl.find_opt t.partner_groups (Exec.tid partner) with
-    | None -> Exec.join exec partner
-    | Some g ->
-        let rec wait th =
-          Exec.join exec th;
-          let cur = Option.value g.g_partner ~default:th in
-          if Exec.tid cur <> Exec.tid th then wait cur
-          else if not g.g_done then begin
-            (* Partner dead, respawn pending: give the watchdog a beat. *)
-            Exec.sleep exec t.heartbeat;
-            wait (Option.value g.g_partner ~default:th)
-          end
-        in
-        wait partner
+(* Partners are never fault-injection targets (the kill site drives the
+   fabric's poller pool instead), so joining a group is a plain join on
+   its partner thread. *)
+let join t partner = Exec.join (machine t).Machine.exec partner
 
 (* Nested HRT threads (paper, Figure 7): created from inside the HRT,
    cheap AeroKernel threads with no partner; their events go through the
-   creator's execution-group channel. *)
+   creator's execution-group endpoint. *)
 let create_nested t ~name body =
   if not (in_hrt_context t) then
     failwith "Multiverse.create_nested: only callable from HRT context";
-  let ch = chan_of_self t in
+  let ep = ep_of_self t in
   let mach = machine t in
   let core = Exec.cpu_of (Exec.self mach.Machine.exec) in
   let th =
     Nautilus.create_thread_local t.the_nk ~name ~core (fun () ->
-        (* Bind to the parent's channel before anything can fault. *)
-        Hashtbl.replace t.channels (Exec.tid (Exec.self mach.Machine.exec)) ch;
+        (* Bind to the parent's endpoint before anything can fault. *)
+        Hashtbl.replace t.channels (Exec.tid (Exec.self mach.Machine.exec)) ep;
         Fun.protect
           ~finally:(fun () ->
             Hashtbl.remove t.channels (Exec.tid (Exec.self mach.Machine.exec)))
           body)
   in
-  Hashtbl.replace t.channels (Exec.tid th) ch;
+  Hashtbl.replace t.channels (Exec.tid th) ep;
   Kernel.register_foreign_thread t.ros t.proc th;
   th
 
@@ -408,14 +293,8 @@ let join_nested t th = Nautilus.join_thread t.the_nk th
 
 let shutdown t =
   t.shutting_down <- true;
-  Hashtbl.iter
-    (fun _ g ->
-      if not g.g_done then begin
-        g.g_done <- true;
-        Event_channel.post g.g_channel
-          { Event_channel.req_kind = "shutdown"; req_run = (fun () -> ()) }
-      end)
-    t.groups
+  Hashtbl.iter (fun _ g -> finish_group g) t.groups;
+  Fabric.shutdown t.the_fabric
 
 (* --- the HRT-side guest ABI --- *)
 
@@ -430,10 +309,10 @@ let override_call t name =
   | None -> failwith ("Multiverse: no override entry for " ^ name)
 
 (* The hybridized program's ABI.  Split execution means the {e same} code
-   can run on either side: HRT threads forward over their group's event
-   channel, while guest code momentarily executing in ROS context (e.g. a
-   SIGSEGV handler the partner delivers during fault replication) takes
-   the native path.  Dispatch per call site on the current core's role. *)
+   can run on either side: HRT threads forward over their group's fabric
+   endpoint, while guest code momentarily executing in ROS context (e.g. a
+   SIGSEGV handler delivered during fault replication) takes the native
+   path.  Dispatch per call site on the current core's role. *)
 let make_env t : Mv_guest.Env.t =
   let mach = machine t in
   let ros = t.ros and proc = t.proc in
@@ -551,9 +430,32 @@ let make_env t : Mv_guest.Env.t =
         else fwd "rt_sigprocmask" (fun () -> Syscalls.rt_sigprocmask ros proc ~block ~signo));
     (* vdso calls execute locally in the merged address space — the HRT
        core's sparse TLB makes them slightly faster than under
-       virtualization (Figure 9). *)
-    gettimeofday = (fun () -> Syscalls.gettimeofday ros proc);
-    getpid = (fun () -> Syscalls.getpid ros proc);
+       virtualization (Figure 9).  They still route through the fabric so
+       the promotion table accounts them as local fast-path hits. *)
+    gettimeofday =
+      (fun () ->
+        if hrt_side () then begin
+          let r = ref 0. in
+          Fabric.call t.the_fabric (ep_of_self t)
+            {
+              Event_channel.req_kind = "gettimeofday";
+              req_run = (fun () -> r := Syscalls.gettimeofday ros proc);
+            };
+          !r
+        end
+        else Syscalls.gettimeofday ros proc);
+    getpid =
+      (fun () ->
+        if hrt_side () then begin
+          let r = ref 0 in
+          Fabric.call t.the_fabric (ep_of_self t)
+            {
+              Event_channel.req_kind = "getpid";
+              req_run = (fun () -> r := Syscalls.getpid ros proc);
+            };
+          !r
+        end
+        else Syscalls.getpid ros proc);
     getrusage =
       (fun () ->
         if hrt_side () then fwd "getrusage" (fun () -> Syscalls.getrusage ros proc)
@@ -664,6 +566,14 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
   register_nk_variants nk config;
   Fault_plan.bind faults mach;
   Hvm.set_faults hvm faults;
+  (* The forwarding fabric: one transport layer for every ROS<->HRT
+     interaction.  Watchdog period: a few async round trips — long enough
+     that a healthy poller always beats it, short enough to respawn
+     quickly. *)
+  let fabric =
+    Fabric.create ~faults ~heartbeat:(4 * costs.Costs.async_channel_rtt) mach
+      ~kind:channel_kind
+  in
   let t =
     {
       hvm;
@@ -672,43 +582,50 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
       the_nk = nk;
       the_symbols = Symbols.create nk ~use_cache:use_symbol_cache;
       the_config = config;
-      channel_kind;
+      the_fabric = fabric;
       porting;
       faults;
-      (* Watchdog period: a few async round trips — long enough that a
-         healthy partner always beats it, short enough to respawn quickly. *)
-      heartbeat = 4 * costs.Costs.async_channel_rtt;
       channels = Hashtbl.create 16;
       groups = Hashtbl.create 8;
-      partner_groups = Hashtbl.create 8;
       next_group = 1;
       nk_signals = Signal.create ();
       n_local_faults = 0;
       n_overridden = 0;
-      n_fwd_retries = 0;
-      n_fallbacks = 0;
-      n_respawns = 0;
-      n_reroutes = 0;
       the_env = None;
       shutting_down = false;
       hrt_rr = 0;
     }
   in
   (* Init tasks (Section 3.5): signal handlers, exit hook, linkage,
-     image installation, boot, merger. *)
+     image installation, boot, merger, fabric bring-up. *)
   Kernel.count_syscall ros proc "rt_sigaction";
   Hvm.register_ros_signal hvm ~handler:(fun gid ->
       match Hashtbl.find_opt t.groups gid with
-      | Some g ->
-          g.g_done <- true;
-          Event_channel.post g.g_channel
-            { Event_channel.req_kind = "hrt-exit"; req_run = (fun () -> ()) }
+      | Some g -> finish_group g
       | None -> ());
   Process.add_exit_hook proc (fun _ -> shutdown t);
   Hvm.install_hrt_image hvm ~image_kb nk;
   Hvm.boot_hrt hvm;
   Hvm.merge_address_space hvm proc;
   wire_services t;
+  (* The shared ROS-side poller pool replaces the per-group partner server
+     loops; pollers account like ordinary process threads. *)
+  let ros_cores = Topology.ros_cores mach.Machine.topo in
+  Fabric.start_pool fabric
+    ~spawn:(fun ~name ~core body -> Kernel.spawn_thread ros proc ~name ~cpu:core body)
+    ~cores:ros_cores ();
+  (* HRT-to-ROS signal injection rides a dedicated fabric endpoint. *)
+  let inject_ep =
+    Fabric.endpoint fabric ~name:"signals" ~ros_core:(List.hd ros_cores)
+      ~hrt_core:(Topology.first_hrt_core mach.Machine.topo)
+  in
+  Fabric.set_inject_endpoint fabric inject_ep;
+  Hvm.set_signal_transport hvm (Some (fun fn -> Fabric.inject fabric fn));
+  (* Local fast paths: vdso-like calls immediately, repeat page faults
+     after two forwarded occurrences per page. *)
+  Fabric.install_local fabric ~kind:"gettimeofday" ();
+  Fabric.install_local fabric ~kind:"getpid" ();
+  Fabric.install_local fabric ~kind:"#pf" ~promote_after:2 ();
   t.the_env <- Some (make_env t);
   t
 
@@ -718,19 +635,16 @@ let hrt_env t =
 let symbols t = t.the_symbols
 let config t = t.the_config
 let nk t = t.the_nk
+let fabric t = t.the_fabric
 let groups_created t = t.next_group - 1
 let faults_serviced_locally t = t.n_local_faults
 let overridden_calls t = t.n_overridden
 
-(* --- resilience counters --- *)
+(* --- resilience counters (delegated to the fabric) --- *)
 
 let fault_plan t = t.faults
 let faults_injected t = Fault_plan.injected t.faults
-
-let retries t =
-  (* Channel-level retries across all groups, plus forwarded-errno retries. *)
-  Hashtbl.fold (fun _ g acc -> acc + Event_channel.retries g.g_channel) t.groups t.n_fwd_retries
-
-let fallbacks t = t.n_fallbacks
-let respawns t = t.n_respawns
-let reroutes t = t.n_reroutes
+let retries t = Fabric.retries t.the_fabric
+let fallbacks t = Fabric.fallbacks t.the_fabric
+let respawns t = Fabric.respawns t.the_fabric
+let reroutes t = Fabric.reroutes t.the_fabric

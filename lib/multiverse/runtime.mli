@@ -4,14 +4,17 @@
     [init] performs the program-startup tasks the toolchain hooks in before
     [main()]: registering ROS signal handlers, hooking process exit,
     AeroKernel function linkage, parsing and installing the embedded
-    AeroKernel image, booting the HRT, and merging the address spaces.
+    AeroKernel image, booting the HRT, merging the address spaces, and
+    bringing up the forwarding fabric ({!Mv_hvm.Fabric}) with its shared
+    ROS-side poller pool.
 
     [hrt_invoke] implements split execution: each top-level HRT thread gets
-    a {e partner thread} in the ROS that allocates its ROS-side stack,
-    requests its creation via the HVM (superimposing GDT/TLS state), and
-    then serves its event channel until the HRT thread exits — signalled
-    back asynchronously, flipping a bit in the partner's state.  Joining
-    the partner is how [pthread_join] semantics are preserved. *)
+    a {e partner thread} in the ROS that allocates its ROS-side stack and
+    requests its creation via the HVM (superimposing GDT/TLS state).  The
+    group's events are served by the fabric's poller pool — the partner
+    itself just waits for the HRT-exit signal, so joining the partner is
+    how [pthread_join] semantics are preserved without a dedicated server
+    loop per group. *)
 
 exception Disallowed of string
 (** Raised when HRT-context code uses functionality Multiverse prohibits
@@ -43,17 +46,19 @@ val init :
     the program's main ROS thread).  Installs the default pthread
     overrides plus any from the fat binary's [.mv.overrides] section.
 
-    An enabled [faults] plan arms the whole resilience stack: lossy event
-    channels with timeout/retry/backoff, a per-group partner watchdog that
-    respawns killed partners, spurious-errno retry on forwarded syscalls,
-    and graceful degradation (Sync -> Async channel fallback, ROS-native
-    rerouting when a channel dies).  With the default [Fault_plan.none]
+    An enabled [faults] plan arms the fabric's whole resilience stack:
+    lossy event channels with timeout/retry/backoff, a pool watchdog that
+    respawns killed pollers, spurious-errno retry on forwarded syscalls,
+    and graceful degradation (Sync -> Async endpoint fallback, ROS-native
+    rerouting when an endpoint dies).  With the default [Fault_plan.none]
     every code path is byte-identical to the fault-free runtime. *)
 
 val hrt_env : t -> Mv_guest.Env.t
 (** The guest ABI as seen from HRT context: syscalls forward over the
-    execution group's event channel, vdso calls and overridden functions
-    run locally, memory faults follow the Nautilus forwarding path. *)
+    execution group's fabric endpoint (batching into in-flight calls when
+    possible), vdso calls and overridden functions run locally, memory
+    faults follow the Nautilus forwarding path with promoted repeat faults
+    re-merged locally. *)
 
 val hrt_invoke : t -> name:string -> (Mv_guest.Env.t -> unit) -> Mv_guest.Env.thread_handle
 (** Create an execution group running the function as a top-level HRT
@@ -66,25 +71,31 @@ val join : t -> Mv_guest.Env.thread_handle -> unit
 val create_nested : t -> name:string -> (unit -> unit) -> Mv_guest.Env.thread_handle
 (** From HRT context: create a {e nested} HRT thread (paper, Figure 7) —
     a pure AeroKernel thread with no partner of its own that raises its
-    events through the caller's top-level partner.  Join it with
+    events through the caller's execution-group endpoint.  Join it with
     {!join_nested}. *)
 
 val join_nested : t -> Mv_guest.Env.thread_handle -> unit
 (** Join a nested thread directly (AeroKernel join; no partner involved). *)
 
 val shutdown : t -> unit
-(** Poison all live partners (the process-exit hook calls this). *)
+(** Release all live partners and stop the fabric's poller pool (the
+    process-exit hook calls this). *)
 
 (** {1 Introspection} *)
 
 val symbols : t -> Symbols.t
 val config : t -> Override_config.t
 val nk : t -> Mv_aerokernel.Nautilus.t
+
+val fabric : t -> Mv_hvm.Fabric.t
+(** The forwarding fabric (batching/routing/fast-path counters live
+    there). *)
+
 val groups_created : t -> int
 val faults_serviced_locally : t -> int
 val overridden_calls : t -> int
 
-(** {1 Resilience counters} *)
+(** {1 Resilience counters (delegated to the fabric)} *)
 
 val fault_plan : t -> Mv_faults.Fault_plan.t
 
@@ -96,11 +107,11 @@ val retries : t -> int
     retries after spurious errnos. *)
 
 val fallbacks : t -> int
-(** Sync -> Async channel degradations. *)
+(** Sync -> Async endpoint degradations. *)
 
 val respawns : t -> int
-(** Partner threads respawned by the watchdog. *)
+(** Pollers respawned by the fabric watchdog. *)
 
 val reroutes : t -> int
-(** Requests rerouted to ROS-native execution after channel death or
+(** Requests rerouted to ROS-native execution after endpoint death or
     persistent spurious errnos. *)

@@ -16,9 +16,10 @@ type t = {
   mutable vm_exits : int;
   mutable silent_corruptions : int;
   wall_epoch : float;
-  mutable wall_started : (int * Mv_util.Cycles.t) list;
-  mutable wall_finished : (int * Mv_util.Cycles.t) list;
+  wall_started : (int, Mv_util.Cycles.t) Hashtbl.t;
+  wall_finished : (int, Mv_util.Cycles.t) Hashtbl.t;
   futexes : (int * int, (unit -> unit) Queue.t) Hashtbl.t;
+  ros_cores : int array;  (* cached for the O(1) round-robin picker *)
   mutable rr_next : int;
 }
 
@@ -39,9 +40,10 @@ let create ?(virtualized = false) machine =
       vm_exits = 0;
       silent_corruptions = 0;
       wall_epoch = 1_700_000_000.0;
-      wall_started = [];
-      wall_finished = [];
+      wall_started = Hashtbl.create 16;
+      wall_finished = Hashtbl.create 16;
       futexes = Hashtbl.create 32;
+      ros_cores = Array.of_list (Topology.ros_cores machine.Machine.topo);
       rr_next = 0;
     }
   in
@@ -82,9 +84,9 @@ let wall_seconds t = t.wall_epoch +. Mv_util.Cycles.to_sec (Machine.now t.machin
 
 let runtime_of t p =
   let pid = p.Process.pid in
-  let start = try List.assoc pid t.wall_started with Not_found -> 0 in
+  let start = Option.value (Hashtbl.find_opt t.wall_started pid) ~default:0 in
   let stop =
-    try List.assoc pid t.wall_finished with Not_found -> Machine.now t.machine
+    Option.value (Hashtbl.find_opt t.wall_finished pid) ~default:(Machine.now t.machine)
   in
   stop - start
 
@@ -108,7 +110,7 @@ let exit_process t p ~code =
     let hooks = p.Process.exit_hooks in
     p.Process.exit_hooks <- [];
     List.iter (fun h -> h p) hooks;
-    t.wall_finished <- (p.Process.pid, Machine.now t.machine) :: t.wall_finished;
+    Hashtbl.replace t.wall_finished p.Process.pid (Machine.now t.machine);
     finalize_rusage t p;
     let self_tid =
       match Exec.state t.machine.Machine.exec (Exec.self t.machine.Machine.exec) with
@@ -135,14 +137,13 @@ let exit_process t p ~code =
 let pick_ros_core t pref =
   match pref with
   | Some c -> c
-  | None -> (
-      let cores = Topology.ros_cores t.machine.Machine.topo in
-      match cores with
-      | [] -> 0
-      | _ ->
-          let c = List.nth cores (t.rr_next mod List.length cores) in
-          t.rr_next <- t.rr_next + 1;
-          c)
+  | None ->
+      if Array.length t.ros_cores = 0 then 0
+      else begin
+        let c = t.ros_cores.(t.rr_next mod Array.length t.ros_cores) in
+        t.rr_next <- t.rr_next + 1;
+        c
+      end
 
 (* Main-thread wrapper: returning from main exits the whole process, as
    returning from main() does via the C runtime's exit(). *)
@@ -160,7 +161,7 @@ let spawn_process t ~name ?cpu ?stdout_tee body =
   t.next_pid <- t.next_pid + 1;
   let p = Process.create t.machine ~pid ~name ?stdout_tee () in
   t.procs <- p :: t.procs;
-  t.wall_started <- (pid, Machine.now t.machine) :: t.wall_started;
+  Hashtbl.replace t.wall_started pid (Machine.now t.machine);
   let core = pick_ros_core t cpu in
   let th =
     Exec.spawn t.machine.Machine.exec ~cpu:core ~name:(name ^ "/main")

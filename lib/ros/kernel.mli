@@ -23,10 +23,11 @@ type t = {
   mutable silent_corruptions : int;
       (** ring-0 writes that bypassed read-only protections (CR0.WP clear) *)
   wall_epoch : float;  (** base wall-clock seconds at boot *)
-  mutable wall_started : (int * Mv_util.Cycles.t) list;  (** pid -> start *)
-  mutable wall_finished : (int * Mv_util.Cycles.t) list;  (** pid -> end *)
+  wall_started : (int, Mv_util.Cycles.t) Hashtbl.t;  (** pid -> start *)
+  wall_finished : (int, Mv_util.Cycles.t) Hashtbl.t;  (** pid -> end *)
   futexes : (int * int, (unit -> unit) Queue.t) Hashtbl.t;
       (** waiters keyed by (pid, futex word address) *)
+  ros_cores : int array;  (** cached topology for the O(1) core picker *)
   mutable rr_next : int;  (** round-robin cursor for thread placement *)
 }
 

@@ -248,12 +248,18 @@ let suite =
     ("counterexample artifact rejects garbage", `Quick, test_artifact_rejects_garbage);
     ("ping-pong-async clean (small sweep)", `Quick, assert_clean ~seeds:3 "ping-pong-async");
     ("ping-pong-sync clean (small sweep)", `Quick, assert_clean ~seeds:3 "ping-pong-sync");
+    ("fabric-batch clean (small sweep)", `Quick, assert_clean ~seeds:3 "fabric-batch");
+    ("fabric-degrade clean (small sweep)", `Quick, assert_clean ~seeds:3 "fabric-degrade");
     ("boot-handshake clean (small sweep)", `Quick, assert_clean ~seeds:2 "boot-handshake");
     ("group-respawn clean (small sweep)", `Quick, assert_clean ~seeds:2 "group-respawn");
     ("merge-fault clean (small sweep)", `Quick, assert_clean ~seeds:2 "merge-fault");
+    ("multi-group clean (small sweep)", `Quick, assert_clean ~seeds:2 "multi-group");
     ("golden trace: byte-identical", `Quick, test_golden_trace);
     ("ping-pong-async clean (wide sweep)", `Slow, assert_clean ~seeds:25 "ping-pong-async");
+    ("fabric-batch clean (wide sweep)", `Slow, assert_clean ~seeds:15 "fabric-batch");
+    ("fabric-degrade clean (wide sweep)", `Slow, assert_clean ~seeds:15 "fabric-degrade");
     ("boot-handshake clean (wide sweep)", `Slow, assert_clean ~seeds:15 "boot-handshake");
     ("group-respawn clean (wide sweep)", `Slow, assert_clean ~seeds:15 "group-respawn");
     ("merge-fault clean (wide sweep)", `Slow, assert_clean ~seeds:15 "merge-fault");
+    ("multi-group clean (wide sweep)", `Slow, assert_clean ~seeds:10 "multi-group");
   ]

@@ -9,6 +9,7 @@ let () =
       ("faults", Test_faults.suite);
       ("toolchain", Test_toolchain.suite);
       ("multiverse", Test_multiverse.suite);
+      ("fabric", Test_fabric.suite);
       ("racket", Test_racket.suite);
       ("workloads", Test_workloads.suite);
       ("parallel", Test_parallel.suite);
