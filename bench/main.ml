@@ -308,7 +308,7 @@ let fig10 () =
     Table.create
       ~headers:
         [ "Benchmark"; "n"; "System Calls"; "Time (User/Sys) (s)"; "Max Resident (KB)";
-          "Page Faults"; "Context Switches" ]
+          "Page Faults"; "Context Switches"; "TLB Hit %" ]
   in
   List.iter
     (fun b ->
@@ -323,6 +323,7 @@ let fig10 () =
           string_of_int ru.Mv_ros.Rusage.maxrss_kb;
           string_of_int (ru.Mv_ros.Rusage.minflt + ru.Mv_ros.Rusage.majflt);
           string_of_int (ru.Mv_ros.Rusage.nvcsw + ru.Mv_ros.Rusage.nivcsw);
+          Printf.sprintf "%.1f" (100.0 *. Mv_ros.Rusage.tlb_hit_rate ru);
         ])
     all_benchmarks;
   print_string (Table.to_string t)
@@ -811,6 +812,218 @@ let write_fabric_json path =
   printf "wrote %s (reduction %.2f%%)\n%!" path (reduction_pct m)
 
 (* ------------------------------------------------------------------ *)
+(* The memory path: huge pages, size-aware TLB, walk cache, shootdowns *)
+(* ------------------------------------------------------------------ *)
+
+(* One side of the A/B: binary-tree-2 (the GC-heavy workload) under
+   Multiverse with the huge-page memory path on or off.  Everything here
+   comes from the rusage memory-path counters plus the collector's own
+   statistics. *)
+type mempath_side = {
+  ms_wall : int;
+  ms_gc : int;  (* collections *)
+  ms_hit_rate : float;
+  ms_walks : int;
+  ms_levels_per_walk : float;
+  ms_walk_cycles : int;
+  ms_fill_cycles : int;
+  ms_shootdowns : int;
+  ms_shootdown_cycles : int;
+  ms_promotions : int;
+  ms_splits : int;
+  ms_minflt : int;
+}
+
+let ms_mem_cycles s = s.ms_walk_cycles + s.ms_fill_cycles + s.ms_shootdown_cycles
+
+let ms_cycles_per_gc s =
+  if s.ms_gc = 0 then 0.0 else float_of_int (ms_mem_cycles s) /. float_of_int s.ms_gc
+
+let mempath_n = 11
+
+let measure_mempath_side ~huge_pages =
+  let b = Mv_workloads.Benchmarks.find "binary-tree-2" in
+  let collections = ref 0 in
+  let prog =
+    {
+      Toolchain.prog_name = "mempath-binary-tree-2";
+      prog_main =
+        (fun env ->
+          let engine = Mv_racket.Engine.start env in
+          Mv_racket.Engine.run_program engine (b.Mv_workloads.Benchmarks.b_source mempath_n);
+          collections :=
+            (Mv_racket.Sgc.stats (Mv_racket.Engine.gc engine)).Mv_racket.Sgc.collections);
+    }
+  in
+  let options = { Toolchain.default_mv_options with mv_huge_pages = huge_pages } in
+  let rs = Toolchain.run_multiverse ~options (Toolchain.hybridize prog) in
+  let ru = rs.Toolchain.rs_rusage in
+  let open Mv_ros.Rusage in
+  {
+    ms_wall = rs.Toolchain.rs_wall_cycles;
+    ms_gc = !collections;
+    ms_hit_rate = tlb_hit_rate ru;
+    ms_walks = ru.walks;
+    ms_levels_per_walk =
+      (if ru.walks = 0 then 0.0 else float_of_int ru.walk_levels /. float_of_int ru.walks);
+    ms_walk_cycles = ru.walk_cycles;
+    ms_fill_cycles = ru.fill_cycles;
+    ms_shootdowns = ru.shootdowns;
+    ms_shootdown_cycles = ru.shootdown_cycles;
+    ms_promotions = ru.huge_promotions;
+    ms_splits = ru.huge_splits;
+    ms_minflt = ru.minflt;
+  }
+
+let mempath_reduction_pct ~on ~off =
+  let c_on = float_of_int (ms_mem_cycles on) and c_off = float_of_int (ms_mem_cycles off) in
+  if c_off = 0.0 then 0.0 else 100.0 *. (c_off -. c_on) /. c_off
+
+(* The higher half: sweep-read the AeroKernel identity map on the HRT core.
+   With 1 GiB leaves the whole span fits the 1G TLB class and there is
+   nothing to demand-fill; with 4 KiB pages every 64 KiB stride is a fresh
+   page.  The warmup sweep populates the mappings, [Tlb.reset_stats] (and
+   the walk-cache counterpart) zeroes the counters, and the measured sweep
+   reports steady state. *)
+type hh_side = {
+  hh_accesses : int;
+  hh_fills : int;  (* demand fills during the measured sweep *)
+  hh_hit_rate : float;
+}
+
+let measure_hh_sweep ~huge_pages =
+  let machine = Machine.create ~huge_pages () in
+  let nk = Nautilus.create machine in
+  let hrt = List.hd (Mv_hw.Topology.hrt_cores machine.Machine.topo) in
+  let out = ref None in
+  ignore
+    (Exec.spawn machine.Machine.exec ~cpu:hrt ~name:"hh-sweep" (fun () ->
+         Nautilus.boot nk;
+         let phys = machine.Machine.phys in
+         let span_pages =
+           Mv_hw.Phys_mem.total phys Mv_hw.Phys_mem.Ros_region
+           + Mv_hw.Phys_mem.total phys Mv_hw.Phys_mem.Hrt_region
+         in
+         let stride = 16 (* pages: one access per 64 KiB *) in
+         let sweep () =
+           let n = ref 0 and p = ref 0 in
+           while !p < span_pages do
+             Nautilus.access nk
+               (Mv_hw.Addr.higher_half_base + (!p * Mv_hw.Addr.page_size))
+               ~write:false;
+             incr n;
+             p := !p + stride
+           done;
+           !n
+         in
+         ignore (sweep ());
+         let cpu = machine.Machine.cpus.(hrt) in
+         Mv_hw.Tlb.reset_stats cpu.Mv_hw.Cpu.tlb;
+         Mv_hw.Walk_cache.reset_stats cpu.Mv_hw.Cpu.pwc;
+         let fills0 = Nautilus.stats_hh_fills nk in
+         let accesses = sweep () in
+         let tlb = cpu.Mv_hw.Cpu.tlb in
+         let hits = Mv_hw.Tlb.hits tlb and misses = Mv_hw.Tlb.misses tlb in
+         out :=
+           Some
+             {
+               hh_accesses = accesses;
+               hh_fills = Nautilus.stats_hh_fills nk - fills0;
+               hh_hit_rate =
+                 (if hits + misses = 0 then 1.0
+                  else float_of_int hits /. float_of_int (hits + misses));
+             }));
+  Sim.run machine.Machine.sim;
+  Option.get !out
+
+let mempath () =
+  section "Memory path: huge pages on vs off (binary-tree-2, Multiverse)";
+  let on = measure_mempath_side ~huge_pages:true in
+  let off = measure_mempath_side ~huge_pages:false in
+  let t = Table.create ~headers:[ "Metric"; "Huge on"; "Huge off" ] in
+  let row name f = Table.add_row t [ name; f on; f off ] in
+  row "wall (cycles)" (fun s -> string_of_int s.ms_wall);
+  row "GC collections" (fun s -> string_of_int s.ms_gc);
+  row "TLB hit rate" (fun s -> Printf.sprintf "%.2f%%" (100.0 *. s.ms_hit_rate));
+  row "page walks" (fun s -> string_of_int s.ms_walks);
+  row "levels/walk" (fun s -> Printf.sprintf "%.2f" s.ms_levels_per_walk);
+  row "walk cycles" (fun s -> string_of_int s.ms_walk_cycles);
+  row "fill cycles" (fun s -> string_of_int s.ms_fill_cycles);
+  row "shootdowns (per-core)" (fun s -> string_of_int s.ms_shootdowns);
+  row "shootdown cycles" (fun s -> string_of_int s.ms_shootdown_cycles);
+  row "memory-path cycles" (fun s -> string_of_int (ms_mem_cycles s));
+  row "memory-path cycles/GC" (fun s -> Printf.sprintf "%.0f" (ms_cycles_per_gc s));
+  row "2M promotions" (fun s -> string_of_int s.ms_promotions);
+  row "2M splits" (fun s -> string_of_int s.ms_splits);
+  row "page faults" (fun s -> string_of_int s.ms_minflt);
+  print_string (Table.to_string t);
+  printf "memory-path reduction: %.1f%% (acceptance: >= 30%%)\n"
+    (mempath_reduction_pct ~on ~off);
+  let hh_on = measure_hh_sweep ~huge_pages:true in
+  let hh_off = measure_hh_sweep ~huge_pages:false in
+  let t2 = Table.create ~headers:[ "Higher-half sweep"; "Huge on"; "Huge off" ] in
+  let row2 name f = Table.add_row t2 [ name; f hh_on; f hh_off ] in
+  row2 "accesses" (fun s -> string_of_int s.hh_accesses);
+  row2 "demand fills (measured)" (fun s -> string_of_int s.hh_fills);
+  row2 "TLB hit rate" (fun s -> Printf.sprintf "%.2f%%" (100.0 *. s.hh_hit_rate));
+  print_string (Table.to_string t2);
+  printf "(acceptance: huge on is fault-free with >= 99%% hits after warmup)\n"
+
+(* BENCH_mempath.json — same hand-rolled style as the fabric metrics. *)
+let write_mempath_json path =
+  let on = measure_mempath_side ~huge_pages:true in
+  let off = measure_mempath_side ~huge_pages:false in
+  let hh_on = measure_hh_sweep ~huge_pages:true in
+  let hh_off = measure_hh_sweep ~huge_pages:false in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  let side s =
+    p "    \"wall_cycles\": %d,\n" s.ms_wall;
+    p "    \"gc_collections\": %d,\n" s.ms_gc;
+    p "    \"tlb_hit_rate\": %.4f,\n" s.ms_hit_rate;
+    p "    \"walks\": %d,\n" s.ms_walks;
+    p "    \"levels_per_walk\": %.3f,\n" s.ms_levels_per_walk;
+    p "    \"walk_cycles\": %d,\n" s.ms_walk_cycles;
+    p "    \"fill_cycles\": %d,\n" s.ms_fill_cycles;
+    p "    \"shootdowns\": %d,\n" s.ms_shootdowns;
+    p "    \"shootdown_cycles\": %d,\n" s.ms_shootdown_cycles;
+    p "    \"memory_path_cycles\": %d,\n" (ms_mem_cycles s);
+    p "    \"memory_path_cycles_per_gc\": %.1f,\n" (ms_cycles_per_gc s);
+    p "    \"huge_promotions\": %d,\n" s.ms_promotions;
+    p "    \"huge_splits\": %d,\n" s.ms_splits;
+    p "    \"page_faults\": %d\n" s.ms_minflt
+  in
+  let hh s =
+    p "      \"accesses\": %d,\n" s.hh_accesses;
+    p "      \"demand_fills\": %d,\n" s.hh_fills;
+    p "      \"tlb_hit_rate\": %.4f\n" s.hh_hit_rate
+  in
+  p "{\n";
+  p "  \"schema\": \"multiverse-mempath-bench/1\",\n";
+  p "  \"workload\": \"binary-tree-2\",\n";
+  p "  \"n\": %d,\n" mempath_n;
+  p "  \"huge_on\": {\n";
+  side on;
+  p "  },\n";
+  p "  \"huge_off\": {\n";
+  side off;
+  p "  },\n";
+  p "  \"memory_path_reduction_pct\": %.2f,\n" (mempath_reduction_pct ~on ~off);
+  p "  \"higher_half\": {\n";
+  p "    \"huge_on\": {\n";
+  hh hh_on;
+  p "    },\n";
+  p "    \"huge_off\": {\n";
+  hh hh_off;
+  p "    }\n";
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  printf "wrote %s (memory-path reduction %.2f%%, hh hit rate %.2f%%)\n%!" path
+    (mempath_reduction_pct ~on ~off)
+    (100.0 *. hh_on.hh_hit_rate)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's own hot paths           *)
 (* ------------------------------------------------------------------ *)
 
@@ -871,6 +1084,7 @@ let sections =
     ("fig12", fig12);
     ("fig13", fig13);
     ("fabric", fabric_bench);
+    ("mempath", mempath);
     ("ablation_symcache", ablation_symcache);
     ("ablation_channel", ablation_channel);
     ("ablation_porting", ablation_porting);
@@ -881,10 +1095,14 @@ let sections =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* --json additionally writes the fabric metrics to BENCH_fabric.json
-     (CI uploads it as an artifact); it composes with section names. *)
+  (* --json additionally writes machine-readable metrics next to the text
+     output (CI uploads them as artifacts); it composes with section
+     names: the fabric file is written when the fabric section is in
+     scope, the mempath file when mempath is.  With no section names,
+     --json writes both and skips the text sections. *)
   let json = List.mem "--json" args in
   let args = List.filter (fun a -> a <> "--json") args in
+  let wants name = args = [] || List.mem name args in
   (match args with
   | [ "--list" ] -> List.iter (fun (name, _) -> printf "%s\n" name) sections
   | [] ->
@@ -900,4 +1118,5 @@ let () =
           | Some f -> f ()
           | None -> printf "unknown section %s (try --list)\n" name)
         names);
-  if json then write_fabric_json "BENCH_fabric.json"
+  if json && (wants "fig2" || wants "fabric") then write_fabric_json "BENCH_fabric.json";
+  if json && wants "mempath" then write_mempath_json "BENCH_mempath.json"

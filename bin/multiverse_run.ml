@@ -17,7 +17,7 @@ let parse_fault_sites spec =
   | Ok sites -> sites
   | Error msg -> failwith msg
 
-let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet prog =
+let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog =
   let options =
     {
       Toolchain.mv_channel =
@@ -31,6 +31,7 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet pro
         | "full" -> Runtime.full_porting
         | other -> failwith ("unknown porting level: " ^ other));
       mv_faults = faults;
+      mv_huge_pages = huge_pages;
     }
   in
   (* A fault run keeps the trace on so the injected faults and the
@@ -38,8 +39,8 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet pro
   let trace = Fault_plan.enabled faults in
   let rs =
     match mode with
-    | "native" -> Toolchain.run_native prog
-    | "virtual" -> Toolchain.run_virtual prog
+    | "native" -> Toolchain.run_native ~huge_pages prog
+    | "virtual" -> Toolchain.run_virtual ~huge_pages prog
     | "multiverse" -> Toolchain.run_multiverse ~trace ~options (Toolchain.hybridize prog)
     | other -> failwith ("unknown mode: " ^ other)
   in
@@ -85,7 +86,8 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet pro
   end
 
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
-    stats quiet list_benches =
+    no_huge_pages stats quiet list_benches =
+  let huge_pages = not no_huge_pages in
   match
     match fault_seed with
     | Some seed -> (
@@ -114,7 +116,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
         match Mv_workloads.Benchmarks.find name with
         | b ->
             let n = match n with Some n -> n | None -> b.Mv_workloads.Benchmarks.b_test_n in
-            run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet
+            run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet
               (Mv_workloads.Benchmarks.program b ~n);
             `Ok ()
         | exception Not_found -> `Error (false, "unknown benchmark " ^ name))
@@ -132,7 +134,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
                 Mv_racket.Engine.run_program engine src);
           }
         in
-        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~stats ~quiet prog;
+        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog;
         `Ok ()
     | None, None -> `Error (true, "pass --bench NAME or --file PROG.scm (or --list)")
 
@@ -164,6 +166,10 @@ let cmd =
     Arg.(value & opt string "all" & info [ "fault-sites" ] ~docv:"SITES"
          ~doc:"Comma-separated fault sites to arm, or 'all': chan-drop, chan-delay, chan-dup, chan-corrupt, partner-kill, boot-stall, syscall-eagain, syscall-enosys.")
   in
+  let no_huge_pages =
+    Arg.(value & flag & info [ "no-huge-pages" ]
+         ~doc:"Disable the huge-page memory path (4 KiB mappings only).")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the per-syscall histogram.") in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's stdout.") in
   let list_benches = Arg.(value & flag & info [ "list" ] ~doc:"List benchmarks.") in
@@ -171,7 +177,7 @@ let cmd =
     Term.(
       ret
         (const main $ bench $ file $ n $ mode $ porting $ sync_channel $ symbol_cache
-       $ fault_seed $ fault_rate $ fault_sites $ stats $ quiet $ list_benches))
+       $ fault_seed $ fault_rate $ fault_sites $ no_huge_pages $ stats $ quiet $ list_benches))
   in
   Cmd.v (Cmd.info "multiverse_run" ~doc:"Run workloads on the Multiverse simulation") term
 

@@ -27,6 +27,13 @@ type t = {
   mutable boots : int;
   mutable services : services option;
   mutable merged_from : Page_table.t option;
+  mutable merge_gen : int;
+      (* Lower-half generation of [merged_from] snapshotted at merge time.
+         Divergence means the ROS replaced a top-level slot since: our PML4
+         copy still translates through the *old* sub-tree — a silent stale
+         translation, not a fault — so [access] re-merges before trusting
+         lower-half addresses. *)
+  phys_pages : int;  (* span of the higher-half identity map, in 4K pages *)
   recent_fault : (int, int) Hashtbl.t;  (* core -> last forwarded fault page *)
   request_q : create_request Queue.t;
   mutable loop_wake : (unit -> unit) option;  (* event loop parked here *)
@@ -37,6 +44,7 @@ type t = {
   mutable n_remerges : int;
   mutable n_syscalls_forwarded : int;
   mutable n_silent_writes : int;
+  mutable n_hh_fills : int;  (* 4K demand fills of the higher half (huge off) *)
 }
 
 and boolean_state = Not_booted | Booting | Booted
@@ -45,10 +53,29 @@ let create machine =
   let hrt_cores = Topology.hrt_cores machine.Machine.topo in
   if hrt_cores = [] then invalid_arg "Nautilus.create: machine has no HRT cores";
   let pt = Page_table.create () in
-  (* Identity-map the physical address space into the higher half; we model
-     it as a single presence marker mapping (contents are never read). *)
-  Page_table.map pt Addr.higher_half_base ~frame:0
-    ~flags:Page_table.(f_present lor f_writable);
+  let phys_pages =
+    Phys_mem.total machine.Machine.phys Phys_mem.Ros_region
+    + Phys_mem.total machine.Machine.phys Phys_mem.Hrt_region
+  in
+  (* Identity-map physical memory into the higher half "with the largest
+     pages possible" (paper, Section 4.4): with huge pages on, a handful of
+     1 GiB leaves cover the machine, so kernel-mode runtimes never demand-
+     fault and a few TLB entries give full reach.  With them off we model
+     the pre-large-page world: a presence marker at the base, the rest
+     filled 4 KiB at a time on first touch. *)
+  if machine.Machine.huge_pages then begin
+    let gigs = (phys_pages + Addr.pages_per_1g - 1) / Addr.pages_per_1g in
+    for i = 0 to max 0 (gigs - 1) do
+      Page_table.map_size pt
+        (Addr.higher_half_base + (i * Addr.page_size_1g))
+        ~size:Page_table.S1g
+        ~frame:(i * Addr.pages_per_1g)
+        ~flags:Page_table.(f_present lor f_writable)
+    done
+  end
+  else
+    Page_table.map pt Addr.higher_half_base ~frame:0
+      ~flags:Page_table.(f_present lor f_writable);
   (* Configure the architectural state of every HRT core: ring 0, IST
      interrupt stacks (the red-zone fix), and CR0.WP so that ring-0 writes
      respect read-only PTEs (Section 4.4). *)
@@ -67,6 +94,8 @@ let create machine =
     boots = 0;
     services = None;
     merged_from = None;
+    merge_gen = 0;
+    phys_pages;
     recent_fault = Hashtbl.create 8;
     request_q = Queue.create ();
     loop_wake = None;
@@ -77,6 +106,7 @@ let create machine =
     n_remerges = 0;
     n_syscalls_forwarded = 0;
     n_silent_writes = 0;
+    n_hh_fills = 0;
   }
 
 let machine t = t.machine
@@ -150,16 +180,26 @@ let thread_count t = List.length t.threads
 (* --- memory --- *)
 
 let shootdown t =
+  (* A merge only rewrites lower-half PML4 slots, so the shootdown is a
+     ranged invalidation of the lower half: the higher-half 1 GiB identity
+     entries — the whole point of the large-page AeroKernel map — survive. *)
   let costs = t.machine.Machine.costs in
   List.iter
     (fun core ->
-      Tlb.flush t.machine.Machine.cpus.(core).Cpu.tlb;
+      let cpu = t.machine.Machine.cpus.(core) in
+      Tlb.invalidate_range cpu.Cpu.tlb ~page:0
+        ~npages:(Addr.page_of Addr.higher_half_base);
+      Walk_cache.flush cpu.Cpu.pwc;
       Machine.charge t.machine costs.Costs.tlb_shootdown_percore)
     t.hrt_cores
 
 let merge_lower_half t ~from =
   ignore (Page_table.copy_lower_half ~src:from ~dst:t.pt);
   t.merged_from <- Some from;
+  t.merge_gen <- Page_table.lower_half_generation from;
+  (* Huge leaves ride along structurally — slot sharing copies whole
+     sub-trees, large pages included.  Superposition re-verifies this
+     invariant at the HVM level after each full merge. *)
   shootdown t
 
 let remerge t =
@@ -189,6 +229,16 @@ let access t addr ~write =
   let core = Exec.cpu_of (Exec.self exec) in
   let cpu = t.machine.Machine.cpus.(core) in
   if cpu.Cpu.cr3 <> Page_table.id t.pt then Cpu.load_cr3 cpu t.pt;
+  (* Stale-merge guard: if the ROS replaced a lower-half PML4 slot since we
+     merged, our copy still points at the old sub-tree and would translate
+     stale frames *without faulting*.  The generation word is shared state
+     the merger maintains, so the check is a single compare. *)
+  (match t.merged_from with
+  | Some src
+    when Addr.is_lower_half addr
+         && Page_table.lower_half_generation src <> t.merge_gen ->
+      remerge t
+  | Some _ | None -> ());
   let kind = if write then Mmu.Write else Mmu.Read in
   let page = Addr.page_of addr in
   let rec attempt tries =
@@ -204,8 +254,21 @@ let access t addr ~write =
           t.n_silent_writes <- t.n_silent_writes + 1
       | Mmu.Fault (_, cost) ->
           Machine.charge t.machine cost;
-          if Addr.is_higher_half addr then
-            failwith "Nautilus.access: fault in AeroKernel half"
+          if Addr.is_higher_half addr then begin
+            (* With 1 GiB identity leaves this cannot happen inside the
+               mapped span.  Without them, the direct map fills 4 KiB at a
+               time on first touch. *)
+            let hh_page = Addr.page_of (addr - Addr.higher_half_base) in
+            if t.machine.Machine.huge_pages || hh_page >= t.phys_pages then
+              failwith "Nautilus.access: fault in AeroKernel half"
+            else begin
+              Machine.charge t.machine (costs.Costs.demand_page / 4);
+              Page_table.map t.pt (Addr.align_down addr) ~frame:hh_page
+                ~flags:Page_table.(f_present lor f_writable);
+              t.n_hh_fills <- t.n_hh_fills + 1;
+              attempt (tries + 1)
+            end
+          end
           else begin
             (* Vector through the IDT onto the IST stack. *)
             Machine.charge t.machine costs.Costs.interrupt_dispatch;
@@ -261,4 +324,5 @@ let stats_silent_writes t = t.n_silent_writes
 let stats_faults_forwarded t = t.n_faults_forwarded
 let stats_remerges t = t.n_remerges
 let stats_syscalls_forwarded t = t.n_syscalls_forwarded
+let stats_hh_fills t = t.n_hh_fills
 let boot_count t = t.boots

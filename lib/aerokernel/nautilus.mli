@@ -66,14 +66,20 @@ val thread_count : t -> int
 (** {1 Memory} *)
 
 val merge_lower_half : t -> from:Mv_hw.Page_table.t -> unit
-(** Copy PML4 slots 0..255 from the ROS root and shoot down HRT TLBs.
-    Records the source so duplicate faults can trigger re-merges. *)
+(** Copy PML4 slots 0..255 from the ROS root and shoot down the HRT TLBs'
+    {e lower half} (the ranged invalidation leaves the higher-half 1 GiB
+    identity entries resident).  Records the source and its lower-half
+    generation so staleness is detectable. *)
 
 val access : t -> Mv_hw.Addr.t -> write:bool -> unit
 (** Memory access from an HRT thread: ring-0 MMU check against the HRT
     root; lower-half faults are forwarded to the ROS; a repeated fault on
-    the same page re-merges the PML4 (paper, Section 4.4).
-    @raise Failure on higher-half faults or when no services are wired. *)
+    the same page — or a lower-half generation diverging from the merge
+    snapshot, which would otherwise translate stale frames {e without}
+    faulting — re-merges the PML4 (paper, Section 4.4).  Higher-half
+    faults are fatal with huge pages on (the 1 GiB map covers physical
+    memory); with them off the direct map demand-fills 4 KiB at a time.
+    @raise Failure on unresolvable faults or when no services are wired. *)
 
 val remerge : t -> unit
 (** Re-copy the lower half from the current ROS root (asking the wired
@@ -110,4 +116,9 @@ val set_wp : t -> bool -> unit
 
 val stats_remerges : t -> int
 val stats_syscalls_forwarded : t -> int
+
+val stats_hh_fills : t -> int
+(** 4 KiB demand fills of the higher-half direct map (zero when the 1 GiB
+    identity map is active). *)
+
 val boot_count : t -> int

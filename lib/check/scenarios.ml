@@ -462,6 +462,85 @@ let multi_group =
         many_groups_prog;
   }
 
+(* --- merge-stale-pml4: huge leaves across a stale lower-half re-merge --- *)
+
+(* The merger copies PML4 slots, so when the ROS rebuilds its lower half
+   (new top-level slots, same virtual addresses) the HRT's copy still
+   points at the {e old} sub-trees: the access would resolve — to stale
+   frames — with no fault to catch.  The generation guard in
+   [Nautilus.access] must notice the source table's lower-half generation
+   moved and re-merge before translating.  Huge leaves raise the stakes:
+   one stale 2M slot mistranslates 512 pages at once, and the re-merge
+   must preserve the leaf rather than demoting it. *)
+let merge_stale_pml4_run ~strategy ~faults:_ =
+  let machine = Machine.create () in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  let nk = Nautilus.create machine in
+  let ros_pt = Mv_hw.Page_table.create () in
+  let addr = Addr.of_indices ~pml4:0 ~pdpt:0 ~pd:5 ~pt:0 ~offset:0 in
+  let map_chunk frame =
+    Mv_hw.Page_table.map_size ros_pt addr ~size:Mv_hw.Page_table.S2m ~frame
+      ~flags:Mv_hw.Page_table.(f_present lor f_writable lor f_user)
+  in
+  map_chunk 1000;
+  let unexpected_faults = ref 0 in
+  Nautilus.set_services nk
+    {
+      Nautilus.svc_forward_fault =
+        (fun _addr ~write:_ ->
+          incr unexpected_faults;
+          Nautilus.Fault_fixed);
+      svc_forward_syscall = (fun _ run -> run ());
+      svc_request_remerge = (fun () -> ros_pt);
+    };
+  ignore
+    (Exec.spawn exec ~cpu:7 ~name:"hrt" (fun () ->
+         Nautilus.boot nk;
+         Nautilus.merge_lower_half nk ~from:ros_pt;
+         Nautilus.access nk addr ~write:true;
+         (* The ROS rebuilds its lower half: same addresses, fresh PML4
+            slots, different frames.  No fault will announce this. *)
+         Mv_hw.Page_table.clear_lower_half ros_pt;
+         map_chunk 2000;
+         Nautilus.access nk addr ~write:true));
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  all
+    [
+      (fun () ->
+        check_quiesced exec ~quiesced ~allow_blocked:(fun name ->
+            name = "nk/event-loop"));
+      (fun () ->
+        match fst (Mv_hw.Page_table.walk_sized (Nautilus.page_table nk) addr) with
+        | Some (pte, Mv_hw.Page_table.S2m) when pte.Mv_hw.Page_table.frame = 2000 -> Pass
+        | Some (pte, size) ->
+            failf "HRT resolves frame %d as %s (want 2000 as 2M)"
+              pte.Mv_hw.Page_table.frame
+              (Format.asprintf "%a" Mv_hw.Page_table.pp_size size)
+        | None -> Fail "HRT no longer maps the chunk after re-merge");
+      (fun () ->
+        if Nautilus.stats_remerges nk >= 1 then Pass
+        else Fail "generation guard never re-merged: stale translation went silent");
+      (fun () ->
+        if Nautilus.stats_silent_writes nk = 0 then Pass
+        else failf "%d silent writes" (Nautilus.stats_silent_writes nk));
+      (fun () ->
+        if !unexpected_faults = 0 then Pass
+        else failf "%d unexpected forwarded faults" !unexpected_faults);
+    ]
+
+let merge_stale_pml4 =
+  {
+    sc_name = "merge-stale-pml4";
+    sc_descr =
+      "re-merge after the ROS rebuilds lower-half PML4 slots holding 2M \
+       leaves: the generation guard must catch the silent stale \
+       translation and the re-merge must preserve the huge leaf";
+    sc_fault_specs = [];
+    sc_expect_bug = false;
+    sc_run = merge_stale_pml4_run;
+  }
+
 let all_scenarios =
   [
     racy_wakeup;
@@ -473,6 +552,7 @@ let all_scenarios =
     boot_handshake;
     group_respawn;
     merge_fault;
+    merge_stale_pml4;
     multi_group;
   ]
 

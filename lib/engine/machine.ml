@@ -7,10 +7,14 @@ type t = {
   cpus : Mv_hw.Cpu.t array;
   trace : Trace.t;
   zero_frame : int;
+  mutable huge_pages : bool;
+      (* Large-page support: 1G identity maps in the AeroKernel, transparent
+         2M promotion of big anonymous VMAs in the ROS, range-batched
+         shootdowns.  On by default; the mempath bench A/Bs it. *)
 }
 
 let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
-    ?(hrt_cores = 1) ?(hrt_mem_fraction = 0.25) () =
+    ?(hrt_cores = 1) ?(hrt_mem_fraction = 0.25) ?(huge_pages = true) () =
   let sim = Sim.create () in
   let topo = Mv_hw.Topology.create ~sockets ~cores_per_socket ~hrt_cores () in
   let ncores = Mv_hw.Topology.ncores topo in
@@ -30,7 +34,7 @@ let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
             ~slice:None ())
     cpus;
   let zero_frame = Mv_hw.Phys_mem.alloc phys Mv_hw.Phys_mem.Ros_region in
-  { sim; exec; topo; costs; phys; cpus; trace = Sim.trace sim; zero_frame }
+  { sim; exec; topo; costs; phys; cpus; trace = Sim.trace sim; zero_frame; huge_pages }
 
 let charge t c = Exec.charge t.exec c
 let now t = Exec.local_now t.exec

@@ -14,6 +14,9 @@ type t = {
   cpus : Mv_hw.Cpu.t array;
   trace : Trace.t;
   zero_frame : int;  (** the shared all-zeroes frame used for anonymous reads *)
+  mutable huge_pages : bool;
+      (** large-page memory path: 1G AeroKernel identity maps, transparent
+          2M promotion of big anonymous VMAs, range-batched shootdowns *)
 }
 
 val create :
@@ -22,10 +25,12 @@ val create :
   ?cores_per_socket:int ->
   ?hrt_cores:int ->
   ?hrt_mem_fraction:float ->
+  ?huge_pages:bool ->
   unit ->
   t
 (** Build the reference machine: 2 sockets x 4 cores at 2.2 GHz by default,
-    with [hrt_cores] (default 1) assigned to the HRT partition. *)
+    with [hrt_cores] (default 1) assigned to the HRT partition.
+    [huge_pages] (default [true]) enables the large-page memory path. *)
 
 val charge : t -> int -> unit
 (** Charge cycles to the running thread (see {!Exec.charge}). *)

@@ -2,10 +2,31 @@ module Machine = Mv_engine.Machine
 module Nautilus = Mv_aerokernel.Nautilus
 open Mv_hw
 
+(* Large leaves in the lower half, as (n_2m, n_1g).  The merger copies
+   whole PML4 slots, so sub-trees — huge leaves included — are shared, not
+   rebuilt; this must hold across both the initial merge and every
+   re-merge, or the HRT would silently demote the ROS's 2M promotions. *)
+let lower_huge_leaves pt =
+  let n2m = ref 0 and n1g = ref 0 in
+  Page_table.iter_leaves pt (fun addr size _ ->
+      if Addr.is_lower_half addr then
+        match size with
+        | Page_table.S2m -> incr n2m
+        | Page_table.S1g -> incr n1g
+        | Page_table.S4k -> ());
+  (!n2m, !n1g)
+
+let huge_leaves_preserved nk (p : Mv_ros.Process.t) =
+  lower_huge_leaves (Mv_ros.Mm.page_table p.Mv_ros.Process.mm)
+  = lower_huge_leaves (Nautilus.page_table nk)
+
 let merge_address_space nk (p : Mv_ros.Process.t) =
   let machine = Nautilus.machine nk in
   Machine.charge machine machine.Machine.costs.Costs.merge_address_space;
-  Nautilus.merge_lower_half nk ~from:(Mv_ros.Mm.page_table p.Mv_ros.Process.mm)
+  Nautilus.merge_lower_half nk ~from:(Mv_ros.Mm.page_table p.Mv_ros.Process.mm);
+  Mv_ros.Mm.add_shadow_root p.Mv_ros.Process.mm (Nautilus.page_table nk);
+  if not (huge_leaves_preserved nk p) then
+    failwith "Superposition: huge leaves lost across address-space merge"
 
 let superimpose_thread_state nk (p : Mv_ros.Process.t) ~core =
   let machine = Nautilus.machine nk in
@@ -17,4 +38,6 @@ let superimpose_thread_state nk (p : Mv_ros.Process.t) ~core =
 let verify_superposition nk (p : Mv_ros.Process.t) ~core =
   let machine = Nautilus.machine nk in
   let cpu = machine.Machine.cpus.(core) in
-  cpu.Cpu.gdt = p.Mv_ros.Process.gdt_image && cpu.Cpu.fs_base = p.Mv_ros.Process.fs_base
+  cpu.Cpu.gdt = p.Mv_ros.Process.gdt_image
+  && cpu.Cpu.fs_base = p.Mv_ros.Process.fs_base
+  && huge_leaves_preserved nk p

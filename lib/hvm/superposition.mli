@@ -9,8 +9,15 @@
 val merge_address_space :
   Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> unit
 (** Copy the lower-half PML4 of the process into the HRT root and shoot
-    down HRT TLBs.  Charges the measured merger cost (~33 K cycles,
-    Figure 2) to the calling thread. *)
+    down HRT TLBs (lower half only).  Charges the measured merger cost
+    (~33 K cycles, Figure 2) to the calling thread.  Asserts that huge
+    leaves survive the slot copy — the merger shares sub-trees, so the
+    ROS's 2M promotions must appear in the HRT at full size. *)
+
+val huge_leaves_preserved :
+  Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> bool
+(** Do the lower halves of the process and HRT roots agree on their
+    (2M, 1G) large-leaf counts? *)
 
 val superimpose_thread_state :
   Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> core:int -> unit

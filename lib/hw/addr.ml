@@ -3,6 +3,12 @@ type t = int
 let page_size = 4096
 let page_shift = 12
 let word_size = 8
+let page_shift_2m = 21
+let page_shift_1g = 30
+let page_size_2m = 1 lsl page_shift_2m
+let page_size_1g = 1 lsl page_shift_1g
+let pages_per_2m = page_size_2m / page_size
+let pages_per_1g = page_size_1g / page_size
 let lower_half_limit = 1 lsl 47
 let higher_half_base = 1 lsl 47
 let space_limit = 1 lsl 48
@@ -16,6 +22,10 @@ let page_offset a = a land (page_size - 1)
 let align_down a = a land lnot (page_size - 1)
 let align_up a = (a + page_size - 1) land lnot (page_size - 1)
 let is_page_aligned a = a land (page_size - 1) = 0
+let align_down_2m a = a land lnot (page_size_2m - 1)
+let align_down_1g a = a land lnot (page_size_1g - 1)
+let is_2m_aligned a = a land (page_size_2m - 1) = 0
+let is_1g_aligned a = a land (page_size_1g - 1) = 0
 
 let pml4_index a = (a lsr 39) land 511
 let pdpt_index a = (a lsr 30) land 511

@@ -15,6 +15,14 @@ val page_size : int (* 4096 *)
 val page_shift : int (* 12 *)
 val word_size : int (* 8 *)
 
+val page_size_2m : int (* 2 MiB — a PD-level large page *)
+val page_size_1g : int (* 1 GiB — a PDPT-level large page *)
+val page_shift_2m : int (* 21 *)
+val page_shift_1g : int (* 30 *)
+
+val pages_per_2m : int (* 512 *)
+val pages_per_1g : int (* 512 * 512 *)
+
 val lower_half_limit : t
 (** First non-canonical address after the lower half: [2^47]. *)
 
@@ -35,6 +43,10 @@ val page_offset : t -> int
 val align_down : t -> t
 val align_up : t -> t
 val is_page_aligned : t -> bool
+val align_down_2m : t -> t
+val align_down_1g : t -> t
+val is_2m_aligned : t -> bool
+val is_1g_aligned : t -> bool
 
 val pml4_index : t -> int
 (** Bits 39..47 — the top-level page-table slot (0..511).  Lower-half

@@ -15,10 +15,14 @@ type t = {
   sync_channel_cross_socket : int;
   merge_address_space : int;
   page_walk_level : int;
+  walk_cache_hit : int;
   tlb_fill : int;
   tlb_shootdown_percore : int;
+  tlb_shootdown_range : int;
   page_fault_trap : int;
   demand_page : int;
+  demand_huge_page : int;
+  huge_split : int;
   cow_copy : int;
   context_switch_ros : int;
   context_switch_nk : int;
@@ -51,10 +55,14 @@ let default =
     sync_channel_cross_socket = 1_060;
     merge_address_space = 33_000;
     page_walk_level = 30;
+    walk_cache_hit = 8;
     tlb_fill = 10;
     tlb_shootdown_percore = 2_000;
+    tlb_shootdown_range = 2_400;
     page_fault_trap = 900;
     demand_page = 2_600;
+    demand_huge_page = 20_000;
+    huge_split = 6_000;
     cow_copy = 3_100;
     context_switch_ros = 3_000;
     context_switch_nk = 300;

@@ -34,11 +34,23 @@ type t = {
   sync_channel_cross_socket : int;  (** ~1060 cycles, 48 ns *)
   merge_address_space : int;  (** ~33 K cycles, 1.5 us *)
   (* --- memory system --- *)
-  page_walk_level : int;  (** per page-table level on a TLB miss *)
+  page_walk_level : int;  (** per page-table level actually read on a TLB miss *)
+  walk_cache_hit : int;
+      (** probe + restart overhead when the paging-structure cache lets a
+          walk skip its upper levels (Intel SDM 4.10.3) *)
   tlb_fill : int;
   tlb_shootdown_percore : int;  (** IPI + invalidation per remote core *)
+  tlb_shootdown_range : int;
+      (** one range-batched shootdown (single IPI covering a whole
+          munmap/mprotect range) per remote core — amortizes what would be
+          [pages * tlb_shootdown_percore] *)
   page_fault_trap : int;  (** #PF dispatch into the kernel *)
   demand_page : int;  (** allocate + zero + map one 4 KiB page *)
+  demand_huge_page : int;
+      (** allocate + zero + map one 2 MiB page: one trap and one PTE write,
+          with the zeroing done by wide streaming stores — far below 512
+          small-page faults *)
+  huge_split : int;  (** demote one huge leaf to 4 KiB children *)
   cow_copy : int;  (** copy-on-write break of one page *)
   (* --- scheduling and threads --- *)
   context_switch_ros : int;  (** full Linux context switch *)

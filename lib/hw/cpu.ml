@@ -7,6 +7,7 @@ type t = {
   mutable gdt : int;
   mutable ist_configured : bool;
   tlb : Tlb.t;
+  pwc : Walk_cache.t;
 }
 
 let create ~core_id =
@@ -19,8 +20,10 @@ let create ~core_id =
     gdt = 0;
     ist_configured = false;
     tlb = Tlb.create ();
+    pwc = Walk_cache.create ();
   }
 
 let load_cr3 t root =
   t.cr3 <- Page_table.id root;
-  Tlb.flush t.tlb
+  Tlb.flush t.tlb;
+  Walk_cache.flush t.pwc

@@ -16,9 +16,11 @@ type t = {
   mutable gdt : int;  (** identity of the loaded GDT image *)
   mutable ist_configured : bool;
   tlb : Tlb.t;
+  pwc : Walk_cache.t;  (** paging-structure (walk) cache *)
 }
 
 val create : core_id:int -> t
 
 val load_cr3 : t -> Page_table.t -> unit
-(** Point CR3 at a root table and flush the TLB, as hardware does. *)
+(** Point CR3 at a root table and flush the TLB and the paging-structure
+    cache, as hardware does. *)

@@ -19,30 +19,34 @@ let check_protection (cpu : Cpu.t) (pte : Page_table.pte) access cost =
 let access (costs : Costs.t) (cpu : Cpu.t) root addr kind =
   assert (cpu.cr3 = Page_table.id root);
   let page = Addr.page_of addr in
+  let walk_and_fill () =
+    let entry, levels = Page_table.walk_sized root addr in
+    (* The paging-structure cache lets the walk start below the PML4: a
+       cached PDE leaves 1 level to read, a cached PDPTE leaves 2. *)
+    let skip = Walk_cache.skip cpu.pwc addr in
+    let paid = max 1 (levels - skip) in
+    let cost =
+      (paid * costs.page_walk_level) + if skip > 0 then costs.walk_cache_hit else 0
+    in
+    Walk_cache.note cpu.pwc addr ~levels;
+    Tlb.note_walk cpu.tlb ~levels:paid ~cycles:cost;
+    match entry with
+    | None -> Fault (Not_present, cost)
+    | Some (pte, size) ->
+        if Page_table.has pte.pte_flags Page_table.f_present then begin
+          Tlb.fill ~size cpu.tlb ~page pte;
+          Tlb.note_fill cpu.tlb ~cycles:costs.tlb_fill;
+          check_protection cpu pte kind (cost + costs.tlb_fill)
+        end
+        else Fault (Not_present, cost)
+  in
   match Tlb.lookup cpu.tlb ~page with
-  | Some pte ->
-      if Page_table.has pte.pte_flags Page_table.f_present then
-        check_protection cpu pte kind costs.tlb_fill
-      else begin
-        (* Stale cached entry for an unmapped page: hardware would not keep
-           it, so drop and retry via the walk path. *)
-        Tlb.invalidate_page cpu.tlb ~page;
-        let entry, levels = Page_table.walk root addr in
-        let cost = levels * costs.page_walk_level in
-        match entry with
-        | None -> Fault (Not_present, cost)
-        | Some pte ->
-            Tlb.fill cpu.tlb ~page pte;
-            check_protection cpu pte kind (cost + costs.tlb_fill)
-      end
-  | None -> (
-      let entry, levels = Page_table.walk root addr in
-      let cost = levels * costs.page_walk_level in
-      match entry with
-      | None -> Fault (Not_present, cost)
-      | Some pte ->
-          if Page_table.has pte.pte_flags Page_table.f_present then begin
-            Tlb.fill cpu.tlb ~page pte;
-            check_protection cpu pte kind (cost + costs.tlb_fill)
-          end
-          else Fault (Not_present, cost))
+  | Some pte when Page_table.has pte.pte_flags Page_table.f_present ->
+      (* A genuine TLB hit is free: only real walks and fills pay. *)
+      check_protection cpu pte kind 0
+  | Some _ ->
+      (* Stale cached entry for an unmapped page: hardware would not keep
+         it, so drop and retry via the walk path. *)
+      Tlb.invalidate_page cpu.tlb ~page;
+      walk_and_fill ()
+  | None -> walk_and_fill ()

@@ -19,7 +19,17 @@ val f_cow : flags
 val has : flags -> flags -> bool
 
 type pte = { mutable frame : int; mutable pte_flags : flags }
-(** Leaf entry mapping one 4 KiB page. *)
+(** Leaf entry.  A leaf installed at PT level maps one 4 KiB page; large
+    pages install the same record at PD (2 MiB) or PDPT (1 GiB) level, with
+    [frame] naming the first 4 KiB frame of the contiguous physical run. *)
+
+type size = S4k | S2m | S1g
+(** Leaf granularity: the level the leaf lives at. *)
+
+val pages_of_size : size -> int
+(** 1, 512, or 512*512 — 4 KiB pages covered by one leaf of this size. *)
+
+val pp_size : Format.formatter -> size -> unit
 
 type t
 (** A root page table (what CR3 points to). *)
@@ -30,20 +40,44 @@ val id : t -> int
 (** Unique identity, used as the simulated CR3 value. *)
 
 val map : t -> Addr.t -> frame:int -> flags:flags -> unit
-(** Install a leaf mapping, building intermediate levels as needed.
-    Requires a page-aligned address. *)
+(** Install a 4 KiB leaf mapping, building intermediate levels as needed.
+    A covering huge leaf is first split into next-size-down children (the
+    siblings keep the inherited frame run and flags).  Requires a
+    page-aligned address. *)
+
+val map_size : t -> Addr.t -> size:size -> frame:int -> flags:flags -> unit
+(** Install a leaf of the given granularity.  A 2M/1G map replaces any
+    existing finer-grained sub-tree under its slot.  Requires the address
+    aligned to the leaf size. *)
 
 val unmap : t -> Addr.t -> bool
-(** Remove a leaf mapping; [false] if nothing was mapped. *)
+(** Remove a 4 KiB leaf mapping, splitting a covering huge leaf so only
+    this page disappears; [false] if nothing was mapped. *)
+
+val unmap_leaf : t -> Addr.t -> size option
+(** Remove whatever leaf covers the address {e whole} (no splitting);
+    returns its size, or [None] if unmapped. *)
 
 val protect : t -> Addr.t -> flags:flags -> bool
-(** Replace the flags of an existing leaf; [false] if unmapped. *)
+(** Replace the flags of the 4 KiB leaf at the address, splitting a
+    covering huge leaf so siblings keep their flags; [false] if unmapped. *)
+
+val protect_leaf : t -> Addr.t -> flags:flags -> size option
+(** Replace the flags of the covering leaf whatever its size (no split);
+    returns the leaf size, or [None] if unmapped. *)
 
 val walk : t -> Addr.t -> pte option * int
 (** [(entry, levels)] where [levels] is the number of levels traversed
-    before stopping (for TLB-miss cost accounting). *)
+    before stopping (for TLB-miss cost accounting).  A 1 GiB leaf resolves
+    in 2 levels, a 2 MiB leaf in 3, a 4 KiB leaf in 4. *)
+
+val walk_sized : t -> Addr.t -> (pte * size) option * int
+(** Like {!walk} but also reports the granularity of the resolved leaf. *)
 
 val lookup : t -> Addr.t -> pte option
+
+val leaf_size : t -> Addr.t -> size option
+(** Granularity of the leaf covering the address, if mapped. *)
 
 val pml4_slot_present : t -> int -> bool
 (** Is top-level slot [i] populated? *)
@@ -61,6 +95,13 @@ val lower_half_generation : t -> int
     generations diverging. *)
 
 val count_mapped : t -> int
-(** Number of leaf mappings reachable from this root (test helper). *)
+(** Number of leaf mappings (of any size) reachable from this root. *)
+
+val count_huge : t -> int * int
+(** [(n_2m, n_1g)] — large leaves reachable from this root.  Used by the
+    merger to check huge leaves survive the PML4 slot copy. *)
 
 val iter_mappings : t -> (Addr.t -> pte -> unit) -> unit
+(** Visit every leaf (any size) once, with its base address. *)
+
+val iter_leaves : t -> (Addr.t -> size -> pte -> unit) -> unit

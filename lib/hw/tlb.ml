@@ -1,16 +1,66 @@
-type t = {
-  capacity : int;
-  entries : (int, Page_table.pte) Hashtbl.t;
-  order : int Queue.t;  (* FIFO eviction *)
-  mutable hits : int;
-  mutable misses : int;
+(* Each page size gets its own entry class, as on real cores (separate
+   4K/2M/1G STLB partitions).  Keys are the page number shifted down to the
+   class granularity, so one 2M entry gives reach over 512 4K pages. *)
+type klass = {
+  k_capacity : int;
+  k_entries : (int, Page_table.pte) Hashtbl.t;
+  k_order : int Queue.t;  (* FIFO eviction *)
 }
 
-let create ?(capacity = 512) () =
-  { capacity; entries = Hashtbl.create 64; order = Queue.create (); hits = 0; misses = 0 }
+let make_klass capacity =
+  { k_capacity = capacity; k_entries = Hashtbl.create 64; k_order = Queue.create () }
+
+type t = {
+  k4 : klass;
+  k2m : klass;
+  k1g : klass;
+  mutable hits : int;
+  mutable misses : int;
+  (* Walk/fill accounting, written by Mmu on each miss.  Living here keeps
+     the per-core memory-path statistics in one place. *)
+  mutable walks : int;
+  mutable walk_levels : int;
+  mutable walk_cycles : int;
+  mutable fills : int;
+  mutable fill_cycles : int;
+}
+
+let create ?(capacity = 512) ?(capacity_2m = 32) ?(capacity_1g = 8) () =
+  {
+    k4 = make_klass capacity;
+    k2m = make_klass capacity_2m;
+    k1g = make_klass capacity_1g;
+    hits = 0;
+    misses = 0;
+    walks = 0;
+    walk_levels = 0;
+    walk_cycles = 0;
+    fills = 0;
+    fill_cycles = 0;
+  }
+
+let shift_of_size = function
+  | Page_table.S4k -> 0
+  | Page_table.S2m -> 9
+  | Page_table.S1g -> 18
+
+let klass_of_size t = function
+  | Page_table.S4k -> t.k4
+  | Page_table.S2m -> t.k2m
+  | Page_table.S1g -> t.k1g
+
+let find t ~page =
+  (* Reach-based lookup: a huge entry covers the page if its class key
+     matches the page shifted to that granularity.  Check smallest first. *)
+  match Hashtbl.find_opt t.k4.k_entries page with
+  | Some _ as r -> r
+  | None -> (
+      match Hashtbl.find_opt t.k2m.k_entries (page lsr 9) with
+      | Some _ as r -> r
+      | None -> Hashtbl.find_opt t.k1g.k_entries (page lsr 18))
 
 let lookup t ~page =
-  match Hashtbl.find_opt t.entries page with
+  match find t ~page with
   | Some pte ->
       t.hits <- t.hits + 1;
       Some pte
@@ -18,27 +68,81 @@ let lookup t ~page =
       t.misses <- t.misses + 1;
       None
 
-let rec evict_one t =
-  match Queue.take_opt t.order with
+let rec evict_one k =
+  match Queue.take_opt k.k_order with
   | None -> ()
-  | Some page ->
-      if Hashtbl.mem t.entries page then Hashtbl.remove t.entries page
-      else evict_one t (* stale FIFO entry for an already-invalidated page *)
+  | Some key ->
+      if Hashtbl.mem k.k_entries key then Hashtbl.remove k.k_entries key
+      else evict_one k (* stale FIFO entry for an already-invalidated key *)
 
-let fill t ~page pte =
-  if not (Hashtbl.mem t.entries page) then begin
-    if Hashtbl.length t.entries >= t.capacity then evict_one t;
-    Hashtbl.replace t.entries page pte;
-    Queue.add page t.order
+let fill ?(size = Page_table.S4k) t ~page pte =
+  let k = klass_of_size t size in
+  let key = page lsr shift_of_size size in
+  if not (Hashtbl.mem k.k_entries key) then begin
+    if Hashtbl.length k.k_entries >= k.k_capacity then evict_one k;
+    Hashtbl.replace k.k_entries key pte;
+    Queue.add key k.k_order
   end
-  else Hashtbl.replace t.entries page pte
+  else Hashtbl.replace k.k_entries key pte
 
-let invalidate_page t ~page = Hashtbl.remove t.entries page
+let invalidate_page t ~page =
+  (* INVLPG semantics: drop any entry, of any size, covering the page. *)
+  Hashtbl.remove t.k4.k_entries page;
+  Hashtbl.remove t.k2m.k_entries (page lsr 9);
+  Hashtbl.remove t.k1g.k_entries (page lsr 18)
+
+let invalidate_range t ~page ~npages =
+  let lo = page and hi = page + npages in
+  let sweep k shift =
+    let doomed =
+      Hashtbl.fold
+        (fun key _ acc ->
+          let k_lo = key lsl shift and k_hi = (key + 1) lsl shift in
+          if k_lo < hi && k_hi > lo then key :: acc else acc)
+        k.k_entries []
+    in
+    List.iter (Hashtbl.remove k.k_entries) doomed
+  in
+  sweep t.k4 0;
+  sweep t.k2m 9;
+  sweep t.k1g 18
 
 let flush t =
-  Hashtbl.reset t.entries;
-  Queue.clear t.order
+  let clear k =
+    Hashtbl.reset k.k_entries;
+    Queue.clear k.k_order
+  in
+  clear t.k4;
+  clear t.k2m;
+  clear t.k1g
 
-let occupancy t = float_of_int (Hashtbl.length t.entries) /. float_of_int t.capacity
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.walks <- 0;
+  t.walk_levels <- 0;
+  t.walk_cycles <- 0;
+  t.fills <- 0;
+  t.fill_cycles <- 0
+
+let occupancy t =
+  let len k = Hashtbl.length k.k_entries and cap k = k.k_capacity in
+  float_of_int (len t.k4 + len t.k2m + len t.k1g)
+  /. float_of_int (cap t.k4 + cap t.k2m + cap t.k1g)
+
+let note_walk t ~levels ~cycles =
+  t.walks <- t.walks + 1;
+  t.walk_levels <- t.walk_levels + levels;
+  t.walk_cycles <- t.walk_cycles + cycles
+
+let note_fill t ~cycles =
+  t.fills <- t.fills + 1;
+  t.fill_cycles <- t.fill_cycles + cycles
+
 let hits t = t.hits
 let misses t = t.misses
+let walks t = t.walks
+let walk_levels t = t.walk_levels
+let walk_cycles t = t.walk_cycles
+let fills t = t.fills
+let fill_cycles t = t.fill_cycles

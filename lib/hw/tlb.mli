@@ -1,25 +1,53 @@
-(** Per-core translation lookaside buffer.
+(** Per-core, size-aware translation lookaside buffer.
 
-    A small set-associative-ish cache of page-to-PTE translations.  A merger
-    broadcasts a shootdown to all HRT cores (paper, Section 4.4); a CR3
-    switch flushes.  The TLB also supports the paper's observation that the
-    HRT core's {e sparse} TLB makes vdso calls slightly cheaper there: we
-    expose an occupancy measure callers can consult. *)
+    Three entry classes (4K / 2M / 1G) with separate capacities, mirroring
+    the partitioned STLBs of real cores: one 2 MiB entry gives translation
+    reach over 512 small pages, one 1 GiB entry over 512*512.  Lookup is
+    reach-based — an address hits if any class holds an entry covering it.
+    A merger broadcasts a shootdown to all HRT cores (paper, Section 4.4);
+    a CR3 switch flushes.  The TLB also carries the per-core walk/fill
+    accounting the memory-path bench reads. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?capacity_2m:int -> ?capacity_1g:int -> unit -> t
+(** [capacity] is the 4K-class capacity (default 512); the large-page
+    classes default to 32 (2M) and 8 (1G) entries. *)
 
 val lookup : t -> page:int -> Page_table.pte option
-(** Cached translation for [page], if any. *)
+(** Cached translation covering [page], if any (counts a hit or miss). *)
 
-val fill : t -> page:int -> Page_table.pte -> unit
-(** Insert after a page walk, evicting (FIFO) if at capacity. *)
+val fill : ?size:Page_table.size -> t -> page:int -> Page_table.pte -> unit
+(** Insert after a page walk into the class for [size] (default 4K),
+    evicting (FIFO, per class) if at capacity. *)
 
 val invalidate_page : t -> page:int -> unit
+(** Drop any entry, of any size, covering the page (INVLPG semantics). *)
+
+val invalidate_range : t -> page:int -> npages:int -> unit
+(** Drop every entry whose reach intersects [page, page+npages) — the
+    receiving end of a range-batched shootdown. *)
+
 val flush : t -> unit
+(** Drop all entries.  Statistics are preserved; see {!reset_stats}. *)
+
+val reset_stats : t -> unit
+(** Zero hit/miss and walk/fill counters (bench warmup boundary). *)
+
 val occupancy : t -> float
-(** Fraction of capacity in use, in [0,1]. *)
+(** Fraction of total capacity in use, in [0,1]. *)
 
 val hits : t -> int
 val misses : t -> int
+
+(** Walk/fill accounting, updated by [Mmu] on each miss: *)
+
+val note_walk : t -> levels:int -> cycles:int -> unit
+val note_fill : t -> cycles:int -> unit
+val walks : t -> int
+val walk_levels : t -> int
+(** Sum of levels actually paid across walks (walk-cache skips excluded). *)
+
+val walk_cycles : t -> int
+val fills : t -> int
+val fill_cycles : t -> int

@@ -37,6 +37,7 @@ type mv_options = {
   mv_symbol_cache : bool;
   mv_porting : Runtime.porting;
   mv_faults : Mv_faults.Fault_plan.t;
+  mv_huge_pages : bool;
 }
 
 let default_mv_options =
@@ -45,6 +46,7 @@ let default_mv_options =
     mv_symbol_cache = false;
     mv_porting = Runtime.no_porting;
     mv_faults = Mv_faults.Fault_plan.none;
+    mv_huge_pages = true;
   }
 
 type run_stats = {
@@ -82,8 +84,9 @@ let prepare_stdin proc stdin =
       Vfs.close_stream proc.Process.stdin
   | None -> Vfs.close_stream proc.Process.stdin
 
-let run_plain ~virtualized ?costs ?stdin ?(trace = false) program =
-  let machine = Machine.create ?costs () in
+let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
+    program =
+  let machine = Machine.create ?costs ~huge_pages () in
   if trace then Mv_engine.Trace.enable machine.Machine.trace true;
   let kernel = Kernel.create ~virtualized machine in
   let proc =
@@ -99,14 +102,14 @@ let run_plain ~virtualized ?costs ?stdin ?(trace = false) program =
     ~mode:(if virtualized then "virtual" else "native")
     ~kernel ~machine ~proc ~runtime:None
 
-let run_native ?costs ?stdin ?trace program =
-  run_plain ~virtualized:false ?costs ?stdin ?trace program
+let run_native ?costs ?stdin ?trace ?huge_pages program =
+  run_plain ~virtualized:false ?costs ?stdin ?trace ?huge_pages program
 
-let run_virtual ?costs ?stdin ?trace program =
-  run_plain ~virtualized:true ?costs ?stdin ?trace program
+let run_virtual ?costs ?stdin ?trace ?huge_pages program =
+  run_plain ~virtualized:true ?costs ?stdin ?trace ?huge_pages program
 
 let setup_multiverse ?costs ~options ~name ~fat body =
-  let machine = Machine.create ?costs () in
+  let machine = Machine.create ?costs ~huge_pages:options.mv_huge_pages () in
   let kernel = Kernel.create machine in
   let hvm = Hvm.create machine ~ros:kernel in
   let nk = Nautilus.create machine in

@@ -34,6 +34,10 @@ type mv_options = {
   mv_faults : Mv_faults.Fault_plan.t;
       (** Fault-injection plan; {!Mv_faults.Fault_plan.none} (the default)
           keeps every code path identical to the fault-free runtime. *)
+  mv_huge_pages : bool;
+      (** Enable the huge-page memory path (1 GiB HRT identity leaves,
+          transparent 2 MiB promotion of anonymous VMAs, range-batched
+          shootdowns).  Default [true]; the mempath bench A/Bs this. *)
 }
 
 val default_mv_options : mv_options
@@ -54,11 +58,22 @@ val total_syscalls : run_stats -> int
 val wall_seconds : run_stats -> float
 
 val run_native :
-  ?costs:Mv_hw.Costs.t -> ?stdin:string -> ?trace:bool -> program -> run_stats
-(** Bare-metal Linux execution (the paper's "Native" rows). *)
+  ?costs:Mv_hw.Costs.t ->
+  ?stdin:string ->
+  ?trace:bool ->
+  ?huge_pages:bool ->
+  program ->
+  run_stats
+(** Bare-metal Linux execution (the paper's "Native" rows).  [huge_pages]
+    (default [true]) toggles the machine's huge-page memory path. *)
 
 val run_virtual :
-  ?costs:Mv_hw.Costs.t -> ?stdin:string -> ?trace:bool -> program -> run_stats
+  ?costs:Mv_hw.Costs.t ->
+  ?stdin:string ->
+  ?trace:bool ->
+  ?huge_pages:bool ->
+  program ->
+  run_stats
 (** The same, as an HVM guest: exit and nested-paging overheads apply. *)
 
 val run_multiverse :

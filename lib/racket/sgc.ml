@@ -78,7 +78,9 @@ let unmap_segment t seg =
   t.segs <- List.filter (fun s -> s != seg) t.segs;
   t.st.segments_unmapped <- t.st.segments_unmapped + 1
 
-let create env ?(segment_pages = 256) ?(threshold = 4 * 1024 * 1024) ?(protect_after_gc = true)
+(* 512 pages = 2 MiB: exactly one huge-page chunk, so heap segments promote
+   to 2M leaves under the transparent-huge-page path in Mm. *)
+let create env ?(segment_pages = 512) ?(threshold = 4 * 1024 * 1024) ?(protect_after_gc = true)
     () =
   let st =
     {

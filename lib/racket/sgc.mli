@@ -37,8 +37,9 @@ val create :
   unit ->
   t
 (** Build the collector (maps an initial segment).  [segment_pages]
-    defaults to 256 (1 MiB segments); [threshold] is the allocation
-    volume between collections (default 4 MiB). *)
+    defaults to 512 (2 MiB segments — one transparent-huge-page chunk);
+    [threshold] is the allocation volume between collections (default
+    4 MiB). *)
 
 val install_barrier : t -> unit
 (** Register the SIGSEGV write-barrier handler ([rt_sigaction] +

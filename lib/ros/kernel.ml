@@ -90,7 +90,7 @@ let runtime_of t p =
   in
   stop - start
 
-let finalize_rusage _t p =
+let finalize_rusage t p =
   let ru = p.Process.rusage in
   ru.Rusage.nvcsw <- 0;
   ru.Rusage.nivcsw <- 0;
@@ -99,7 +99,31 @@ let finalize_rusage _t p =
       ru.Rusage.nvcsw <- ru.Rusage.nvcsw + Exec.voluntary_switches th;
       ru.Rusage.nivcsw <- ru.Rusage.nivcsw + Exec.involuntary_switches th)
     p.Process.threads;
-  Rusage.note_rss ru ~kb:(Mm.maxrss_kb p.Process.mm)
+  Rusage.note_rss ru ~kb:(Mm.maxrss_kb p.Process.mm);
+  (* Memory-path statistics: TLB/walk counters live per core and are
+     assigned (not accumulated) so repeated getrusage calls stay stable. *)
+  let hits = ref 0 and misses = ref 0 and walks = ref 0 in
+  let levels = ref 0 and wcyc = ref 0 and fcyc = ref 0 in
+  Array.iter
+    (fun cpu ->
+      let tlb = cpu.Mv_hw.Cpu.tlb in
+      hits := !hits + Mv_hw.Tlb.hits tlb;
+      misses := !misses + Mv_hw.Tlb.misses tlb;
+      walks := !walks + Mv_hw.Tlb.walks tlb;
+      levels := !levels + Mv_hw.Tlb.walk_levels tlb;
+      wcyc := !wcyc + Mv_hw.Tlb.walk_cycles tlb;
+      fcyc := !fcyc + Mv_hw.Tlb.fill_cycles tlb)
+    t.machine.Machine.cpus;
+  ru.Rusage.tlb_hits <- !hits;
+  ru.Rusage.tlb_misses <- !misses;
+  ru.Rusage.walks <- !walks;
+  ru.Rusage.walk_levels <- !levels;
+  ru.Rusage.walk_cycles <- !wcyc;
+  ru.Rusage.fill_cycles <- !fcyc;
+  ru.Rusage.shootdowns <- Mm.stats_shootdowns p.Process.mm;
+  ru.Rusage.shootdown_cycles <- Mm.stats_shootdown_cycles p.Process.mm;
+  ru.Rusage.huge_promotions <- Mm.stats_huge_promotions p.Process.mm;
+  ru.Rusage.huge_splits <- Mm.stats_huge_splits p.Process.mm
 
 (* --- processes and threads --- *)
 

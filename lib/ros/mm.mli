@@ -26,18 +26,28 @@ val create : Mv_engine.Machine.t -> t
 
 val page_table : t -> Mv_hw.Page_table.t
 
+val add_shadow_root : t -> Mv_hw.Page_table.t -> unit
+(** Declare another root (the HVM's merged AeroKernel table) as aliasing
+    this address space's lower half: cores running it are included in
+    range-batched shootdowns, as Linux's mm_cpumask would. *)
+
 val mmap : t -> len:int -> prot:prot -> kind:string -> Mv_hw.Addr.t
 (** Reserve an anonymous region ([len] rounded up to pages); no frames are
-    allocated until touched.  Raises [Invalid_argument] on [len <= 0]. *)
+    allocated until touched.  With huge pages enabled, regions of 2 MiB or
+    more get 2M-aligned placement so first touch can promote whole chunks
+    to 2 MiB leaves.  Raises [Invalid_argument] on [len <= 0]. *)
 
 val munmap : t -> Mv_hw.Addr.t -> len:int -> int
 (** Drop every mapping overlapping the range (VMAs are split as needed);
-    resident frames are freed.  Returns the number of frames released. *)
+    resident frames are freed, huge chunks straddling the boundary are
+    demoted first, and one range-batched shootdown covers the whole range.
+    Returns the number of PTE teardowns (a whole 2M chunk counts once). *)
 
 val mprotect : t -> Mv_hw.Addr.t -> len:int -> prot -> int
 (** Change protection over the range, splitting VMAs; resident PTEs are
-    updated in place (visible to every core caching them).  Returns the
-    number of resident pages whose PTE changed. *)
+    updated in place (visible to every core caching them), a fully-covered
+    2M leaf in one edit.  One range-batched shootdown covers the range.
+    Returns the number of PTEs whose flags changed. *)
 
 val add_fixed : t -> addr:Mv_hw.Addr.t -> len:int -> prot:prot -> kind:string -> unit
 (** Install a VMA at a fixed address (program image, stack).  Raises
@@ -60,6 +70,14 @@ val maxrss_kb : t -> int
 
 val vma_count : t -> int
 val mapped_bytes : t -> int
+
+(** Huge-page / shootdown statistics (memory-path bench + rusage): *)
+
+val stats_huge_promotions : t -> int
+val stats_huge_splits : t -> int
+val stats_shootdowns : t -> int
+val stats_shootdown_cycles : t -> int
+val huge_resident_chunks : t -> int
 
 val release : t -> unit
 (** Free every resident frame (process teardown). *)

@@ -6,12 +6,45 @@ type t = {
   mutable majflt : int;
   mutable nvcsw : int;
   mutable nivcsw : int;
+  (* Memory-path statistics (machine-wide at finalize time): *)
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable walks : int;
+  mutable walk_levels : int;
+  mutable walk_cycles : int;
+  mutable fill_cycles : int;
+  mutable shootdowns : int;
+  mutable shootdown_cycles : int;
+  mutable huge_promotions : int;
+  mutable huge_splits : int;
 }
 
 let create () =
-  { utime = 0; stime = 0; maxrss_kb = 0; minflt = 0; majflt = 0; nvcsw = 0; nivcsw = 0 }
+  {
+    utime = 0;
+    stime = 0;
+    maxrss_kb = 0;
+    minflt = 0;
+    majflt = 0;
+    nvcsw = 0;
+    nivcsw = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    walks = 0;
+    walk_levels = 0;
+    walk_cycles = 0;
+    fill_cycles = 0;
+    shootdowns = 0;
+    shootdown_cycles = 0;
+    huge_promotions = 0;
+    huge_splits = 0;
+  }
 
 let note_rss t ~kb = if kb > t.maxrss_kb then t.maxrss_kb <- kb
+
+let tlb_hit_rate t =
+  let total = t.tlb_hits + t.tlb_misses in
+  if total = 0 then 1.0 else float_of_int t.tlb_hits /. float_of_int total
 
 let add acc x =
   acc.utime <- acc.utime + x.utime;
@@ -20,10 +53,22 @@ let add acc x =
   acc.minflt <- acc.minflt + x.minflt;
   acc.majflt <- acc.majflt + x.majflt;
   acc.nvcsw <- acc.nvcsw + x.nvcsw;
-  acc.nivcsw <- acc.nivcsw + x.nivcsw
+  acc.nivcsw <- acc.nivcsw + x.nivcsw;
+  acc.tlb_hits <- acc.tlb_hits + x.tlb_hits;
+  acc.tlb_misses <- acc.tlb_misses + x.tlb_misses;
+  acc.walks <- acc.walks + x.walks;
+  acc.walk_levels <- acc.walk_levels + x.walk_levels;
+  acc.walk_cycles <- acc.walk_cycles + x.walk_cycles;
+  acc.fill_cycles <- acc.fill_cycles + x.fill_cycles;
+  acc.shootdowns <- acc.shootdowns + x.shootdowns;
+  acc.shootdown_cycles <- acc.shootdown_cycles + x.shootdown_cycles;
+  acc.huge_promotions <- acc.huge_promotions + x.huge_promotions;
+  acc.huge_splits <- acc.huge_splits + x.huge_splits
 
 let pp ppf t =
-  Format.fprintf ppf "user %.2fs sys %.2fs maxrss %dKB faults %d/%d csw %d/%d"
+  Format.fprintf ppf
+    "user %.2fs sys %.2fs maxrss %dKB faults %d/%d csw %d/%d tlb %.1f%%"
     (Mv_util.Cycles.to_sec t.utime)
     (Mv_util.Cycles.to_sec t.stime)
     t.maxrss_kb t.minflt t.majflt t.nvcsw t.nivcsw
+    (100. *. tlb_hit_rate t)

@@ -11,10 +11,24 @@ type t = {
   mutable majflt : int;
   mutable nvcsw : int;  (** voluntary context switches *)
   mutable nivcsw : int;  (** involuntary context switches *)
+  mutable tlb_hits : int;  (** TLB hits across the cores the process ran on *)
+  mutable tlb_misses : int;
+  mutable walks : int;  (** page walks taken on TLB misses *)
+  mutable walk_levels : int;  (** levels actually read (walk-cache skips excluded) *)
+  mutable walk_cycles : int;
+  mutable fill_cycles : int;
+  mutable shootdowns : int;  (** range-batched shootdowns, per remote core *)
+  mutable shootdown_cycles : int;
+  mutable huge_promotions : int;  (** VMA chunks promoted to 2M leaves *)
+  mutable huge_splits : int;  (** 2M leaves demoted back to 4K *)
 }
 
 val create : unit -> t
 val note_rss : t -> kb:int -> unit
+
+val tlb_hit_rate : t -> float
+(** Hits over total lookups, in [0,1]; 1.0 when no lookups happened. *)
+
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc] (times and faults sum, maxrss
     takes the max). *)

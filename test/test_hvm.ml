@@ -197,11 +197,28 @@ let test_nk_higher_half_fault_fatal () =
   let machine, nk = boot_nk () in
   let hrt_core = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
   let failed = ref false in
+  (* The 1G identity leaves cover all physical memory, so the first
+     unmapped higher-half address is just past it. *)
+  let phys = machine.Machine.phys in
+  let span_pages =
+    Mv_hw.Phys_mem.total phys Mv_hw.Phys_mem.Ros_region
+    + Mv_hw.Phys_mem.total phys Mv_hw.Phys_mem.Hrt_region
+  in
+  let span_bytes =
+    (span_pages + Mv_hw.Addr.pages_per_1g - 1)
+    / Mv_hw.Addr.pages_per_1g * Mv_hw.Addr.page_size_1g
+  in
   ignore
     (Exec.spawn machine.Machine.exec ~cpu:hrt_core ~name:"hrt" (fun () ->
-         (* An unmapped higher-half address is an AeroKernel bug, not a
+         (* In-span higher-half accesses hit the identity map... *)
+         Nautilus.access nk (Mv_hw.Addr.higher_half_base + 0x5000) ~write:false;
+         (* ...but an address beyond it is an AeroKernel bug, not a
             forwardable event. *)
-         match Nautilus.access nk (Mv_hw.Addr.higher_half_base + 0x5000) ~write:false with
+         match
+           Nautilus.access nk
+             (Mv_hw.Addr.higher_half_base + span_bytes + 0x5000)
+             ~write:false
+         with
          | () -> ()
          | exception Failure _ -> failed := true));
   Sim.run machine.Machine.sim;

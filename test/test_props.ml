@@ -145,6 +145,193 @@ let qcheck_page_table_map_walk_unmap =
       in
       mapped_ok && count_ok && unmapped_ok)
 
+(* --- Mixed-size page tables vs a flat reference model --- *)
+
+(* Random map/unmap/protect traffic at all three page sizes, confined to
+   the first two 1 GiB regions of the lower half, checked against a flat
+   per-page model evaluated by backward scan: the latest Map (or Unmap)
+   covering a page governs it, and Protects on that page after the
+   governing Map override its flags.  This exercises huge-leaf
+   installation, auto-split on 4K traffic under a huge leaf, and the
+   frame arithmetic the splits must preserve. *)
+
+type mixed_op =
+  | MMap of Page_table.size * int * int  (* aligned base page, flag selector *)
+  | MUnmap of int  (* page *)
+  | MProtect of int * int  (* page, flag selector *)
+
+let mixed_region_pages = 2 * Addr.pages_per_1g
+
+let mixed_flag_sets =
+  Page_table.
+    [|
+      f_present lor f_writable;
+      f_present;
+      f_present lor f_user;
+      f_present lor f_writable lor f_user;
+    |]
+
+(* Each op gets a distinct base frame so the model can spot a wrong
+   governing mapping, not just a wrong offset. *)
+let mixed_frame i = 10_000 * (i + 1)
+
+let pp_mixed_op = function
+  | MMap (s, b, fl) ->
+      Printf.sprintf "map[%s] @%d fl%d" (Format.asprintf "%a" Page_table.pp_size s) b fl
+  | MUnmap p -> Printf.sprintf "unmap @%d" p
+  | MProtect (p, fl) -> Printf.sprintf "protect @%d fl%d" p fl
+
+let arb_mixed_ops =
+  let open QCheck in
+  let gen_op =
+    Gen.(
+      int_bound (mixed_region_pages - 1) >>= fun page ->
+      int_bound (Array.length mixed_flag_sets - 1) >>= fun fl ->
+      int_bound 9 >>= fun kind ->
+      match kind with
+      | 0 | 1 | 2 | 3 -> return (MMap (Page_table.S4k, page, fl))
+      | 4 | 5 -> return (MMap (Page_table.S2m, page land lnot (Addr.pages_per_2m - 1), fl))
+      | 6 -> return (MMap (Page_table.S1g, page land lnot (Addr.pages_per_1g - 1), fl))
+      | 7 | 8 -> return (MUnmap page)
+      | _ -> return (MProtect (page, fl)))
+  in
+  make
+    ~print:(fun ops -> String.concat "; " (List.map pp_mixed_op ops))
+    (Gen.list_size Gen.(1 -- 25) gen_op)
+
+let apply_mixed pt ops =
+  List.iteri
+    (fun i op ->
+      match op with
+      | MMap (size, base, fl) ->
+          Page_table.map_size pt (Addr.base_of_page base) ~size ~frame:(mixed_frame i)
+            ~flags:mixed_flag_sets.(fl)
+      | MUnmap page -> ignore (Page_table.unmap pt (Addr.base_of_page page))
+      | MProtect (page, fl) ->
+          ignore (Page_table.protect pt (Addr.base_of_page page) ~flags:mixed_flag_sets.(fl)))
+    ops
+
+let model_lookup ops page =
+  let rec scan rev_ops pending =
+    match rev_ops with
+    | [] -> None
+    | (i, op) :: rest -> (
+        match op with
+        | MProtect (p, fl) when p = page ->
+            scan rest (match pending with None -> Some fl | s -> s)
+        | MUnmap p when p = page -> None
+        | MMap (size, base, fl)
+          when base <= page && page < base + Page_table.pages_of_size size ->
+            let flags =
+              match pending with
+              | Some sel -> mixed_flag_sets.(sel)
+              | None -> mixed_flag_sets.(fl)
+            in
+            Some (mixed_frame i + (page - base), flags)
+        | _ -> scan rest pending)
+  in
+  scan (List.rev (List.mapi (fun i op -> (i, op)) ops)) None
+
+(* Pages worth probing: the edges of every op's footprint and their
+   immediate neighbours. *)
+let mixed_probes ops =
+  let add acc p = if p >= 0 && p < mixed_region_pages then p :: acc else acc in
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | MMap (size, base, _) ->
+          let n = Page_table.pages_of_size size in
+          List.fold_left add acc [ base - 1; base; base + 1; base + n - 1; base + n ]
+      | MUnmap p | MProtect (p, _) -> List.fold_left add acc [ p - 1; p; p + 1 ])
+    [] ops
+  |> List.sort_uniq compare
+
+let qcheck_mixed_vs_model =
+  QCheck.Test.make ~name:"page table: mixed-size ops match the flat reference model"
+    ~count:300 arb_mixed_ops
+    (fun ops ->
+      let pt = Page_table.create () in
+      apply_mixed pt ops;
+      List.for_all
+        (fun page ->
+          let addr = Addr.base_of_page page in
+          match (model_lookup ops page, fst (Page_table.walk_sized pt addr)) with
+          | None, None -> true
+          | Some (frame, flags), Some (pte, size) ->
+              (* A huge leaf's pte carries the region's base frame. *)
+              let real_frame =
+                match size with
+                | Page_table.S4k -> pte.Page_table.frame
+                | Page_table.S2m ->
+                    pte.Page_table.frame + (page - (page land lnot (Addr.pages_per_2m - 1)))
+                | Page_table.S1g ->
+                    pte.Page_table.frame + (page - (page land lnot (Addr.pages_per_1g - 1)))
+              in
+              real_frame = frame && pte.Page_table.pte_flags = flags
+          | _ -> false)
+        (mixed_probes ops))
+
+let qcheck_walk_levels =
+  QCheck.Test.make ~name:"page table: walk level count matches the leaf size"
+    ~count:100
+    QCheck.(pair (int_bound (mixed_region_pages - 1)) (int_bound 2))
+    (fun (page, k) ->
+      let size, base =
+        match k with
+        | 0 -> (Page_table.S4k, page)
+        | 1 -> (Page_table.S2m, page land lnot (Addr.pages_per_2m - 1))
+        | _ -> (Page_table.S1g, page land lnot (Addr.pages_per_1g - 1))
+      in
+      let pt = Page_table.create () in
+      Page_table.map_size pt (Addr.base_of_page base) ~size ~frame:42
+        ~flags:Page_table.f_present;
+      match Page_table.walk_sized pt (Addr.base_of_page page) with
+      | Some (_, size'), levels ->
+          size' = size
+          && levels = (match size with Page_table.S1g -> 2 | S2m -> 3 | S4k -> 4)
+      | None, _ -> false)
+
+(* --- Size-aware TLB range invalidation --- *)
+
+let qcheck_tlb_range_invalidate =
+  QCheck.Test.make
+    ~name:"tlb: invalidate_range drops exactly the intersecting entries"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40)
+           (pair (int_bound (mixed_region_pages - 1)) (int_bound 9)))
+        (pair (int_bound (mixed_region_pages - 1)) (int_bound 100_000)))
+    (fun (entries, (r0, rlen)) ->
+      let rlen = 1 + rlen in
+      (* Capacities large enough that nothing is evicted during fill. *)
+      let tlb = Mv_hw.Tlb.create ~capacity:4096 ~capacity_2m:256 ~capacity_1g:64 () in
+      let pte = Page_table.{ frame = 7; pte_flags = f_present } in
+      (* Keep only entries with pairwise-disjoint coverage, so a dropped
+         entry cannot be shadowed by a coarser one covering the same page. *)
+      let keyed =
+        List.fold_left
+          (fun acc (page, k) ->
+            let size =
+              if k < 7 then Page_table.S4k else if k < 9 then Page_table.S2m else Page_table.S1g
+            in
+            let shift =
+              match size with Page_table.S4k -> 0 | S2m -> 9 | S1g -> 18
+            in
+            let lo = (page lsr shift) lsl shift and hi = ((page lsr shift) + 1) lsl shift in
+            if List.exists (fun (_, _, lo', hi') -> lo < hi' && hi > lo') acc then acc
+            else (page, size, lo, hi) :: acc)
+          [] entries
+      in
+      List.iter (fun (page, size, _, _) -> Mv_hw.Tlb.fill ~size tlb ~page pte) keyed;
+      Mv_hw.Tlb.invalidate_range tlb ~page:r0 ~npages:rlen;
+      List.for_all
+        (fun (page, _, lo, hi) ->
+          let intersects = lo < r0 + rlen && hi > r0 in
+          let found = Mv_hw.Tlb.lookup tlb ~page <> None in
+          found = not intersects)
+        keyed)
+
 (* --- Event_channel dedup idempotence --- *)
 
 let dup_heavy seed =
@@ -177,5 +364,8 @@ let suite =
     to_alcotest qcheck_addr_indices_roundtrip;
     to_alcotest qcheck_addr_page_roundtrip;
     to_alcotest qcheck_page_table_map_walk_unmap;
+    to_alcotest qcheck_mixed_vs_model;
+    to_alcotest qcheck_walk_levels;
+    to_alcotest qcheck_tlb_range_invalidate;
     to_alcotest qcheck_dedup_at_most_once;
   ]

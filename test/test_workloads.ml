@@ -93,7 +93,16 @@ let test_gc_heavy_profile () =
   check_bool "mprotect traffic" true (c "mprotect" > 30);
   check_bool "barrier sigreturns" true (c "rt_sigreturn" > 20);
   check_bool "timer chatter" true (c "gettimeofday" > 100);
-  check_bool "plenty of page faults" true (rs.Toolchain.rs_rusage.Mv_ros.Rusage.minflt > 5000)
+  (* With transparent 2M promotion a single fault populates a whole 512-page
+     chunk, so count demand-paged 4K-equivalents rather than raw faults. *)
+  let ru = rs.Toolchain.rs_rusage in
+  let pages_demand_paged =
+    ru.Mv_ros.Rusage.minflt
+    + (Mv_hw.Addr.pages_per_2m - 1) * ru.Mv_ros.Rusage.huge_promotions
+  in
+  check_bool "plenty of demand paging" true (pages_demand_paged > 5000);
+  check_bool "GC heap promoted to huge pages" true
+    (ru.Mv_ros.Rusage.huge_promotions > 0)
 
 let test_fasta_write_profile () =
   (* fasta is output-bound: write dominates the syscall mix (Figure 10's
