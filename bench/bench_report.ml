@@ -1,0 +1,45 @@
+(* Shared emitter for the machine-readable BENCH_*.json artifacts.
+
+   Every report is one JSON object whose first field is
+   "schema": "<kind>/<schema_version>" — the version constant lives here
+   once, so all BENCH files move in lockstep when the shape changes.
+   The JSON is hand-rolled (the image carries no JSON library):
+   deterministic field order, two-space indent. *)
+
+type value =
+  | Int of int
+  | Float of float * int  (* value, decimal places *)
+  | Str of string
+  | Obj of (string * value) list
+
+let schema_version = 2
+
+let rec emit buf indent = function
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float (v, dp) -> Buffer.add_string buf (Printf.sprintf "%.*f" dp v)
+  | Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      let pad = String.make (indent + 2) ' ' in
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_string buf (Printf.sprintf "%S: " k);
+          emit buf (indent + 2) v)
+        fields;
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_string buf "}"
+
+let render ~kind fields =
+  let buf = Buffer.create 1024 in
+  let schema = Printf.sprintf "%s/%d" kind schema_version in
+  emit buf 0 (Obj (("schema", Str schema) :: fields));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write ~path ~kind fields =
+  let oc = open_out path in
+  output_string oc (render ~kind fields);
+  close_out oc

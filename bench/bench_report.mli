@@ -1,0 +1,16 @@
+(** Shared emitter for the BENCH_*.json artifacts: one object per file,
+    field order preserved, all files stamped with the same
+    ["<kind>/<schema_version>"] schema tag. *)
+
+type value =
+  | Int of int
+  | Float of float * int  (** value, decimal places *)
+  | Str of string
+  | Obj of (string * value) list
+
+val schema_version : int
+
+val render : kind:string -> (string * value) list -> string
+(** The JSON text, with ["schema"] prepended as the first field. *)
+
+val write : path:string -> kind:string -> (string * value) list -> unit

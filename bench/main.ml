@@ -774,41 +774,45 @@ let fabric_bench () =
   print_string (Table.to_string t);
   printf "(acceptance: batching cuts virtual cycles per forwarded call by >= 25%%)\n"
 
-(* BENCH_fabric.json — hand-rolled (no JSON library in the image). *)
+(* BENCH_fabric.json, via the shared Bench_report emitter. *)
 let write_fabric_json path =
   let m = measure_fabric () in
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"multiverse-fabric-bench/1\",\n";
-  p "  \"rtt_cycles\": {\n";
-  p "    \"async\": %d,\n" m.fm_async_rtt;
-  p "    \"sync_cross_socket\": %d,\n" m.fm_sync_cross_rtt;
-  p "    \"sync_same_socket\": %d\n" m.fm_sync_same_rtt;
-  p "  },\n";
-  p "  \"forwarded_calls_per_sec\": %.1f,\n" m.fm_calls_per_sec;
-  p "  \"batch\": {\n";
-  p "    \"groups\": %d,\n" m.fm_groups;
-  p "    \"riders_per_group\": %d,\n" m.fm_riders;
-  p "    \"calls_per_rider\": %d,\n" m.fm_calls_per_rider;
-  p "    \"forwarded_calls\": %d,\n" m.fm_forwarded;
-  p "    \"unbatched_cycles_per_call\": %.1f,\n" (cycles_per_call m m.fm_unbatched_cycles);
-  p "    \"batched_cycles_per_call\": %.1f,\n" (cycles_per_call m m.fm_batched_cycles);
-  p "    \"reduction_pct\": %.2f,\n" (reduction_pct m);
-  p "    \"doorbells_unbatched\": %d,\n" m.fm_transport_unbatched;
-  p "    \"doorbells_batched\": %d,\n" m.fm_transport_batched;
-  p "    \"riders\": %d,\n" m.fm_rider_count;
-  p "    \"drains\": %d,\n" m.fm_drains;
-  p "    \"drained\": %d,\n" m.fm_drained;
-  p "    \"occupancy\": %.3f\n" (batch_occupancy m);
-  p "  },\n";
-  p "  \"local_fast_path\": {\n";
-  p "    \"hits\": %d,\n" m.fm_local_hits;
-  p "    \"misses\": %d,\n" m.fm_local_misses;
-  p "    \"hit_rate\": %.3f\n" (local_hit_rate m);
-  p "  }\n";
-  p "}\n";
-  close_out oc;
+  let open Bench_report in
+  write ~path ~kind:"multiverse-fabric-bench"
+    [
+      ( "rtt_cycles",
+        Obj
+          [
+            ("async", Int m.fm_async_rtt);
+            ("sync_cross_socket", Int m.fm_sync_cross_rtt);
+            ("sync_same_socket", Int m.fm_sync_same_rtt);
+          ] );
+      ("forwarded_calls_per_sec", Float (m.fm_calls_per_sec, 1));
+      ( "batch",
+        Obj
+          [
+            ("groups", Int m.fm_groups);
+            ("riders_per_group", Int m.fm_riders);
+            ("calls_per_rider", Int m.fm_calls_per_rider);
+            ("forwarded_calls", Int m.fm_forwarded);
+            ("unbatched_cycles_per_call", Float (cycles_per_call m m.fm_unbatched_cycles, 1));
+            ("batched_cycles_per_call", Float (cycles_per_call m m.fm_batched_cycles, 1));
+            ("reduction_pct", Float (reduction_pct m, 2));
+            ("doorbells_unbatched", Int m.fm_transport_unbatched);
+            ("doorbells_batched", Int m.fm_transport_batched);
+            ("riders", Int m.fm_rider_count);
+            ("drains", Int m.fm_drains);
+            ("drained", Int m.fm_drained);
+            ("occupancy", Float (batch_occupancy m, 3));
+          ] );
+      ( "local_fast_path",
+        Obj
+          [
+            ("hits", Int m.fm_local_hits);
+            ("misses", Int m.fm_local_misses);
+            ("hit_rate", Float (local_hit_rate m, 3));
+          ] );
+    ];
   printf "wrote %s (reduction %.2f%%)\n%!" path (reduction_pct m)
 
 (* ------------------------------------------------------------------ *)
@@ -969,56 +973,49 @@ let mempath () =
   print_string (Table.to_string t2);
   printf "(acceptance: huge on is fault-free with >= 99%% hits after warmup)\n"
 
-(* BENCH_mempath.json — same hand-rolled style as the fabric metrics. *)
+(* BENCH_mempath.json, via the shared Bench_report emitter. *)
 let write_mempath_json path =
   let on = measure_mempath_side ~huge_pages:true in
   let off = measure_mempath_side ~huge_pages:false in
   let hh_on = measure_hh_sweep ~huge_pages:true in
   let hh_off = measure_hh_sweep ~huge_pages:false in
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
+  let open Bench_report in
   let side s =
-    p "    \"wall_cycles\": %d,\n" s.ms_wall;
-    p "    \"gc_collections\": %d,\n" s.ms_gc;
-    p "    \"tlb_hit_rate\": %.4f,\n" s.ms_hit_rate;
-    p "    \"walks\": %d,\n" s.ms_walks;
-    p "    \"levels_per_walk\": %.3f,\n" s.ms_levels_per_walk;
-    p "    \"walk_cycles\": %d,\n" s.ms_walk_cycles;
-    p "    \"fill_cycles\": %d,\n" s.ms_fill_cycles;
-    p "    \"shootdowns\": %d,\n" s.ms_shootdowns;
-    p "    \"shootdown_cycles\": %d,\n" s.ms_shootdown_cycles;
-    p "    \"memory_path_cycles\": %d,\n" (ms_mem_cycles s);
-    p "    \"memory_path_cycles_per_gc\": %.1f,\n" (ms_cycles_per_gc s);
-    p "    \"huge_promotions\": %d,\n" s.ms_promotions;
-    p "    \"huge_splits\": %d,\n" s.ms_splits;
-    p "    \"page_faults\": %d\n" s.ms_minflt
+    Obj
+      [
+        ("wall_cycles", Int s.ms_wall);
+        ("gc_collections", Int s.ms_gc);
+        ("tlb_hit_rate", Float (s.ms_hit_rate, 4));
+        ("walks", Int s.ms_walks);
+        ("levels_per_walk", Float (s.ms_levels_per_walk, 3));
+        ("walk_cycles", Int s.ms_walk_cycles);
+        ("fill_cycles", Int s.ms_fill_cycles);
+        ("shootdowns", Int s.ms_shootdowns);
+        ("shootdown_cycles", Int s.ms_shootdown_cycles);
+        ("memory_path_cycles", Int (ms_mem_cycles s));
+        ("memory_path_cycles_per_gc", Float (ms_cycles_per_gc s, 1));
+        ("huge_promotions", Int s.ms_promotions);
+        ("huge_splits", Int s.ms_splits);
+        ("page_faults", Int s.ms_minflt);
+      ]
   in
   let hh s =
-    p "      \"accesses\": %d,\n" s.hh_accesses;
-    p "      \"demand_fills\": %d,\n" s.hh_fills;
-    p "      \"tlb_hit_rate\": %.4f\n" s.hh_hit_rate
+    Obj
+      [
+        ("accesses", Int s.hh_accesses);
+        ("demand_fills", Int s.hh_fills);
+        ("tlb_hit_rate", Float (s.hh_hit_rate, 4));
+      ]
   in
-  p "{\n";
-  p "  \"schema\": \"multiverse-mempath-bench/1\",\n";
-  p "  \"workload\": \"binary-tree-2\",\n";
-  p "  \"n\": %d,\n" mempath_n;
-  p "  \"huge_on\": {\n";
-  side on;
-  p "  },\n";
-  p "  \"huge_off\": {\n";
-  side off;
-  p "  },\n";
-  p "  \"memory_path_reduction_pct\": %.2f,\n" (mempath_reduction_pct ~on ~off);
-  p "  \"higher_half\": {\n";
-  p "    \"huge_on\": {\n";
-  hh hh_on;
-  p "    },\n";
-  p "    \"huge_off\": {\n";
-  hh hh_off;
-  p "    }\n";
-  p "  }\n";
-  p "}\n";
-  close_out oc;
+  write ~path ~kind:"multiverse-mempath-bench"
+    [
+      ("workload", Str "binary-tree-2");
+      ("n", Int mempath_n);
+      ("huge_on", side on);
+      ("huge_off", side off);
+      ("memory_path_reduction_pct", Float (mempath_reduction_pct ~on ~off, 2));
+      ("higher_half", Obj [ ("huge_on", hh hh_on); ("huge_off", hh hh_off) ]);
+    ];
   printf "wrote %s (memory-path reduction %.2f%%, hh hit rate %.2f%%)\n%!" path
     (mempath_reduction_pct ~on ~off)
     (100.0 *. hh_on.hh_hit_rate)

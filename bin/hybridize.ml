@@ -10,7 +10,7 @@
          [-o out.mvfb] *)
 
 open Multiverse
-open Cmdliner
+module Args = Mv_util.Args
 
 let main name image_kb overrides out =
   let config =
@@ -64,19 +64,17 @@ let main name image_kb overrides out =
       | Ok _ -> Printf.printf "\nwrote %s (parses back cleanly)\n" path
       | Error e -> Printf.printf "\nwrote %s but it does NOT parse: %s\n" path e)
   | None -> ());
-  `Ok ()
+  0
 
-let cmd =
-  let prog_name = Arg.(value & opt string "app" & info [ "name" ] ~docv:"NAME" ~doc:"Program name.") in
-  let image_kb =
-    Arg.(value & opt int 640 & info [ "image-kb" ] ~docv:"KB" ~doc:"AeroKernel image size.")
+let () =
+  let open Args in
+  let term =
+    const main
+    $ opt string ~default:"app" ~names:[ "name" ] ~docv:"NAME" ~doc:"Program name."
+    $ opt int ~default:640 ~names:[ "image-kb" ] ~docv:"KB" ~doc:"AeroKernel image size."
+    $ opt_all string ~names:[ "override" ] ~docv:"SPEC" ~doc:"legacy=symbol [cost=N]."
+    $ opt_opt string ~names:[ "output"; "o" ] ~docv:"FILE" ~doc:"Write the fat binary to FILE."
   in
-  let overrides =
-    Arg.(value & opt_all string [] & info [ "override" ] ~docv:"SPEC" ~doc:"legacy=symbol [cost=N].")
-  in
-  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
-  Cmd.v
-    (Cmd.info "hybridize" ~doc:"Package a program as a Multiverse fat binary")
-    Term.(ret (const main $ prog_name $ image_kb $ overrides $ out))
-
-let () = exit (Cmd.eval cmd)
+  exit
+    (run ~name:"hybridize" ~doc:"Package a program as a Multiverse fat binary" term
+       (List.tl (Array.to_list Sys.argv)))

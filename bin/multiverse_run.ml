@@ -9,7 +9,7 @@
      dune exec bin/multiverse_run.exe -- --list *)
 
 open Multiverse
-open Cmdliner
+module Args = Mv_util.Args
 module Fault_plan = Mv_faults.Fault_plan
 
 let parse_fault_sites spec =
@@ -85,6 +85,10 @@ let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stat
       (Mv_util.Histogram.to_sorted_list rs.Toolchain.rs_syscalls)
   end
 
+let usage_error msg =
+  prerr_endline ("multiverse_run: " ^ msg);
+  2
+
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
     no_huge_pages stats quiet list_benches =
   let huge_pages = not no_huge_pages in
@@ -100,7 +104,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
           Error "--fault-rate/--fault-sites have no effect without --fault-seed"
         else Ok Fault_plan.none
   with
-  | Error msg -> `Error (false, msg)
+  | Error msg -> usage_error msg
   | Ok faults ->
   if list_benches then begin
     List.iter
@@ -108,7 +112,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
         Printf.printf "%-16s (test n=%d, bench n=%d)\n" b.Mv_workloads.Benchmarks.b_name
           b.Mv_workloads.Benchmarks.b_test_n b.Mv_workloads.Benchmarks.b_bench_n)
       Mv_workloads.Benchmarks.all;
-    `Ok ()
+    0
   end
   else
     match (bench, file) with
@@ -118,8 +122,8 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
             let n = match n with Some n -> n | None -> b.Mv_workloads.Benchmarks.b_test_n in
             run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet
               (Mv_workloads.Benchmarks.program b ~n);
-            `Ok ()
-        | exception Not_found -> `Error (false, "unknown benchmark " ^ name))
+            0
+        | exception Not_found -> usage_error ("unknown benchmark " ^ name))
     | None, Some path ->
         let ic = open_in path in
         let len = in_channel_length ic in
@@ -135,50 +139,38 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
           }
         in
         run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog;
-        `Ok ()
-    | None, None -> `Error (true, "pass --bench NAME or --file PROG.scm (or --list)")
+        0
+    | None, None -> usage_error "pass --bench NAME or --file PROG.scm (or --list)"
 
-let cmd =
-  let bench =
-    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
-  in
-  let file =
-    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Scheme source file to run through the Racket engine.")
-  in
-  let n = Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Problem size.") in
-  let mode =
-    Arg.(value & opt string "native" & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"native | virtual | multiverse.")
-  in
-  let porting =
-    Arg.(value & opt string "none" & info [ "porting" ] ~docv:"LEVEL" ~doc:"none | mmap | faults | full (multiverse only).")
-  in
-  let sync_channel = Arg.(value & flag & info [ "sync-channel" ] ~doc:"Use synchronous (polling) event channels.") in
-  let symbol_cache = Arg.(value & flag & info [ "symbol-cache" ] ~doc:"Enable the override symbol cache.") in
-  let fault_seed =
-    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
-         ~doc:"Arm deterministic fault injection with this seed (multiverse only).")
-  in
-  let fault_rate =
-    Arg.(value & opt float 0.05 & info [ "fault-rate" ] ~docv:"RATE"
-         ~doc:"Per-site injection probability, 0.0-1.0 (with --fault-seed).")
-  in
-  let fault_sites =
-    Arg.(value & opt string "all" & info [ "fault-sites" ] ~docv:"SITES"
-         ~doc:"Comma-separated fault sites to arm, or 'all': chan-drop, chan-delay, chan-dup, chan-corrupt, partner-kill, boot-stall, syscall-eagain, syscall-enosys.")
-  in
-  let no_huge_pages =
-    Arg.(value & flag & info [ "no-huge-pages" ]
-         ~doc:"Disable the huge-page memory path (4 KiB mappings only).")
-  in
-  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the per-syscall histogram.") in
-  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's stdout.") in
-  let list_benches = Arg.(value & flag & info [ "list" ] ~doc:"List benchmarks.") in
+let () =
+  let open Args in
   let term =
-    Term.(
-      ret
-        (const main $ bench $ file $ n $ mode $ porting $ sync_channel $ symbol_cache
-       $ fault_seed $ fault_rate $ fault_sites $ no_huge_pages $ stats $ quiet $ list_benches))
+    const main
+    $ opt_opt string ~names:[ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name."
+    $ opt_opt string ~names:[ "file"; "f" ] ~docv:"FILE"
+        ~doc:"Scheme source file to run through the Racket engine."
+    $ opt_opt int ~names:[ "n" ] ~docv:"N" ~doc:"Problem size."
+    $ opt string ~default:"native" ~names:[ "mode"; "m" ] ~docv:"MODE"
+        ~doc:"native | virtual | multiverse."
+    $ opt string ~default:"none" ~names:[ "porting" ] ~docv:"LEVEL"
+        ~doc:"none | mmap | faults | full (multiverse only)."
+    $ flag ~names:[ "sync-channel" ] ~doc:"Use synchronous (polling) event channels."
+    $ flag ~names:[ "symbol-cache" ] ~doc:"Enable the override symbol cache."
+    $ opt_opt int ~names:[ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Arm deterministic fault injection with this seed (multiverse only)."
+    $ opt float ~default:0.05 ~names:[ "fault-rate" ] ~docv:"RATE"
+        ~doc:"Per-site injection probability, 0.0-1.0 (with --fault-seed)."
+    $ opt string ~default:"all" ~names:[ "fault-sites" ] ~docv:"SITES"
+        ~doc:
+          "Comma-separated fault sites to arm, or 'all': chan-drop, chan-delay, \
+           chan-dup, chan-corrupt, partner-kill, boot-stall, syscall-eagain, \
+           syscall-enosys."
+    $ flag ~names:[ "no-huge-pages" ]
+        ~doc:"Disable the huge-page memory path (4 KiB mappings only)."
+    $ flag ~names:[ "stats" ] ~doc:"Print the per-syscall histogram."
+    $ flag ~names:[ "quiet"; "q" ] ~doc:"Suppress the program's stdout."
+    $ flag ~names:[ "list" ] ~doc:"List benchmarks."
   in
-  Cmd.v (Cmd.info "multiverse_run" ~doc:"Run workloads on the Multiverse simulation") term
-
-let () = exit (Cmd.eval cmd)
+  exit
+    (run ~name:"multiverse_run" ~doc:"Run workloads on the Multiverse simulation" term
+       (List.tl (Array.to_list Sys.argv)))

@@ -7,7 +7,7 @@
    counterexample artifact; `replay` re-executes one.  `golden` prints the
    canonical traced run used by the golden regression test. *)
 
-open Cmdliner
+module Args = Mv_util.Args
 module Explore = Mv_check.Explore
 module Scenario = Mv_check.Scenario
 module Scenarios = Mv_check.Scenarios
@@ -19,7 +19,7 @@ let list_scenarios () =
         (if sc.Scenario.sc_expect_bug then "[expected-bug] " else "")
         sc.Scenario.sc_descr)
     Scenarios.all_scenarios;
-  `Ok ()
+  0
 
 let print_counterexample cx =
   print_string (Explore.to_artifact cx);
@@ -53,9 +53,9 @@ let run_scenario ~seeds ~shrink_budget ~out sc =
         r.Explore.ex_runs;
       true
 
-let run name seeds shrink_budget out =
+let run_scenarios name seeds shrink_budget out =
   let selected =
-    match name with
+    match Option.value name ~default:"all" with
     | "all" -> Ok Scenarios.all_scenarios
     | name -> (
         match Scenarios.find name with
@@ -65,12 +65,18 @@ let run name seeds shrink_budget out =
               (Printf.sprintf "unknown scenario %S (try `mvcheck list')" name))
   in
   match selected with
-  | Error msg -> `Error (false, msg)
+  | Error msg ->
+      prerr_endline ("mvcheck run: " ^ msg);
+      2
   | Ok scenarios ->
       let ok =
         List.for_all (run_scenario ~seeds ~shrink_budget ~out) scenarios
       in
-      if ok then `Ok () else `Error (false, "scenario check failed")
+      if ok then 0
+      else begin
+        prerr_endline "mvcheck run: scenario check failed";
+        1
+      end
 
 let replay path =
   let text =
@@ -81,77 +87,66 @@ let replay path =
     s
   in
   match Explore.of_artifact text with
-  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  | Error msg ->
+      Printf.eprintf "mvcheck replay: %s: %s\n" path msg;
+      2
   | Ok cx -> (
       match Scenarios.find cx.Explore.cx_scenario with
       | None ->
-          `Error (false, Printf.sprintf "unknown scenario %S" cx.Explore.cx_scenario)
+          Printf.eprintf "mvcheck replay: unknown scenario %S\n" cx.Explore.cx_scenario;
+          2
       | Some sc -> (
           match Explore.replay sc cx with
           | Scenario.Fail msg, _ ->
               Printf.printf "reproduced: %s\n" msg;
-              if msg = cx.Explore.cx_message then `Ok ()
-              else begin
+              if msg <> cx.Explore.cx_message then
                 Printf.printf "note: artifact recorded %S\n" cx.Explore.cx_message;
-                `Ok ()
-              end
+              0
           | Scenario.Pass, _ ->
-              `Error (false, "replay PASSED: counterexample did not reproduce")))
+              prerr_endline "mvcheck replay: replay PASSED: counterexample did not reproduce";
+              1))
 
 let golden show_stdout =
   if show_stdout then print_string (Mv_check.Golden.stdout_string ())
   else print_string (Mv_check.Golden.trace_string ());
-  `Ok ()
+  0
 
-let list_cmd =
-  Cmd.v (Cmd.info "list" ~doc:"List the checkable scenarios")
-    Term.(ret (const list_scenarios $ const ()))
-
-let run_cmd =
-  let scenario =
-    Arg.(value & pos 0 string "all" & info [] ~docv:"SCENARIO"
-         ~doc:"Scenario name, or 'all'.")
+let () =
+  let open Args in
+  let list_cmd =
+    cmd "list" ~doc:"List the checkable scenarios" (const ()) (fun () ->
+        list_scenarios ())
   in
-  let seeds =
-    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N"
-         ~doc:"Random schedule seeds to sweep per fault shape.")
+  let run_cmd =
+    cmd "run" ~doc:"Explore schedules/fault plans; shrink and report any violation"
+      (const run_scenarios
+      $ pos string ~index:0 ~docv:"SCENARIO" ~doc:"Scenario name, or 'all' (default)."
+      $ opt int ~default:20 ~names:[ "seeds" ] ~docv:"N"
+          ~doc:"Random schedule seeds to sweep per fault shape."
+      $ opt int ~default:300 ~names:[ "shrink-budget" ] ~docv:"N"
+          ~doc:"Max extra runs spent shrinking a failing trace."
+      $ opt_opt string ~names:[ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the counterexample artifact to FILE.")
+      (fun code -> code)
   in
-  let shrink_budget =
-    Arg.(value & opt int 300 & info [ "shrink-budget" ] ~docv:"N"
-         ~doc:"Max extra runs spent shrinking a failing trace.")
+  let replay_cmd =
+    cmd "replay" ~doc:"Re-execute a counterexample artifact"
+      (const replay
+      $ pos_req string ~index:0 ~docv:"FILE"
+          ~doc:"Counterexample artifact produced by `mvcheck run'.")
+      (fun code -> code)
   in
-  let out =
-    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
-         ~doc:"Write the counterexample artifact to FILE.")
+  let golden_cmd =
+    cmd "golden" ~doc:"Print the canonical traced multiverse run (golden-file regen)"
+      (const golden
+      $ flag ~names:[ "stdout" ]
+          ~doc:"Print the run's guest stdout instead of the machine trace.")
+      (fun code -> code)
   in
-  Cmd.v
-    (Cmd.info "run"
-       ~doc:"Explore schedules/fault plans; shrink and report any violation")
-    Term.(ret (const run $ scenario $ seeds $ shrink_budget $ out))
-
-let replay_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"Counterexample artifact produced by `mvcheck run'.")
-  in
-  Cmd.v (Cmd.info "replay" ~doc:"Re-execute a counterexample artifact")
-    Term.(ret (const replay $ file))
-
-let golden_cmd =
-  let show_stdout =
-    Arg.(value & flag & info [ "stdout" ]
-         ~doc:"Print the run's guest stdout instead of the machine trace.")
-  in
-  Cmd.v
-    (Cmd.info "golden"
-       ~doc:"Print the canonical traced multiverse run (golden-file regen)")
-    Term.(ret (const golden $ show_stdout))
-
-let cmd =
-  Cmd.group
-    (Cmd.info "mvcheck"
-       ~doc:"Deterministic schedule-exploration model checker for the \
-             Multiverse runtime")
-    [ list_cmd; run_cmd; replay_cmd; golden_cmd ]
-
-let () = exit (Cmd.eval cmd)
+  exit
+    (run_group ~name:"mvcheck"
+       ~doc:
+         "Deterministic schedule-exploration model checker for the Multiverse \
+          runtime"
+       [ list_cmd; run_cmd; replay_cmd; golden_cmd ]
+       (List.tl (Array.to_list Sys.argv)))

@@ -1,38 +1,65 @@
-(* mvtrace: run a workload with event tracing and summarize where its
-   Linux-ABI interactions come from — the analysis a developer does before
-   deciding what to port to the AeroKernel (the paper's incremental
-   model: "identify hot spots in the legacy interface").
+(* mvtrace: run a workload with event tracing and analyze its Linux-ABI
+   interactions and ROS<->HRT crossings — the analysis a developer does
+   before deciding what to port to the AeroKernel (the paper's
+   incremental model: "identify hot spots in the legacy interface").
 
-     dune exec bin/mvtrace.exe -- binary-tree-2 [n] [--mode multiverse]
-     dune exec bin/mvtrace.exe -- fasta 500 --raw 20 *)
+     dune exec bin/mvtrace.exe -- summary binary-tree-2 [n] [--mode multiverse]
+     dune exec bin/mvtrace.exe -- critical-path binary-tree-2 --mode multiverse
+     dune exec bin/mvtrace.exe -- export-chrome fasta 500 --out fasta.trace.json
+     dune exec bin/mvtrace.exe -- export-folded binary-tree-2 --mode virtual
+
+   Bare `mvtrace BENCH [N] [--mode MODE]` runs `summary`. *)
 
 open Multiverse
+module Args = Mv_util.Args
+module Machine = Mv_engine.Machine
+module Tracer = Mv_obs.Tracer
 
-let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bench n mode raw = function
-    | [] -> (bench, n, mode, raw)
-    | "--mode" :: m :: rest -> parse bench n m raw rest
-    | "--raw" :: k :: rest -> parse bench n mode (int_of_string k) rest
-    | a :: rest when int_of_string_opt a <> None ->
-        parse bench (int_of_string_opt a) mode raw rest
-    | a :: rest -> parse (Some a) n mode raw rest
-  in
-  let bench, n, mode, raw = parse None None "native" 0 args in
-  let name = Option.value bench ~default:"binary-tree-2" in
-  let b = Mv_workloads.Benchmarks.find name in
-  let n = Option.value n ~default:b.Mv_workloads.Benchmarks.b_test_n in
-  let prog = Mv_workloads.Benchmarks.program b ~n in
-  Printf.printf "tracing %s (n=%d) under %s...\n%!" name n mode;
-  let rs =
-    match mode with
-    | "native" -> Toolchain.run_native ~trace:true prog
-    | "virtual" -> Toolchain.run_virtual ~trace:true prog
-    | "multiverse" -> Toolchain.run_multiverse ~trace:true (Toolchain.hybridize prog)
-    | m -> failwith ("unknown mode " ^ m)
-  in
+let modes = [ "native"; "virtual"; "multiverse" ]
+
+let run_traced ~bench ~n ~mode =
+  match Mv_workloads.Benchmarks.find bench with
+  | exception Not_found ->
+      Printf.eprintf "mvtrace: unknown benchmark %S (see multiverse_run --list)\n" bench;
+      exit 2
+  | b ->
+      let n = Option.value n ~default:b.Mv_workloads.Benchmarks.b_test_n in
+      let prog = Mv_workloads.Benchmarks.program b ~n in
+      let rs =
+        match mode with
+        | "native" -> Toolchain.run_native ~trace:true prog
+        | "virtual" -> Toolchain.run_virtual ~trace:true prog
+        | "multiverse" -> Toolchain.run_multiverse ~trace:true (Toolchain.hybridize prog)
+        | m ->
+            Printf.eprintf "mvtrace: unknown mode %S (%s)\n" m (String.concat " | " modes);
+            exit 2
+      in
+      (rs, n)
+
+(* --- shared CLI pieces --- *)
+
+let bench_arg =
+  Args.pos Args.string ~index:0 ~docv:"BENCH"
+    ~doc:"Benchmark name (default binary-tree-2)."
+
+let n_arg = Args.pos Args.int ~index:1 ~docv:"N" ~doc:"Problem size (integer)."
+
+let mode_arg =
+  Args.opt Args.string ~default:"native" ~names:[ "mode"; "m" ] ~docv:"MODE"
+    ~doc:"native | virtual | multiverse."
+
+let with_bench bench n mode f =
+  let bench = Option.value bench ~default:"binary-tree-2" in
+  let rs, n = run_traced ~bench ~n ~mode in
+  f ~bench ~n ~mode rs
+
+(* --- summary (the legacy mvtrace output) --- *)
+
+let summary bench n mode raw =
+  with_bench bench n mode @@ fun ~bench ~n ~mode rs ->
+  Printf.printf "tracing %s (n=%d) under %s...\n%!" bench n mode;
   let records =
-    Mv_engine.Trace.records_in rs.Toolchain.rs_machine.Mv_engine.Machine.trace
+    Mv_engine.Trace.records_in rs.Toolchain.rs_machine.Machine.trace
       ~category:"pagefault"
   in
   Printf.printf "\nwall %.4f s | %d syscalls | %d page faults (%d traced)\n\n"
@@ -51,7 +78,8 @@ let () =
           | [ _pid; vma; w ] ->
               let kind =
                 match String.split_on_char '=' vma with
-                | [ _; v ] -> ( match String.index_opt v '+' with
+                | [ _; v ] -> (
+                    match String.index_opt v '+' with
                     | Some i -> String.sub v 0 i
                     | None -> v)
                 | _ -> "?"
@@ -71,6 +99,95 @@ let () =
     List.iteri
       (fun i r ->
         if i < raw then
-          Printf.printf "  [%12d cyc] %s\n" r.Mv_engine.Trace.at r.Mv_engine.Trace.message)
+          Printf.printf "  [%12d cyc] %s\n" r.Mv_engine.Trace.at
+            r.Mv_engine.Trace.message)
       records
+  end;
+  0
+
+(* --- critical-path: per-crossing cycle attribution --- *)
+
+let critical_path bench n mode =
+  with_bench bench n mode @@ fun ~bench ~n ~mode rs ->
+  Printf.printf "critical path: %s (n=%d) under %s\n\n%!" bench n mode;
+  let obs = rs.Toolchain.rs_machine.Machine.obs in
+  let report = Mv_obs.Critical_path.compute (Tracer.spans obs) in
+  if report.Mv_obs.Critical_path.rows = [] then begin
+    Printf.printf "no ROS<->HRT crossings recorded (mode %s)\n" mode;
+    0
   end
+  else begin
+    Format.printf "%a@." Mv_obs.Critical_path.pp report;
+    0
+  end
+
+(* --- exporters --- *)
+
+let write_output ~out ~default data =
+  let path = Option.value out ~default in
+  if path = "-" then begin
+    print_string data;
+    0
+  end
+  else begin
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes)\n" path (String.length data);
+    0
+  end
+
+let export_chrome bench n mode out =
+  with_bench bench n mode @@ fun ~bench ~n:_ ~mode rs ->
+  let machine = rs.Toolchain.rs_machine in
+  let data =
+    Mv_obs.Export.chrome
+      ~process_name:(Printf.sprintf "%s/%s" bench mode)
+      ~metrics:machine.Machine.metrics machine.Machine.obs
+  in
+  write_output ~out ~default:(Printf.sprintf "mvtrace-%s-%s.json" bench mode) data
+
+let export_folded bench n mode out =
+  with_bench bench n mode @@ fun ~bench ~n:_ ~mode rs ->
+  let data = Mv_obs.Export.folded rs.Toolchain.rs_machine.Machine.obs in
+  write_output ~out ~default:(Printf.sprintf "mvtrace-%s-%s.folded" bench mode) data
+
+(* --- wiring --- *)
+
+let out_arg =
+  Args.opt_opt Args.string ~names:[ "out"; "o" ] ~docv:"FILE"
+    ~doc:"Output file ('-' for stdout)."
+
+let () =
+  let open Args in
+  let base term = const term $ bench_arg $ n_arg $ mode_arg in
+  let summary_cmd =
+    cmd "summary" ~doc:"Syscall/page-fault porting analysis (the default)"
+      (base summary
+      $ opt int ~default:0 ~names:[ "raw" ] ~docv:"K"
+          ~doc:"Also print the first K raw fault records.")
+      (fun code -> code)
+  in
+  let critical_cmd =
+    cmd "critical-path"
+      ~doc:"Attribute forwarded-crossing cycles to guest/transport/service/reply"
+      (base critical_path) (fun code -> code)
+  in
+  let chrome_cmd =
+    cmd "export-chrome" ~doc:"Write a Chrome trace-event JSON of the run"
+      (base export_chrome $ out_arg)
+      (fun code -> code)
+  in
+  let folded_cmd =
+    cmd "export-folded" ~doc:"Write collapsed flamegraph stacks of the run"
+      (base export_folded $ out_arg)
+      (fun code -> code)
+  in
+  exit
+    (run_group ~name:"mvtrace"
+       ~doc:
+         "Trace a workload on the Multiverse simulation and analyze where \
+          its time and Linux-ABI interactions go"
+       ~default:"summary"
+       [ summary_cmd; critical_cmd; chrome_cmd; folded_cmd ]
+       (List.tl (Array.to_list Sys.argv)))

@@ -1,6 +1,7 @@
 open Mv_hw
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
+module Tracer = Mv_obs.Tracer
 
 type fault_reply = Fault_fixed | Fault_fatal of string
 
@@ -142,6 +143,7 @@ let rec event_loop t () =
 let boot t =
   (* Boot (or reboot) takes milliseconds — on par with fork+exec (paper,
      Section 2) — and ends in the event loop awaiting requests. *)
+  Tracer.with_span t.machine.Machine.obs ~name:"nk:boot" ~cat:"hrt" @@ fun () ->
   t.booted <- Booting;
   t.boots <- t.boots + 1;
   Machine.charge t.machine t.machine.Machine.costs.Costs.hrt_boot;
@@ -203,6 +205,7 @@ let merge_lower_half t ~from =
   shootdown t
 
 let remerge t =
+  Tracer.with_span t.machine.Machine.obs ~name:"nk:remerge" ~cat:"hrt" @@ fun () ->
   let svc = services t in
   let from = svc.svc_request_remerge () in
   t.n_remerges <- t.n_remerges + 1;
@@ -294,6 +297,7 @@ let access t addr ~write =
 (* --- syscalls --- *)
 
 let syscall t ~name work =
+  Tracer.with_span t.machine.Machine.obs ~name:("sys:" ^ name) ~cat:"guest" @@ fun () ->
   let costs = t.machine.Machine.costs in
   (* Ring-0 to ring-0 SYSCALL: the trap itself, the stack-pointer pull that
      protects the red zone, and the emulated SYSRET on the way back. *)

@@ -197,6 +197,8 @@ let self t =
   | Some th -> th
   | None -> failwith "Exec.self: no thread context"
 
+let self_opt t = t.current
+
 let block t ~reason register =
   let th = self t in
   th.t_vcsw <- th.t_vcsw + 1;

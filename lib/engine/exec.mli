@@ -69,6 +69,9 @@ val cpu_of : thread -> int
 val self : t -> thread
 (** @raise Failure when no thread is executing. *)
 
+val self_opt : t -> thread option
+(** [None] outside thread context (event callbacks, the top level). *)
+
 val charge : t -> Mv_util.Cycles.t -> unit
 (** Account virtual compute time to the running thread.  May preempt (and
     therefore suspend the fiber) if the CPU's slice expires and another

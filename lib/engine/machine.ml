@@ -6,6 +6,8 @@ type t = {
   phys : Mv_hw.Phys_mem.t;
   cpus : Mv_hw.Cpu.t array;
   trace : Trace.t;
+  obs : Mv_obs.Tracer.t;
+  metrics : Mv_obs.Metrics.t;
   zero_frame : int;
   mutable huge_pages : bool;
       (* Large-page support: 1G identity maps in the AeroKernel, transparent
@@ -34,7 +36,43 @@ let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
             ~slice:None ())
     cpus;
   let zero_frame = Mv_hw.Phys_mem.alloc phys Mv_hw.Phys_mem.Ros_region in
-  { sim; exec; topo; costs; phys; cpus; trace = Sim.trace sim; zero_frame; huge_pages }
+  (* The span tracer shares the executor's virtual clock; tracks are
+     thread ids (-1 outside thread context, e.g. event callbacks). *)
+  let obs =
+    Mv_obs.Tracer.create
+      ~now:(fun () -> Exec.local_now exec)
+      ~track:(fun () -> match Exec.self_opt exec with Some th -> Exec.tid th | None -> -1)
+      ~track_name:(fun () ->
+        match Exec.self_opt exec with Some th -> Exec.name th | None -> "sim")
+      ()
+  in
+  let trace = Sim.trace sim in
+  (* Flat records mirror into the span tracer as instant events, and
+     Trace.emit_span lands in the tracer, so one export interleaves
+     both surfaces. *)
+  Trace.set_event_sink trace
+    (Some
+       (fun r ->
+         if Mv_obs.Tracer.enabled obs then
+           Mv_obs.Tracer.instant obs ~cat:r.Trace.category ~detail:r.Trace.message
+             ~name:r.Trace.category ()));
+  Trace.set_span_sink trace
+    (Some
+       (fun ~name ~cat ~ts ~dur ->
+         ignore (Mv_obs.Tracer.complete obs ~name ~cat ~ts ~dur ())));
+  {
+    sim;
+    exec;
+    topo;
+    costs;
+    phys;
+    cpus;
+    trace;
+    obs;
+    metrics = Mv_obs.Metrics.create ();
+    zero_frame;
+    huge_pages;
+  }
 
 let charge t c = Exec.charge t.exec c
 let now t = Exec.local_now t.exec
@@ -43,4 +81,9 @@ let cpu_of_current t =
   let th = Exec.self t.exec in
   t.cpus.(Exec.cpu_of th)
 
+let emit t payload = Trace.emit_event t.trace ~at:(now t) payload
 let trace_emit t ~category msg = Trace.emit t.trace ~at:(now t) ~category msg
+
+let set_tracing t flag =
+  Trace.enable t.trace flag;
+  Mv_obs.Tracer.set_enabled t.obs flag

@@ -13,6 +13,10 @@ type t = {
   phys : Mv_hw.Phys_mem.t;
   cpus : Mv_hw.Cpu.t array;
   trace : Trace.t;
+  obs : Mv_obs.Tracer.t;
+      (** the span tracer: causal, typed observability across the
+          ROS<->HRT boundary; enable with {!set_tracing} *)
+  metrics : Mv_obs.Metrics.t;  (** per-subsystem counters/gauges/latencies *)
   zero_frame : int;  (** the shared all-zeroes frame used for anonymous reads *)
   mutable huge_pages : bool;
       (** large-page memory path: 1G AeroKernel identity maps, transparent
@@ -42,4 +46,12 @@ val now : t -> Mv_util.Cycles.t
 val cpu_of_current : t -> Mv_hw.Cpu.t
 (** Architectural state of the core the current thread runs on. *)
 
+val emit : t -> Trace.payload -> unit
+(** Record a typed event at the current virtual time (and mirror it into
+    the span tracer when that is enabled). *)
+
 val trace_emit : t -> category:string -> string -> unit
+(** Deprecated printf-style shim over {!emit}; prefer typed payloads. *)
+
+val set_tracing : t -> bool -> unit
+(** Enable/disable the flat trace and the span tracer together. *)

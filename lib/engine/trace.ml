@@ -1,10 +1,69 @@
 type record = { at : Mv_util.Cycles.t; category : string; message : string }
 
+(* --- typed events ------------------------------------------------- *)
+
+type payload =
+  | Page_fault of { pid : int; vma : string option; page_off : int; addr : int; write : bool }
+  | Fatal_signal of { signal : string; pid : int; addr : int }
+  | Fault_injected of { site : string; ctx : string }
+  | Channel_retry of { attempt : int; backoff : int; kind : string }
+  | Channel_exhausted of { retries : int; kind : string }
+  | Server_survived of { msg : string }
+  | Degrade_sync_to_async
+  | Channel_marked_failed
+  | Watchdog_respawn of { was : string }
+  | Fallback_sync_to_async of { kind : string }
+  | Reroute of { kind : string; spurious_errnos : bool }
+  | Ride_timeout of { kind : string }
+  | Errno_retry of { attempt : int; kind : string }
+  | Message of { category : string; text : string }
+
+let category_of = function
+  | Page_fault _ -> "pagefault"
+  | Fatal_signal _ -> "fatal"
+  | Fault_injected _ -> "fault"
+  | Channel_retry _ | Channel_exhausted _ | Server_survived _ | Degrade_sync_to_async
+  | Channel_marked_failed | Watchdog_respawn _ | Fallback_sync_to_async _ | Reroute _
+  | Ride_timeout _ | Errno_retry _ ->
+      "resilience"
+  | Message { category; _ } -> category
+
+(* Renderings are the record shapes tests and the golden trace assert
+   on — byte-for-byte the strings the printf call sites used to emit. *)
+let render = function
+  | Page_fault { pid; vma = Some kind; page_off; write; _ } ->
+      Printf.sprintf "pid=%d vma=%s+%d w=%b" pid kind page_off write
+  | Page_fault { pid; vma = None; addr; write; _ } ->
+      Printf.sprintf "pid=%d addr=%x w=%b" pid addr write
+  | Fatal_signal { signal; pid; addr } -> Printf.sprintf "%s pid=%d addr=%x" signal pid addr
+  | Fault_injected { site; ctx } -> Printf.sprintf "inject %s %s" site ctx
+  | Channel_retry { attempt; backoff; kind } ->
+      Printf.sprintf "retry %d backoff=%d: %s" attempt backoff kind
+  | Channel_exhausted { retries; kind } ->
+      Printf.sprintf "channel failure after %d retries: %s" retries kind
+  | Server_survived { msg } -> "server survived: " ^ msg
+  | Degrade_sync_to_async -> "degrade sync->async"
+  | Channel_marked_failed -> "channel marked failed"
+  | Watchdog_respawn { was } -> Printf.sprintf "watchdog respawn poller (was %s)" was
+  | Fallback_sync_to_async { kind } -> "fallback sync->async: " ^ kind
+  | Reroute { kind; spurious_errnos = false } -> "reroute ros-native: " ^ kind
+  | Reroute { kind; spurious_errnos = true } ->
+      "reroute ros-native after spurious errnos: " ^ kind
+  | Ride_timeout { kind } -> "ride timeout, escalating: " ^ kind
+  | Errno_retry { attempt; kind } ->
+      Printf.sprintf "retry %d after spurious errno: %s" attempt kind
+  | Message { text; _ } -> text
+
+(* --- the record store --------------------------------------------- *)
+
 (* Entries are kept newest-first, plus a per-category index maintained on
    emit so [records_in]/[count_in] are O(category size)/O(1) instead of
    rebuilding and filtering the full reversed list per call (bench runs
    with tracing on used to go quadratic in hot categories). *)
 type bucket = { mutable b_entries : record list (* newest first *); mutable b_count : int }
+
+type span_sink =
+  name:string -> cat:string -> ts:Mv_util.Cycles.t -> dur:Mv_util.Cycles.t -> unit
 
 type t = {
   mutable enabled : bool;
@@ -12,12 +71,25 @@ type t = {
   mutable entries : record list;  (* newest first *)
   mutable count : int;
   by_category : (string, bucket) Hashtbl.t;
+  mutable span_sink : span_sink option;
+  mutable event_sink : (record -> unit) option;
 }
 
 let create ?(enabled = false) ?(capacity = 100_000) () =
-  { enabled; capacity; entries = []; count = 0; by_category = Hashtbl.create 16 }
+  {
+    enabled;
+    capacity;
+    entries = [];
+    count = 0;
+    by_category = Hashtbl.create 16;
+    span_sink = None;
+    event_sink = None;
+  }
 
 let enable t flag = t.enabled <- flag
+let enabled t = t.enabled
+let set_span_sink t sink = t.span_sink <- sink
+let set_event_sink t sink = t.event_sink <- sink
 
 let bucket t category =
   match Hashtbl.find_opt t.by_category category with
@@ -38,26 +110,36 @@ let reindex t =
       b.b_count <- b.b_count + 1)
     t.entries ()
 
-let emit t ~at ~category message =
-  if t.enabled then begin
-    let r = { at; category; message } in
-    t.entries <- r :: t.entries;
-    t.count <- t.count + 1;
-    let b = bucket t category in
-    b.b_entries <- r :: b.b_entries;
-    b.b_count <- b.b_count + 1;
-    if t.count > t.capacity then begin
-      (* Drop the oldest half; O(n) but amortized and rare. *)
-      let keep = t.capacity / 2 in
-      let rec take n acc = function
-        | [] -> List.rev acc
-        | x :: rest -> if n = 0 then List.rev acc else take (n - 1) (x :: acc) rest
-      in
-      t.entries <- take keep [] t.entries;
-      t.count <- keep;
-      reindex t
-    end
+let add t r =
+  t.entries <- r :: t.entries;
+  t.count <- t.count + 1;
+  let b = bucket t r.category in
+  b.b_entries <- r :: b.b_entries;
+  b.b_count <- b.b_count + 1;
+  (match t.event_sink with Some sink -> sink r | None -> ());
+  if t.count > t.capacity then begin
+    (* Drop the oldest half; O(n) but amortized and rare. *)
+    let keep = t.capacity / 2 in
+    let rec take n acc = function
+      | [] -> List.rev acc
+      | x :: rest -> if n = 0 then List.rev acc else take (n - 1) (x :: acc) rest
+    in
+    t.entries <- take keep [] t.entries;
+    t.count <- keep;
+    reindex t
   end
+
+let emit_event t ~at payload =
+  (* The disabled path must stay one branch: [render] (and therefore any
+     formatting or allocation) only runs when the trace is live. *)
+  if t.enabled then add t { at; category = category_of payload; message = render payload }
+
+let emit t ~at ~category message =
+  if t.enabled then add t { at; category; message }
+
+let emit_span t ~name ~cat ~ts ~dur =
+  if t.enabled then
+    match t.span_sink with Some sink -> sink ~name ~cat ~ts ~dur | None -> ()
 
 let records t = List.rev t.entries
 

@@ -129,8 +129,7 @@ let fire t site ctx =
     t.p_total <- t.p_total + 1;
     match t.p_machine with
     | Some m ->
-        Machine.trace_emit m ~category:"fault"
-          (Printf.sprintf "inject %s %s" (site_name site) ctx)
+        Machine.emit m (Mv_engine.Trace.Fault_injected { site = site_name site; ctx })
     | None -> ()
   end;
   hit

@@ -1,6 +1,7 @@
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
 module Sim = Mv_engine.Sim
+module Trace = Mv_engine.Trace
 module Fault_plan = Mv_faults.Fault_plan
 open Mv_hw
 
@@ -179,14 +180,14 @@ let call t req =
         | None -> assert false
         | Some r ->
             if n >= r.r_max_retries then begin
-              Machine.trace_emit t.machine ~category:"resilience"
-                (Printf.sprintf "channel failure after %d retries: %s" n req.req_kind);
+              Machine.emit t.machine
+                (Trace.Channel_exhausted { retries = n; kind = req.req_kind });
               raise (Channel_failure req.req_kind)
             end
             else begin
               t.n_retries <- t.n_retries + 1;
-              Machine.trace_emit t.machine ~category:"resilience"
-                (Printf.sprintf "retry %d backoff=%d: %s" (n + 1) backoff req.req_kind);
+              Machine.emit t.machine
+                (Trace.Channel_retry { attempt = n + 1; backoff; kind = req.req_kind });
               (* Exponential backoff, charged to the caller through the
                  ordinary cycle model. *)
               Machine.charge t.machine backoff;
@@ -273,7 +274,7 @@ let serve_loop t ~on_request =
         on_request req;
         complete t
     | exception Protocol_error msg ->
-        Machine.trace_emit t.machine ~category:"resilience" ("server survived: " ^ msg));
+        Machine.emit t.machine (Trace.Server_survived { msg }));
     go ()
   in
   go ()
@@ -289,13 +290,13 @@ let degrade_to_async t =
         let rtt = rtt t in
         t.res <- Some { r with r_timeout = 64 * rtt; r_backoff = rtt }
     | None -> ());
-    Machine.trace_emit t.machine ~category:"resilience" "degrade sync->async"
+    Machine.emit t.machine Trace.Degrade_sync_to_async
   end
 
 let mark_failed t =
   if not t.failed then begin
     t.failed <- true;
-    Machine.trace_emit t.machine ~category:"resilience" "channel marked failed"
+    Machine.emit t.machine Trace.Channel_marked_failed
   end
 
 let reset_server t =
@@ -312,3 +313,14 @@ let retries t = t.n_retries
 let protocol_errors t = t.n_protocol_errors
 let degraded t = t.n_degraded > 0
 let failed t = t.failed
+
+let sample_metrics t m =
+  let add ~ns name v =
+    let c = Mv_obs.Metrics.counter m ~ns name in
+    Mv_obs.Metrics.set_counter c (Mv_obs.Metrics.counter_value c + v)
+  in
+  add ~ns:"event_channel" "calls" t.n_calls;
+  add ~ns:"event_channel" "timeouts" t.n_timeouts;
+  add ~ns:"event_channel" "retries" t.n_retries;
+  add ~ns:"event_channel" "protocol_errors" t.n_protocol_errors;
+  add ~ns:"event_channel" "degraded" t.n_degraded

@@ -119,3 +119,7 @@ val retries : t -> int
 val protocol_errors : t -> int
 val degraded : t -> bool
 val failed : t -> bool
+
+val sample_metrics : t -> Mv_obs.Metrics.t -> unit
+(** Accumulate this channel's counters into the registry under the
+    [event_channel] namespace. *)

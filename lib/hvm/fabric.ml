@@ -1,6 +1,8 @@
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
 module Sim = Mv_engine.Sim
+module Trace = Mv_engine.Trace
+module Tracer = Mv_obs.Tracer
 module Fault_plan = Mv_faults.Fault_plan
 open Mv_hw
 
@@ -129,29 +131,37 @@ let sched_after t delay fn =
 let drain_ring t ep =
   if not (Queue.is_empty ep.ep_ring) then begin
     t.n_drains <- t.n_drains + 1;
-    let rec go () =
-      match Queue.take_opt ep.ep_ring with
-      | None -> ()
-      | Some slot ->
-          (match slot.sl_state with
-          | Slot_claimed | Slot_done | Slot_taken -> ()  (* reclaimed or stale *)
-          | Slot_pending ->
-              slot.sl_state <- Slot_taken;
-              (* Ring scan + payload fetch from the shared page. *)
-              Machine.charge t.fb_machine (ring_cost t);
-              slot.sl_req.Event_channel.req_run ();
-              slot.sl_state <- Slot_done;
-              ep.ep_npending <- ep.ep_npending - 1;
-              t.n_drained <- t.n_drained + 1;
-              (* Completion flag store + the rider's poll notice. *)
-              (match slot.sl_wake with
-              | Some w ->
-                  slot.sl_wake <- None;
-                  sched_after t (ack_latency t) w
-              | None -> ()));
-          go ()
-    in
-    go ()
+    (* The batch span covers every slot this drain services: the leader
+       and its riders share it (their per-crossing service segments are
+       measured inside). *)
+    Tracer.with_span t.fb_machine.Machine.obs ~name:("batch:" ^ ep.ep_name) ~cat:"fabric"
+      (fun () ->
+        let before = t.n_drained in
+        let rec go () =
+          match Queue.take_opt ep.ep_ring with
+          | None -> ()
+          | Some slot ->
+              (match slot.sl_state with
+              | Slot_claimed | Slot_done | Slot_taken -> ()  (* reclaimed or stale *)
+              | Slot_pending ->
+                  slot.sl_state <- Slot_taken;
+                  (* Ring scan + payload fetch from the shared page. *)
+                  Machine.charge t.fb_machine (ring_cost t);
+                  slot.sl_req.Event_channel.req_run ();
+                  slot.sl_state <- Slot_done;
+                  ep.ep_npending <- ep.ep_npending - 1;
+                  t.n_drained <- t.n_drained + 1;
+                  (* Completion flag store + the rider's poll notice. *)
+                  (match slot.sl_wake with
+                  | Some w ->
+                      slot.sl_wake <- None;
+                      sched_after t (ack_latency t) w
+                  | None -> ()));
+              go ()
+        in
+        go ();
+        Tracer.annotate t.fb_machine.Machine.obs "drained"
+          (string_of_int (t.n_drained - before)))
   end
 
 (* --- poller pool (the ROS side) --- *)
@@ -193,6 +203,9 @@ let serve_endpoint t ep =
         ep.ep_busy <- false;
         ep.ep_attentive <- false)
       (fun () ->
+        Tracer.with_span t.fb_machine.Machine.obs ~name:("serve:" ^ ep.ep_name)
+          ~cat:"ros"
+        @@ fun () ->
         let rec drain served =
           match Event_channel.poll_next ep.ep_chan with
           | None ->
@@ -204,8 +217,7 @@ let serve_endpoint t ep =
               Event_channel.complete ep.ep_chan;
               drain true
           | exception Event_channel.Protocol_error msg ->
-              Machine.trace_emit t.fb_machine ~category:"resilience"
-                ("server survived: " ^ msg);
+              Machine.emit t.fb_machine (Trace.Server_survived { msg });
               drain served
         in
         (* The first pass answers the doorbell that woke us.  Afterwards
@@ -269,8 +281,7 @@ let rec pool_monitor t () =
         (fun th ->
           if Exec.state exec th = Exec.Finished then begin
             t.n_respawns <- t.n_respawns + 1;
-            Machine.trace_emit t.fb_machine ~category:"resilience"
-              (Printf.sprintf "watchdog respawn poller (was %s)" (Exec.name th));
+            Machine.emit t.fb_machine (Trace.Watchdog_respawn { was = Exec.name th });
             spawn_poller t
           end
           else th)
@@ -353,8 +364,8 @@ let shutdown t =
    the caller's context — the legacy path that always works. *)
 let reroute t (req : Event_channel.request) =
   t.n_reroutes <- t.n_reroutes + 1;
-  Machine.trace_emit t.fb_machine ~category:"resilience"
-    ("reroute ros-native: " ^ req.Event_channel.req_kind);
+  Machine.emit t.fb_machine
+    (Trace.Reroute { kind = req.Event_channel.req_kind; spurious_errnos = false });
   Machine.charge t.fb_machine t.fb_machine.Machine.costs.Costs.syscall_trap;
   req.Event_channel.req_run ()
 
@@ -372,8 +383,8 @@ let transport t ep (req : Event_channel.request) =
       if Event_channel.kind ep.ep_chan = Event_channel.Sync then begin
         Event_channel.degrade_to_async ep.ep_chan;
         t.n_fallbacks <- t.n_fallbacks + 1;
-        Machine.trace_emit t.fb_machine ~category:"resilience"
-          ("fallback sync->async: " ^ req.Event_channel.req_kind);
+        Machine.emit t.fb_machine
+          (Trace.Fallback_sync_to_async { kind = req.Event_channel.req_kind });
         try Event_channel.call ep.ep_chan req
         with Event_channel.Channel_failure _ ->
           Event_channel.mark_failed ep.ep_chan;
@@ -469,8 +480,8 @@ and ride t ep (req : Event_channel.request) =
             slot.sl_state <- Slot_claimed;
             ep.ep_npending <- ep.ep_npending - 1;
             t.n_ride_timeouts <- t.n_ride_timeouts + 1;
-            Machine.trace_emit t.fb_machine ~category:"resilience"
-              ("ride timeout, escalating: " ^ req.Event_channel.req_kind);
+            Machine.emit t.fb_machine
+              (Trace.Ride_timeout { kind = req.Event_channel.req_kind });
             dispatch t ep req
         | Slot_claimed -> assert false)
   in
@@ -524,54 +535,108 @@ let local_path t ~key ~local_try (req : Event_channel.request) =
 
 (* --- the caller-facing entry point --- *)
 
+(* Route a request that missed the local fast path: straight dispatch, or
+   the spurious-errno retry chain when this call site is an errno fault
+   site under an armed plan. *)
+let route t ep ~errno_site (req : Event_channel.request) =
+  if not (errno_site && resilient t) then dispatch t ep req
+  else begin
+    (* Spurious-errno injection and retry for forwarded syscalls: the
+       server-side runner draws the errno stream; an injected errno means
+       the payload never ran, so retry with exponential backoff and after
+       persistent failures run it ROS-natively. *)
+    let rec go attempt backoff =
+      let ran = ref false in
+      let wrapped =
+        {
+          req with
+          Event_channel.req_run =
+            (fun () ->
+              if Event_channel.failed ep.ep_chan then begin
+                ran := true;
+                req.Event_channel.req_run ()
+              end
+              else
+                match Fault_plan.syscall_errno t.fb_faults req.Event_channel.req_kind with
+                | Some _errno -> ()  (* spurious errno: the payload never ran *)
+                | None ->
+                    ran := true;
+                    req.Event_channel.req_run ());
+        }
+      in
+      dispatch t ep wrapped;
+      if not !ran then
+        if attempt >= 4 then begin
+          t.n_reroutes <- t.n_reroutes + 1;
+          Machine.emit t.fb_machine
+            (Trace.Reroute { kind = req.Event_channel.req_kind; spurious_errnos = true });
+          Machine.charge t.fb_machine t.fb_machine.Machine.costs.Costs.syscall_trap;
+          req.Event_channel.req_run ()
+        end
+        else begin
+          t.n_errno_retries <- t.n_errno_retries + 1;
+          Machine.emit t.fb_machine
+            (Trace.Errno_retry { attempt = attempt + 1; kind = req.Event_channel.req_kind });
+          Machine.charge t.fb_machine backoff;
+          go (attempt + 1) (backoff * 2)
+        end
+    in
+    go 0 (Event_channel.rtt ep.ep_chan)
+  end
+
 let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request) =
   t.n_calls <- t.n_calls + 1;
-  if not (local_path t ~key ~local_try req) then
-    if not (errno_site && resilient t) then dispatch t ep req
-    else begin
-      (* Spurious-errno injection and retry for forwarded syscalls: the
-         server-side runner draws the errno stream; an injected errno means
-         the payload never ran, so retry with exponential backoff and after
-         persistent failures run it ROS-natively. *)
-      let rec go attempt backoff =
-        let ran = ref false in
-        let wrapped =
-          {
-            req with
-            Event_channel.req_run =
-              (fun () ->
-                if Event_channel.failed ep.ep_chan then begin
-                  ran := true;
-                  req.Event_channel.req_run ()
-                end
-                else
-                  match Fault_plan.syscall_errno t.fb_faults req.Event_channel.req_kind with
-                  | Some _errno -> ()  (* spurious errno: the payload never ran *)
-                  | None ->
-                      ran := true;
-                      req.Event_channel.req_run ());
-          }
-        in
-        dispatch t ep wrapped;
-        if not !ran then
-          if attempt >= 4 then begin
-            t.n_reroutes <- t.n_reroutes + 1;
-            Machine.trace_emit t.fb_machine ~category:"resilience"
-              ("reroute ros-native after spurious errnos: " ^ req.Event_channel.req_kind);
-            Machine.charge t.fb_machine t.fb_machine.Machine.costs.Costs.syscall_trap;
-            req.Event_channel.req_run ()
-          end
-          else begin
-            t.n_errno_retries <- t.n_errno_retries + 1;
-            Machine.trace_emit t.fb_machine ~category:"resilience"
-              (Printf.sprintf "retry %d after spurious errno: %s" (attempt + 1)
-                 req.Event_channel.req_kind);
-            Machine.charge t.fb_machine backoff;
-            go (attempt + 1) (backoff * 2)
-          end
-      in
-      go 0 (Event_channel.rtt ep.ep_chan)
-    end
+  let obs = t.fb_machine.Machine.obs in
+  if not (Tracer.enabled obs) then begin
+    if not (local_path t ~key ~local_try req) then route t ep ~errno_site req
+  end
+  else begin
+    (* Crossing span: one per caller-visible forwarded request, covering
+       the whole ROS<->HRT round trip.  The payload wrapper timestamps the
+       server-side pickup and completion (same virtual clock domain on
+       both sides), and the three measured child segments — transport,
+       service, reply — are recorded on return.  Whatever the segments do
+       not cover (fast-path hits, injection overhead) is guest time by
+       subtraction.  Nothing here charges simulated cycles. *)
+    let now () = Machine.now t.fb_machine in
+    let t0 = now () in
+    let cid =
+      Tracer.begin_span obs ~name:("fwd:" ^ req.Event_channel.req_kind) ~cat:"crossing" ()
+    in
+    let ran = ref false in
+    let pickup = ref t0 and svc_end = ref t0 in
+    let inst =
+      {
+        req with
+        Event_channel.req_run =
+          (fun () ->
+            pickup := now ();
+            req.Event_channel.req_run ();
+            svc_end := now ();
+            ran := true);
+      }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now () in
+        if !ran then begin
+          ignore
+            (Tracer.complete obs ~parent:cid ~name:"transport" ~cat:"transport" ~ts:t0
+               ~dur:(!pickup - t0) ());
+          ignore
+            (Tracer.complete obs ~parent:cid ~name:"service" ~cat:"service" ~ts:!pickup
+               ~dur:(!svc_end - !pickup) ());
+          ignore
+            (Tracer.complete obs ~parent:cid ~name:"reply" ~cat:"reply" ~ts:!svc_end
+               ~dur:(t1 - !svc_end) ())
+        end;
+        Tracer.end_span obs cid;
+        Mv_obs.Metrics.observe
+          (Mv_obs.Metrics.latency t.fb_machine.Machine.metrics ~ns:"fabric"
+             ("crossing:" ^ req.Event_channel.req_kind))
+          (float_of_int (t1 - t0)))
+      (fun () -> if not (local_path t ~key ~local_try inst) then route t ep ~errno_site inst)
+  end
 
 (* --- injection (signals) --- *)
 
@@ -606,3 +671,22 @@ let reroutes t = t.n_reroutes
 let respawns t = t.n_respawns
 let endpoints t = List.length t.fb_endpoints
 let pollers t = List.length t.fb_pollers
+
+let sample_metrics t m =
+  let add ~ns name v =
+    let c = Mv_obs.Metrics.counter m ~ns name in
+    Mv_obs.Metrics.set_counter c (Mv_obs.Metrics.counter_value c + v)
+  in
+  add ~ns:"fabric" "calls" t.n_calls;
+  add ~ns:"fabric" "transport" t.n_transport;
+  add ~ns:"fabric" "riders" t.n_riders;
+  add ~ns:"fabric" "ride_timeouts" t.n_ride_timeouts;
+  add ~ns:"fabric" "drains" t.n_drains;
+  add ~ns:"fabric" "drained" t.n_drained;
+  add ~ns:"fabric" "local_hits" t.n_local_hits;
+  add ~ns:"fabric" "local_misses" t.n_local_misses;
+  add ~ns:"fabric" "errno_retries" t.n_errno_retries;
+  add ~ns:"fabric" "reroutes" t.n_reroutes;
+  add ~ns:"fabric" "fallbacks" t.n_fallbacks;
+  add ~ns:"fabric" "respawns" t.n_respawns;
+  List.iter (fun ep -> Event_channel.sample_metrics ep.ep_chan m) t.fb_endpoints

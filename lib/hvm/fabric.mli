@@ -146,3 +146,8 @@ val respawns : t -> int
 
 val endpoints : t -> int
 val pollers : t -> int
+
+val sample_metrics : t -> Mv_obs.Metrics.t -> unit
+(** Push the fabric counters (namespace ["fabric"]) and every endpoint
+    channel's counters (namespace ["event_channel"]) into a metrics
+    registry, adding to any values already registered there. *)

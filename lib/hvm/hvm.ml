@@ -48,12 +48,16 @@ let require_hrt t =
   match t.nk with Some nk -> nk | None -> failwith "Hvm: no HRT image installed"
 
 let install_hrt_image t ~image_kb nk =
+  Mv_obs.Tracer.with_span t.machine.Machine.obs ~name:"hrt-install" ~cat:"hvm"
+  @@ fun () ->
   hypercall t ~name:"hrt_install";
   Machine.charge t.machine (image_kb * t.machine.Machine.costs.Costs.image_install_per_kb);
   t.image_kb <- image_kb;
   t.nk <- Some nk
 
 let boot_hrt t =
+  Mv_obs.Tracer.with_span t.machine.Machine.obs ~name:"hrt-boot" ~cat:"hvm"
+  @@ fun () ->
   hypercall t ~name:"hrt_boot";
   let nk = require_hrt t in
   if Fault_plan.fire t.faults Fault_plan.Boot_stall "hrt_boot" then begin

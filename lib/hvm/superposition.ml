@@ -22,6 +22,8 @@ let huge_leaves_preserved nk (p : Mv_ros.Process.t) =
 
 let merge_address_space nk (p : Mv_ros.Process.t) =
   let machine = Nautilus.machine nk in
+  Mv_obs.Tracer.with_span machine.Machine.obs ~name:"merge-address-space" ~cat:"hvm"
+  @@ fun () ->
   Machine.charge machine machine.Machine.costs.Costs.merge_address_space;
   Nautilus.merge_lower_half nk ~from:(Mv_ros.Mm.page_table p.Mv_ros.Process.mm);
   Mv_ros.Mm.add_shadow_root p.Mv_ros.Process.mm (Nautilus.page_table nk);

@@ -65,6 +65,12 @@ let total_syscalls rs = Mv_util.Histogram.total rs.rs_syscalls
 let wall_seconds rs = Mv_util.Cycles.to_sec rs.rs_wall_cycles
 
 let collect ~mode ~kernel ~machine ~proc ~runtime =
+  (* Snapshot subsystem counters into the metrics registry: the kernel
+     pushes tlb/mmu/mm on rusage finalization; fabric and event-channel
+     counters live on the runtime when one exists. *)
+  (match runtime with
+  | Some rt -> Mv_hvm.Fabric.sample_metrics (Runtime.fabric rt) machine.Machine.metrics
+  | None -> ());
   {
     rs_mode = mode;
     rs_stdout = Process.stdout_contents proc;
@@ -87,7 +93,7 @@ let prepare_stdin proc stdin =
 let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
     program =
   let machine = Machine.create ?costs ~huge_pages () in
-  if trace then Mv_engine.Trace.enable machine.Machine.trace true;
+  if trace then Machine.set_tracing machine true;
   let kernel = Kernel.create ~virtualized machine in
   let proc =
     Kernel.spawn_process kernel ~name:program.prog_name (fun p ->
@@ -95,12 +101,12 @@ let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
         program.prog_main env)
   in
   prepare_stdin proc stdin;
-  Sim.run machine.Machine.sim;
+  let mode = if virtualized then "virtual" else "native" in
+  Mv_obs.Tracer.with_span machine.Machine.obs ~name:("run:" ^ mode) ~cat:"sim"
+    (fun () -> Sim.run machine.Machine.sim);
   if not proc.Process.exited then
     failwith (program.prog_name ^ ": simulation quiesced before process exit");
-  collect
-    ~mode:(if virtualized then "virtual" else "native")
-    ~kernel ~machine ~proc ~runtime:None
+  collect ~mode ~kernel ~machine ~proc ~runtime:None
 
 let run_native ?costs ?stdin ?trace ?huge_pages program =
   run_plain ~virtualized:false ?costs ?stdin ?trace ?huge_pages program
@@ -137,9 +143,10 @@ let run_multiverse ?costs ?stdin ?(trace = false) ?(options = default_mv_options
         in
         Runtime.join rt partner)
   in
-  if trace then Mv_engine.Trace.enable machine.Machine.trace true;
+  if trace then Machine.set_tracing machine true;
   prepare_stdin proc stdin;
-  Sim.run machine.Machine.sim;
+  Mv_obs.Tracer.with_span machine.Machine.obs ~name:"run:multiverse" ~cat:"sim"
+    (fun () -> Sim.run machine.Machine.sim);
   if not proc.Process.exited then
     failwith (hx.hx_program.prog_name ^ ": simulation quiesced before process exit");
   collect ~mode:"multiverse" ~kernel ~machine ~proc ~runtime:!rt_box
@@ -156,6 +163,7 @@ let run_accelerator ?costs ?stdin ?(options = default_mv_options) ~name body =
         body ~ros_env ~rt)
   in
   prepare_stdin proc stdin;
-  Sim.run machine.Machine.sim;
+  Mv_obs.Tracer.with_span machine.Machine.obs ~name:"run:accelerator" ~cat:"sim"
+    (fun () -> Sim.run machine.Machine.sim);
   if not proc.Process.exited then failwith (name ^ ": simulation quiesced before exit");
   collect ~mode:"accelerator" ~kernel ~machine ~proc ~runtime:!rt_box

@@ -1,0 +1,101 @@
+type row = {
+  r_kind : string;
+  r_count : int;
+  r_total : int;
+  r_guest : int;
+  r_transport : int;
+  r_service : int;
+  r_reply : int;
+}
+
+type report = { rows : row list; total : int; attributed : int }
+
+let compute spans =
+  (* Segment children grouped under their crossing parent. *)
+  let segs = Hashtbl.create 256 in
+  List.iter
+    (fun (sp : Tracer.span) ->
+      match sp.Tracer.sp_cat with
+      | "transport" | "service" | "reply" ->
+          let t, s, r =
+            Option.value (Hashtbl.find_opt segs sp.Tracer.sp_parent) ~default:(0, 0, 0)
+          in
+          let d = sp.Tracer.sp_dur in
+          Hashtbl.replace segs sp.Tracer.sp_parent
+            (match sp.Tracer.sp_cat with
+            | "transport" -> (t + d, s, r)
+            | "service" -> (t, s + d, r)
+            | _ -> (t, s, r + d))
+      | _ -> ())
+    spans;
+  let rows = Hashtbl.create 16 in
+  let total = ref 0 and attributed = ref 0 in
+  List.iter
+    (fun (sp : Tracer.span) ->
+      if sp.Tracer.sp_cat = "crossing" then begin
+        let t, s, r = Option.value (Hashtbl.find_opt segs sp.Tracer.sp_id) ~default:(0, 0, 0) in
+        let dur = sp.Tracer.sp_dur in
+        (* Segments are measured on the servicing side; clamp to the
+           crossing's own extent so retries/degraded paths cannot
+           attribute more than 100%. *)
+        let covered = min dur (t + s + r) in
+        let guest = dur - covered in
+        total := !total + dur;
+        attributed := !attributed + covered + guest;
+        let row =
+          match Hashtbl.find_opt rows sp.Tracer.sp_name with
+          | Some row -> row
+          | None ->
+              let row =
+                ref
+                  {
+                    r_kind = sp.Tracer.sp_name;
+                    r_count = 0;
+                    r_total = 0;
+                    r_guest = 0;
+                    r_transport = 0;
+                    r_service = 0;
+                    r_reply = 0;
+                  }
+              in
+              Hashtbl.replace rows sp.Tracer.sp_name row;
+              row
+        in
+        row :=
+          {
+            !row with
+            r_count = !row.r_count + 1;
+            r_total = !row.r_total + dur;
+            r_guest = !row.r_guest + guest;
+            r_transport = !row.r_transport + t;
+            r_service = !row.r_service + s;
+            r_reply = !row.r_reply + r;
+          }
+      end)
+    spans;
+  let rows =
+    Hashtbl.fold (fun _ row acc -> !row :: acc) rows []
+    |> List.sort (fun a b ->
+           if a.r_total <> b.r_total then compare b.r_total a.r_total
+           else compare a.r_kind b.r_kind)
+  in
+  { rows; total = !total; attributed = !attributed }
+
+let attributed_fraction report =
+  if report.total = 0 then 1.0
+  else float_of_int report.attributed /. float_of_int report.total
+
+let pp ppf report =
+  let pct part total = if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total in
+  Format.fprintf ppf "%-20s %8s %12s %7s %10s %9s %7s@." "crossing" "count" "cycles" "guest%"
+    "transport%" "service%" "reply%";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-20s %8d %12d %6.1f%% %9.1f%% %8.1f%% %6.1f%%@." r.r_kind r.r_count
+        r.r_total (pct r.r_guest r.r_total) (pct r.r_transport r.r_total)
+        (pct r.r_service r.r_total) (pct r.r_reply r.r_total))
+    report.rows;
+  Format.fprintf ppf "total %d crossings, %d cycles, %.2f%% attributed@."
+    (List.fold_left (fun acc r -> acc + r.r_count) 0 report.rows)
+    report.total
+    (100.0 *. attributed_fraction report)

@@ -1,0 +1,34 @@
+(** Per-crossing critical path: the cycle breakdown of every forwarded
+    ROS<->HRT interaction.
+
+    A {e crossing} is a span with category ["crossing"] (the fabric opens
+    one per forwarded call).  Its child segments — recorded from
+    measurements taken on both sides of the boundary — carry categories
+    ["transport"] (doorbell + delivery + ring wait until the server picks
+    the payload up), ["service"] (the ROS-side payload run), and
+    ["reply"] (completion store + caller wakeup).  Cycles of the crossing
+    not covered by those segments are attributed to ["guest"]: the
+    caller-side trap/ring overhead around the boundary. *)
+
+type row = {
+  r_kind : string;  (** crossing span name, e.g. ["fwd:write"] *)
+  r_count : int;
+  r_total : int;  (** end-to-end cycles, summed *)
+  r_guest : int;
+  r_transport : int;
+  r_service : int;
+  r_reply : int;
+}
+
+type report = {
+  rows : row list;  (** descending by total cycles *)
+  total : int;
+  attributed : int;  (** cycles landing in a named segment (guest included) *)
+}
+
+val compute : Tracer.span list -> report
+
+val attributed_fraction : report -> float
+(** [attributed / total]; 1.0 for an empty report. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,17 @@
+(** Exporters over a {!Tracer} dump.
+
+    [chrome] renders the Trace Event Format JSON that [chrome://tracing]
+    and Perfetto load: one complete ("ph":"X") event per span, instant
+    ("ph":"i") events, and thread-name metadata per track.  Timestamps
+    are virtual cycles converted to microseconds at the simulated clock
+    rate.  The JSON is hand-rolled (the image carries no JSON library)
+    and deterministic: events are ordered by timestamp, then span id.
+
+    [folded] renders collapsed flamegraph stacks
+    ("track;outer;inner <self-cycles>" per line, sorted), where each
+    span's self time is its duration minus that of its children. *)
+
+val chrome :
+  ?process_name:string -> ?metrics:Metrics.t -> Tracer.t -> string
+
+val folded : Tracer.t -> string

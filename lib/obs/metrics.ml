@@ -1,0 +1,96 @@
+type counter = { mutable c_val : int }
+type gauge = { mutable g_val : float }
+type latency = { l_stats : Mv_util.Stats.t; l_hist : Mv_util.Histogram.t }
+
+type metric = Counter of counter | Gauge of gauge | Latency of latency
+
+type t = { cells : (string, metric) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 64 }
+
+let key ~ns name = ns ^ "/" ^ name
+
+let counter t ~ns name =
+  let k = key ~ns name in
+  match Hashtbl.find_opt t.cells k with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ k ^ " registered with another type")
+  | None ->
+      let c = { c_val = 0 } in
+      Hashtbl.replace t.cells k (Counter c);
+      c
+
+let inc c ?(by = 1) () = c.c_val <- c.c_val + by
+let set_counter c v = c.c_val <- v
+let counter_value c = c.c_val
+
+let gauge t ~ns name =
+  let k = key ~ns name in
+  match Hashtbl.find_opt t.cells k with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ k ^ " registered with another type")
+  | None ->
+      let g = { g_val = 0.0 } in
+      Hashtbl.replace t.cells k (Gauge g);
+      g
+
+let set_gauge g v = g.g_val <- v
+let gauge_value g = g.g_val
+
+let latency t ~ns name =
+  let k = key ~ns name in
+  match Hashtbl.find_opt t.cells k with
+  | Some (Latency l) -> l
+  | Some _ -> invalid_arg ("Metrics.latency: " ^ k ^ " registered with another type")
+  | None ->
+      let l = { l_stats = Mv_util.Stats.create (); l_hist = Mv_util.Histogram.create () } in
+      Hashtbl.replace t.cells k (Latency l);
+      l
+
+(* Log2 bucket label for a sample: "<2^k" covers [2^(k-1), 2^k). *)
+let bucket_label v =
+  let v = int_of_float (Float.max v 0.0) in
+  let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n lsr 1) in
+  Printf.sprintf "<2^%d" (if v = 0 then 0 else log2 0 v + 1)
+
+let observe l v =
+  Mv_util.Stats.add l.l_stats v;
+  Mv_util.Histogram.incr l.l_hist (bucket_label v)
+
+let latency_stats l = Mv_util.Stats.summary l.l_stats
+
+let bucket_order label =
+  (* "<2^k" -> k, for ascending numeric sort. *)
+  match String.index_opt label '^' with
+  | Some i -> ( try int_of_string (String.sub label (i + 1) (String.length label - i - 1)) with _ -> 0)
+  | None -> 0
+
+let latency_buckets l =
+  Mv_util.Histogram.to_sorted_list l.l_hist
+  |> List.sort (fun (a, _) (b, _) -> compare (bucket_order a) (bucket_order b))
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Latency_v of Mv_util.Stats.summary
+
+let value_of = function
+  | Counter c -> Counter_v c.c_val
+  | Gauge g -> Gauge_v g.g_val
+  | Latency l -> Latency_v (latency_stats l)
+
+let to_list t =
+  Hashtbl.fold (fun k m acc -> (k, value_of m) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find t k = Option.map value_of (Hashtbl.find_opt t.cells k)
+let clear t = Hashtbl.reset t.cells
+
+let pp ppf t =
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Counter_v n -> Format.fprintf ppf "%-40s %d@." k n
+      | Gauge_v g -> Format.fprintf ppf "%-40s %.3f@." k g
+      | Latency_v s -> Format.fprintf ppf "%-40s %a@." k Mv_util.Stats.pp_summary s)
+    (to_list t)

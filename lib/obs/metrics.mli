@@ -1,0 +1,49 @@
+(** A namespaced metrics registry: counters, gauges, and latency
+    recorders, keyed ["namespace/name"] (namespaces: [fabric], [mmu],
+    [tlb], [walk_cache], [mm], [sgc], [event_channel], ...).
+
+    Registration is idempotent — [counter m ~ns name] returns the same
+    cell every time — so subsystems can look handles up at use sites
+    without threading them through constructors.  Updating a cell is a
+    field store; nothing allocates after registration.  Latency
+    recorders reuse {!Mv_util.Stats} for the moment summary and
+    {!Mv_util.Histogram} for a log2-bucketed distribution. *)
+
+type t
+
+type counter
+type gauge
+type latency
+
+val create : unit -> t
+
+val counter : t -> ns:string -> string -> counter
+val inc : counter -> ?by:int -> unit -> unit
+val set_counter : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> ns:string -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val latency : t -> ns:string -> string -> latency
+val observe : latency -> float -> unit
+(** Record one sample (cycles). *)
+
+val latency_stats : latency -> Mv_util.Stats.summary
+val latency_buckets : latency -> (string * int) list
+(** Log2 buckets ["<2^k"] with counts, ascending. *)
+
+(** {1 Reading back} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Latency_v of Mv_util.Stats.summary
+
+val to_list : t -> (string * value) list
+(** All registered metrics, sorted by full name. *)
+
+val find : t -> string -> value option
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

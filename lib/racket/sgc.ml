@@ -1,4 +1,5 @@
 module Env = Mv_guest.Env
+module Tracer = Mv_obs.Tracer
 open Mv_hw
 
 let words_per_page = Addr.page_size / 8
@@ -318,18 +319,23 @@ let protect_phase t =
       end)
     t.segs
 
+let obs t = t.env.Env.kernel.Mv_ros.Kernel.machine.Mv_engine.Machine.obs
+
 let collect t =
   if not t.in_gc then begin
     t.in_gc <- true;
-    t.st.collections <- t.st.collections + 1;
-    t.env.Env.work 2_500;
-    mark_phase t;
-    sweep_phase t;
-    (* Write-protection is only safe once the SIGSEGV handler exists. *)
-    if t.protect_after_gc && t.barrier_installed then protect_phase t;
-    t.bytes_since_gc <- 0;
-    t.dirty <- 0;
-    t.threshold <- max t.base_threshold t.live_bytes;
+    Tracer.with_span (obs t) ~name:"gc:collect" ~cat:"sgc" (fun () ->
+        t.st.collections <- t.st.collections + 1;
+        t.env.Env.work 2_500;
+        Tracer.with_span (obs t) ~name:"gc:mark" ~cat:"sgc" (fun () -> mark_phase t);
+        Tracer.with_span (obs t) ~name:"gc:sweep" ~cat:"sgc" (fun () -> sweep_phase t);
+        (* Write-protection is only safe once the SIGSEGV handler exists. *)
+        if t.protect_after_gc && t.barrier_installed then
+          Tracer.with_span (obs t) ~name:"gc:protect" ~cat:"sgc" (fun () ->
+              protect_phase t);
+        t.bytes_since_gc <- 0;
+        t.dirty <- 0;
+        t.threshold <- max t.base_threshold t.live_bytes);
     t.in_gc <- false
   end
 
@@ -377,3 +383,16 @@ let stats t = t.st
 let live_bytes t = t.live_bytes
 let mapped_bytes t = List.fold_left (fun acc s -> acc + (s.s_pages * Addr.page_size)) 0 t.segs
 let dirty_pages t = t.dirty
+
+let sample_metrics t m =
+  let set ~ns name v =
+    Mv_obs.Metrics.set_counter (Mv_obs.Metrics.counter m ~ns name) v
+  in
+  set ~ns:"sgc" "collections" t.st.collections;
+  set ~ns:"sgc" "bytes_allocated" t.st.bytes_allocated;
+  set ~ns:"sgc" "segments_mapped" t.st.segments_mapped;
+  set ~ns:"sgc" "segments_unmapped" t.st.segments_unmapped;
+  set ~ns:"sgc" "barrier_faults" t.st.barrier_faults;
+  set ~ns:"sgc" "objects_swept" t.st.objects_swept;
+  set ~ns:"sgc" "live_bytes" t.live_bytes;
+  set ~ns:"sgc" "mapped_bytes" (mapped_bytes t)

@@ -1,6 +1,7 @@
 open Mv_hw
 module Machine = Mv_engine.Machine
 module Exec = Mv_engine.Exec
+module Trace = Mv_engine.Trace
 
 exception Process_killed of string
 
@@ -123,7 +124,31 @@ let finalize_rusage t p =
   ru.Rusage.shootdowns <- Mm.stats_shootdowns p.Process.mm;
   ru.Rusage.shootdown_cycles <- Mm.stats_shootdown_cycles p.Process.mm;
   ru.Rusage.huge_promotions <- Mm.stats_huge_promotions p.Process.mm;
-  ru.Rusage.huge_splits <- Mm.stats_huge_splits p.Process.mm
+  ru.Rusage.huge_splits <- Mm.stats_huge_splits p.Process.mm;
+  (* The same sample lands in the metrics registry, under the memory-path
+     namespaces, so exporters and fig10 read one source of truth. *)
+  let m = t.machine.Machine.metrics in
+  let set ~ns name v = Mv_obs.Metrics.set_counter (Mv_obs.Metrics.counter m ~ns name) v in
+  set ~ns:"tlb" "hits" !hits;
+  set ~ns:"tlb" "misses" !misses;
+  set ~ns:"mmu" "walks" !walks;
+  set ~ns:"mmu" "walk_levels" !levels;
+  set ~ns:"mmu" "walk_cycles" !wcyc;
+  set ~ns:"mmu" "fill_cycles" !fcyc;
+  let pwc_hits = ref 0 and pwc_misses = ref 0 in
+  Array.iter
+    (fun cpu ->
+      let pwc = cpu.Mv_hw.Cpu.pwc in
+      pwc_hits := !pwc_hits + Mv_hw.Walk_cache.hits pwc;
+      pwc_misses := !pwc_misses + Mv_hw.Walk_cache.misses pwc)
+    t.machine.Machine.cpus;
+  set ~ns:"walk_cache" "hits" !pwc_hits;
+  set ~ns:"walk_cache" "misses" !pwc_misses;
+  set ~ns:"mm" "shootdowns" (Mm.stats_shootdowns p.Process.mm);
+  set ~ns:"mm" "shootdown_cycles" (Mm.stats_shootdown_cycles p.Process.mm);
+  set ~ns:"mm" "huge_promotions" (Mm.stats_huge_promotions p.Process.mm);
+  set ~ns:"mm" "huge_splits" (Mm.stats_huge_splits p.Process.mm);
+  set ~ns:"mm" "minflt" ru.Rusage.minflt
 
 (* --- processes and threads --- *)
 
@@ -225,10 +250,13 @@ let deliver_signal t p (info : Signal.siginfo) =
   | Signal.Default -> (
       match info.Signal.si_signo with
       | Signal.Sigsegv | Signal.Sigint ->
-          Machine.trace_emit t.machine ~category:"fatal"
-            (Printf.sprintf "%s pid=%d addr=%x"
-               (Signal.name info.Signal.si_signo)
-               p.Process.pid info.Signal.si_addr);
+          Machine.emit t.machine
+            (Trace.Fatal_signal
+               {
+                 signal = Signal.name info.Signal.si_signo;
+                 pid = p.Process.pid;
+                 addr = info.Signal.si_addr;
+               });
           exit_process t p ~code:139
       | Signal.Sigvtalrm | Signal.Sigusr1 | Signal.Sigusr2 | Signal.Sigchld -> ())
 
@@ -249,14 +277,22 @@ let service_fault t p addr ~write =
          identical to the native run (paper, Section 4.4). *)
       (match Mm.find_vma p.Process.mm addr with
       | Some v ->
-          Machine.trace_emit t.machine ~category:"pagefault"
-            (Printf.sprintf "pid=%d vma=%s+%d w=%b" p.Process.pid v.Mm.v_kind
-               (Mv_hw.Addr.page_of addr - v.Mm.v_start)
-               write)
+          Machine.emit t.machine
+            (Trace.Page_fault
+               {
+                 pid = p.Process.pid;
+                 vma = Some v.Mm.v_kind;
+                 page_off = Mv_hw.Addr.page_of addr - v.Mm.v_start;
+                 addr;
+                 write;
+               })
       | None ->
-          Machine.trace_emit t.machine ~category:"pagefault"
-            (Printf.sprintf "pid=%d addr=%x w=%b" p.Process.pid addr write));
-      let outcome = Mm.handle_fault p.Process.mm addr ~write in
+          Machine.emit t.machine
+            (Trace.Page_fault { pid = p.Process.pid; vma = None; page_off = 0; addr; write }));
+      let outcome =
+        Mv_obs.Tracer.with_span t.machine.Machine.obs ~name:"pagefault" ~cat:"ros" (fun () ->
+            Mm.handle_fault p.Process.mm addr ~write)
+      in
       (match outcome with
       | Mm.Fixed_minor -> p.Process.rusage.Rusage.minflt <- p.Process.rusage.Rusage.minflt + 1
       | Mm.Segv _ -> ());

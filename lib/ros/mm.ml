@@ -158,6 +158,8 @@ let presplit_straddling_chunks t ~p0 ~p1 =
    coherent, so it is dropped wholesale. *)
 let shootdown_range t ~p0 ~p1 =
   if huge_enabled t && p1 > p0 then begin
+    Mv_obs.Tracer.with_span t.machine.Machine.obs ~name:"tlb-shootdown" ~cat:"mm"
+    @@ fun () ->
     let costs = t.machine.Machine.costs in
     let pt_id = Page_table.id t.pt in
     Array.iter

@@ -15,5 +15,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("vcode", Test_vcode.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
       ("props", Test_props.suite);
     ]
