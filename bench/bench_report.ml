@@ -11,6 +11,7 @@ type value =
   | Float of float * int  (* value, decimal places *)
   | Str of string
   | Obj of (string * value) list
+  | List of value list
 
 let schema_version = 2
 
@@ -31,6 +32,18 @@ let rec emit buf indent = function
       Buffer.add_string buf "\n";
       Buffer.add_string buf (String.make indent ' ');
       Buffer.add_string buf "}"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      let pad = String.make (indent + 2) ' ' in
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          emit buf (indent + 2) v)
+        items;
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_string buf "]"
 
 let render ~kind fields =
   let buf = Buffer.create 1024 in

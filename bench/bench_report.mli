@@ -7,6 +7,7 @@ type value =
   | Float of float * int  (** value, decimal places *)
   | Str of string
   | Obj of (string * value) list
+  | List of value list
 
 val schema_version : int
 

@@ -1021,6 +1021,145 @@ let write_mempath_json path =
     (100.0 *. hh_on.hh_hit_rate)
 
 (* ------------------------------------------------------------------ *)
+(* Scale: open-loop load at 1k execution groups, admission on vs off   *)
+(* ------------------------------------------------------------------ *)
+
+module Loadgen = Mv_workloads.Loadgen
+
+(* One sweep point: the identical open-loop workload with admission
+   control off (unbounded queueing) and on (bounded rings + token-bucket
+   admission, Shed policy).  The offered loads straddle the pool's
+   service capacity so the curve shows the knee. *)
+type scale_point = {
+  sp_offered : float;
+  sp_off : Loadgen.results;
+  sp_on : Loadgen.results;
+}
+
+(* Token rate = each group's fair share of the pool's service capacity
+   (~4 pollers x 2.2e9 / ~21k cycles ~= 420k calls/s over 1000 groups
+   ~= 1.9e-7 tokens/cycle): below the knee the bucket is invisible, past
+   it the surplus is shed at admission instead of queueing. *)
+let scale_admission () =
+  Fabric.make_admission ~policy:Fabric.Shed ~ring_capacity:8 ~queue_capacity:16
+    ~rate:1.9e-7 ~burst:4 ()
+
+let scale_groups = 1000
+let scale_offered = [ 50_000.0; 100_000.0; 200_000.0; 400_000.0; 800_000.0; 1_600_000.0 ]
+
+let measure_scale () =
+  let base =
+    {
+      Loadgen.default_config with
+      Loadgen.lg_groups = scale_groups;
+      lg_calls_per_group = 16;
+      lg_workers_per_group = 16;
+      lg_arrival = Loadgen.Poisson;
+    }
+  in
+  List.map
+    (fun cps ->
+      let off = Loadgen.run { base with Loadgen.lg_offered_cps = cps } in
+      let on =
+        Loadgen.run
+          { base with Loadgen.lg_offered_cps = cps; lg_admission = Some (scale_admission ()) }
+      in
+      { sp_offered = cps; sp_off = off; sp_on = on })
+    scale_offered
+
+(* Memoized so `scale --json` (text section + JSON writer in one
+   invocation) sweeps once. *)
+let scale_points = lazy (measure_scale ())
+
+let scale_bench () =
+  section
+    (Printf.sprintf "Scale: open-loop load, %d execution groups, shedding on vs off"
+       scale_groups);
+  let points = Lazy.force scale_points in
+  let t =
+    Table.create
+      ~headers:
+        [ "offered (k/s)"; "mode"; "tput (k/s)"; "p50 (us)"; "p99 (us)"; "dropped"; "flips" ]
+  in
+  List.iter
+    (fun p ->
+      let row mode (r : Loadgen.results) flips =
+        Table.add_row t
+          [
+            Printf.sprintf "%.0f" (p.sp_offered /. 1e3);
+            mode;
+            Printf.sprintf "%.1f" (r.Loadgen.r_throughput_cps /. 1e3);
+            Printf.sprintf "%.1f" r.Loadgen.r_p50_us;
+            Printf.sprintf "%.1f" r.Loadgen.r_p99_us;
+            string_of_int r.Loadgen.r_dropped;
+            flips;
+          ]
+      in
+      row "off" p.sp_off "-";
+      row "shed" p.sp_on
+        (Printf.sprintf "%d/%d" p.sp_on.Loadgen.r_shed_flips p.sp_on.Loadgen.r_shed_restores))
+    points;
+  print_string (Table.to_string t);
+  printf
+    "(acceptance: past the knee, shed-mode p99 stays bounded while control-off p99 \
+     collapses; shed-mode throughput is never retrograde)\n"
+
+(* BENCH_scale.json: the latency-vs-offered-load curve. *)
+let write_scale_json path =
+  let points = Lazy.force scale_points in
+  let open Bench_report in
+  let side (r : Loadgen.results) =
+    Obj
+      [
+        ("issued", Int r.Loadgen.r_issued);
+        ("completed", Int r.Loadgen.r_completed);
+        ("dropped", Int r.Loadgen.r_dropped);
+        ("throughput_cps", Float (r.Loadgen.r_throughput_cps, 1));
+        ("p50_us", Float (r.Loadgen.r_p50_us, 1));
+        ("p95_us", Float (r.Loadgen.r_p95_us, 1));
+        ("p99_us", Float (r.Loadgen.r_p99_us, 1));
+        ("ring_occupancy_hw", Int r.Loadgen.r_ring_hw);
+        ("sheds", Int r.Loadgen.r_sheds);
+        ("shed_retries", Int r.Loadgen.r_shed_retries);
+        ("blocked", Int r.Loadgen.r_blocked);
+        ("shed_flips", Int r.Loadgen.r_shed_flips);
+        ("shed_restores", Int r.Loadgen.r_shed_restores);
+      ]
+  in
+  let ad = scale_admission () in
+  write ~path ~kind:"multiverse-scale-bench"
+    [
+      ("groups", Int scale_groups);
+      ("calls_per_group", Int 16);
+      ("arrival", Str "poisson");
+      ("service_cycles", Int Loadgen.default_config.Loadgen.lg_service_cycles);
+      ( "admission",
+        Obj
+          [
+            ("policy", Str "shed");
+            ("ring_capacity", Int ad.Fabric.ad_ring_capacity);
+            ("queue_capacity", Int ad.Fabric.ad_queue_capacity);
+            ("rate_tokens_per_cycle", Float (ad.Fabric.ad_rate, 7));
+            ("burst", Int ad.Fabric.ad_burst);
+            ("shed_retries", Int ad.Fabric.ad_shed_retries);
+          ] );
+      ( "curve",
+        List
+          (List.map
+             (fun p ->
+               Obj
+                 [
+                   ("offered_cps", Float (p.sp_offered, 0));
+                   ("control_off", side p.sp_off);
+                   ("control_on", side p.sp_on);
+                 ])
+             points) );
+    ];
+  let last = List.nth points (List.length points - 1) in
+  printf "wrote %s (at %.0fk/s offered: p99 off %.0fus vs shed %.0fus)\n%!" path
+    (last.sp_offered /. 1e3) last.sp_off.Loadgen.r_p99_us last.sp_on.Loadgen.r_p99_us
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's own hot paths           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1081,6 +1220,7 @@ let sections =
     ("fig12", fig12);
     ("fig13", fig13);
     ("fabric", fabric_bench);
+    ("scale", scale_bench);
     ("mempath", mempath);
     ("ablation_symcache", ablation_symcache);
     ("ablation_channel", ablation_channel);
@@ -1116,4 +1256,5 @@ let () =
           | None -> printf "unknown section %s (try --list)\n" name)
         names);
   if json && (wants "fig2" || wants "fabric") then write_fabric_json "BENCH_fabric.json";
-  if json && wants "mempath" then write_mempath_json "BENCH_mempath.json"
+  if json && wants "mempath" then write_mempath_json "BENCH_mempath.json";
+  if json && wants "scale" then write_scale_json "BENCH_scale.json"

@@ -89,8 +89,54 @@ let usage_error msg =
   prerr_endline ("multiverse_run: " ^ msg);
   2
 
+(* --groups: the open-loop scale mode (no program; the load generator
+   drives the fabric directly). *)
+let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel =
+  let open Mv_workloads.Loadgen in
+  match
+    match arrival_of_string arrival with
+    | None -> Error ("unknown arrival process: " ^ arrival ^ " (poisson | bursty)")
+    | Some arr -> (
+        match admission with
+        | "off" -> Ok (arr, None)
+        | "shed" -> Ok (arr, Some (Mv_hvm.Fabric.make_admission ~policy:Mv_hvm.Fabric.Shed ()))
+        | "block" ->
+            Ok (arr, Some (Mv_hvm.Fabric.make_admission ~policy:Mv_hvm.Fabric.Block ()))
+        | other -> Error ("unknown admission policy: " ^ other ^ " (off | shed | block)"))
+  with
+  | Error msg -> usage_error msg
+  | Ok _ when groups < 1 || groups > 100_000 ->
+      usage_error "--groups must be between 1 and 100000"
+  | Ok _ when offered_load <= 0.0 -> usage_error "--offered-load must be positive"
+  | Ok (arr, adm) ->
+      let cfg =
+        {
+          default_config with
+          lg_groups = groups;
+          lg_arrival = arr;
+          lg_offered_cps = offered_load;
+          lg_admission = adm;
+          lg_kind =
+            (if sync_channel then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
+        }
+      in
+      let r = run cfg in
+      Printf.printf
+        "[scale] %d groups | %s arrivals | offered %.0f calls/s | admission %s\n"
+        groups arrival offered_load admission;
+      Printf.printf
+        "[scale] issued %d | completed %d | dropped %d | throughput %.0f calls/s\n"
+        r.r_issued r.r_completed r.r_dropped r.r_throughput_cps;
+      Printf.printf "[scale] sojourn p50 %.1f us | p95 %.1f us | p99 %.1f us\n" r.r_p50_us
+        r.r_p95_us r.r_p99_us;
+      Printf.printf
+        "[scale] ring high-water %d | sheds %d | shed retries %d | blocked %d | watchdog \
+         flips %d restores %d\n"
+        r.r_ring_hw r.r_sheds r.r_shed_retries r.r_blocked r.r_shed_flips r.r_shed_restores;
+      0
+
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
-    no_huge_pages stats quiet list_benches =
+    groups arrival offered_load admission no_huge_pages stats quiet list_benches =
   let huge_pages = not no_huge_pages in
   match
     match fault_seed with
@@ -105,8 +151,18 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
         else Ok Fault_plan.none
   with
   | Error msg -> usage_error msg
-  | Ok faults ->
-  if list_benches then begin
+  | Ok faults -> (
+  match groups with
+  | Some groups ->
+      if bench <> None || file <> None then
+        usage_error "--groups (scale mode) is incompatible with --bench/--file"
+      else if Fault_plan.enabled faults then
+        usage_error "fault injection is not supported in scale mode"
+      else run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel
+  | None ->
+  if arrival <> "poisson" || offered_load <> 100_000.0 || admission <> "off" then
+    usage_error "--arrival/--offered-load/--admission have no effect without --groups"
+  else if list_benches then begin
     List.iter
       (fun b ->
         Printf.printf "%-16s (test n=%d, bench n=%d)\n" b.Mv_workloads.Benchmarks.b_name
@@ -140,7 +196,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
         in
         run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog;
         0
-    | None, None -> usage_error "pass --bench NAME or --file PROG.scm (or --list)"
+    | None, None -> usage_error "pass --bench NAME or --file PROG.scm (or --list)")
 
 let () =
   let open Args in
@@ -165,6 +221,16 @@ let () =
           "Comma-separated fault sites to arm, or 'all': chan-drop, chan-delay, \
            chan-dup, chan-corrupt, partner-kill, boot-stall, syscall-eagain, \
            syscall-enosys."
+    $ opt_opt int ~names:[ "groups"; "g" ] ~docv:"N"
+        ~doc:
+          "Scale mode: drive N execution groups (1-100000) with the open-loop \
+           load generator instead of running a program."
+    $ opt string ~default:"poisson" ~names:[ "arrival" ] ~docv:"PROC"
+        ~doc:"poisson | bursty arrival process (with --groups)."
+    $ opt float ~default:100_000.0 ~names:[ "offered-load" ] ~docv:"CPS"
+        ~doc:"Total offered load in calls/second across all groups (with --groups)."
+    $ opt string ~default:"off" ~names:[ "admission" ] ~docv:"POLICY"
+        ~doc:"off | shed | block admission control (with --groups)."
     $ flag ~names:[ "no-huge-pages" ]
         ~doc:"Disable the huge-page memory path (4 KiB mappings only)."
     $ flag ~names:[ "stats" ] ~doc:"Print the per-syscall histogram."

@@ -253,6 +253,121 @@ let fabric_degrade =
         fabric_run ~callers:2 ~calls:4 ~kind:Event_channel.Sync ~strategy ~faults);
   }
 
+(* [callers] impatient HRT-side threads push through a deliberately tiny
+   admission envelope (ring 2, queue 3, trickle token rate), so most
+   attempts hit the gate: shed-and-retry under [Shed], park-in-FIFO under
+   [Block], terminal [Overload] replies past the retry budget.  The
+   oracles pin the overload contract: bounded quiescence (every parked
+   admission waiter is woken — no lost wakeups), every caller resolves
+   each request to exactly one of admitted/dropped, an admitted request's
+   payload runs exactly once (retried sheds never double-execute), and a
+   dropped request's payload never ran at all. *)
+let fabric_overload_run ~policy ~callers ~calls ~strategy ~faults =
+  let machine = Machine.create () in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  if Fault_plan.enabled faults then Fault_plan.bind faults machine;
+  let fabric = Fabric.create ~faults machine ~kind:Event_channel.Sync in
+  Fabric.set_admission fabric
+    (Some
+       (Fabric.make_admission ~policy ~ring_capacity:2 ~queue_capacity:3 ~rate:1e-5
+          ~burst:2 ~shed_retries:2 ()));
+  Fabric.start_pool fabric
+    ~spawn:(fun ~name ~core body -> Exec.spawn exec ~cpu:core ~name body)
+    ~cores:[ 0; 1 ] ();
+  let ep = Fabric.endpoint fabric ~name:"shared" ~ros_core:0 ~hrt_core:7 in
+  let n = callers * calls in
+  let runs = Array.make n 0 in
+  let admitted = Array.make n false in
+  let dropped = Array.make n false in
+  let threads =
+    List.init callers (fun c ->
+        Exec.spawn exec ~cpu:7 ~name:(Printf.sprintf "hrt-offerer-%d" c)
+          (fun () ->
+            for i = 0 to calls - 1 do
+              let slot = (c * calls) + i in
+              match
+                Fabric.offer fabric ep
+                  {
+                    Event_channel.req_kind = Printf.sprintf "req-%d-%d" c i;
+                    req_run = (fun () -> runs.(slot) <- runs.(slot) + 1);
+                  }
+              with
+              | Ok () -> admitted.(slot) <- true
+              | Error (_ : Fabric.overload) -> dropped.(slot) <- true
+            done))
+  in
+  ignore
+    (Exec.spawn exec ~cpu:0 ~name:"coordinator" (fun () ->
+         List.iter (fun th -> Exec.join exec th) threads;
+         Fabric.shutdown fabric));
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  let accounted () =
+    let bad = ref Pass in
+    for i = 0 to n - 1 do
+      if !bad = Pass then
+        if admitted.(i) && dropped.(i) then
+          bad := failf "request %d both admitted and dropped" i
+        else if not (admitted.(i) || dropped.(i)) then
+          bad := failf "request %d never resolved (offer lost the caller)" i
+    done;
+    !bad
+  in
+  let exactly_once_or_never () =
+    let bad = ref Pass in
+    Array.iteri
+      (fun i r ->
+        if !bad = Pass then
+          if admitted.(i) && r <> 1 then
+            bad := failf "admitted request %d payload ran %d times (want exactly 1)" i r
+          else if dropped.(i) && r <> 0 then
+            bad := failf "shed request %d payload ran %d times (want 0)" i r)
+      runs;
+    !bad
+  in
+  all
+    [
+      (fun () -> check_quiesced exec ~quiesced);
+      accounted;
+      exactly_once_or_never;
+    ]
+
+let fabric_overload =
+  {
+    sc_name = "fabric-overload";
+    sc_descr =
+      "six impatient callers vs a tiny shed-policy admission envelope: every \
+       request resolves to admitted xor dropped, admitted payloads run exactly \
+       once (retried sheds never double-execute), dropped payloads never ran, \
+       and quiescence is bounded even under channel loss/duplication";
+    sc_fault_specs =
+      [
+        {
+          fs_rate = 0.3;
+          fs_sites = [ Fault_plan.Chan_drop; Fault_plan.Chan_duplicate ];
+        };
+      ];
+    sc_expect_bug = false;
+    sc_run =
+      (fun ~strategy ~faults ->
+        fabric_overload_run ~policy:Fabric.Shed ~callers:6 ~calls:3 ~strategy ~faults);
+  }
+
+let fabric_overload_block =
+  {
+    sc_name = "fabric-overload-block";
+    sc_descr =
+      "the same overload envelope under the Block policy: callers park in the \
+       bounded FIFO admission queue (overflow degrades to shedding); the parked \
+       waiters must all be woken and the same admitted-exactly-once / \
+       dropped-never-ran contract must hold";
+    sc_fault_specs = [ { fs_rate = 0.3; fs_sites = [ Fault_plan.Chan_drop ] } ];
+    sc_expect_bug = false;
+    sc_run =
+      (fun ~strategy ~faults ->
+        fabric_overload_run ~policy:Fabric.Block ~callers:6 ~calls:3 ~strategy ~faults);
+  }
+
 (* --- full-stack scenarios: boot, execution groups, merge + forwarding --- *)
 
 (* Daemons that legitimately stay parked after a healthy full-stack run:
@@ -549,6 +664,8 @@ let all_scenarios =
     broken_dedup;
     fabric_batch;
     fabric_degrade;
+    fabric_overload;
+    fabric_overload_block;
     boot_handshake;
     group_respawn;
     merge_fault;

@@ -25,6 +25,13 @@ type cpu = {
   mutable c_last_tid : int;
   mutable c_switch_cost : int;
   mutable c_slice : int option;
+  mutable c_dispatch_armed_at : int;
+      (* earliest pending dispatch event for this cpu, -1 = none.  With
+         thousands of Ready threads queued on one core, every segment end
+         would otherwise wake the whole herd of stale dispatch events and
+         each would reschedule itself at the new busy_until — O(n^2) event
+         churn.  One armed event per cpu is always sufficient: dispatch is
+         state-driven and re-arms itself while the core is busy. *)
   mutable c_switches : int;
   mutable c_idle_expiries : int;
       (* timer expiries with an empty run queue; every Nth models a
@@ -58,6 +65,7 @@ let create sim ~ncpus =
           c_last_tid = -1;
           c_switch_cost = 0;
           c_slice = None;
+          c_dispatch_armed_at = -1;
           c_switches = 0;
           c_idle_expiries = 0;
         })
@@ -99,7 +107,7 @@ let rec dispatch t cpu () =
   if t.current = None && not (Queue.is_empty cpu.c_runq) then begin
     let now = Sim.now t.sim in
     if now < cpu.c_busy_until then
-      Sim.schedule_at t.sim cpu.c_busy_until (dispatch t cpu)
+      request_dispatch t cpu ~at:cpu.c_busy_until
     else
       match t.sched_hook with
       | None -> (
@@ -132,7 +140,12 @@ let rec dispatch t cpu () =
 
 and request_dispatch t cpu ~at =
   let at = max at (max cpu.c_busy_until (Sim.now t.sim)) in
-  Sim.schedule_at t.sim at (dispatch t cpu)
+  if cpu.c_dispatch_armed_at < 0 || at < cpu.c_dispatch_armed_at then begin
+    cpu.c_dispatch_armed_at <- at;
+    Sim.schedule_at t.sim at (fun () ->
+        if cpu.c_dispatch_armed_at = at then cpu.c_dispatch_armed_at <- -1;
+        dispatch t cpu ())
+  end
 
 and run_segment t cpu th =
   let switch =

@@ -16,6 +16,9 @@ type payload =
   | Reroute of { kind : string; spurious_errnos : bool }
   | Ride_timeout of { kind : string }
   | Errno_retry of { attempt : int; kind : string }
+  | Overload_shed of { kind : string; endpoint : string }
+  | Shed_mode of { on : bool }
+  | Restore_async_to_sync
   | Message of { category : string; text : string }
 
 let category_of = function
@@ -26,6 +29,7 @@ let category_of = function
   | Channel_marked_failed | Watchdog_respawn _ | Fallback_sync_to_async _ | Reroute _
   | Ride_timeout _ | Errno_retry _ ->
       "resilience"
+  | Overload_shed _ | Shed_mode _ | Restore_async_to_sync -> "overload"
   | Message { category; _ } -> category
 
 (* Renderings are the record shapes tests and the golden trace assert
@@ -52,6 +56,10 @@ let render = function
   | Ride_timeout { kind } -> "ride timeout, escalating: " ^ kind
   | Errno_retry { attempt; kind } ->
       Printf.sprintf "retry %d after spurious errno: %s" attempt kind
+  | Overload_shed { kind; endpoint } -> Printf.sprintf "overload shed %s @%s" kind endpoint
+  | Shed_mode { on = true } -> "shed mode on: sync->async, doorbell suppression widened"
+  | Shed_mode { on = false } -> "shed mode off: endpoints restored"
+  | Restore_async_to_sync -> "restore async->sync"
   | Message { text; _ } -> text
 
 (* --- the record store --------------------------------------------- *)

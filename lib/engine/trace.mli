@@ -35,6 +35,14 @@ type payload =
   | Reroute of { kind : string; spurious_errnos : bool }
   | Ride_timeout of { kind : string }
   | Errno_retry of { attempt : int; kind : string }
+  | Overload_shed of { kind : string; endpoint : string }
+      (** Admission control returned a typed [Overload] reply (category
+          "overload"). *)
+  | Shed_mode of { on : bool }
+      (** The load-shedding watchdog crossed the high-water mark (on) or
+          drained below the low-water mark (off). *)
+  | Restore_async_to_sync
+      (** A shed-mode Sync->Async flip was undone on drain. *)
   | Message of { category : string; text : string }
 
 val category_of : payload -> string

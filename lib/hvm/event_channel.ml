@@ -293,6 +293,21 @@ let degrade_to_async t =
     Machine.emit t.machine Trace.Degrade_sync_to_async
   end
 
+let restore_sync t =
+  (* The inverse flip, for the fabric's load-shedding watchdog: only a
+     live channel currently running Async may be promoted back, and the
+     caller is responsible for only restoring channels it degraded (a
+     fallback after Channel_failure must stay Async). *)
+  if t.ckind = Async && not t.failed then begin
+    t.ckind <- Sync;
+    (match t.res with
+    | Some r ->
+        let rtt = rtt t in
+        t.res <- Some { r with r_timeout = 64 * rtt; r_backoff = rtt }
+    | None -> ());
+    Machine.emit t.machine Trace.Restore_async_to_sync
+  end
+
 let mark_failed t =
   if not t.failed then begin
     t.failed <- true;
@@ -307,6 +322,7 @@ let reset_server t =
   t.server_wake <- None;
   t.serving <- None
 
+let queue_depth t = Queue.length t.queue
 let calls t = t.n_calls
 let timeouts t = t.n_timeouts
 let retries t = t.n_retries

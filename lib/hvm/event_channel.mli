@@ -102,6 +102,17 @@ val degrade_to_async : t -> unit
 (** Fall back from Sync polling to the always-works Async hypercall
     channel (no-op if already Async); re-arms timeouts for async latency. *)
 
+val restore_sync : t -> unit
+(** Undo a {!degrade_to_async} flip: promote a live Async channel back to
+    Sync polling and re-arm timeouts for sync latency.  No-op on a failed
+    or already-Sync channel.  Callers (the fabric's load-shedding
+    watchdog) must only restore channels they themselves degraded — a
+    channel that fell back because its sync path died must stay Async. *)
+
+val queue_depth : t -> int
+(** Entries enqueued but not yet taken by the server — the channel's
+    contribution to endpoint occupancy. *)
+
 val mark_failed : t -> unit
 (** Declare the channel dead: subsequent {!call}s raise {!Channel_failure}
     immediately so the runtime reroutes work ROS-natively. *)

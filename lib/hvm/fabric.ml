@@ -29,9 +29,33 @@ type endpoint = {
   mutable ep_busy : bool;  (* a poller owns this channel's server side *)
   mutable ep_announced : bool;  (* a run-queue token for this endpoint is outstanding *)
   mutable ep_attentive : bool;  (* the owning poller is busy-polling the ring *)
+  (* --- admission control (all dormant while the fabric has no policy) --- *)
+  mutable ep_bucket : Mv_util.Token_bucket.t option;  (* per-group rate limit *)
+  ep_waiters : (unit -> unit) Queue.t;  (* FIFO admission queue (Block policy) *)
+  mutable ep_nwaiters : int;
+  mutable ep_granted : int;  (* admissions handed to woken waiters, not yet ring slots *)
+  mutable ep_refill_armed : bool;  (* a token-refill timer is outstanding *)
+  mutable ep_occupancy_hw : int;  (* high-water mark of [ep_npending] *)
 }
 
 type local_entry = { le_promote_after : int; le_cost : int }
+
+(* --- overload model ------------------------------------------------ *)
+
+type overload_policy = Shed | Block
+
+type admission = {
+  ad_policy : overload_policy;
+  ad_ring_capacity : int;  (* max Pending slots per endpoint ring *)
+  ad_queue_capacity : int;  (* max blocked callers per endpoint (Block) *)
+  ad_rate : float;  (* token-bucket refill, tokens per cycle per endpoint *)
+  ad_burst : int;  (* token-bucket ceiling *)
+  ad_high_water : float;  (* ring-occupancy fraction entering shed mode *)
+  ad_low_water : float;  (* ring-occupancy fraction leaving shed mode *)
+  ad_shed_retries : int;  (* stub backoff retries before [offer] gives up *)
+}
+
+type overload = { ov_kind : string; ov_endpoint : string; ov_sheds : int }
 
 type t = {
   fb_machine : Machine.t;
@@ -51,6 +75,11 @@ type t = {
   mutable fb_inject_ep : endpoint option;
   fb_locals : (string, local_entry) Hashtbl.t;
   fb_promo : (string * string, int ref) Hashtbl.t;  (* (kind, key) -> hits *)
+  mutable fb_admission : admission option;
+  mutable fb_attentive_polls : int;  (* doorbell-suppression window width *)
+  mutable fb_shed_mode : bool;
+  mutable fb_shed_flipped : endpoint list;  (* endpoints the watchdog flipped Sync->Async *)
+  mutable fb_monitor_armed : bool;
   mutable n_calls : int;
   mutable n_transport : int;
   mutable n_riders : int;
@@ -63,7 +92,20 @@ type t = {
   mutable n_reroutes : int;
   mutable n_fallbacks : int;
   mutable n_respawns : int;
+  mutable n_admitted : int;
+  mutable n_sheds : int;  (* typed Overload replies returned to the stub *)
+  mutable n_shed_retries : int;  (* stub backoff retries after an Overload *)
+  mutable n_blocked : int;  (* callers parked in an admission queue *)
+  mutable n_queue_rejects : int;  (* admission-queue overflow sheds *)
+  mutable n_shed_flips : int;  (* shed-mode entries *)
+  mutable n_shed_restores : int;  (* shed-mode exits *)
 }
+
+(* Doorbell-suppression window defaults; see the attentive-poll comment
+   above [serve_endpoint].  The watchdog widens the window by
+   [shed_attentive_widening] while in shed mode. *)
+let default_attentive_polls = 4
+let shed_attentive_widening = 4
 
 let create ?(faults = Fault_plan.none) ?(batching = true) ?heartbeat machine ~kind =
   let heartbeat =
@@ -89,6 +131,11 @@ let create ?(faults = Fault_plan.none) ?(batching = true) ?heartbeat machine ~ki
     fb_inject_ep = None;
     fb_locals = Hashtbl.create 8;
     fb_promo = Hashtbl.create 32;
+    fb_admission = None;
+    fb_attentive_polls = default_attentive_polls;
+    fb_shed_mode = false;
+    fb_shed_flipped = [];
+    fb_monitor_armed = false;
     n_calls = 0;
     n_transport = 0;
     n_riders = 0;
@@ -101,6 +148,13 @@ let create ?(faults = Fault_plan.none) ?(batching = true) ?heartbeat machine ~ki
     n_reroutes = 0;
     n_fallbacks = 0;
     n_respawns = 0;
+    n_admitted = 0;
+    n_sheds = 0;
+    n_shed_retries = 0;
+    n_blocked = 0;
+    n_queue_rejects = 0;
+    n_shed_flips = 0;
+    n_shed_restores = 0;
   }
 
 let set_batching t flag = t.fb_batching <- flag
@@ -123,6 +177,55 @@ let sched_after t delay fn =
   let exec = t.fb_machine.Machine.exec in
   let sim = Exec.sim exec in
   Sim.schedule_at sim (max (Exec.local_now exec) (Sim.now sim) + delay) fn
+
+(* --- admission control --------------------------------------------- *)
+
+let bucket_of t ep ad =
+  match ep.ep_bucket with
+  | Some b -> b
+  | None ->
+      let b =
+        Mv_util.Token_bucket.create ~rate:ad.ad_rate ~burst:ad.ad_burst
+          ~now:(Machine.now t.fb_machine)
+      in
+      ep.ep_bucket <- Some b;
+      b
+
+(* Admit parked callers from the endpoint's FIFO admission queue while
+   ring space and a token are both available.  The waker consumes the
+   token and reserves the ring slot ([ep_granted]) on the waiter's behalf,
+   so the wake is never spurious and admission order is exactly queue
+   order.  When the queue is blocked on the token bucket alone, arm one
+   timer for the refill instant — every other unblocking edge (a drain
+   freeing ring slots, a slot reclaim) re-enters here directly, so no
+   waiter can be lost. *)
+let rec pump_admission t ep =
+  match t.fb_admission with
+  | None -> ()
+  | Some ad ->
+      let rec go () =
+        if ep.ep_nwaiters > 0 && ep.ep_npending + ep.ep_granted < ad.ad_ring_capacity
+        then begin
+          let b = bucket_of t ep ad in
+          let now = Machine.now t.fb_machine in
+          if Mv_util.Token_bucket.take b ~now then (
+            match Queue.take_opt ep.ep_waiters with
+            | Some wake ->
+                ep.ep_nwaiters <- ep.ep_nwaiters - 1;
+                ep.ep_granted <- ep.ep_granted + 1;
+                sched_now t wake;
+                go ()
+            | None -> ())
+          else if not ep.ep_refill_armed then begin
+            ep.ep_refill_armed <- true;
+            let wait = max 1 (Mv_util.Token_bucket.next_available b ~now) in
+            sched_after t wait (fun () ->
+                ep.ep_refill_armed <- false;
+                pump_admission t ep)
+          end
+        end
+      in
+      go ()
 
 (* --- batching ring drain (shared between servers and leaders) --- *)
 
@@ -161,7 +264,9 @@ let drain_ring t ep =
         in
         go ();
         Tracer.annotate t.fb_machine.Machine.obs "drained"
-          (string_of_int (t.n_drained - before)))
+          (string_of_int (t.n_drained - before)));
+    (* Ring slots were freed: admit parked callers in FIFO order. *)
+    pump_admission t ep
   end
 
 (* --- poller pool (the ROS side) --- *)
@@ -184,10 +289,12 @@ let rec wake_poller t =
       end
 
 (* How many empty ring polls an attentive server tolerates before parking
-   again, and therefore how long doorbell suppression outlives the
-   doorbell: a burst of callers pays one transport round trip total, then
-   rides the shared page at store+poll cost. *)
-let attentive_polls = 4
+   again ([fb_attentive_polls]), and therefore how long doorbell
+   suppression outlives the doorbell: a burst of callers pays one
+   transport round trip total, then rides the shared page at store+poll
+   cost.  The default window is 4 polls; the load-shedding watchdog widens
+   it while in shed mode so saturated endpoints are served exit-lessly,
+   and restores it on drain. *)
 
 let serve_endpoint t ep =
   (* One poller at a time may own a channel's server side ([serving] is
@@ -226,7 +333,7 @@ let serve_endpoint t ep =
            transport pickup ("Look Mum, no VM Exits!"-style exit-less
            servicing on the partitioned server side). *)
         let rec attentive misses =
-          if misses < attentive_polls && not t.fb_stop then begin
+          if misses < t.fb_attentive_polls && not t.fb_stop then begin
             Exec.sleep t.fb_machine.Machine.exec (ack_latency t);
             if drain false then attentive 0 else attentive (misses + 1)
           end
@@ -328,6 +435,12 @@ let endpoint t ~name ~ros_core ~hrt_core =
       ep_busy = false;
       ep_announced = false;
       ep_attentive = false;
+      ep_bucket = None;
+      ep_waiters = Queue.create ();
+      ep_nwaiters = 0;
+      ep_granted = 0;
+      ep_refill_armed = false;
+      ep_occupancy_hw = 0;
     }
   in
   (* The channel doorbell becomes a fabric run-queue token, suppressed
@@ -344,6 +457,107 @@ let endpoint t ~name ~ros_core ~hrt_core =
          end));
   t.fb_endpoints <- ep :: t.fb_endpoints;
   ep
+
+(* --- load-shedding watchdog ---------------------------------------- *)
+
+let ring_occupancy t =
+  List.fold_left (fun m ep -> Stdlib.max m ep.ep_npending) 0 t.fb_endpoints
+
+let ring_occupancy_hw t =
+  List.fold_left (fun m ep -> Stdlib.max m ep.ep_occupancy_hw) 0 t.fb_endpoints
+
+(* Shed-mode entry flips live Sync endpoints onto the always-works Async
+   hypercall channel — under saturation the sync shared-word polling burns
+   the very poller cycles the backlog needs — and remembers exactly which
+   endpoints it flipped so the drain-side restore never promotes a channel
+   that degraded because its sync path actually died. *)
+let flip_endpoints_async t =
+  List.iter
+    (fun ep ->
+      if
+        Event_channel.kind ep.ep_chan = Event_channel.Sync
+        && not (Event_channel.failed ep.ep_chan)
+      then begin
+        Event_channel.degrade_to_async ep.ep_chan;
+        t.fb_shed_flipped <- ep :: t.fb_shed_flipped
+      end)
+    t.fb_endpoints
+
+let restore_endpoints t =
+  List.iter (fun ep -> Event_channel.restore_sync ep.ep_chan) t.fb_shed_flipped;
+  t.fb_shed_flipped <- []
+
+(* The watchdog samples ring occupancy every heartbeat and runs the
+   high/low-water hysteresis: crossing [ad_high_water] (as a fraction of
+   ring capacity) enters shed mode — Sync endpoints flip to Async and the
+   doorbell-suppression window widens — and draining below [ad_low_water]
+   restores both.  It also publishes the occupancy gauges. *)
+let rec shed_monitor t () =
+  match t.fb_admission with
+  | None -> t.fb_monitor_armed <- false
+  | Some _ when t.fb_stop -> t.fb_monitor_armed <- false
+  | Some ad ->
+      let cap = Stdlib.max 1 ad.ad_ring_capacity in
+      let occ = ring_occupancy t in
+      let m = t.fb_machine.Machine.metrics in
+      Mv_obs.Metrics.set_gauge
+        (Mv_obs.Metrics.gauge m ~ns:"fabric" "ring_occupancy")
+        (float_of_int occ);
+      Mv_obs.Metrics.set_gauge
+        (Mv_obs.Metrics.gauge m ~ns:"fabric" "admission_waiters")
+        (float_of_int (List.fold_left (fun a ep -> a + ep.ep_nwaiters) 0 t.fb_endpoints));
+      let frac = float_of_int occ /. float_of_int cap in
+      if (not t.fb_shed_mode) && frac >= ad.ad_high_water then begin
+        t.fb_shed_mode <- true;
+        t.n_shed_flips <- t.n_shed_flips + 1;
+        t.fb_attentive_polls <- default_attentive_polls * shed_attentive_widening;
+        flip_endpoints_async t;
+        Machine.emit t.fb_machine (Trace.Shed_mode { on = true })
+      end
+      else if t.fb_shed_mode && frac <= ad.ad_low_water then begin
+        t.fb_shed_mode <- false;
+        t.n_shed_restores <- t.n_shed_restores + 1;
+        t.fb_attentive_polls <- default_attentive_polls;
+        restore_endpoints t;
+        Machine.emit t.fb_machine (Trace.Shed_mode { on = false })
+      end;
+      Mv_obs.Metrics.set_gauge
+        (Mv_obs.Metrics.gauge m ~ns:"fabric" "shed_mode")
+        (if t.fb_shed_mode then 1. else 0.);
+      Sim.schedule_after (Exec.sim t.fb_machine.Machine.exec) t.fb_heartbeat (shed_monitor t)
+
+let set_admission t ad =
+  t.fb_admission <- ad;
+  (* Bucket parameters may have changed: rebuild lazily on next use, and
+     give any parked waiters a chance to pass under the new policy. *)
+  List.iter (fun ep -> ep.ep_bucket <- None) t.fb_endpoints;
+  List.iter (fun ep -> pump_admission t ep) t.fb_endpoints;
+  match ad with
+  | Some _ when not t.fb_monitor_armed ->
+      t.fb_monitor_armed <- true;
+      Sim.schedule_after (Exec.sim t.fb_machine.Machine.exec) t.fb_heartbeat (shed_monitor t)
+  | _ -> ()
+
+let admission t = t.fb_admission
+let shed_mode t = t.fb_shed_mode
+
+let make_admission ?(policy = Shed) ?(ring_capacity = 8) ?(queue_capacity = 16)
+    ?(rate = 1e-4) ?(burst = 4) ?(high_water = 0.75) ?(low_water = 0.25)
+    ?(shed_retries = 6) () =
+  if ring_capacity < 1 then invalid_arg "Fabric.make_admission: ring_capacity < 1";
+  if queue_capacity < 0 then invalid_arg "Fabric.make_admission: queue_capacity < 0";
+  if not (low_water <= high_water) then
+    invalid_arg "Fabric.make_admission: low_water > high_water";
+  {
+    ad_policy = policy;
+    ad_ring_capacity = ring_capacity;
+    ad_queue_capacity = queue_capacity;
+    ad_rate = rate;
+    ad_burst = burst;
+    ad_high_water = high_water;
+    ad_low_water = low_water;
+    ad_shed_retries = shed_retries;
+  }
 
 let shutdown t =
   t.fb_stop <- true;
@@ -444,6 +658,7 @@ and ride t ep (req : Event_channel.request) =
   let slot = { sl_req = req; sl_state = Slot_pending; sl_wake = None } in
   Queue.add slot ep.ep_ring;
   ep.ep_npending <- ep.ep_npending + 1;
+  if ep.ep_npending > ep.ep_occupancy_hw then ep.ep_occupancy_hw <- ep.ep_npending;
   (* The ring-slot store into the shared page. *)
   Machine.charge t.fb_machine (ring_cost t);
   let timeout = if resilient t then Some (64 * Event_channel.rtt ep.ep_chan) else None in
@@ -479,6 +694,7 @@ and ride t ep (req : Event_channel.request) =
             (* Reclaim and escalate: ring our own doorbell after all. *)
             slot.sl_state <- Slot_claimed;
             ep.ep_npending <- ep.ep_npending - 1;
+            pump_admission t ep;
             t.n_ride_timeouts <- t.n_ride_timeouts + 1;
             Machine.emit t.fb_machine
               (Trace.Ride_timeout { kind = req.Event_channel.req_kind });
@@ -532,6 +748,87 @@ let local_path t ~key ~local_try (req : Event_channel.request) =
         incr hits;
         false
       end
+
+(* --- the admission gate (guest-side stub) -------------------------- *)
+
+(* One gate pass per caller-visible forwarded request, evaluated after a
+   local fast-path miss and before the request engages the transport.
+   Admission needs ring space (the bounded slot ring) and a token from the
+   endpoint's bucket; the errno retry chain and ride-timeout re-dispatches
+   of an admitted request do not re-enter the gate.
+
+   On refusal the [Shed] policy returns the typed [Overload] reply and the
+   stub retries with exponential backoff (the PR 1 discipline, paid as
+   simulated sleep so servers drain meanwhile); an impatient caller
+   ({!offer}) gives up after [ad_shed_retries] replies.  The [Block]
+   policy parks the caller in the endpoint's FIFO admission queue —
+   backpressure on the enqueuing group — falling back to shedding only
+   when that queue overflows its explicit capacity. *)
+let admission_gate t ep ~patient (req : Event_channel.request) =
+  match t.fb_admission with
+  | None -> Ok ()
+  | Some ad ->
+      let exec = t.fb_machine.Machine.exec in
+      let base = Event_channel.rtt ep.ep_chan in
+      let max_backoff = 64 * base in
+      let enqueue_waiter () =
+        t.n_blocked <- t.n_blocked + 1;
+        Exec.block exec
+          ~reason:("fabric:admit:" ^ req.Event_channel.req_kind)
+          (fun ~now:_ ~wake ->
+            ep.ep_nwaiters <- ep.ep_nwaiters + 1;
+            Queue.add (fun () -> wake ()) ep.ep_waiters;
+            (* The pump wakes us via a scheduled event, so kicking it from
+               the registration segment cannot wake a not-yet-parked
+               thread. *)
+            pump_admission t ep);
+        (* The waker consumed a token and reserved our ring slot. *)
+        ep.ep_granted <- ep.ep_granted - 1
+      in
+      let rec attempt ~sheds ~backoff =
+        let admissible =
+          if ep.ep_npending + ep.ep_granted >= ad.ad_ring_capacity then false
+          else if ad.ad_policy = Block && ep.ep_nwaiters > 0 then
+            false (* FIFO fairness: nobody overtakes the admission queue *)
+          else
+            Mv_util.Token_bucket.take (bucket_of t ep ad)
+              ~now:(Machine.now t.fb_machine)
+        in
+        if admissible then begin
+          t.n_admitted <- t.n_admitted + 1;
+          Ok ()
+        end
+        else if ad.ad_policy = Block && ep.ep_nwaiters < ad.ad_queue_capacity then begin
+          enqueue_waiter ();
+          t.n_admitted <- t.n_admitted + 1;
+          Ok ()
+        end
+        else begin
+          if ad.ad_policy = Block then t.n_queue_rejects <- t.n_queue_rejects + 1;
+          t.n_sheds <- t.n_sheds + 1;
+          Machine.emit t.fb_machine
+            (Trace.Overload_shed
+               { kind = req.Event_channel.req_kind; endpoint = ep.ep_name });
+          if (not patient) && sheds + 1 > ad.ad_shed_retries then
+            Error
+              {
+                ov_kind = req.Event_channel.req_kind;
+                ov_endpoint = ep.ep_name;
+                ov_sheds = sheds + 1;
+              }
+          else begin
+            t.n_shed_retries <- t.n_shed_retries + 1;
+            Exec.sleep exec backoff;
+            attempt ~sheds:(sheds + 1) ~backoff:(Stdlib.min max_backoff (backoff * 2))
+          end
+        end
+      in
+      attempt ~sheds:0 ~backoff:base
+
+let admit_patient t ep req =
+  match admission_gate t ep ~patient:true req with
+  | Ok () -> ()
+  | Error _ -> assert false (* a patient gate never sheds terminally *)
 
 (* --- the caller-facing entry point --- *)
 
@@ -588,7 +885,10 @@ let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request
   t.n_calls <- t.n_calls + 1;
   let obs = t.fb_machine.Machine.obs in
   if not (Tracer.enabled obs) then begin
-    if not (local_path t ~key ~local_try req) then route t ep ~errno_site req
+    if not (local_path t ~key ~local_try req) then begin
+      admit_patient t ep req;
+      route t ep ~errno_site req
+    end
   end
   else begin
     (* Crossing span: one per caller-visible forwarded request, covering
@@ -635,8 +935,25 @@ let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request
           (Mv_obs.Metrics.latency t.fb_machine.Machine.metrics ~ns:"fabric"
              ("crossing:" ^ req.Event_channel.req_kind))
           (float_of_int (t1 - t0)))
-      (fun () -> if not (local_path t ~key ~local_try inst) then route t ep ~errno_site inst)
+      (fun () ->
+        if not (local_path t ~key ~local_try inst) then begin
+          admit_patient t ep inst;
+          route t ep ~errno_site inst
+        end)
   end
+
+(* Overload-aware variant of {!call} for open-loop clients that can drop
+   work: the admission gate runs impatiently, so after [ad_shed_retries]
+   typed [Overload] replies the request is abandoned without ever touching
+   the transport (the payload has not run).  With no admission policy
+   installed this is {!call} minus the promotion table and tracing. *)
+let offer t ep ?(errno_site = false) (req : Event_channel.request) =
+  t.n_calls <- t.n_calls + 1;
+  match admission_gate t ep ~patient:false req with
+  | Error _ as e -> e
+  | Ok () ->
+      route t ep ~errno_site req;
+      Ok ()
 
 (* --- injection (signals) --- *)
 
@@ -671,6 +988,13 @@ let reroutes t = t.n_reroutes
 let respawns t = t.n_respawns
 let endpoints t = List.length t.fb_endpoints
 let pollers t = List.length t.fb_pollers
+let admitted t = t.n_admitted
+let sheds t = t.n_sheds
+let shed_retries t = t.n_shed_retries
+let admission_blocked t = t.n_blocked
+let queue_rejects t = t.n_queue_rejects
+let shed_flips t = t.n_shed_flips
+let shed_restores t = t.n_shed_restores
 
 let sample_metrics t m =
   let add ~ns name v =
@@ -689,4 +1013,14 @@ let sample_metrics t m =
   add ~ns:"fabric" "reroutes" t.n_reroutes;
   add ~ns:"fabric" "fallbacks" t.n_fallbacks;
   add ~ns:"fabric" "respawns" t.n_respawns;
+  add ~ns:"fabric" "admitted" t.n_admitted;
+  add ~ns:"fabric" "sheds" t.n_sheds;
+  add ~ns:"fabric" "shed_retries" t.n_shed_retries;
+  add ~ns:"fabric" "admission_blocked" t.n_blocked;
+  add ~ns:"fabric" "queue_rejects" t.n_queue_rejects;
+  add ~ns:"fabric" "shed_flips" t.n_shed_flips;
+  add ~ns:"fabric" "shed_restores" t.n_shed_restores;
+  Mv_obs.Metrics.set_gauge
+    (Mv_obs.Metrics.gauge m ~ns:"fabric" "ring_occupancy_hw")
+    (float_of_int (ring_occupancy_hw t));
   List.iter (fun ep -> Event_channel.sample_metrics ep.ep_chan m) t.fb_endpoints

@@ -34,6 +34,65 @@
 type t
 type endpoint
 
+(** {1 Overload model}
+
+    Off by default: with no {!admission} installed every path below is
+    dormant and the fabric behaves byte-identically to previous
+    revisions.  Installing a policy arms four mechanisms:
+
+    - {b Bounded slot rings.}  An endpoint's batching ring holds at most
+      [ad_ring_capacity] pending slots; admission reserves a slot before
+      the request may engage the transport.
+    - {b Token-bucket admission per execution group.}  Each endpoint (one
+      per group) refills at [ad_rate] tokens/cycle up to [ad_burst], so
+      over any window of [w] cycles a group is admitted at most
+      [burst + rate*w] requests and one bursty tenant cannot monopolize
+      the shared poller pool.
+    - {b Shed-or-block.}  A refused request either receives a typed
+      [Overload] reply that the guest-side stub retries with exponential
+      backoff ({!Shed}; {!offer} surfaces the reply to callers that can
+      drop work), or parks in the endpoint's FIFO admission queue of
+      explicit capacity [ad_queue_capacity], applying backpressure to the
+      enqueuing group ({!Block}; queue overflow sheds).
+    - {b Load-shedding watchdog.}  Every heartbeat, ring occupancy is
+      compared against the high/low-water hysteresis: crossing
+      [ad_high_water * ring_capacity] flips Sync endpoints to Async and
+      widens the doorbell-suppression window; draining below
+      [ad_low_water * ring_capacity] restores both. *)
+
+type overload_policy = Shed | Block
+
+type admission = {
+  ad_policy : overload_policy;
+  ad_ring_capacity : int;
+  ad_queue_capacity : int;
+  ad_rate : float;
+  ad_burst : int;
+  ad_high_water : float;
+  ad_low_water : float;
+  ad_shed_retries : int;
+}
+
+type overload = { ov_kind : string; ov_endpoint : string; ov_sheds : int }
+(** The typed [Overload] reply: which request was refused, where, and how
+    many sheds (initial refusal plus backoff retries) it absorbed. *)
+
+val make_admission :
+  ?policy:overload_policy ->
+  ?ring_capacity:int ->
+  ?queue_capacity:int ->
+  ?rate:float ->
+  ?burst:int ->
+  ?high_water:float ->
+  ?low_water:float ->
+  ?shed_retries:int ->
+  unit ->
+  admission
+(** Validated constructor (defaults: Shed, ring 8, queue 16, 1e-4
+    tokens/cycle, burst 4, high water 0.75, low water 0.25, 6 retries).
+    @raise Invalid_argument on a non-positive ring capacity, a negative
+    queue capacity, or [low_water > high_water]. *)
+
 val create :
   ?faults:Mv_faults.Fault_plan.t ->
   ?batching:bool ->
@@ -89,6 +148,30 @@ val call :
     it succeeded (failure demotes the entry and falls back to the
     transport).  [errno_site] arms spurious-errno injection and retry for
     this request under an enabled fault plan. *)
+
+val offer : t -> endpoint -> ?errno_site:bool -> Event_channel.request -> (unit, overload) result
+(** Impatient {!call} for open-loop sources that can drop work: the
+    admission gate retries a shed at most [ad_shed_retries] times with
+    exponential backoff, then returns the typed [Error overload] reply
+    {e without the payload having run}.  [Ok ()] carries the same
+    executed-exactly-once guarantee as {!call}.  Identical to {!call}
+    when no admission policy is installed (always [Ok]). *)
+
+val set_admission : t -> admission option -> unit
+(** Install (arming the watchdog and pumping any parked waiters) or
+    remove the overload policy.  Changing policies resets per-endpoint
+    token buckets. *)
+
+val admission : t -> admission option
+
+val shed_mode : t -> bool
+(** Whether the watchdog currently holds the fabric in degraded mode. *)
+
+val ring_occupancy : t -> int
+(** Largest current per-endpoint count of in-flight ring slots. *)
+
+val ring_occupancy_hw : t -> int
+(** High-water mark of per-endpoint ring occupancy since creation. *)
 
 val inject : t -> ?kind:string -> (unit -> unit) -> unit
 (** Fire-and-forget injection (safe outside thread context): posts onto
@@ -146,6 +229,28 @@ val respawns : t -> int
 
 val endpoints : t -> int
 val pollers : t -> int
+
+val admitted : t -> int
+(** Requests passing the admission gate (directly or after queueing). *)
+
+val sheds : t -> int
+(** Admission refusals (each emits an [Overload_shed] trace event). *)
+
+val shed_retries : t -> int
+(** Backoff retries absorbed by patient callers and by {!offer} before
+    its retry budget ran out. *)
+
+val admission_blocked : t -> int
+(** Requests that parked in an endpoint's FIFO admission queue. *)
+
+val queue_rejects : t -> int
+(** Block-policy requests shed because the admission queue was full. *)
+
+val shed_flips : t -> int
+(** Watchdog high-water crossings (shed mode engaged). *)
+
+val shed_restores : t -> int
+(** Watchdog low-water drains (shed mode released). *)
 
 val sample_metrics : t -> Mv_obs.Metrics.t -> unit
 (** Push the fabric counters (namespace ["fabric"]) and every endpoint

@@ -58,6 +58,11 @@ let observe l v =
   Mv_util.Histogram.incr l.l_hist (bucket_label v)
 
 let latency_stats l = Mv_util.Stats.summary l.l_stats
+let latency_count l = Mv_util.Stats.count l.l_stats
+
+let latency_percentile l p =
+  if Mv_util.Stats.count l.l_stats = 0 then 0.
+  else Mv_util.Stats.percentile_interp l.l_stats p
 
 let bucket_order label =
   (* "<2^k" -> k, for ascending numeric sort. *)

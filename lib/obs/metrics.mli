@@ -31,6 +31,14 @@ val observe : latency -> float -> unit
 (** Record one sample (cycles). *)
 
 val latency_stats : latency -> Mv_util.Stats.summary
+val latency_count : latency -> int
+
+val latency_percentile : latency -> float -> float
+(** Interpolated percentile ([p] in [\[0,100\]]) over the recorded
+    samples; 0 when none have been observed.  Served from
+    {!Mv_util.Stats}'s cached sorted array, so tail queries after a run
+    (p50/p95/p99) sort the samples once. *)
+
 val latency_buckets : latency -> (string * int) list
 (** Log2 buckets ["<2^k"] with counts, ascending. *)
 

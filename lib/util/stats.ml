@@ -5,16 +5,26 @@ type t = {
   mutable sum_sq : float;
   mutable lo : float;
   mutable hi : float;
+  mutable sorted : float array option;  (* cache, invalidated by [add] *)
 }
 
 let create () =
-  { samples = []; n = 0; sum = 0.; sum_sq = 0.; lo = infinity; hi = neg_infinity }
+  {
+    samples = [];
+    n = 0;
+    sum = 0.;
+    sum_sq = 0.;
+    lo = infinity;
+    hi = neg_infinity;
+    sorted = None;
+  }
 
 let add t x =
   t.samples <- x :: t.samples;
   t.n <- t.n + 1;
   t.sum <- t.sum +. x;
   t.sum_sq <- t.sum_sq +. (x *. x);
+  t.sorted <- None;
   if x < t.lo then t.lo <- x;
   if x > t.hi then t.hi <- x
 
@@ -31,13 +41,33 @@ let stddev t =
 let min t = t.lo
 let max t = t.hi
 
+(* Sort once per batch of adds: repeated percentile queries (p50/p95/p99
+   over the same accumulated samples) reuse the cached array. *)
+let sorted t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list t.samples in
+      Array.sort compare arr;
+      t.sorted <- Some arr;
+      arr
+
 let percentile t p =
   assert (t.n > 0);
-  let sorted = List.sort compare t.samples in
-  let arr = Array.of_list sorted in
+  let arr = sorted t in
   let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) - 1 in
   let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) rank) in
   arr.(idx)
+
+let percentile_interp t p =
+  assert (t.n > 0);
+  let arr = sorted t in
+  let h = p /. 100. *. float_of_int (t.n - 1) in
+  let lo = int_of_float (floor h) in
+  let lo = Stdlib.max 0 (Stdlib.min (t.n - 1) lo) in
+  let hi = Stdlib.min (t.n - 1) (lo + 1) in
+  let frac = h -. float_of_int lo in
+  arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
 
 type summary = {
   s_count : int;

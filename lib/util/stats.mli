@@ -16,7 +16,14 @@ val max : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
-    samples.  Requires at least one sample. *)
+    samples.  Requires at least one sample.  The sorted order is computed
+    once and cached until the next {!add}, so repeated queries
+    (p50/p95/p99 over one batch of samples) sort only once. *)
+
+val percentile_interp : t -> float -> float
+(** Like {!percentile} but linearly interpolating between the two
+    neighbouring ranks (the [h = p/100 * (n-1)] convention), for smooth
+    tail estimates at small sample counts.  Shares the sorted cache. *)
 
 type summary = {
   s_count : int;

@@ -1,0 +1,34 @@
+type t = {
+  rate : float;  (* tokens per cycle *)
+  burst : float;
+  mutable tokens : float;
+  mutable last : int;  (* cycle timestamp of the last refill *)
+}
+
+let create ~rate ~burst ~now =
+  if rate <= 0. then invalid_arg "Token_bucket.create: rate must be positive";
+  if burst < 1 then invalid_arg "Token_bucket.create: burst must be >= 1";
+  { rate; burst = float_of_int burst; tokens = float_of_int burst; last = now }
+
+let refill t ~now =
+  if now > t.last then begin
+    t.tokens <- Float.min t.burst (t.tokens +. (float_of_int (now - t.last) *. t.rate));
+    t.last <- now
+  end
+
+let take t ~now =
+  refill t ~now;
+  if t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    true
+  end
+  else false
+
+let level t ~now =
+  refill t ~now;
+  t.tokens
+
+let next_available t ~now =
+  refill t ~now;
+  if t.tokens >= 1.0 then 0
+  else int_of_float (Float.ceil ((1.0 -. t.tokens) /. t.rate))

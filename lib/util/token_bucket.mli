@@ -1,0 +1,30 @@
+(** A deterministic token bucket over the virtual clock.
+
+    The classic (rate, burst) regulator: tokens accrue continuously at
+    [rate] per cycle up to a ceiling of [burst]; each admission consumes
+    one.  Over any window of [w] cycles the number of admissions is
+    therefore at most [burst + rate * w] — the property the fabric's
+    per-execution-group admission control relies on so one bursty tenant
+    cannot monopolize the shared poller pool.
+
+    Time is passed in explicitly (virtual cycles), so the bucket is pure
+    state with no clock dependency and is directly property-testable. *)
+
+type t
+
+val create : rate:float -> burst:int -> now:int -> t
+(** [rate] is tokens per cycle and must be positive; [burst] is the
+    bucket ceiling (and initial fill) and must be at least 1.
+    @raise Invalid_argument on a non-positive rate or a burst below 1. *)
+
+val take : t -> now:int -> bool
+(** Refill up to [now], then consume one token if at least one whole
+    token is available.  [now] values must be non-decreasing across
+    calls; a stale [now] simply skips the refill. *)
+
+val level : t -> now:int -> float
+(** The token level after refilling up to [now]. *)
+
+val next_available : t -> now:int -> int
+(** Cycles from [now] until a whole token will be available (0 when one
+    already is) — the admission-queue refill-timer delay. *)

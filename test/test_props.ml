@@ -355,6 +355,132 @@ let qcheck_dedup_at_most_once =
       | Scenario.Pass, _ -> true
       | Scenario.Fail msg, _ -> QCheck.Test.fail_reportf "%s: %s" name msg)
 
+(* --- overload model: token bucket, bounded rings, per-group FIFO --- *)
+
+(* The admission-control regulator's defining bound, straight off the
+   bucket's pure state: over any window of [w] cycles starting from a
+   full bucket, admissions never exceed [burst + rate * w]. *)
+let qcheck_token_bucket_window_bound =
+  QCheck.Test.make
+    ~name:"token bucket: admissions over any window <= burst + rate * window"
+    ~count:200
+    QCheck.(
+      triple
+        (pair (int_range 1 1000) (int_range 1 8))
+        (list_of_size Gen.(1 -- 80) (int_bound 5_000))
+        (int_bound 1_000))
+    (fun ((rate_millis, burst), gaps, t0) ->
+      let rate = float_of_int rate_millis /. 1_000_000.0 in
+      let bucket = Mv_util.Token_bucket.create ~rate ~burst ~now:t0 in
+      let now = ref t0 and admitted = ref 0 and last = ref t0 in
+      List.iter
+        (fun gap ->
+          now := !now + gap;
+          if Mv_util.Token_bucket.take bucket ~now:!now then begin
+            incr admitted;
+            last := !now
+          end)
+        gaps;
+      let window = float_of_int (!last - t0) in
+      float_of_int !admitted <= float_of_int burst +. (rate *. window) +. 1e-9)
+
+(* End-to-end through the load generator: whatever the offered load and
+   arrival process, an endpoint's slot ring never grows past the
+   configured capacity — overload shows up as sheds/queueing, never as an
+   unbounded ring. *)
+let qcheck_ring_occupancy_bounded =
+  QCheck.Test.make
+    ~name:"fabric: ring occupancy high-water <= configured ring capacity"
+    ~count:8
+    QCheck.(triple (int_range 1 8) (int_bound 1_000) bool)
+    (fun (ring_capacity, seed, bursty) ->
+      let open Mv_workloads.Loadgen in
+      let cfg =
+        {
+          default_config with
+          lg_groups = 20;
+          lg_calls_per_group = 8;
+          lg_workers_per_group = 8;
+          lg_offered_cps = 2_000_000.0;
+          lg_arrival = (if bursty then Bursty else Poisson);
+          lg_seed = seed;
+          lg_admission =
+            Some
+              (Mv_hvm.Fabric.make_admission ~policy:Mv_hvm.Fabric.Shed ~ring_capacity
+                 ~shed_retries:1 ());
+        }
+      in
+      let r = run cfg in
+      if r.r_ring_hw <= ring_capacity then true
+      else
+        QCheck.Test.fail_reportf "ring high-water %d > capacity %d" r.r_ring_hw
+          ring_capacity)
+
+(* A group that issues its requests sequentially must see them execute in
+   issue order even when the admission gate sheds and the stub retries
+   with backoff: a retried request may be dropped, but it can never leak
+   a stale ring slot that executes out of order behind a later call. *)
+let qcheck_per_group_fifo_under_shedding =
+  QCheck.Test.make
+    ~name:"fabric: per-group issue order survives shedding and retries"
+    ~count:20
+    QCheck.(pair (int_bound 10_000) (int_range 2 5))
+    (fun (seed, groups) ->
+      let machine = Mv_engine.Machine.create () in
+      let exec = machine.Mv_engine.Machine.exec in
+      let fabric = Mv_hvm.Fabric.create machine ~kind:Mv_hvm.Event_channel.Async in
+      Mv_hvm.Fabric.set_admission fabric
+        (Some
+           (Mv_hvm.Fabric.make_admission ~policy:Mv_hvm.Fabric.Shed ~ring_capacity:2
+              ~rate:2e-4 ~burst:1 ~shed_retries:2 ()));
+      Mv_hvm.Fabric.start_pool fabric
+        ~spawn:(fun ~name ~core body -> Mv_engine.Exec.spawn exec ~cpu:core ~name body)
+        ~cores:[ 0; 1 ] ();
+      let calls = 6 in
+      let ran : (int * int) list ref = ref [] in
+      let rng = Mv_util.Rng.create ~seed in
+      let threads =
+        List.init groups (fun g ->
+            let ep =
+              Mv_hvm.Fabric.endpoint fabric
+                ~name:(Printf.sprintf "fifo-%d" g)
+                ~ros_core:(g mod 2) ~hrt_core:7
+            in
+            let jitter =
+              Array.init calls (fun _ -> 1 + int_of_float (Mv_util.Rng.float rng 3_000.0))
+            in
+            Mv_engine.Exec.spawn exec ~cpu:7
+              ~name:(Printf.sprintf "fifo-issuer-%d" g)
+              (fun () ->
+                for i = 0 to calls - 1 do
+                  Mv_engine.Exec.sleep exec jitter.(i);
+                  ignore
+                    (Mv_hvm.Fabric.offer fabric ep
+                       {
+                         Mv_hvm.Event_channel.req_kind = Printf.sprintf "fifo-%d-%d" g i;
+                         req_run = (fun () -> ran := (g, i) :: !ran);
+                       })
+                done))
+      in
+      ignore
+        (Mv_engine.Exec.spawn exec ~cpu:0 ~name:"fifo-coordinator" (fun () ->
+             List.iter (fun th -> Mv_engine.Exec.join exec th) threads;
+             Mv_hvm.Fabric.shutdown fabric));
+      Mv_engine.Sim.run machine.Mv_engine.Machine.sim;
+      let order = List.rev !ran in
+      List.for_all
+        (fun g ->
+          let mine = List.filter_map (fun (g', i) -> if g' = g then Some i else None) order in
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          if increasing mine then true
+          else
+            QCheck.Test.fail_reportf "group %d ran out of order: [%s]" g
+              (String.concat ";" (List.map string_of_int mine)))
+        (List.init groups (fun g -> g)))
+
 let suite =
   [
     to_alcotest qcheck_plan_deterministic;
@@ -368,4 +494,7 @@ let suite =
     to_alcotest qcheck_walk_levels;
     to_alcotest qcheck_tlb_range_invalidate;
     to_alcotest qcheck_dedup_at_most_once;
+    to_alcotest qcheck_token_bucket_window_bound;
+    to_alcotest qcheck_ring_occupancy_bounded;
+    to_alcotest qcheck_per_group_fifo_under_shedding;
   ]

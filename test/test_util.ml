@@ -55,6 +55,23 @@ let test_stats_basic () =
   close ~eps:1e-6 "stddev" (sqrt 2.) (Stats.stddev s);
   close "median" 3.0 (Stats.percentile s 50.)
 
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  (* Insert out of order: percentile must sort, not trust arrival order. *)
+  List.iter (Stats.add s) [ 40.; 10.; 30.; 20. ];
+  close "p0 = min" 10. (Stats.percentile s 0.);
+  close "p100 = max" 40. (Stats.percentile s 100.);
+  close "nearest-rank p50" 20. (Stats.percentile s 50.);
+  close "interp p50 between ranks" 25. (Stats.percentile_interp s 50.);
+  close "interp p25" 17.5 (Stats.percentile_interp s 25.);
+  close "interp endpoints" 40. (Stats.percentile_interp s 100.);
+  (* The sorted cache must be invalidated by add: query, add a new
+     minimum, query again. *)
+  close "cached p100" 40. (Stats.percentile s 100.);
+  Stats.add s 5.;
+  close "p0 after add sees new sample" 5. (Stats.percentile s 0.);
+  close "interp p50 after add" 20. (Stats.percentile_interp s 50.)
+
 let test_stats_summary () =
   let s = Stats.create () in
   Stats.add s 10.;
@@ -105,6 +122,7 @@ let suite =
     ("rng: split independence", `Quick, test_rng_split_independent);
     QCheck_alcotest.to_alcotest qcheck_rng_bounds;
     ("stats: basic moments", `Quick, test_stats_basic);
+    ("stats: percentiles, interp + cache invalidation", `Quick, test_stats_percentiles);
     ("stats: summary", `Quick, test_stats_summary);
     ("histogram: counts/sort/merge", `Quick, test_histogram);
     ("table: rendering", `Quick, test_table_render);

@@ -156,6 +156,54 @@ let test_determinism () =
   let m1 = Toolchain.run_multiverse hx and m2 = Toolchain.run_multiverse hx in
   check_int "multiverse cycles identical" m1.Toolchain.rs_wall_cycles m2.Toolchain.rs_wall_cycles
 
+(* --- the open-loop fabric load generator --- *)
+
+let lg_small =
+  {
+    Loadgen.default_config with
+    Loadgen.lg_groups = 40;
+    lg_calls_per_group = 3;
+    lg_offered_cps = 40_000.0;
+  }
+
+let test_loadgen_smoke () =
+  (* Uncontended, admission off: every issued call completes, nothing is
+     dropped, and the latency recorder saw every completion. *)
+  let r = Loadgen.run lg_small in
+  check_int "issued" (40 * 3) r.Loadgen.r_issued;
+  check_int "completed = issued" r.Loadgen.r_issued r.Loadgen.r_completed;
+  check_int "dropped" 0 r.Loadgen.r_dropped;
+  check_bool "throughput positive" true (r.Loadgen.r_throughput_cps > 0.0);
+  check_bool "p50 <= p99" true (r.Loadgen.r_p50_us <= r.Loadgen.r_p99_us);
+  check_int "no sheds without admission" 0 r.Loadgen.r_sheds
+
+let test_loadgen_overload_sheds () =
+  (* Far past the knee with a starved token bucket: the admission gate
+     must shed, every issued call must still be accounted for (completed
+     or dropped), and the run must quiesce (Sim.run returning at all). *)
+  let ad = Mv_hvm.Fabric.make_admission ~rate:1e-6 ~burst:1 ~shed_retries:1 () in
+  let r =
+    Loadgen.run
+      {
+        lg_small with
+        Loadgen.lg_offered_cps = 4_000_000.0;
+        lg_admission = Some ad;
+      }
+  in
+  check_int "issued all accounted" r.Loadgen.r_issued
+    (r.Loadgen.r_completed + r.Loadgen.r_dropped);
+  check_bool "sheds occurred" true (r.Loadgen.r_sheds > 0);
+  check_bool "drops occurred" true (r.Loadgen.r_dropped > 0)
+
+let test_loadgen_bursty_deterministic () =
+  (* The generator is part of the simulation: identical configs agree on
+     every field, including the bursty schedule. *)
+  let cfg = { lg_small with Loadgen.lg_arrival = Loadgen.Bursty } in
+  let a = Loadgen.run cfg and b = Loadgen.run cfg in
+  check_int "completed identical" a.Loadgen.r_completed b.Loadgen.r_completed;
+  check_int "makespan identical" a.Loadgen.r_makespan b.Loadgen.r_makespan;
+  check_bool "p99 identical" true (a.Loadgen.r_p99_us = b.Loadgen.r_p99_us)
+
 let suite =
   [
     ("binary-tree-2: reference output", `Quick, test_binary_tree_output);
@@ -170,4 +218,7 @@ let suite =
     ("multiverse equivalence on benchmarks", `Slow, test_multiverse_equivalence_small);
     ("native <= virtual < multiverse (Fig 13)", `Quick, test_runtime_ordering);
     ("simulation is deterministic", `Quick, test_determinism);
+    ("loadgen: open-loop smoke, admission off", `Quick, test_loadgen_smoke);
+    ("loadgen: overload sheds, all calls accounted", `Quick, test_loadgen_overload_sheds);
+    ("loadgen: bursty schedule deterministic", `Quick, test_loadgen_bursty_deterministic);
   ]
