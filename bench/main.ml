@@ -5,6 +5,7 @@
 
    Run everything:       dune exec bench/main.exe
    Run one section:      dune exec bench/main.exe -- fig9 fig13
+   Parallel matrices:    dune exec bench/main.exe -- scale --jobs 4
    List sections:        dune exec bench/main.exe -- --list *)
 
 module H = Mv_util.Histogram
@@ -21,6 +22,14 @@ open Multiverse
 
 let section name = Printf.printf "\n======== %s ========\n%!" name
 let printf = Printf.printf
+
+(* --jobs N: fan independent whole-machine measurement cells out over
+   worker domains.  Every cell builds its own machine and returns a
+   value; results merge in submission order, so each table and every
+   BENCH_*.json number is bit-identical at any job count. *)
+let jobs = ref 1
+
+let par_map f xs = Mv_host_par.Pool.run ~jobs:!jobs (List.map (fun x () -> f x) xs)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: round-trip latencies of ROS<->HRT interactions            *)
@@ -245,8 +254,11 @@ let measure_syscall ~multiverse (name, setup, op) =
 
 let fig9 () =
   section "Figure 9: system-call latency (cycles), Virtual vs Multiverse";
+  (* One cell per syscall case (its Virtual and Multiverse runs).  The
+     "read" case's shared scratch buffer is safe: it is the only case
+     touching it, and a case's two runs stay within one cell. *)
   let results =
-    List.map
+    par_map
       (fun case ->
         let name, _, _ = case in
         let v = measure_syscall ~multiverse:false case in
@@ -311,8 +323,7 @@ let fig10 () =
           "Page Faults"; "Context Switches"; "TLB Hit %" ]
   in
   List.iter
-    (fun b ->
-      let rs = run_bench ~mode:`Native b in
+    (fun (b, rs) ->
       let ru = rs.Toolchain.rs_rusage in
       Table.add_row t
         [ b.Mv_workloads.Benchmarks.b_name;
@@ -325,7 +336,7 @@ let fig10 () =
           string_of_int (ru.Mv_ros.Rusage.nvcsw + ru.Mv_ros.Rusage.nivcsw);
           Printf.sprintf "%.1f" (100.0 *. Mv_ros.Rusage.tlb_hit_rate ru);
         ])
-    all_benchmarks;
+    (par_map (fun b -> (b, run_bench ~mode:`Native b)) all_benchmarks);
   print_string (Table.to_string t)
 
 let engine_startup_program =
@@ -357,12 +368,20 @@ let fig13 () =
       ~headers:
         [ "Benchmark"; "Native (s)"; "Virtual (s)"; "Multiverse (s)"; "M/N"; "interactions/s" ]
   in
-  let rows =
-    List.map
+  (* One cell per benchmark (its three mode runs); rows print after the
+     barrier, in benchmark order. *)
+  let measured =
+    par_map
       (fun b ->
         let rs_n = run_bench ~mode:`Native b in
         let rs_v = run_bench ~mode:`Virtual b in
         let rs_m = run_bench ~mode:`Multiverse b in
+        (b, rs_n, rs_v, rs_m))
+      all_benchmarks
+  in
+  let rows =
+    List.map
+      (fun (b, rs_n, rs_v, rs_m) ->
         let wn = Toolchain.wall_seconds rs_n in
         let wv = Toolchain.wall_seconds rs_v in
         let wm = Toolchain.wall_seconds rs_m in
@@ -381,7 +400,7 @@ let fig13 () =
             Printf.sprintf "%.0f" inter;
           ];
         (b.Mv_workloads.Benchmarks.b_name, wn, wv, wm))
-      all_benchmarks
+      measured
   in
   print_string (Table.to_string t);
   printf "\n(Multiverse is the unoptimized automatic hybridization: the overhead\n";
@@ -708,15 +727,34 @@ let measure_fabric () =
                  Fabric.local_hits fabric, Fabric.local_misses fabric )));
     (!elapsed, Option.get !counters)
   in
-  let unbatched_cycles, (_, transport_off, _, _, _, _, _) = run false in
-  let batched_cycles, (fcalls, transport_on, nriders, drains, drained, hits, misses) =
-    run true
+  (* The two timed A/B runs and the three RTT probes are five independent
+     machines; fan them out. *)
+  let cells =
+    [
+      (fun () -> `Timed (run false));
+      (fun () -> `Timed (run true));
+      (fun () -> `Rtt (measure_channel_rtt ~kind:Event_channel.Async ~ros_core:0 ~hrt_core:7));
+      (fun () -> `Rtt (measure_channel_rtt ~kind:Event_channel.Sync ~ros_core:0 ~hrt_core:7));
+      (fun () -> `Rtt (measure_channel_rtt ~kind:Event_channel.Sync ~ros_core:5 ~hrt_core:7));
+    ]
+  in
+  let ( unbatched_cycles,
+        (_, transport_off, _, _, _, _, _),
+        batched_cycles,
+        (fcalls, transport_on, nriders, drains, drained, hits, misses),
+        async_rtt,
+        sync_cross_rtt,
+        sync_same_rtt ) =
+    match par_map (fun f -> f ()) cells with
+    | [ `Timed (uc, co); `Timed (bc, cb); `Rtt a; `Rtt sc; `Rtt ss ] ->
+        (uc, co, bc, cb, a, sc, ss)
+    | _ -> assert false
   in
   let forwarded = groups * riders * calls in
   {
-    fm_async_rtt = measure_channel_rtt ~kind:Event_channel.Async ~ros_core:0 ~hrt_core:7;
-    fm_sync_cross_rtt = measure_channel_rtt ~kind:Event_channel.Sync ~ros_core:0 ~hrt_core:7;
-    fm_sync_same_rtt = measure_channel_rtt ~kind:Event_channel.Sync ~ros_core:5 ~hrt_core:7;
+    fm_async_rtt = async_rtt;
+    fm_sync_cross_rtt = sync_cross_rtt;
+    fm_sync_same_rtt = sync_same_rtt;
     fm_groups = groups;
     fm_riders = riders;
     fm_calls_per_rider = calls;
@@ -733,6 +771,10 @@ let measure_fabric () =
     fm_local_misses = misses;
     fm_fabric_calls = fcalls;
   }
+
+(* Memoized so `fabric --json` (text section + JSON writer in one
+   invocation) measures once. *)
+let fabric_metrics = lazy (measure_fabric ())
 
 let cycles_per_call m cycles = float_of_int cycles /. float_of_int m.fm_forwarded
 
@@ -751,7 +793,7 @@ let local_hit_rate m =
 
 let fabric_bench () =
   section "Fabric: batched vs unbatched forwarding (4 concurrent groups)";
-  let m = measure_fabric () in
+  let m = Lazy.force fabric_metrics in
   let t = Table.create ~headers:[ "Metric"; "Value" ] in
   let row name v = Table.add_row t [ name; v ] in
   row "async RTT (cycles)" (string_of_int m.fm_async_rtt);
@@ -776,7 +818,7 @@ let fabric_bench () =
 
 (* BENCH_fabric.json, via the shared Bench_report emitter. *)
 let write_fabric_json path =
-  let m = measure_fabric () in
+  let m = Lazy.force fabric_metrics in
   let open Bench_report in
   write ~path ~kind:"multiverse-fabric-bench"
     [
@@ -940,10 +982,26 @@ let measure_hh_sweep ~huge_pages =
   Sim.run machine.Machine.sim;
   Option.get !out
 
+(* The two workload sides and the two higher-half sweeps are four
+   independent machines; memoized so `mempath --json` measures once. *)
+let mempath_sides =
+  lazy
+    (match
+       par_map
+         (fun f -> f ())
+         [
+           (fun () -> `Side (measure_mempath_side ~huge_pages:true));
+           (fun () -> `Side (measure_mempath_side ~huge_pages:false));
+           (fun () -> `Hh (measure_hh_sweep ~huge_pages:true));
+           (fun () -> `Hh (measure_hh_sweep ~huge_pages:false));
+         ]
+     with
+    | [ `Side on; `Side off; `Hh hh_on; `Hh hh_off ] -> (on, off, hh_on, hh_off)
+    | _ -> assert false)
+
 let mempath () =
   section "Memory path: huge pages on vs off (binary-tree-2, Multiverse)";
-  let on = measure_mempath_side ~huge_pages:true in
-  let off = measure_mempath_side ~huge_pages:false in
+  let on, off, hh_on, hh_off = Lazy.force mempath_sides in
   let t = Table.create ~headers:[ "Metric"; "Huge on"; "Huge off" ] in
   let row name f = Table.add_row t [ name; f on; f off ] in
   row "wall (cycles)" (fun s -> string_of_int s.ms_wall);
@@ -963,8 +1021,6 @@ let mempath () =
   print_string (Table.to_string t);
   printf "memory-path reduction: %.1f%% (acceptance: >= 30%%)\n"
     (mempath_reduction_pct ~on ~off);
-  let hh_on = measure_hh_sweep ~huge_pages:true in
-  let hh_off = measure_hh_sweep ~huge_pages:false in
   let t2 = Table.create ~headers:[ "Higher-half sweep"; "Huge on"; "Huge off" ] in
   let row2 name f = Table.add_row t2 [ name; f hh_on; f hh_off ] in
   row2 "accesses" (fun s -> string_of_int s.hh_accesses);
@@ -975,10 +1031,7 @@ let mempath () =
 
 (* BENCH_mempath.json, via the shared Bench_report emitter. *)
 let write_mempath_json path =
-  let on = measure_mempath_side ~huge_pages:true in
-  let off = measure_mempath_side ~huge_pages:false in
-  let hh_on = measure_hh_sweep ~huge_pages:true in
-  let hh_off = measure_hh_sweep ~huge_pages:false in
+  let on, off, hh_on, hh_off = Lazy.force mempath_sides in
   let open Bench_report in
   let side s =
     Obj
@@ -1057,15 +1110,29 @@ let measure_scale () =
       lg_arrival = Loadgen.Poisson;
     }
   in
-  List.map
-    (fun cps ->
-      let off = Loadgen.run { base with Loadgen.lg_offered_cps = cps } in
-      let on =
-        Loadgen.run
-          { base with Loadgen.lg_offered_cps = cps; lg_admission = Some (scale_admission ()) }
-      in
-      { sp_offered = cps; sp_off = off; sp_on = on })
-    scale_offered
+  (* offered x {off,on}: every cell is an independent load-generator run,
+     so the whole matrix fans out. *)
+  let cells =
+    List.concat_map (fun cps -> [ (cps, false); (cps, true) ]) scale_offered
+  in
+  let results =
+    par_map
+      (fun (cps, admit) ->
+        let cfg =
+          if admit then
+            { base with Loadgen.lg_offered_cps = cps; lg_admission = Some (scale_admission ()) }
+          else { base with Loadgen.lg_offered_cps = cps }
+        in
+        Loadgen.run cfg)
+      cells
+  in
+  let rec pair = function
+    | off :: on :: rest -> (off, on) :: pair rest
+    | _ -> []
+  in
+  List.map2
+    (fun cps (off, on) -> { sp_offered = cps; sp_off = off; sp_on = on })
+    scale_offered (pair results)
 
 (* Memoized so `scale --json` (text section + JSON writer in one
    invocation) sweeps once. *)
@@ -1239,6 +1306,20 @@ let () =
      --json writes both and skips the text sections. *)
   let json = List.mem "--json" args in
   let args = List.filter (fun a -> a <> "--json") args in
+  (* --jobs N: worker domains for the measurement matrices.  Output is
+     identical at any N. *)
+  let rec take_jobs acc = function
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ ->
+            prerr_endline ("bench: bad --jobs " ^ n);
+            exit 2);
+        take_jobs acc rest
+    | a :: rest -> take_jobs (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = take_jobs [] args in
   let wants name = args = [] || List.mem name args in
   (match args with
   | [ "--list" ] -> List.iter (fun (name, _) -> printf "%s\n" name) sections

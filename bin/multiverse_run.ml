@@ -17,23 +17,24 @@ let parse_fault_sites spec =
   | Ok sites -> sites
   | Error msg -> failwith msg
 
+let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages =
+  {
+    Toolchain.mv_channel =
+      (if sync_channel then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
+    mv_symbol_cache = symbol_cache;
+    mv_porting =
+      (match porting with
+      | "none" -> Runtime.no_porting
+      | "mmap" -> { Runtime.port_mmap = true; port_signals = false; port_faults = false }
+      | "faults" -> { Runtime.port_mmap = true; port_signals = false; port_faults = true }
+      | "full" -> Runtime.full_porting
+      | other -> failwith ("unknown porting level: " ^ other));
+    mv_faults = faults;
+    mv_huge_pages = huge_pages;
+  }
+
 let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog =
-  let options =
-    {
-      Toolchain.mv_channel =
-        (if sync_channel then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
-      mv_symbol_cache = symbol_cache;
-      mv_porting =
-        (match porting with
-        | "none" -> Runtime.no_porting
-        | "mmap" -> { Runtime.port_mmap = true; port_signals = false; port_faults = false }
-        | "faults" -> { Runtime.port_mmap = true; port_signals = false; port_faults = true }
-        | "full" -> Runtime.full_porting
-        | other -> failwith ("unknown porting level: " ^ other));
-      mv_faults = faults;
-      mv_huge_pages = huge_pages;
-    }
-  in
+  let options = options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages in
   (* A fault run keeps the trace on so the injected faults and the
      resilience reactions can be shown afterwards. *)
   let trace = Fault_plan.enabled faults in
@@ -89,6 +90,77 @@ let usage_error msg =
   prerr_endline ("multiverse_run: " ^ msg);
   2
 
+(* --fault-sweep: the same program under fault seeds 1..N, one fresh
+   machine per seed, optionally fanned out over worker domains.  Cells
+   are domain-confined (each hybridizes its own copy) and return rows;
+   all printing happens afterwards in seed order, so the report is
+   identical at any --jobs. *)
+type sweep_row = {
+  sw_seed : int;
+  sw_exit : int;
+  sw_injected : int;
+  sw_retries : int;
+  sw_fallbacks : int;
+  sw_respawns : int;
+  sw_reroutes : int;
+  sw_wall : float;
+}
+
+let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~rate ~sites ~sweep
+    ~jobs prog =
+  let cell seed =
+    let faults = Fault_plan.create ~seed ~rate ~sites () in
+    let options = options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages in
+    let rs = Toolchain.run_multiverse ~options (Toolchain.hybridize prog) in
+    let retries, fallbacks, respawns, reroutes =
+      match rs.Toolchain.rs_runtime with
+      | Some rt ->
+          (Runtime.retries rt, Runtime.fallbacks rt, Runtime.respawns rt, Runtime.reroutes rt)
+      | None -> (0, 0, 0, 0)
+    in
+    {
+      sw_seed = seed;
+      sw_exit = rs.Toolchain.rs_exit_code;
+      sw_injected = Fault_plan.injected faults;
+      sw_retries = retries;
+      sw_fallbacks = fallbacks;
+      sw_respawns = respawns;
+      sw_reroutes = reroutes;
+      sw_wall = Toolchain.wall_seconds rs;
+    }
+  in
+  let rows =
+    Mv_host_par.Pool.run ~jobs (List.init sweep (fun i () -> cell (i + 1)))
+  in
+  Printf.printf "[fault-sweep] %d seeds | rate %.3f | sites %s\n" sweep rate
+    (Fault_plan.sites_to_string sites);
+  Printf.printf "%6s %6s %9s %8s %10s %9s %9s %10s\n" "seed" "exit" "injected" "retries"
+    "fallbacks" "respawns" "reroutes" "wall(s)";
+  List.iter
+    (fun r ->
+      Printf.printf "%6d %6d %9d %8d %10d %9d %9d %10.4f\n" r.sw_seed r.sw_exit
+        r.sw_injected r.sw_retries r.sw_fallbacks r.sw_respawns r.sw_reroutes r.sw_wall)
+    rows;
+  let tot f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let failures = List.filter (fun r -> r.sw_exit <> 0) rows in
+  Printf.printf
+    "[fault-sweep] injected %d | retries %d | fallbacks %d | respawns %d | reroutes %d | \
+     survived %d/%d\n"
+    (tot (fun r -> r.sw_injected))
+    (tot (fun r -> r.sw_retries))
+    (tot (fun r -> r.sw_fallbacks))
+    (tot (fun r -> r.sw_respawns))
+    (tot (fun r -> r.sw_reroutes))
+    (sweep - List.length failures)
+    sweep;
+  if failures = [] then 0
+  else begin
+    Printf.eprintf "multiverse_run: fault sweep: %d of %d seeds exited nonzero (first: seed %d)\n"
+      (List.length failures) sweep
+      (List.hd failures).sw_seed;
+    1
+  end
+
 (* --groups: the open-loop scale mode (no program; the load generator
    drives the fabric directly). *)
 let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel =
@@ -135,9 +207,52 @@ let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel =
         r.r_ring_hw r.r_sheds r.r_shed_retries r.r_blocked r.r_shed_flips r.r_shed_restores;
       0
 
+let prog_of ~bench ~file ~n =
+  match (bench, file) with
+  | Some name, _ -> (
+      match Mv_workloads.Benchmarks.find name with
+      | b ->
+          let n = match n with Some n -> n | None -> b.Mv_workloads.Benchmarks.b_test_n in
+          Ok (Mv_workloads.Benchmarks.program b ~n)
+      | exception Not_found -> Error ("unknown benchmark " ^ name))
+  | None, Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      Ok
+        {
+          Toolchain.prog_name = Filename.basename path;
+          prog_main =
+            (fun env ->
+              let engine = Mv_racket.Engine.start env in
+              Mv_racket.Engine.run_program engine src);
+        }
+  | None, None -> Error "pass --bench NAME or --file PROG.scm (or --list)"
+
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
-    groups arrival offered_load admission no_huge_pages stats quiet list_benches =
+    fault_sweep jobs groups arrival offered_load admission no_huge_pages stats quiet
+    list_benches =
   let huge_pages = not no_huge_pages in
+  match fault_sweep with
+  | Some sweep ->
+      if fault_seed <> None then usage_error "--fault-sweep is incompatible with --fault-seed"
+      else if groups <> None then usage_error "--fault-sweep is incompatible with --groups"
+      else if mode <> "multiverse" then usage_error "--fault-sweep requires --mode multiverse"
+      else if sweep < 1 then usage_error "--fault-sweep must be at least 1"
+      else if jobs < 1 then usage_error "--jobs must be at least 1"
+      else (
+        match Fault_plan.sites_of_string fault_sites with
+        | Error msg -> usage_error msg
+        | Ok sites -> (
+            match prog_of ~bench ~file ~n with
+            | Error msg -> usage_error msg
+            | Ok prog ->
+                run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages
+                  ~rate:fault_rate ~sites ~sweep ~jobs prog))
+  | None ->
+  if jobs <> 1 then usage_error "--jobs has no effect without --fault-sweep"
+  else
   match
     match fault_seed with
     | Some seed -> (
@@ -171,32 +286,12 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
     0
   end
   else
-    match (bench, file) with
-    | Some name, _ -> (
-        match Mv_workloads.Benchmarks.find name with
-        | b ->
-            let n = match n with Some n -> n | None -> b.Mv_workloads.Benchmarks.b_test_n in
-            run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet
-              (Mv_workloads.Benchmarks.program b ~n);
-            0
-        | exception Not_found -> usage_error ("unknown benchmark " ^ name))
-    | None, Some path ->
-        let ic = open_in path in
-        let len = in_channel_length ic in
-        let src = really_input_string ic len in
-        close_in ic;
-        let prog =
-          {
-            Toolchain.prog_name = Filename.basename path;
-            prog_main =
-              (fun env ->
-                let engine = Mv_racket.Engine.start env in
-                Mv_racket.Engine.run_program engine src);
-          }
-        in
-        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog;
-        0
-    | None, None -> usage_error "pass --bench NAME or --file PROG.scm (or --list)")
+    match prog_of ~bench ~file ~n with
+    | Error msg -> usage_error msg
+    | Ok prog ->
+        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet
+          prog;
+        0)
 
 let () =
   let open Args in
@@ -221,6 +316,15 @@ let () =
           "Comma-separated fault sites to arm, or 'all': chan-drop, chan-delay, \
            chan-dup, chan-corrupt, partner-kill, boot-stall, syscall-eagain, \
            syscall-enosys."
+    $ opt_opt int ~names:[ "fault-sweep" ] ~docv:"N"
+        ~doc:
+          "Run the program once per fault seed 1..N (multiverse only; uses \
+           --fault-rate/--fault-sites) and report a per-seed resilience matrix. \
+           Exits nonzero if any seed's run fails."
+    $ opt int ~default:1 ~names:[ "jobs"; "j" ] ~docv:"M"
+        ~doc:
+          "Worker domains for --fault-sweep (default 1 = sequential). The \
+           report is identical at any M."
     $ opt_opt int ~names:[ "groups"; "g" ] ~docv:"N"
         ~doc:
           "Scale mode: drive N execution groups (1-100000) with the open-loop \

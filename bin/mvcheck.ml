@@ -34,8 +34,12 @@ let save_artifact path cx =
 
 (* A scenario "behaves" when exploration finds a bug iff one is seeded.
    The process exits 0 only if every selected scenario behaves. *)
-let run_scenario ~seeds ~shrink_budget ~out sc =
-  let r = Explore.explore ~seeds ~shrink_budget sc in
+let run_scenario ~pool ~seeds ~shrink_budget ~out sc =
+  let r =
+    match pool with
+    | None -> Explore.explore ~seeds ~shrink_budget sc
+    | Some pool -> Explore.explore_par ~pool ~seeds ~shrink_budget sc
+  in
   match (r.Explore.ex_counterexample, sc.Scenario.sc_expect_bug) with
   | Some cx, expected ->
       Printf.printf "%s: FAILURE after %d runs%s\n" sc.Scenario.sc_name
@@ -53,7 +57,7 @@ let run_scenario ~seeds ~shrink_budget ~out sc =
         r.Explore.ex_runs;
       true
 
-let run_scenarios name seeds shrink_budget out =
+let run_scenarios name seeds shrink_budget jobs out =
   let selected =
     match Option.value name ~default:"all" with
     | "all" -> Ok Scenarios.all_scenarios
@@ -68,11 +72,22 @@ let run_scenarios name seeds shrink_budget out =
   | Error msg ->
       prerr_endline ("mvcheck run: " ^ msg);
       2
+  | Ok scenarios when jobs < 1 ->
+      Printf.eprintf "mvcheck run: --jobs %d: need at least 1\n" jobs;
+      ignore scenarios;
+      2
   | Ok scenarios ->
-      let ok =
-        List.for_all (run_scenario ~seeds ~shrink_budget ~out) scenarios
+      let pool = if jobs > 1 then Some (Mv_host_par.Pool.create ~jobs) else None in
+      let verdicts =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Mv_host_par.Pool.shutdown pool)
+          (fun () ->
+            (* Every scenario runs and reports, even after a failure:
+               List.for_all would short-circuit and both truncate the
+               report and let a late failure decide the exit code alone. *)
+            List.map (run_scenario ~pool ~seeds ~shrink_budget ~out) scenarios)
       in
-      if ok then 0
+      if List.for_all Fun.id verdicts then 0
       else begin
         prerr_endline "mvcheck run: scenario check failed";
         1
@@ -125,6 +140,10 @@ let () =
           ~doc:"Random schedule seeds to sweep per fault shape."
       $ opt int ~default:300 ~names:[ "shrink-budget" ] ~docv:"N"
           ~doc:"Max extra runs spent shrinking a failing trace."
+      $ opt int ~default:1 ~names:[ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the schedule sweep (default 1 = sequential). \
+             Verdicts, counterexamples and run counts are identical at any N."
       $ opt_opt string ~names:[ "out"; "o" ] ~docv:"FILE"
           ~doc:"Write the counterexample artifact to FILE.")
       (fun code -> code)

@@ -82,69 +82,101 @@ let shrink sc ~fc ~budget trace =
 
 (* --- the sweep --- *)
 
-exception Found of counterexample
-
-let explore ?(seeds = 20) ?(shrink_budget = 300) sc =
-  let runs = ref 0 in
-  let attempt spec fc =
-    incr runs;
-    run_once sc ~spec ~fc
-  in
-  let investigate ~spec ~fc ~msg ~recorded =
-    (* Confirm determinism: replaying the recorded trace must reproduce
-       the identical failure and make the identical decisions. *)
-    let confirmed =
-      match attempt (Strategy.Replay recorded) fc with
-      | Fail msg', recorded' -> msg' = msg && recorded' = recorded
-      | Pass, _ -> false
-    in
-    let trace, spent =
-      if confirmed then shrink sc ~fc ~budget:shrink_budget recorded
-      else (strip_trailing_zeros recorded, 0)
-    in
-    runs := !runs + spent;
-    (* The shrunk trace's own message is what the artifact reports. *)
-    let msg =
-      if trace = strip_trailing_zeros recorded then msg
-      else
-        match attempt (Strategy.Replay trace) fc with
-        | Fail m, _ -> m
-        | Pass, _ -> msg
-    in
-    raise
-      (Found
-         {
-           cx_scenario = sc.sc_name;
-           cx_found_by = Strategy.spec_to_string spec;
-           cx_trace = trace;
-           cx_fault = fc;
-           cx_message = msg;
-           cx_confirmed = confirmed;
-         })
-  in
-  let try_config spec fc =
-    match attempt spec fc with
-    | Pass, _ -> ()
-    | Fail msg, recorded -> investigate ~spec ~fc ~msg ~recorded
-  in
+(* The full attempt schedule, materialized so the sequential and parallel
+   sweeps walk the exact same (strategy, fault-config) order: the FIFO
+   baseline (fault-free and under each fault shape — bugs reachable
+   without randomness shrink to trace []), then each random seed under
+   the same configs instantiated with that seed. *)
+let attempts ?(seeds = 20) sc =
   let configs_for seed =
     no_faults
     :: List.map
          (fun fs -> { fc_seed = seed; fc_rate = fs.fs_rate; fc_sites = fs.fs_sites })
          sc.sc_fault_specs
   in
-  let cx =
-    try
-      (* Baseline: the default schedule, fault-free and under each fault
-         shape — bugs reachable without randomness shrink to trace []. *)
-      List.iter (fun fc -> try_config Strategy.Fifo fc) (configs_for 1);
-      for seed = 1 to seeds do
-        List.iter (fun fc -> try_config (Strategy.Random seed) fc) (configs_for seed)
-      done;
-      None
-    with Found cx -> Some cx
+  let baseline = List.map (fun fc -> (Strategy.Fifo, fc)) (configs_for 1) in
+  let random =
+    List.concat_map
+      (fun seed -> List.map (fun fc -> (Strategy.Random seed, fc)) (configs_for seed))
+      (List.init seeds (fun i -> i + 1))
   in
-  { ex_scenario = sc.sc_name; ex_runs = !runs; ex_counterexample = cx }
+  Array.of_list (baseline @ random)
+
+(* Once a failing attempt is in hand, the investigation is strictly
+   sequential (confirm, shrink, re-message) whichever sweep found it;
+   [runs] already counts the attempts spent reaching the failure. *)
+let investigate sc ~shrink_budget ~runs ~spec ~fc ~msg ~recorded =
+  let attempt spec fc =
+    incr runs;
+    run_once sc ~spec ~fc
+  in
+  (* Confirm determinism: replaying the recorded trace must reproduce
+     the identical failure and make the identical decisions. *)
+  let confirmed =
+    match attempt (Strategy.Replay recorded) fc with
+    | Fail msg', recorded' -> msg' = msg && recorded' = recorded
+    | Pass, _ -> false
+  in
+  let trace, spent =
+    if confirmed then shrink sc ~fc ~budget:shrink_budget recorded
+    else (strip_trailing_zeros recorded, 0)
+  in
+  runs := !runs + spent;
+  (* The shrunk trace's own message is what the artifact reports. *)
+  let msg =
+    if trace = strip_trailing_zeros recorded then msg
+    else
+      match attempt (Strategy.Replay trace) fc with
+      | Fail m, _ -> m
+      | Pass, _ -> msg
+  in
+  {
+    cx_scenario = sc.sc_name;
+    cx_found_by = Strategy.spec_to_string spec;
+    cx_trace = trace;
+    cx_fault = fc;
+    cx_message = msg;
+    cx_confirmed = confirmed;
+  }
+
+let explore ?(seeds = 20) ?(shrink_budget = 300) sc =
+  let atts = attempts ~seeds sc in
+  let runs = ref 0 in
+  let cx = ref None in
+  (try
+     Array.iter
+       (fun (spec, fc) ->
+         incr runs;
+         match run_once sc ~spec ~fc with
+         | Pass, _ -> ()
+         | Fail msg, recorded ->
+             cx := Some (investigate sc ~shrink_budget ~runs ~spec ~fc ~msg ~recorded);
+             raise Exit)
+       atts
+   with Exit -> ());
+  { ex_scenario = sc.sc_name; ex_runs = !runs; ex_counterexample = !cx }
+
+let explore_par ~pool ?(seeds = 20) ?(shrink_budget = 300) sc =
+  let atts = attempts ~seeds sc in
+  let hit =
+    Mv_host_par.Pool.find_first pool
+      (fun (spec, fc) ->
+        match run_once sc ~spec ~fc with
+        | Fail msg, recorded -> Some (msg, recorded)
+        | Pass, _ -> None)
+      atts
+  in
+  match hit with
+  | None ->
+      { ex_scenario = sc.sc_name; ex_runs = Array.length atts; ex_counterexample = None }
+  | Some (idx, (msg, recorded)) ->
+      let spec, fc = atts.(idx) in
+      (* [find_first] guarantees every attempt below [idx] ran (and
+         passed), so counting them plus this one reproduces the
+         sequential [ex_runs] exactly. *)
+      let runs = ref (idx + 1) in
+      let cx = investigate sc ~shrink_budget ~runs ~spec ~fc ~msg ~recorded in
+      { ex_scenario = sc.sc_name; ex_runs = !runs; ex_counterexample = Some cx }
 
 let replay sc cx = run_once sc ~spec:(Strategy.Replay cx.cx_trace) ~fc:cx.cx_fault
 

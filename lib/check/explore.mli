@@ -45,12 +45,28 @@ type result = {
   ex_counterexample : counterexample option;
 }
 
+val attempts : ?seeds:int -> Scenario.t -> (Strategy.spec * fault_config) array
+(** The full attempt schedule of a sweep, in sweep order: FIFO under each
+    fault config (seed 1), then for each seed in [1..seeds], [Random seed]
+    under no faults and under each of the scenario's
+    {!Scenario.fault_spec}s (instantiated with the same seed).  Both
+    {!explore} and {!explore_par} walk exactly this array, which is what
+    makes their verdicts comparable. *)
+
 val explore : ?seeds:int -> ?shrink_budget:int -> Scenario.t -> result
-(** Sweep: FIFO/no-fault baseline, then for each seed in [1..seeds] run
-    [Random seed] under no faults and under each of the scenario's
-    {!Scenario.fault_spec}s (instantiated with the same seed).  The first
-    failure is confirmed by replay, shrunk (at most [shrink_budget] extra
-    runs), and returned.  Defaults: [seeds = 20], [shrink_budget = 300]. *)
+(** Sweep {!attempts} in order.  The first failure is confirmed by
+    replay, shrunk (at most [shrink_budget] extra runs), and returned.
+    Defaults: [seeds = 20], [shrink_budget = 300]. *)
+
+val explore_par :
+  pool:Mv_host_par.Pool.t -> ?seeds:int -> ?shrink_budget:int -> Scenario.t -> result
+(** {!explore} with the attempt sweep fanned out over a host pool.
+    Deterministic: the winning attempt is the {e lowest-index} failing
+    entry of {!attempts} (completion order is unobservable), and
+    confirmation + shrinking stay sequential on the winning trace, so the
+    result — verdict, counterexample, [ex_runs] — equals the sequential
+    {!explore}'s whenever every attempt below the winner passes (which
+    {!Mv_host_par.Pool.find_first} guarantees by running them all). *)
 
 val shrink :
   Scenario.t -> fc:fault_config -> budget:int -> int list -> int list * int

@@ -1,0 +1,159 @@
+(* A fixed-size domain pool over one shared FIFO of tasks.
+
+   Tasks here are whole simulation runs (milliseconds each), so a single
+   mutex-protected queue is nowhere near contended; what matters is the
+   merge discipline: every batch writes results into a slot array indexed
+   by submission order, and the submitter only reads it back after the
+   batch barrier, so completion order is unobservable. *)
+
+type task = unit -> unit
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;  (* task queued, or stopping *)
+  queue : task Queue.t;
+  n_jobs : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let jobs t = t.n_jobs
+
+let rec worker t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    task ();
+    worker t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      n_jobs = jobs;
+      stopping = false;
+      domains = [||];
+    }
+  in
+  if jobs > 1 then t.domains <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+(* One batch: a completion latch the submitter parks on.  Result slots are
+   plain array stores (distinct indices, no tearing on boxed values); the
+   latch mutex orders them before the submitter's reads. *)
+type batch = { bm : Mutex.t; done_ : Condition.t; mutable left : int }
+
+let submit t tasks =
+  let n = Array.length tasks in
+  let batch = { bm = Mutex.create (); done_ = Condition.create (); left = n } in
+  let wrap task () =
+    task ();
+    Mutex.lock batch.bm;
+    batch.left <- batch.left - 1;
+    if batch.left = 0 then Condition.signal batch.done_;
+    Mutex.unlock batch.bm
+  in
+  Mutex.lock t.m;
+  if t.stopping then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool: already shut down"
+  end;
+  Array.iter (fun task -> Queue.add (wrap task) t.queue) tasks;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Mutex.lock batch.bm;
+  while batch.left > 0 do
+    Condition.wait batch.done_ batch.bm
+  done;
+  Mutex.unlock batch.bm
+
+(* Re-raise the lowest-index failure so the caller sees the same error the
+   sequential left-to-right loop would have seen first. *)
+let reraise_first results =
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.n_jobs = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    submit t
+      (Array.init n (fun i () ->
+           let r =
+             try Ok (f xs.(i))
+             with e -> Error (e, Printexc.get_raw_backtrace ())
+           in
+           results.(i) <- Some r));
+    reraise_first results;
+    Array.map
+      (function Some (Ok r) -> r | Some (Error _) | None -> assert false)
+      results
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let rec atomic_min a i =
+  let cur = Atomic.get a in
+  if i < cur && not (Atomic.compare_and_set a cur i) then atomic_min a i
+
+let find_first t f xs =
+  let n = Array.length xs in
+  if t.n_jobs = 1 then begin
+    let rec go i =
+      if i >= n then None
+      else match f xs.(i) with Some r -> Some (i, r) | None -> go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let best = Atomic.make max_int in
+    let hits = Array.make n None in
+    let errors = Array.make n None in
+    submit t
+      (Array.init n (fun i () ->
+           (* Skipping is sound: [best] only decreases, so a task skipped at
+              index [i] can never have been the winner. *)
+           if Atomic.get best > i then
+             match f xs.(i) with
+             | Some r ->
+                 hits.(i) <- Some r;
+                 atomic_min best i
+             | None -> ()
+             | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())));
+    let b = Atomic.get best in
+    (* An error below the winning index would have decided a sequential
+       sweep; surface it rather than a possibly-wrong winner. *)
+    Array.iteri
+      (fun i err ->
+        match err with
+        | Some (e, bt) when i < b -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      errors;
+    if b = max_int then None else Some (b, Option.get hits.(b))
+  end
+
+let run ~jobs thunks =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map_list t (fun f -> f ()) thunks)

@@ -28,13 +28,16 @@ and slot = Empty | Table of node | Page of pte
 
 type t = { id : int; pml4 : node; mutable lower_gen : int }
 
-let next_id = ref 0
+(* Process-wide allocator so concurrent machines on different domains
+   never mint the same id.  Ids are compared only for equality (cr3 tags,
+   shadow-root membership) and never rendered into traces or metrics, so
+   the values themselves carry no determinism obligation. *)
+let next_id = Atomic.make 0
 
 let fresh_node () = { slots = Array.make 512 Empty }
 
 let create () =
-  incr next_id;
-  { id = !next_id; pml4 = fresh_node (); lower_gen = 0 }
+  { id = 1 + Atomic.fetch_and_add next_id 1; pml4 = fresh_node (); lower_gen = 0 }
 
 let id t = t.id
 

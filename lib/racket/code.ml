@@ -184,6 +184,7 @@ type cstate = {
   mutable ncodes : int;
   mutable constants : Value.v array;
   mutable nconstants : int;
+  mutable gensym : int;
 }
 
 let make_cstate gc =
@@ -198,6 +199,7 @@ let make_cstate gc =
     ncodes = 0;
     constants = Array.make 64 Value.vundef;
     nconstants = 0;
+    gensym = 0;
   }
 
 let intern cs name =

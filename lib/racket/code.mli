@@ -77,6 +77,10 @@ type cstate = {
   mutable ncodes : int;
   mutable constants : Value.v array;
   mutable nconstants : int;
+  mutable gensym : int;
+      (** compiler temporary-name counter — per-unit so concurrent
+          compilations on different domains stay independent and every
+          run names its temporaries identically *)
 }
 
 val make_cstate : Sgc.t -> cstate

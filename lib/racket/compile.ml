@@ -26,11 +26,11 @@ let finish e = Array.sub e.arr 0 e.n
 
 (* --- desugaring helpers --- *)
 
-let gensym_counter = ref 0
-
-let gensym prefix =
-  incr gensym_counter;
-  Printf.sprintf " %s%d" prefix !gensym_counter  (* leading space: unreadable *)
+(* Counter lives in the compilation unit, not the process: concurrent
+   compilations on other domains don't perturb the names here. *)
+let gensym cs prefix =
+  cs.gensym <- cs.gensym + 1;
+  Printf.sprintf " %s%d" prefix cs.gensym  (* leading space: unreadable *)
 
 let sym s = Sexp.Atom_sym s
 let slist l = Sexp.List l
@@ -313,7 +313,7 @@ and compile_special cs cenv e x ~tail =
       | [] -> ignore (emit e (Imm Value.vfalse))
       | [ last ] -> compile_expr cs cenv e last ~tail
       | first :: rest ->
-          let t = gensym "or" in
+          let t = gensym cs "or" in
           let expansion =
             slist
               [ sym "let";
@@ -341,7 +341,7 @@ and compile_special cs cenv e x ~tail =
       in
       compile_expr cs cenv e (expand clauses) ~tail
   | Sexp.List (Sexp.Atom_sym "case" :: key :: clauses) ->
-      let t = gensym "case" in
+      let t = gensym cs "case" in
       let rec expand = function
         | [] -> slist [ sym "void" ]
         | Sexp.List (Sexp.Atom_sym "else" :: body) :: _ -> slist (sym "begin" :: body)
@@ -361,7 +361,7 @@ and compile_special cs cenv e x ~tail =
   | Sexp.List (Sexp.Atom_sym "do" :: Sexp.List specs :: Sexp.List (test :: result) :: body)
     ->
       (* (do ((v init step)...) (test result...) body...) *)
-      let loop = gensym "do" in
+      let loop = gensym cs "do" in
       let vars, inits, steps =
         List.fold_right
           (fun spec (vs, is, ss) ->

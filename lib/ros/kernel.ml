@@ -22,12 +22,13 @@ type t = {
   futexes : (int * int, (unit -> unit) Queue.t) Hashtbl.t;
   ros_cores : int array;  (* cached for the O(1) round-robin picker *)
   mutable rr_next : int;
+  sys_depth : (int, int) Hashtbl.t;
+      (* Attribution of charged cycles: by default cycles are user time;
+         inside an [in_sys] window they are system time.  The window depth
+         is tracked per thread id — per kernel, since tids restart from the
+         same base in every machine and concurrent machines must not see
+         each other's windows. *)
 }
-
-(* Attribution of charged cycles: by default cycles are user time; inside
-   an [in_sys] window they are system time.  The window depth is tracked
-   per thread id. *)
-let sys_depth : (int, int) Hashtbl.t = Hashtbl.create 64
 
 let create ?(virtualized = false) machine =
   let t =
@@ -46,6 +47,7 @@ let create ?(virtualized = false) machine =
       futexes = Hashtbl.create 32;
       ros_cores = Array.of_list (Topology.ros_cores machine.Machine.topo);
       rr_next = 0;
+      sys_depth = Hashtbl.create 64;
     }
   in
   Exec.set_charge_hook machine.Machine.exec (fun th c ->
@@ -54,7 +56,7 @@ let create ?(virtualized = false) machine =
       | Some task ->
           let ru = task.tk_proc.Process.rusage in
           let depth =
-            match Hashtbl.find_opt sys_depth (Exec.tid th) with Some d -> d | None -> 0
+            match Hashtbl.find_opt t.sys_depth (Exec.tid th) with Some d -> d | None -> 0
           in
           if depth > 0 then ru.Rusage.stime <- ru.Rusage.stime + c
           else ru.Rusage.utime <- ru.Rusage.utime + c);
@@ -71,12 +73,12 @@ let charge_user t c = Machine.charge t.machine c
 let in_sys t f =
   let th = Exec.self t.machine.Machine.exec in
   let tid = Exec.tid th in
-  let d = match Hashtbl.find_opt sys_depth tid with Some d -> d | None -> 0 in
-  Hashtbl.replace sys_depth tid (d + 1);
+  let d = match Hashtbl.find_opt t.sys_depth tid with Some d -> d | None -> 0 in
+  Hashtbl.replace t.sys_depth tid (d + 1);
   Fun.protect
     ~finally:(fun () ->
-      let d = match Hashtbl.find_opt sys_depth tid with Some d -> d | None -> 1 in
-      Hashtbl.replace sys_depth tid (d - 1))
+      let d = match Hashtbl.find_opt t.sys_depth tid with Some d -> d | None -> 1 in
+      Hashtbl.replace t.sys_depth tid (d - 1))
     f
 
 let count_syscall _t p name = Mv_util.Histogram.incr p.Process.syscall_counts name

@@ -29,6 +29,10 @@ type t = {
       (** waiters keyed by (pid, futex word address) *)
   ros_cores : int array;  (** cached topology for the O(1) core picker *)
   mutable rr_next : int;  (** round-robin cursor for thread placement *)
+  sys_depth : (int, int) Hashtbl.t;
+      (** per-tid [in_sys] nesting depth for user/system time attribution —
+          per kernel so concurrent machines (whose tids coincide) stay
+          independent *)
 }
 
 val create : ?virtualized:bool -> Mv_engine.Machine.t -> t

@@ -17,6 +17,14 @@ let split t =
   let seed64 = next_int64 t in
   { state = seed64 }
 
+let substream t index =
+  if index < 0 then invalid_arg "Rng.substream: negative index";
+  (* A read-only derivation: perturb the current state by an odd constant
+     times (index+1) and push it through the mix64 bijection.  Distinct
+     indices land in distinct states, and the parent stream is untouched,
+     so concurrent runs can each take substream i of one root generator. *)
+  { state = mix64 (Int64.add t.state (Int64.mul (Int64.of_int (index + 1)) 0xD1B54A32D192ED03L)) }
+
 let next t =
   (* Mask to 62 bits so the result is a non-negative OCaml int. *)
   Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL)

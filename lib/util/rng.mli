@@ -14,6 +14,13 @@ val split : t -> t
 (** [split t] is a new generator statistically independent of [t]'s
     subsequent output.  Advances [t]. *)
 
+val substream : t -> int -> t
+(** [substream t i] is the [i]th derived generator of [t]'s current state
+    ([i >= 0]).  Unlike {!split} it does {e not} advance [t], and distinct
+    indices yield independent streams, so a parallel sweep can hand
+    substream [i] to task [i] without any cross-task ordering.  Raises
+    [Invalid_argument] on a negative index. *)
+
 val next : t -> int
 (** [next t] is a uniformly distributed non-negative 62-bit integer. *)
 

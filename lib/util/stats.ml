@@ -28,6 +28,17 @@ let add t x =
   if x < t.lo then t.lo <- x;
   if x > t.hi then t.hi <- x
 
+let merge_into dst src =
+  (* rev_append keeps this O(|src|); sample order is irrelevant because
+     every consumer reduces (mean/extrema) or sorts (percentiles). *)
+  dst.samples <- List.rev_append src.samples dst.samples;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  dst.sum_sq <- dst.sum_sq +. src.sum_sq;
+  dst.sorted <- None;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi
+
 let count t = t.n
 let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
 

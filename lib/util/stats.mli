@@ -8,6 +8,14 @@ type t
 
 val create : unit -> t
 val add : t -> float -> unit
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src]'s samples into [dst], as if every
+    sample had been {!add}ed to [dst] directly: count, mean, stddev,
+    extrema and percentiles afterwards equal those of the concatenated
+    sample sets.  Invalidates [dst]'s percentile cache.  [src] is left
+    untouched.  Used to reduce per-worker accumulators after a parallel
+    sweep. *)
+
 val count : t -> int
 val mean : t -> float
 val stddev : t -> float

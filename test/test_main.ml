@@ -15,6 +15,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("vcode", Test_vcode.suite);
       ("check", Test_check.suite);
+      ("host-par", Test_host_par.suite);
       ("obs", Test_obs.suite);
       ("props", Test_props.suite);
     ]

@@ -80,6 +80,77 @@ let test_stats_summary () =
   close "mean" 10. sum.Stats.s_mean;
   close "stddev of single" 0. sum.Stats.s_stddev
 
+(* Merging per-worker accumulators must be indistinguishable from having
+   added every sample to one accumulator — that equivalence is what lets
+   the parallel bench matrices reduce worker-local Stats without changing
+   any reported number. *)
+let qcheck_stats_merge_concat =
+  QCheck.Test.make ~name:"stats: merge_into = add of concatenated samples" ~count:100
+    QCheck.(pair (list (float_bound_exclusive 1000.)) (small_list (float_bound_exclusive 1000.)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] || ys <> []);
+      let direct = Stats.create () in
+      List.iter (Stats.add direct) (xs @ ys);
+      let dst = Stats.create () and src = Stats.create () in
+      List.iter (Stats.add dst) xs;
+      List.iter (Stats.add src) ys;
+      (* Prime both percentile caches so the merge must invalidate dst's. *)
+      if xs <> [] then ignore (Stats.percentile dst 50.);
+      if ys <> [] then ignore (Stats.percentile src 50.);
+      Stats.merge_into dst src;
+      let eq a b = Float.abs (a -. b) < 1e-9 in
+      Stats.count dst = Stats.count direct
+      && eq (Stats.mean dst) (Stats.mean direct)
+      && eq (Stats.stddev dst) (Stats.stddev direct)
+      && eq (Stats.min dst) (Stats.min direct)
+      && eq (Stats.max dst) (Stats.max direct)
+      && List.for_all
+           (fun p ->
+             eq (Stats.percentile dst p) (Stats.percentile direct p)
+             && eq (Stats.percentile_interp dst p) (Stats.percentile_interp direct p))
+           [ 0.; 25.; 50.; 90.; 99.; 100. ]
+      && (* src must be left intact *)
+      Stats.count src = List.length ys)
+
+let test_stats_merge_cache_invalidation () =
+  let dst = Stats.create () and src = Stats.create () in
+  List.iter (Stats.add dst) [ 10.; 20. ];
+  List.iter (Stats.add src) [ 1.; 2. ];
+  (* Build dst's sorted cache, then merge: stale cache would still answer
+     from [10;20] and report p0 = 10. *)
+  close "pre-merge p0" 10. (Stats.percentile dst 0.);
+  Stats.merge_into dst src;
+  close "post-merge p0 sees src samples" 1. (Stats.percentile dst 0.);
+  close "post-merge p100" 20. (Stats.percentile dst 100.);
+  check_int "post-merge count" 4 (Stats.count dst)
+
+let test_stats_merge_empty () =
+  let dst = Stats.create () and src = Stats.create () in
+  List.iter (Stats.add dst) [ 3.; 7. ];
+  Stats.merge_into dst src;
+  check_int "empty src is a no-op" 2 (Stats.count dst);
+  close "mean unchanged" 5. (Stats.mean dst);
+  let dst2 = Stats.create () in
+  Stats.merge_into dst2 dst;
+  check_int "merge into empty adopts src" 2 (Stats.count dst2);
+  close "extrema adopted" 3. (Stats.min dst2);
+  close "extrema adopted hi" 7. (Stats.max dst2)
+
+let qcheck_histogram_merge_pointwise =
+  let entry = QCheck.(pair (oneofl [ "read"; "write"; "mmap"; "brk"; "futex" ]) (int_bound 50)) in
+  QCheck.Test.make ~name:"histogram: merge = histogram of concatenated tallies" ~count:100
+    QCheck.(pair (small_list entry) (small_list entry))
+    (fun (xs, ys) ->
+      let build entries =
+        let h = Histogram.create () in
+        List.iter (fun (k, n) -> Histogram.add h k n) entries;
+        h
+      in
+      let merged = Histogram.merge (build xs) (build ys) in
+      let direct = build (xs @ ys) in
+      Histogram.to_sorted_list merged = Histogram.to_sorted_list direct
+      && Histogram.total merged = Histogram.total direct)
+
 let test_histogram () =
   let h = Histogram.create () in
   Histogram.incr h "read";
@@ -124,6 +195,10 @@ let suite =
     ("stats: basic moments", `Quick, test_stats_basic);
     ("stats: percentiles, interp + cache invalidation", `Quick, test_stats_percentiles);
     ("stats: summary", `Quick, test_stats_summary);
+    QCheck_alcotest.to_alcotest qcheck_stats_merge_concat;
+    ("stats: merge invalidates the percentile cache", `Quick, test_stats_merge_cache_invalidation);
+    ("stats: merge with empty sides", `Quick, test_stats_merge_empty);
     ("histogram: counts/sort/merge", `Quick, test_histogram);
+    QCheck_alcotest.to_alcotest qcheck_histogram_merge_pointwise;
     ("table: rendering", `Quick, test_table_render);
   ]
