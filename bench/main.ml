@@ -1227,6 +1227,189 @@ let write_scale_json path =
     (last.sp_offered /. 1e3) last.sp_off.Loadgen.r_p99_us last.sp_on.Loadgen.r_p99_us
 
 (* ------------------------------------------------------------------ *)
+(* NUMA: group-affine vs round-robin placement on a big box            *)
+(* ------------------------------------------------------------------ *)
+
+(* Geometry for the NUMA section (override with --topology SxC).  The
+   default is the 4x32 box with HRT pinned to the upper half of the last
+   socket: affine placement can then co-locate a group's server core,
+   poller group and frames on one socket, while round-robin scatters the
+   server cores across all four. *)
+let numa_topology = ref (4, 32)
+
+let numa_geometry () =
+  let sockets, cores_per_socket = !numa_topology in
+  let total = sockets * cores_per_socket in
+  (sockets, cores_per_socket, min 16 (max 1 (total / 2)))
+
+let numa_loadgen placement =
+  let sockets, cores_per_socket, hrt = numa_geometry () in
+  Loadgen.run
+    {
+      Loadgen.default_config with
+      Loadgen.lg_groups = 400;
+      lg_sockets = sockets;
+      lg_cores_per_socket = cores_per_socket;
+      lg_hrt_cores = hrt;
+      lg_placement = placement;
+    }
+
+(* The demand-paging side, measured directly against the sharded
+   allocator: a spread of faulting ROS cores builds a working set either
+   from the flat first-fit order (zone 0 first — every remote socket
+   pays the distance) or NUMA-locally via [alloc_near], then the access
+   cost is priced with the machine's distance-scaled memory model. *)
+type numa_mem = { nm_frames : int; nm_remote : int; nm_cycles : int }
+
+let numa_frames_per_core = 64
+let numa_accesses_per_frame = 32
+
+let measure_numa_mem ~local =
+  let sockets, cores_per_socket, hrt = numa_geometry () in
+  let machine = Machine.create ~sockets ~cores_per_socket ~hrt_cores:hrt () in
+  let topo = machine.Machine.topo in
+  let phys = machine.Machine.phys in
+  let cores =
+    List.filteri (fun i _ -> i mod 8 = 0) (Mv_hw.Topology.ros_cores topo)
+  in
+  let frames = ref 0 and remote = ref 0 and cycles = ref 0 in
+  List.iter
+    (fun core ->
+      for _ = 1 to numa_frames_per_core do
+        let f =
+          if local then Mv_hw.Phys_mem.alloc_near phys ~core Mv_hw.Phys_mem.Ros_region
+          else Mv_hw.Phys_mem.alloc phys Mv_hw.Phys_mem.Ros_region
+        in
+        incr frames;
+        if Mv_hw.Phys_mem.zone_of_frame phys f <> Mv_hw.Topology.socket_of topo core
+        then incr remote;
+        cycles :=
+          !cycles
+          + (numa_accesses_per_frame * Machine.mem_access_cost machine ~core ~frame:f)
+      done)
+    cores;
+  { nm_frames = !frames; nm_remote = !remote; nm_cycles = !cycles }
+
+(* Memoized: `numa --json` runs the matrix once.  Four independent
+   whole-machine cells, so the matrix fans out under --jobs. *)
+let numa_cells =
+  lazy
+    (match
+       par_map
+         (fun f -> f ())
+         [
+           (fun () -> `Lg (numa_loadgen Loadgen.Round_robin));
+           (fun () -> `Lg (numa_loadgen Loadgen.Affine_socket));
+           (fun () -> `Mem (measure_numa_mem ~local:false));
+           (fun () -> `Mem (measure_numa_mem ~local:true));
+         ]
+     with
+    | [ `Lg rr; `Lg aff; `Mem flat; `Mem near ] -> (rr, aff, flat, near)
+    | _ -> assert false)
+
+let numa_fabric_delta_cycles ~rr ~aff =
+  Cycles.of_us (rr.Loadgen.r_p50_us -. aff.Loadgen.r_p50_us)
+
+let numa_bench () =
+  let sockets, cores_per_socket, hrt = numa_geometry () in
+  section
+    (Printf.sprintf
+       "NUMA: group-affine vs round-robin placement (%dx%d cores, %d hrt)"
+       sockets cores_per_socket hrt);
+  let rr, aff, flat, near = Lazy.force numa_cells in
+  let t =
+    Table.create
+      ~headers:[ "placement"; "tput (k/s)"; "p50 (us)"; "p99 (us)"; "p50 (cycles)" ]
+  in
+  let row name (r : Loadgen.results) =
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.1f" (r.Loadgen.r_throughput_cps /. 1e3);
+        Printf.sprintf "%.1f" r.Loadgen.r_p50_us;
+        Printf.sprintf "%.1f" r.Loadgen.r_p99_us;
+        string_of_int (Cycles.of_us r.Loadgen.r_p50_us);
+      ]
+  in
+  row "round-robin" rr;
+  row "affine" aff;
+  print_string (Table.to_string t);
+  printf "fabric p50 sojourn delta: %d cycles (round-robin minus affine)\n"
+    (numa_fabric_delta_cycles ~rr ~aff);
+  let t2 =
+    Table.create ~headers:[ "allocator"; "frames"; "remote"; "memory-path cycles" ]
+  in
+  let row2 name m =
+    Table.add_row t2
+      [
+        name;
+        string_of_int m.nm_frames;
+        string_of_int m.nm_remote;
+        string_of_int m.nm_cycles;
+      ]
+  in
+  row2 "flat first-fit" flat;
+  row2 "alloc_near" near;
+  print_string (Table.to_string t2);
+  printf "memory-path delta: %d cycles (flat minus local)\n"
+    (flat.nm_cycles - near.nm_cycles);
+  printf
+    "(acceptance: affine placement wins both deltas — no remote frames, lower \
+     sync-channel RTT)\n"
+
+(* BENCH_numa.json: both sides of the placement A/B with their cycle
+   deltas. *)
+let write_numa_json path =
+  let sockets, cores_per_socket, hrt = numa_geometry () in
+  let rr, aff, flat, near = Lazy.force numa_cells in
+  let open Bench_report in
+  let lg_side (r : Loadgen.results) =
+    Obj
+      [
+        ("issued", Int r.Loadgen.r_issued);
+        ("completed", Int r.Loadgen.r_completed);
+        ("throughput_cps", Float (r.Loadgen.r_throughput_cps, 1));
+        ("p50_us", Float (r.Loadgen.r_p50_us, 1));
+        ("p95_us", Float (r.Loadgen.r_p95_us, 1));
+        ("p99_us", Float (r.Loadgen.r_p99_us, 1));
+        ("p50_cycles", Int (Cycles.of_us r.Loadgen.r_p50_us));
+      ]
+  in
+  let mem_side m =
+    Obj
+      [
+        ("frames", Int m.nm_frames);
+        ("remote_frames", Int m.nm_remote);
+        ("memory_path_cycles", Int m.nm_cycles);
+      ]
+  in
+  write ~path ~kind:"multiverse-numa-bench"
+    [
+      ("topology", Str (Printf.sprintf "%dx%d" sockets cores_per_socket));
+      ("hrt_cores", Int hrt);
+      ("groups", Int 400);
+      ( "fabric",
+        Obj
+          [
+            ("round_robin", lg_side rr);
+            ("affine", lg_side aff);
+            ( "p50_sojourn_delta_cycles",
+              Int (numa_fabric_delta_cycles ~rr ~aff) );
+          ] );
+      ( "memory_path",
+        Obj
+          [
+            ("flat", mem_side flat);
+            ("local", mem_side near);
+            ("delta_cycles", Int (flat.nm_cycles - near.nm_cycles));
+          ] );
+    ];
+  printf "wrote %s (fabric delta %d cycles, memory-path delta %d cycles)\n%!"
+    path
+    (numa_fabric_delta_cycles ~rr ~aff)
+    (flat.nm_cycles - near.nm_cycles)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's own hot paths           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1288,6 +1471,7 @@ let sections =
     ("fig13", fig13);
     ("fabric", fabric_bench);
     ("scale", scale_bench);
+    ("numa", numa_bench);
     ("mempath", mempath);
     ("ablation_symcache", ablation_symcache);
     ("ablation_channel", ablation_channel);
@@ -1316,6 +1500,24 @@ let () =
             prerr_endline ("bench: bad --jobs " ^ n);
             exit 2);
         take_jobs acc rest
+    (* --topology SxC: geometry for the numa section (default 4x32). *)
+    | "--topology" :: s :: rest ->
+        (match String.index_opt s 'x' with
+        | Some i -> (
+            let a = String.sub s 0 i
+            and b = String.sub s (i + 1) (String.length s - i - 1) in
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some sk, Some cp when sk > 0 && cp > 0 && sk * cp >= 2 ->
+                numa_topology := (sk, cp)
+            | _ ->
+                prerr_endline
+                  ("bench: bad --topology " ^ s ^ " (want SOCKETSxCORES, e.g. 4x32)");
+                exit 2)
+        | None ->
+            prerr_endline
+              ("bench: bad --topology " ^ s ^ " (want SOCKETSxCORES, e.g. 4x32)");
+            exit 2);
+        take_jobs acc rest
     | a :: rest -> take_jobs (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -1338,4 +1540,5 @@ let () =
         names);
   if json && (wants "fig2" || wants "fabric") then write_fabric_json "BENCH_fabric.json";
   if json && wants "mempath" then write_mempath_json "BENCH_mempath.json";
-  if json && wants "scale" then write_scale_json "BENCH_scale.json"
+  if json && wants "scale" then write_scale_json "BENCH_scale.json";
+  if json && wants "numa" then write_numa_json "BENCH_numa.json"

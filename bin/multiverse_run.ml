@@ -17,7 +17,9 @@ let parse_fault_sites spec =
   | Ok sites -> sites
   | Error msg -> failwith msg
 
-let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages =
+let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology ~hrt_cores
+    ~placement ~work_stealing =
+  let sockets, cores_per_socket = topology in
   {
     Toolchain.mv_channel =
       (if sync_channel then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
@@ -31,17 +33,26 @@ let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages =
       | other -> failwith ("unknown porting level: " ^ other));
     mv_faults = faults;
     mv_huge_pages = huge_pages;
+    mv_sockets = sockets;
+    mv_cores_per_socket = cores_per_socket;
+    mv_hrt_cores = hrt_cores;
+    mv_placement = placement;
+    mv_work_stealing = work_stealing;
   }
 
-let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet prog =
-  let options = options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages in
+let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
+    ~hrt_cores ~placement ~work_stealing ~stats ~quiet prog =
+  let options =
+    options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology ~hrt_cores
+      ~placement ~work_stealing
+  in
   (* A fault run keeps the trace on so the injected faults and the
      resilience reactions can be shown afterwards. *)
   let trace = Fault_plan.enabled faults in
   let rs =
     match mode with
-    | "native" -> Toolchain.run_native ~huge_pages prog
-    | "virtual" -> Toolchain.run_virtual ~huge_pages prog
+    | "native" -> Toolchain.run_native ~huge_pages ~topology ~hrt_cores prog
+    | "virtual" -> Toolchain.run_virtual ~huge_pages ~topology ~hrt_cores prog
     | "multiverse" -> Toolchain.run_multiverse ~trace ~options (Toolchain.hybridize prog)
     | other -> failwith ("unknown mode: " ^ other)
   in
@@ -106,11 +117,14 @@ type sweep_row = {
   sw_wall : float;
 }
 
-let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~rate ~sites ~sweep
-    ~jobs prog =
+let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology ~hrt_cores
+    ~placement ~work_stealing ~rate ~sites ~sweep ~jobs prog =
   let cell seed =
     let faults = Fault_plan.create ~seed ~rate ~sites () in
-    let options = options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages in
+    let options =
+      options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
+        ~hrt_cores ~placement ~work_stealing
+    in
     let rs = Toolchain.run_multiverse ~options (Toolchain.hybridize prog) in
     let retries, fallbacks, respawns, reroutes =
       match rs.Toolchain.rs_runtime with
@@ -163,7 +177,8 @@ let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~rate ~site
 
 (* --groups: the open-loop scale mode (no program; the load generator
    drives the fabric directly). *)
-let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel =
+let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel ~topology ~hrt_cores
+    ~placement =
   let open Mv_workloads.Loadgen in
   match
     match arrival_of_string arrival with
@@ -181,6 +196,7 @@ let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel =
       usage_error "--groups must be between 1 and 100000"
   | Ok _ when offered_load <= 0.0 -> usage_error "--offered-load must be positive"
   | Ok (arr, adm) ->
+      let sockets, cores_per_socket = topology in
       let cfg =
         {
           default_config with
@@ -190,12 +206,21 @@ let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel =
           lg_admission = adm;
           lg_kind =
             (if sync_channel then Mv_hvm.Event_channel.Sync else Mv_hvm.Event_channel.Async);
+          lg_sockets = sockets;
+          lg_cores_per_socket = cores_per_socket;
+          lg_hrt_cores = hrt_cores;
+          lg_placement =
+            (match placement with
+            | Runtime.Spread -> Round_robin
+            | Runtime.Affine -> Affine_socket);
         }
       in
       let r = run cfg in
       Printf.printf
-        "[scale] %d groups | %s arrivals | offered %.0f calls/s | admission %s\n"
-        groups arrival offered_load admission;
+        "[scale] %d groups | %s arrivals | offered %.0f calls/s | admission %s | %dx%d \
+         cores (%d hrt) | placement %s\n"
+        groups arrival offered_load admission sockets cores_per_socket hrt_cores
+        (placement_to_string cfg.lg_placement);
       Printf.printf
         "[scale] issued %d | completed %d | dropped %d | throughput %.0f calls/s\n"
         r.r_issued r.r_completed r.r_dropped r.r_throughput_cps;
@@ -231,9 +256,25 @@ let prog_of ~bench ~file ~n =
   | None, None -> Error "pass --bench NAME or --file PROG.scm (or --list)"
 
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
-    fault_sweep jobs groups arrival offered_load admission no_huge_pages stats quiet
-    list_benches =
+    fault_sweep jobs groups arrival offered_load admission topology hrt_cores placement
+    work_stealing no_huge_pages stats quiet list_benches =
   let huge_pages = not no_huge_pages in
+  let sockets, cores_per_socket = topology in
+  (* Scale mode keeps the load generator's own HRT sizing when none is
+     given; program modes keep the reference machine's single HRT core. *)
+  let hrt_default ~scale =
+    if scale then Mv_workloads.Loadgen.default_config.Mv_workloads.Loadgen.lg_hrt_cores
+    else 1
+  in
+  let resolve_hrt ~scale = Option.value hrt_cores ~default:(hrt_default ~scale) in
+  let bad_hrt n = n < 1 || n >= sockets * cores_per_socket in
+  if bad_hrt (resolve_hrt ~scale:(groups <> None)) then
+    exit
+      (usage_error
+         (Printf.sprintf "--hrt-cores %d does not leave a ROS core on a %dx%d machine"
+            (resolve_hrt ~scale:(groups <> None))
+            sockets cores_per_socket))
+  else
   match fault_sweep with
   | Some sweep ->
       if fault_seed <> None then usage_error "--fault-sweep is incompatible with --fault-seed"
@@ -248,7 +289,8 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
             match prog_of ~bench ~file ~n with
             | Error msg -> usage_error msg
             | Ok prog ->
-                run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages
+                run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology
+                  ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing
                   ~rate:fault_rate ~sites ~sweep ~jobs prog))
   | None ->
   if jobs <> 1 then usage_error "--jobs has no effect without --fault-sweep"
@@ -273,7 +315,9 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
         usage_error "--groups (scale mode) is incompatible with --bench/--file"
       else if Fault_plan.enabled faults then
         usage_error "fault injection is not supported in scale mode"
-      else run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel
+      else
+        run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel ~topology
+          ~hrt_cores:(resolve_hrt ~scale:true) ~placement
   | None ->
   if arrival <> "poisson" || offered_load <> 100_000.0 || admission <> "off" then
     usage_error "--arrival/--offered-load/--admission have no effect without --groups"
@@ -289,8 +333,8 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
     match prog_of ~bench ~file ~n with
     | Error msg -> usage_error msg
     | Ok prog ->
-        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~stats ~quiet
-          prog;
+        run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
+          ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing ~stats ~quiet prog;
         0)
 
 let () =
@@ -335,6 +379,26 @@ let () =
         ~doc:"Total offered load in calls/second across all groups (with --groups)."
     $ opt string ~default:"off" ~names:[ "admission" ] ~docv:"POLICY"
         ~doc:"off | shed | block admission control (with --groups)."
+    $ opt topology ~default:(2, 4) ~names:[ "topology" ] ~docv:"SxC"
+        ~doc:
+          "Machine geometry as SOCKETSxCORES_PER_SOCKET (default 2x4, the \
+           reference box).  Geometries that cannot hold a ROS core are \
+           rejected."
+    $ opt_opt int ~names:[ "hrt-cores" ] ~docv:"N"
+        ~doc:
+          "Cores carved out for the HRT partition (default 1; scale mode \
+           defaults to the load generator's sizing).  Must leave at least \
+           one ROS core."
+    $ opt
+        (enum [ ("spread", Runtime.Spread); ("affine", Runtime.Affine) ])
+        ~default:Runtime.Spread ~names:[ "placement" ] ~docv:"POLICY"
+        ~doc:
+          "Execution-group placement: spread (historical round-robin) or \
+           affine (group cores, frames and pollers kept on one socket)."
+    $ flag ~names:[ "work-stealing" ]
+        ~doc:
+          "Enable deterministic work stealing across the ROS cores' \
+           per-core runqueues (multiverse only)."
     $ flag ~names:[ "no-huge-pages" ]
         ~doc:"Disable the huge-page memory path (4 KiB mappings only)."
     $ flag ~names:[ "stats" ] ~doc:"Print the per-syscall histogram."

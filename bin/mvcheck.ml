@@ -57,7 +57,10 @@ let run_scenario ~pool ~seeds ~shrink_budget ~out sc =
         r.Explore.ex_runs;
       true
 
-let run_scenarios name seeds shrink_budget jobs out =
+let run_scenarios name seeds shrink_budget jobs topology out =
+  (* Install the geometry override before the sweep (and before any worker
+     domains spawn) so every scenario machine sees it. *)
+  Scenario.set_topology topology;
   let selected =
     match Option.value name ~default:"all" with
     | "all" -> Ok Scenarios.all_scenarios
@@ -144,6 +147,11 @@ let () =
           ~doc:
             "Worker domains for the schedule sweep (default 1 = sequential). \
              Verdicts, counterexamples and run counts are identical at any N."
+      $ opt_opt topology ~names:[ "topology" ] ~docv:"SxC"
+          ~doc:
+            "Run every scenario machine on this geometry \
+             (SOCKETSxCORES_PER_SOCKET, e.g. 4x32) instead of the reference \
+             2x4 box."
       $ opt_opt string ~names:[ "out"; "o" ] ~docv:"FILE"
           ~doc:"Write the counterexample artifact to FILE.")
       (fun code -> code)

@@ -21,6 +21,21 @@ type t = {
    ever reaches the budget, and hitting it is itself a verdict. *)
 let default_max_events = 400_000
 
+(* Geometry override for scenario machines, installed by the mvcheck CLI's
+   --topology flag before any sweep starts (so worker domains observe it
+   without synchronization).  Scenarios build their machines through
+   [make_machine] and derive cores from the resulting topology rather than
+   hardcoding ids, so the whole sweep runs on the requested box. *)
+let topology_override : (int * int) option ref = ref None
+let set_topology o = topology_override := o
+let topology () = !topology_override
+
+let make_machine ?(hrt_cores = 1) ?(work_stealing = false) () =
+  match !topology_override with
+  | None -> Mv_engine.Machine.create ~hrt_cores ~work_stealing ()
+  | Some (sockets, cores_per_socket) ->
+      Mv_engine.Machine.create ~sockets ~cores_per_socket ~hrt_cores ~work_stealing ()
+
 let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
 
 let check_quiesced ?(allow_blocked = fun _ -> false) exec ~quiesced =

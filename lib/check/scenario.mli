@@ -32,6 +32,18 @@ val default_max_events : int
 (** Event budget for one bounded run (generous: a healthy run is orders of
     magnitude below it; only livelocks hit it). *)
 
+val set_topology : (int * int) option -> unit
+(** Install a [(sockets, cores_per_socket)] geometry override for every
+    scenario machine (the mvcheck [--topology] flag).  Install it before
+    starting a sweep; [None] restores the reference 2x4 box. *)
+
+val topology : unit -> (int * int) option
+
+val make_machine : ?hrt_cores:int -> ?work_stealing:bool -> unit -> Mv_engine.Machine.t
+(** Build a scenario machine honouring the topology override (reference
+    geometry when none is installed).  Scenarios must derive core ids from
+    the machine's topology instead of hardcoding them. *)
+
 val failf : ('a, Format.formatter, unit, outcome) format4 -> 'a
 (** [failf fmt ...] is [Fail (sprintf fmt ...)]. *)
 

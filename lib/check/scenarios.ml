@@ -27,7 +27,7 @@ open Scenario
    when the scheduler picks the consumer first (decision 1 at the first
    choice point), making [1] the minimal counterexample trace. *)
 let racy_wakeup_run ~strategy ~faults:_ =
-  let machine = Machine.create () in
+  let machine = make_machine () in
   let exec = machine.Machine.exec in
   Strategy.install strategy exec;
   let mailbox = Queue.create () in
@@ -75,14 +75,15 @@ let racy_wakeup =
 let server_name = "chan-server"
 
 let ping_pong_run ~dedup ~kind ~calls ~strategy ~faults =
-  let machine = Machine.create () in
+  let machine = make_machine () in
   let exec = machine.Machine.exec in
+  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
   Strategy.install strategy exec;
   if Fault_plan.enabled faults then Fault_plan.bind faults machine;
   let faults_opt = if Fault_plan.enabled faults then Some faults else None in
   let ch =
     Event_channel.create ?faults:faults_opt ~dedup machine ~kind ~ros_core:0
-      ~hrt_core:7
+      ~hrt_core:hrt
   in
   let runs = Array.make calls 0 in
   let completed = Array.make calls false in
@@ -90,7 +91,7 @@ let ping_pong_run ~dedup ~kind ~calls ~strategy ~faults =
     (Exec.spawn exec ~cpu:0 ~name:server_name (fun () ->
          Event_channel.serve_loop ch ~on_request:(fun r -> r.Event_channel.req_run ())));
   let caller =
-    Exec.spawn exec ~cpu:7 ~name:"caller" (fun () ->
+    Exec.spawn exec ~cpu:hrt ~name:"caller" (fun () ->
         try
           for i = 0 to calls - 1 do
             Event_channel.call ch
@@ -167,20 +168,26 @@ let broken_dedup =
    request even when the channel drops or duplicates deliveries and the
    watchdog's Partner_kill site takes pollers down mid-run. *)
 let fabric_run ~callers ~calls ~kind ~strategy ~faults =
-  let machine = Machine.create () in
+  let machine = make_machine () in
   let exec = machine.Machine.exec in
+  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let pool_cores =
+    match Mv_hw.Topology.ros_cores machine.Machine.topo with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l
+  in
   Strategy.install strategy exec;
   if Fault_plan.enabled faults then Fault_plan.bind faults machine;
   let fabric = Fabric.create ~faults machine ~kind in
   Fabric.start_pool fabric
     ~spawn:(fun ~name ~core body -> Exec.spawn exec ~cpu:core ~name body)
-    ~cores:[ 0; 1 ] ();
-  let ep = Fabric.endpoint fabric ~name:"shared" ~ros_core:0 ~hrt_core:7 in
+    ~cores:pool_cores ();
+  let ep = Fabric.endpoint fabric ~name:"shared" ~ros_core:0 ~hrt_core:hrt in
   let runs = Array.make (callers * calls) 0 in
   let completed = Array.make (callers * calls) false in
   let threads =
     List.init callers (fun c ->
-        Exec.spawn exec ~cpu:7 ~name:(Printf.sprintf "hrt-caller-%d" c)
+        Exec.spawn exec ~cpu:hrt ~name:(Printf.sprintf "hrt-caller-%d" c)
           (fun () ->
             for i = 0 to calls - 1 do
               let slot = (c * calls) + i in
@@ -263,8 +270,14 @@ let fabric_degrade =
    payload runs exactly once (retried sheds never double-execute), and a
    dropped request's payload never ran at all. *)
 let fabric_overload_run ~policy ~callers ~calls ~strategy ~faults =
-  let machine = Machine.create () in
+  let machine = make_machine () in
   let exec = machine.Machine.exec in
+  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let pool_cores =
+    match Mv_hw.Topology.ros_cores machine.Machine.topo with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l
+  in
   Strategy.install strategy exec;
   if Fault_plan.enabled faults then Fault_plan.bind faults machine;
   let fabric = Fabric.create ~faults machine ~kind:Event_channel.Sync in
@@ -274,15 +287,15 @@ let fabric_overload_run ~policy ~callers ~calls ~strategy ~faults =
           ~burst:2 ~shed_retries:2 ()));
   Fabric.start_pool fabric
     ~spawn:(fun ~name ~core body -> Exec.spawn exec ~cpu:core ~name body)
-    ~cores:[ 0; 1 ] ();
-  let ep = Fabric.endpoint fabric ~name:"shared" ~ros_core:0 ~hrt_core:7 in
+    ~cores:pool_cores ();
+  let ep = Fabric.endpoint fabric ~name:"shared" ~ros_core:0 ~hrt_core:hrt in
   let n = callers * calls in
   let runs = Array.make n 0 in
   let admitted = Array.make n false in
   let dropped = Array.make n false in
   let threads =
     List.init callers (fun c ->
-        Exec.spawn exec ~cpu:7 ~name:(Printf.sprintf "hrt-offerer-%d" c)
+        Exec.spawn exec ~cpu:hrt ~name:(Printf.sprintf "hrt-offerer-%d" c)
           (fun () ->
             for i = 0 to calls - 1 do
               let slot = (c * calls) + i in
@@ -388,6 +401,12 @@ let run_full ?(options = Toolchain.default_mv_options) ~name ~expect_stdout
     ~extra_checks prog ~strategy ~faults =
   let hx = Toolchain.hybridize prog in
   let rt_box = ref None in
+  let options =
+    match topology () with
+    | None -> options
+    | Some (sockets, cores_per_socket) ->
+        { options with Toolchain.mv_sockets = sockets; mv_cores_per_socket = cores_per_socket }
+  in
   let machine, _kernel, proc =
     Toolchain.setup_multiverse
       ~options:{ options with Toolchain.mv_faults = faults }
@@ -588,8 +607,9 @@ let multi_group =
    one stale 2M slot mistranslates 512 pages at once, and the re-merge
    must preserve the leaf rather than demoting it. *)
 let merge_stale_pml4_run ~strategy ~faults:_ =
-  let machine = Machine.create () in
+  let machine = make_machine () in
   let exec = machine.Machine.exec in
+  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
   Strategy.install strategy exec;
   let nk = Nautilus.create machine in
   let ros_pt = Mv_hw.Page_table.create () in
@@ -610,7 +630,7 @@ let merge_stale_pml4_run ~strategy ~faults:_ =
       svc_request_remerge = (fun () -> ros_pt);
     };
   ignore
-    (Exec.spawn exec ~cpu:7 ~name:"hrt" (fun () ->
+    (Exec.spawn exec ~cpu:hrt ~name:"hrt" (fun () ->
          Nautilus.boot nk;
          Nautilus.merge_lower_half nk ~from:ros_pt;
          Nautilus.access nk addr ~write:true;
@@ -656,6 +676,136 @@ let merge_stale_pml4 =
     sc_run = merge_stale_pml4_run;
   }
 
+(* --- work-steal: deterministic stealing across per-core runqueues --- *)
+
+(* All jobs spawn on the first ROS core with the rest of the partition
+   idle, so any job that executes elsewhere got there by stealing; the
+   schedule sweep drives the [sh_steal] victim choice, exploring different
+   steal interleavings.  Oracles, checked from runqueue snapshots taken by
+   a monitor on an HRT core (outside the steal domain):
+
+   - no lost wakeups: a waiter parked on the loaded core is woken by the
+     last job and the system quiesces with everything finished;
+   - a fiber is never on two runqueues at once;
+   - FIFO within a runqueue: a thief only steals into an {e empty} queue
+     and stealing takes the oldest prefix, so every ROS runqueue is at all
+     times a contiguous slice of the original spawn order — straight-line
+     jobs must appear in ascending spawn order in every snapshot;
+   - stealing never crosses the partition boundary: jobs only ever run on
+     ROS cores. *)
+let work_steal_run ~strategy ~faults:_ =
+  let machine = make_machine ~work_stealing:true () in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  let topo = machine.Machine.topo in
+  let ros = Array.of_list (Mv_hw.Topology.ros_cores topo) in
+  let hrt = Mv_hw.Topology.first_hrt_core topo in
+  let njobs = 12 in
+  let runs = Array.make njobs 0 in
+  let ran_on = Array.make njobs (-1) in
+  let job_of_tid = Hashtbl.create 16 in
+  let done_jobs = ref 0 in
+  let woken = ref false in
+  let wake_pending = ref false in
+  let parked = ref None in
+  ignore
+    (Exec.spawn exec ~cpu:ros.(0) ~name:"waiter" (fun () ->
+         (* The pending check and the block are one host-atomic segment,
+            so the wake cannot slip between them. *)
+         if not !wake_pending then
+           Exec.block exec ~reason:"parked" (fun ~now:_ ~wake -> parked := Some wake);
+         woken := true));
+  for i = 0 to njobs - 1 do
+    let th =
+      Exec.spawn exec ~cpu:ros.(0)
+        ~name:(Printf.sprintf "job-%d" i)
+        (fun () ->
+          runs.(i) <- runs.(i) + 1;
+          ran_on.(i) <- Exec.cpu_of (Exec.self exec);
+          (* Uneven service times keep the queues imbalanced so steal
+             opportunities persist deep into the run (all well under the
+             ROS timeslice: a preemption would requeue and break the
+             contiguous-slice argument). *)
+          Machine.charge machine (300 * ((i mod 5) + 1));
+          if i = njobs - 1 then (
+            match !parked with
+            | Some wake ->
+                parked := None;
+                wake ()
+            | None -> wake_pending := true);
+          incr done_jobs)
+    in
+    Hashtbl.replace job_of_tid (Exec.tid th) i
+  done;
+  let snapshot_bad = ref None in
+  let note_bad msg = if !snapshot_bad = None then snapshot_bad := Some msg in
+  let check_snapshot () =
+    let seen = Hashtbl.create 32 in
+    Array.iter
+      (fun c ->
+        let last_job = ref (-1) in
+        List.iter
+          (fun th ->
+            let tid = Exec.tid th in
+            (match Hashtbl.find_opt seen tid with
+            | Some c' ->
+                note_bad
+                  (Printf.sprintf "tid %d on the runqueues of cores %d and %d at once" tid
+                     c' c)
+            | None -> Hashtbl.replace seen tid c);
+            match Hashtbl.find_opt job_of_tid tid with
+            | Some j ->
+                if j < !last_job then
+                  note_bad
+                    (Printf.sprintf
+                       "core %d runqueue holds job %d behind job %d (FIFO broken)" c j
+                       !last_job);
+                last_job := max !last_job j
+            | None -> ())
+          (Exec.runq exec ~cpu:c))
+      ros
+  in
+  ignore
+    (Exec.spawn exec ~cpu:hrt ~name:"monitor" (fun () ->
+         while !done_jobs < njobs do
+           check_snapshot ();
+           Exec.sleep exec 100
+         done;
+         check_snapshot ()));
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  all
+    [
+      (fun () -> check_quiesced exec ~quiesced);
+      (fun () -> if !woken then Pass else Fail "waiter never woke (lost wakeup)");
+      (fun () -> match !snapshot_bad with None -> Pass | Some m -> Fail m);
+      (fun () ->
+        let bad = ref Pass in
+        Array.iteri
+          (fun i n -> if !bad = Pass && n <> 1 then bad := failf "job %d ran %d times" i n)
+          runs;
+        !bad);
+      (fun () ->
+        let bad = ref Pass in
+        Array.iteri
+          (fun i c ->
+            if !bad = Pass && not (Array.exists (fun r -> r = c) ros) then
+              bad := failf "job %d ran on core %d, outside the ROS partition" i c)
+          ran_on;
+        !bad);
+    ]
+
+let work_steal =
+  {
+    sc_name = "work-steal";
+    sc_descr =
+      "deterministic work stealing across per-core runqueues: no lost \
+       wakeups, no fiber on two queues, FIFO within a runqueue, steals \
+       never cross the partition boundary";
+    sc_fault_specs = [];
+    sc_expect_bug = false;
+    sc_run = work_steal_run;
+  }
+
 let all_scenarios =
   [
     racy_wakeup;
@@ -671,6 +821,7 @@ let all_scenarios =
     merge_fault;
     merge_stale_pml4;
     multi_group;
+    work_steal;
   ]
 
 let find name = List.find_opt (fun sc -> sc.sc_name = name) all_scenarios

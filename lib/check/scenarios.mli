@@ -13,7 +13,10 @@
     - [group-respawn]: execution-group spawn/join while partners are
       killed; the watchdog respawn must converge and joins complete.
     - [merge-fault]: address-space merge with forwarded lower-half page
-      faults over a lossy channel. *)
+      faults over a lossy channel.
+    - [work-steal]: deterministic work stealing across per-core runqueues;
+      no lost wakeups, no fiber on two queues at once, FIFO within a
+      runqueue, and steals never cross the ROS/HRT partition boundary. *)
 
 val all_scenarios : Scenario.t list
 val find : string -> Scenario.t option

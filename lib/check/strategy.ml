@@ -53,6 +53,9 @@ let hook t =
     (* Preemption decision: 0 = preempt (the FIFO/OS default), 1 = extend
        the slice once.  Encoded in the same decision stream as the picks. *)
     sh_preempt = (fun ~cpu:_ _th -> decide t ~n:2 = 0);
+    (* Victim choice when an idle core steals: 0 = the deterministic
+       default victim (most loaded, lowest id), others divert the steal. *)
+    sh_steal = (fun ~cpu:_ ~victims -> decide t ~n:(Array.length victims));
   }
 
 let install t exec = Exec.set_sched_hook exec (Some (hook t))

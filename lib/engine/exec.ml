@@ -3,7 +3,7 @@ type thread_state = Ready | Running | Blocked of string | Finished
 type thread = {
   t_id : int;
   t_name : string;
-  t_cpu : int;
+  mutable t_cpu : int;  (* home cpu; work stealing may migrate it *)
   mutable t_state : thread_state;
   mutable t_seg_start : int;
   mutable t_charge : int;
@@ -33,6 +33,7 @@ type cpu = {
          churn.  One armed event per cpu is always sufficient: dispatch is
          state-driven and re-arms itself while the core is busy. *)
   mutable c_switches : int;
+  mutable c_steals : int;  (* successful steals performed by this cpu *)
   mutable c_idle_expiries : int;
       (* timer expiries with an empty run queue; every Nth models a
          preemption by unrelated background work, as /usr/bin/time would
@@ -42,6 +43,7 @@ type cpu = {
 type sched_hook = {
   sh_pick : cpu:int -> thread array -> int;
   sh_preempt : cpu:int -> thread -> bool;
+  sh_steal : cpu:int -> victims:int array -> int;
 }
 
 type t = {
@@ -52,6 +54,10 @@ type t = {
   mutable next_tid : int;
   mutable charge_hook : (thread -> int -> unit) option;
   mutable sched_hook : sched_hook option;
+  mutable steal_domain : bool array option;
+      (* per-cpu membership in the work-stealing domain, [None] = stealing
+         off (the default).  Only cores inside the domain steal, and only
+         from each other — the ROS never drains an HRT core's queue. *)
   mutable all_threads_rev : thread list;  (* every thread ever spawned *)
 }
 
@@ -67,6 +73,7 @@ let create sim ~ncpus =
           c_slice = None;
           c_dispatch_armed_at = -1;
           c_switches = 0;
+          c_steals = 0;
           c_idle_expiries = 0;
         })
   in
@@ -78,6 +85,7 @@ let create sim ~ncpus =
     next_tid = 0;
     charge_hook = None;
     sched_hook = None;
+    steal_domain = None;
     all_threads_rev = [];
   }
 
@@ -85,6 +93,24 @@ let sim t = t.sim
 let ncpus t = Array.length t.cpus
 let set_sched_hook t hook = t.sched_hook <- hook
 let threads t = List.rev t.all_threads_rev
+
+let set_steal_domain t cores =
+  match cores with
+  | None -> t.steal_domain <- None
+  | Some cores ->
+      let dom = Array.make (Array.length t.cpus) false in
+      List.iter
+        (fun c ->
+          if c < 0 || c >= Array.length t.cpus then
+            invalid_arg "Exec.set_steal_domain: core out of range";
+          dom.(c) <- true)
+        cores;
+      t.steal_domain <- Some dom
+
+let steals t ~cpu = t.cpus.(cpu).c_steals
+
+let runq t ~cpu =
+  List.rev (Queue.fold (fun acc th -> th :: acc) [] t.cpus.(cpu).c_runq)
 
 let set_cpu_params t ~cpu ?switch_cost ?slice () =
   let c = t.cpus.(cpu) in
@@ -104,7 +130,19 @@ let with_ctx_now t now f =
 (* --- dispatch --- *)
 
 let rec dispatch t cpu () =
-  if t.current = None && not (Queue.is_empty cpu.c_runq) then begin
+  if t.current = None then begin
+    (* An idle core (free, nothing queued) inside the steal domain pulls
+       work from a loaded peer before giving up the dispatch. *)
+    if
+      Queue.is_empty cpu.c_runq
+      && t.steal_domain <> None
+      && Sim.now t.sim >= cpu.c_busy_until
+    then try_steal t cpu;
+    if not (Queue.is_empty cpu.c_runq) then run_one t cpu
+  end
+
+and run_one t cpu =
+  begin
     let now = Sim.now t.sim in
     if now < cpu.c_busy_until then
       request_dispatch t cpu ~at:cpu.c_busy_until
@@ -137,6 +175,74 @@ let rec dispatch t cpu () =
               Array.iteri (fun j th -> if j <> i then Queue.add th cpu.c_runq) arr;
               run_segment t cpu arr.(i))
   end
+
+(* Deterministic work stealing.  The thief considers every other domain
+   core in ascending id order; the default victim is the one with the most
+   Ready threads (ties to the lowest core id).  A sched hook may divert the
+   choice to any candidate victim — that is the interleaving mvcheck
+   explores — but the candidate list itself is a pure function of the
+   queues.  The steal takes the oldest ceil(n/2) Ready threads ("steal
+   half"), preserving relative FIFO order on both queues. *)
+and try_steal t cpu =
+  match t.steal_domain with
+  | None -> ()
+  | Some dom when not dom.(cpu.c_id) -> ()
+  | Some dom -> (
+      let ready_count c =
+        Queue.fold (fun n th -> if th.t_state = Ready then n + 1 else n) 0 c.c_runq
+      in
+      let cands = ref [] in
+      Array.iter
+        (fun c ->
+          if c.c_id <> cpu.c_id && dom.(c.c_id) then
+            let n = ready_count c in
+            if n > 0 then cands := (c, n) :: !cands)
+        t.cpus;
+      let cands =
+        List.stable_sort
+          (fun (a, na) (b, nb) -> compare (-na, a.c_id) (-nb, b.c_id))
+          (List.rev !cands)
+      in
+      match cands with
+      | [] -> ()
+      | cands ->
+          let arr = Array.of_list cands in
+          let pick =
+            match t.sched_hook with
+            | Some hook when Array.length arr > 1 ->
+                let victims = Array.map (fun (c, _) -> c.c_id) arr in
+                let i = hook.sh_steal ~cpu:cpu.c_id ~victims in
+                if i < 0 || i >= Array.length arr then 0 else i
+            | _ -> 0
+          in
+          let victim, nready = arr.(pick) in
+          let want = (nready + 1) / 2 in
+          let all = List.rev (Queue.fold (fun acc th -> th :: acc) [] victim.c_runq) in
+          Queue.clear victim.c_runq;
+          let taken = ref 0 in
+          List.iter
+            (fun th ->
+              if th.t_state = Ready && !taken < want then begin
+                incr taken;
+                th.t_cpu <- cpu.c_id;
+                Queue.add th cpu.c_runq
+              end
+              else Queue.add th victim.c_runq)
+            all;
+          cpu.c_steals <- cpu.c_steals + 1)
+
+(* New work appeared on [owner]'s queue: give every other free domain core
+   a chance to steal it (the owner's own dispatch is requested first, so a
+   free owner still wins its local work). *)
+and poke_thieves t ~owner ~at =
+  match t.steal_domain with
+  | None -> ()
+  | Some dom ->
+      if dom.(owner.c_id) then
+        Array.iter
+          (fun c ->
+            if c.c_id <> owner.c_id && dom.(c.c_id) then request_dispatch t c ~at)
+          t.cpus
 
 and request_dispatch t cpu ~at =
   let at = max at (max cpu.c_busy_until (Sim.now t.sim)) in
@@ -202,7 +308,8 @@ and enqueue_at t th ~at =
       if th.t_state = Ready then begin
         let cpu = t.cpus.(th.t_cpu) in
         Queue.add th cpu.c_runq;
-        request_dispatch t cpu ~at
+        request_dispatch t cpu ~at;
+        poke_thieves t ~owner:cpu ~at
       end)
 
 let self t =
@@ -242,7 +349,8 @@ let requeue_self t =
       th.t_state <- Ready;
       let cpu = t.cpus.(th.t_cpu) in
       Queue.add th cpu.c_runq;
-      request_dispatch t cpu ~at:t_end)
+      request_dispatch t cpu ~at:t_end;
+      poke_thieves t ~owner:cpu ~at:t_end)
 
 let yield t =
   let th = self t in

@@ -28,6 +28,13 @@ type sched_hook = {
           preempts (the default behaviour); [false] extends the slice by
           one quantum, modelling timer jitter.  Hooks must not starve:
           return [true] eventually. *)
+  sh_steal : cpu:int -> victims:int array -> int;
+      (** Called when an idle core in the steal domain has two or more
+          candidate victims.  [victims] are cpu ids in the default
+          preference order (most Ready threads first, ties to the lowest
+          core id); return the index to steal from (out-of-range falls back
+          to 0).  Returning 0 everywhere reproduces the default
+          deterministic stealing exactly. *)
 }
 
 val create : Sim.t -> ncpus:int -> t
@@ -42,6 +49,25 @@ val set_sched_hook : t -> sched_hook option -> unit
 val threads : t -> thread list
 (** Every thread ever spawned on this executor, in spawn order — the model
     checker's view for quiescence and lost-wakeup oracles. *)
+
+val set_steal_domain : t -> int list option -> unit
+(** Enable deterministic work stealing among the listed cores (or disable
+    it with [None], the default).  An idle domain core with an empty run
+    queue steals the oldest half (rounded up) of the Ready threads of the
+    most-loaded domain peer — fixed victim order by core id, ties to the
+    lowest id — migrating them permanently.  Cores outside the domain
+    neither steal nor are stolen from, so the ROS/HRT partition boundary
+    is never crossed.  With stealing disabled, scheduling is byte-identical
+    to an executor that never heard of stealing.
+    @raise Invalid_argument if a core id is out of range. *)
+
+val steals : t -> cpu:int -> int
+(** Successful steals performed by a cpu. *)
+
+val runq : t -> cpu:int -> thread list
+(** The threads currently sitting in a cpu's run queue, in queue (FIFO)
+    order — a model-checker observation point; may include entries whose
+    state is no longer [Ready]. *)
 
 val set_cpu_params :
   t -> cpu:int -> ?switch_cost:int -> ?slice:Mv_util.Cycles.t option -> unit -> unit

@@ -21,6 +21,11 @@ type t = {
   mutable huge_pages : bool;
       (** large-page memory path: 1G AeroKernel identity maps, transparent
           2M promotion of big anonymous VMAs, range-batched shootdowns *)
+  mutable numa_local_alloc : bool;
+      (** demand-paged frames come from the faulting core's NUMA zone
+          ({!Mv_hw.Phys_mem.alloc_near}) instead of the flat first-fit
+          order; off by default (the flat order is part of the golden
+          trace) *)
 }
 
 val create :
@@ -30,11 +35,15 @@ val create :
   ?hrt_cores:int ->
   ?hrt_mem_fraction:float ->
   ?huge_pages:bool ->
+  ?work_stealing:bool ->
   unit ->
   t
 (** Build the reference machine: 2 sockets x 4 cores at 2.2 GHz by default,
     with [hrt_cores] (default 1) assigned to the HRT partition.
-    [huge_pages] (default [true]) enables the large-page memory path. *)
+    [huge_pages] (default [true]) enables the large-page memory path.
+    [work_stealing] (default [false]) turns on deterministic work stealing
+    among the ROS cores ({!Exec.set_steal_domain}); the default is off,
+    which is byte-identical to the pre-stealing scheduler. *)
 
 val charge : t -> int -> unit
 (** Charge cycles to the running thread (see {!Exec.charge}). *)
@@ -45,6 +54,19 @@ val now : t -> Mv_util.Cycles.t
 
 val cpu_of_current : t -> Mv_hw.Cpu.t
 (** Architectural state of the core the current thread runs on. *)
+
+val alloc_frame : t -> Mv_hw.Phys_mem.region -> int
+(** Allocate a physical frame honouring the machine's placement policy:
+    with [numa_local_alloc] set (and a current thread), the frame comes
+    from the faulting core's zone via {!Mv_hw.Phys_mem.alloc_near};
+    otherwise — and always outside thread context — this is exactly
+    [Phys_mem.alloc]. *)
+
+val mem_access_cost : t -> core:int -> frame:int -> Mv_util.Cycles.t
+(** Extra memory-path cycles for [core] touching [frame]:
+    [costs.remote_access] per socket hop between the core's socket and the
+    frame's NUMA zone, 0 when local.  Locality-sensitive paths (group frame
+    placement, the numa bench) charge this on top of the flat MMU costs. *)
 
 val emit : t -> Trace.payload -> unit
 (** Record a typed event at the current virtual time (and mirror it into

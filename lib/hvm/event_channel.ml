@@ -51,9 +51,10 @@ let rtt_of machine ~kind ~ros_core ~hrt_core =
   match kind with
   | Async -> costs.Costs.async_channel_rtt
   | Sync ->
-      if Topology.same_socket machine.Machine.topo ros_core hrt_core then
-        costs.Costs.sync_channel_same_socket
-      else costs.Costs.sync_channel_cross_socket
+      (* Distance-scaled: 0 and 1 hops are Figure 2's same/cross-socket
+         numbers verbatim; wider machines pay per extra hop. *)
+      let d = Topology.distance machine.Machine.topo ros_core hrt_core in
+      Costs.sync_channel_rtt costs ~distance:d
 
 let create ?(faults = Fault_plan.none) ?(dedup = true) machine ~kind ~ros_core ~hrt_core =
   let res =

@@ -23,6 +23,8 @@ type slot = {
 type endpoint = {
   ep_name : string;
   ep_chan : Event_channel.t;
+  ep_ros_core : int;  (* server-side core; routes the endpoint to a poller group *)
+  mutable ep_group : int;  (* index into [fb_groups]; reassigned by start_pool *)
   ep_ring : slot Queue.t;  (* the shared-page batching ring *)
   mutable ep_inflight : bool;  (* a leader call is mid-flight *)
   mutable ep_npending : int;  (* Pending slots awaiting a drain *)
@@ -57,18 +59,44 @@ type admission = {
 
 type overload = { ov_kind : string; ov_endpoint : string; ov_sheds : int }
 
+(* --- poller groups -------------------------------------------------- *)
+
+(* The shared poller pool is a set of groups, each with its own run queue,
+   parked set and cores.  The default is one global group — byte-identical
+   to the pre-group fabric — while [Per_socket] grouping shards the pool by
+   topology so doorbells are served by a poller on the endpoint's own
+   socket and wake tokens never cross the interconnect. *)
+type grouping = Global | Per_socket
+
+type pgroup = {
+  pg_socket : int;  (* socket served, -1 for the global group *)
+  pg_cores : int list;
+  pg_runq : endpoint Queue.t;  (* doorbells awaiting a poller of this group *)
+  pg_parked : (Exec.thread * (unit -> unit)) Queue.t;
+  mutable pg_pollers : Exec.thread list;
+  mutable pg_next_poller : int;  (* round-robin cursor over [pg_cores] *)
+}
+
+let make_pgroup ?(socket = -1) cores =
+  {
+    pg_socket = socket;
+    pg_cores = cores;
+    pg_runq = Queue.create ();
+    pg_parked = Queue.create ();
+    pg_pollers = [];
+    pg_next_poller = 0;
+  }
+
 type t = {
   fb_machine : Machine.t;
   fb_kind : Event_channel.kind;
   fb_faults : Fault_plan.t;
   fb_heartbeat : int;
   mutable fb_batching : bool;
-  fb_runq : endpoint Queue.t;  (* doorbells awaiting a poller *)
-  fb_parked : (Exec.thread * (unit -> unit)) Queue.t;
-  mutable fb_pollers : Exec.thread list;
+  mutable fb_groups : pgroup array;  (* poller groups; one global group by default *)
+  mutable fb_grouping : grouping;
   mutable fb_spawn : (name:string -> core:int -> (unit -> unit) -> Exec.thread) option;
-  mutable fb_cores : int list;
-  mutable fb_next_poller : int;
+  mutable fb_next_poller : int;  (* global poller-name counter *)
   mutable fb_stop : bool;
   mutable fb_wakes_pending : int;  (* poller wakeups scheduled but not yet run *)
   mutable fb_endpoints : endpoint list;
@@ -119,11 +147,9 @@ let create ?(faults = Fault_plan.none) ?(batching = true) ?heartbeat machine ~ki
     fb_faults = faults;
     fb_heartbeat = heartbeat;
     fb_batching = batching;
-    fb_runq = Queue.create ();
-    fb_parked = Queue.create ();
-    fb_pollers = [];
+    fb_groups = [| make_pgroup [] |];
+    fb_grouping = Global;
     fb_spawn = None;
-    fb_cores = [];
     fb_next_poller = 0;
     fb_stop = false;
     fb_wakes_pending = 0;
@@ -271,13 +297,28 @@ let drain_ring t ep =
 
 (* --- poller pool (the ROS side) --- *)
 
-let rec wake_poller t =
-  match Queue.take_opt t.fb_parked with
+(* The poller group an endpoint with this server core routes to: group 0
+   under global pooling, the core's socket group under per-socket
+   grouping. *)
+let group_index_for t ~ros_core =
+  match t.fb_grouping with
+  | Global -> 0
+  | Per_socket ->
+      let s = Topology.socket_of t.fb_machine.Machine.topo ros_core in
+      let idx = ref 0 in
+      Array.iteri (fun i pg -> if pg.pg_socket = s then idx := i) t.fb_groups;
+      !idx
+
+let group_of t ep =
+  t.fb_groups.(min ep.ep_group (Array.length t.fb_groups - 1))
+
+let rec wake_poller t pg =
+  match Queue.take_opt pg.pg_parked with
   | None -> ()  (* every poller is busy; they re-check the runq before parking *)
   | Some (th, wake) ->
       if Exec.state t.fb_machine.Machine.exec th = Exec.Finished then
         (* Killed while parked: its waker is stale, try the next one. *)
-        wake_poller t
+        wake_poller t pg
       else begin
         (* Count scheduled-but-not-yet-run wakeups so the pool watchdog can
            tell a stranded token (its wakeup died with a killed poller) from
@@ -344,12 +385,12 @@ let serve_endpoint t ep =
         end)
   end
 
-let poller_loop t () =
+let poller_loop t pg () =
   let exec = t.fb_machine.Machine.exec in
   let me = Exec.self exec in
   let rec go () =
     if not t.fb_stop then
-      match Queue.take_opt t.fb_runq with
+      match Queue.take_opt pg.pg_runq with
       | Some ep ->
           (* Clearing the token flag before serving keeps the doorbell
              live: entries enqueued while we drain re-announce themselves
@@ -360,20 +401,21 @@ let poller_loop t () =
           go ()
       | None ->
           Exec.block exec ~reason:"fabric:poll" (fun ~now:_ ~wake ->
-              Queue.add (me, fun () -> wake ()) t.fb_parked);
+              Queue.add (me, fun () -> wake ()) pg.pg_parked);
           go ()
   in
   go ()
 
-let spawn_poller t =
+let spawn_poller t pg =
   match t.fb_spawn with
   | None -> failwith "Fabric: poller pool not started"
   | Some spawn ->
-      let cores = match t.fb_cores with [] -> [ 0 ] | cs -> cs in
-      let core = List.nth cores (t.fb_next_poller mod List.length cores) in
+      let cores = match pg.pg_cores with [] -> [ 0 ] | cs -> cs in
+      let core = List.nth cores (pg.pg_next_poller mod List.length cores) in
       let name = Printf.sprintf "fabric/poller-%d" t.fb_next_poller in
       t.fb_next_poller <- t.fb_next_poller + 1;
-      spawn ~name ~core (poller_loop t)
+      pg.pg_next_poller <- pg.pg_next_poller + 1;
+      spawn ~name ~core (poller_loop t pg)
 
 (* Pool watchdog (armed only under a fault plan): respawn dead pollers one
    beat after they die — recovery mirrors the per-group partner watchdog
@@ -383,40 +425,82 @@ let spawn_poller t =
 let rec pool_monitor t () =
   if not t.fb_stop then begin
     let exec = t.fb_machine.Machine.exec in
-    t.fb_pollers <-
-      List.map
-        (fun th ->
-          if Exec.state exec th = Exec.Finished then begin
-            t.n_respawns <- t.n_respawns + 1;
-            Machine.emit t.fb_machine (Trace.Watchdog_respawn { was = Exec.name th });
-            spawn_poller t
-          end
-          else th)
-        t.fb_pollers;
-    List.iter
-      (fun th ->
-        match Exec.state exec th with
-        | Exec.Blocked r
-          when r = "fabric:poll"
-               && Fault_plan.fire t.fb_faults Fault_plan.Partner_kill (Exec.name th) ->
-            Exec.kill exec th
-        | _ -> ())
-      t.fb_pollers;
-    (* Tokens whose wakeup died with a killed poller are re-announced.
-       The pending-wake guard keeps this from firing on a token that is
-       already being picked up — under a never-firing plan this branch is
-       unreachable, preserving schedule neutrality. *)
-    if (not (Queue.is_empty t.fb_runq)) && t.fb_wakes_pending = 0 then wake_poller t;
+    Array.iter
+      (fun pg ->
+        pg.pg_pollers <-
+          List.map
+            (fun th ->
+              if Exec.state exec th = Exec.Finished then begin
+                t.n_respawns <- t.n_respawns + 1;
+                Machine.emit t.fb_machine (Trace.Watchdog_respawn { was = Exec.name th });
+                spawn_poller t pg
+              end
+              else th)
+            pg.pg_pollers;
+        List.iter
+          (fun th ->
+            match Exec.state exec th with
+            | Exec.Blocked r
+              when r = "fabric:poll"
+                   && Fault_plan.fire t.fb_faults Fault_plan.Partner_kill (Exec.name th) ->
+                Exec.kill exec th
+            | _ -> ())
+          pg.pg_pollers;
+        (* Tokens whose wakeup died with a killed poller are re-announced.
+           The pending-wake guard keeps this from firing on a token that is
+           already being picked up — under a never-firing plan this branch is
+           unreachable, preserving schedule neutrality. *)
+        if (not (Queue.is_empty pg.pg_runq)) && t.fb_wakes_pending = 0 then
+          wake_poller t pg)
+      t.fb_groups;
     Sim.schedule_after (Exec.sim exec) t.fb_heartbeat (pool_monitor t)
   end
 
-let start_pool t ~spawn ~cores ?size () =
-  let size = match size with Some n -> max 1 n | None -> max 2 (List.length cores) in
+let start_pool t ~spawn ~cores ?size ?(grouping = Global) () =
+  let total = match size with Some n -> max 1 n | None -> max 2 (List.length cores) in
   t.fb_spawn <- Some spawn;
-  t.fb_cores <- cores;
-  for _ = 1 to size do
-    t.fb_pollers <- spawn_poller t :: t.fb_pollers
-  done;
+  t.fb_grouping <- grouping;
+  let groups =
+    match grouping with
+    | Global -> [| make_pgroup cores |]
+    | Per_socket ->
+        (* One group per socket that owns at least one pool core, in
+           ascending socket order — the routing is a pure function of the
+           topology. *)
+        let topo = t.fb_machine.Machine.topo in
+        let sockets =
+          List.sort_uniq compare (List.map (Topology.socket_of topo) cores)
+        in
+        sockets
+        |> List.map (fun s ->
+               make_pgroup ~socket:s
+                 (List.filter (fun c -> Topology.socket_of topo c = s) cores))
+        |> Array.of_list
+  in
+  (* Endpoints may predate the pool: recompute their routing, carrying any
+     outstanding doorbell tokens into the new group run queues. *)
+  let stale_tokens =
+    Array.to_list t.fb_groups
+    |> List.concat_map (fun pg ->
+           List.rev (Queue.fold (fun acc ep -> ep :: acc) [] pg.pg_runq))
+  in
+  t.fb_groups <- groups;
+  List.iter
+    (fun ep -> ep.ep_group <- group_index_for t ~ros_core:ep.ep_ros_core)
+    t.fb_endpoints;
+  List.iter (fun ep -> Queue.add ep (group_of t ep).pg_runq) stale_tokens;
+  (* Each group's poller count follows its share of the pool cores (the
+     global group owns them all, so this is [total] there): a group never
+     gets more pollers than it can spread over its own cores, which would
+     only stack fibers on the busiest socket. *)
+  let ncores = max 1 (List.length cores) in
+  Array.iter
+    (fun pg ->
+      let share = max 1 (total * List.length pg.pg_cores / ncores) in
+      for _ = 1 to share do
+        pg.pg_pollers <- spawn_poller t pg :: pg.pg_pollers
+      done)
+    groups;
   if resilient t then
     Sim.schedule_after (Exec.sim t.fb_machine.Machine.exec) t.fb_heartbeat (pool_monitor t)
 
@@ -429,6 +513,8 @@ let endpoint t ~name ~ros_core ~hrt_core =
     {
       ep_name = name;
       ep_chan = ch;
+      ep_ros_core = ros_core;
+      ep_group = 0;
       ep_ring = Queue.create ();
       ep_inflight = false;
       ep_npending = 0;
@@ -447,13 +533,15 @@ let endpoint t ~name ~ros_core ~hrt_core =
      while one is already outstanding for this endpoint: the token's owner
      drains the channel until empty, so one token covers any number of
      enqueued entries (and the run queue never accumulates stale tokens). *)
+  ep.ep_group <- group_index_for t ~ros_core;
   Event_channel.set_notify ch
     (Some
        (fun () ->
          if not ep.ep_announced then begin
            ep.ep_announced <- true;
-           Queue.add ep t.fb_runq;
-           wake_poller t
+           let pg = group_of t ep in
+           Queue.add ep pg.pg_runq;
+           wake_poller t pg
          end));
   t.fb_endpoints <- ep :: t.fb_endpoints;
   ep
@@ -562,14 +650,17 @@ let make_admission ?(policy = Shed) ?(ring_capacity = 8) ?(queue_capacity = 16)
 let shutdown t =
   t.fb_stop <- true;
   let exec = t.fb_machine.Machine.exec in
-  let rec release () =
-    match Queue.take_opt t.fb_parked with
-    | None -> ()
-    | Some (th, wake) ->
-        if Exec.state exec th <> Exec.Finished then sched_now t wake;
-        release ()
-  in
-  release ()
+  Array.iter
+    (fun pg ->
+      let rec release () =
+        match Queue.take_opt pg.pg_parked with
+        | None -> ()
+        | Some (th, wake) ->
+            if Exec.state exec th <> Exec.Finished then sched_now t wake;
+            release ()
+      in
+      release ())
+    t.fb_groups
 
 (* --- transport with graceful degradation --- *)
 
@@ -987,7 +1078,17 @@ let fallbacks t = t.n_fallbacks
 let reroutes t = t.n_reroutes
 let respawns t = t.n_respawns
 let endpoints t = List.length t.fb_endpoints
-let pollers t = List.length t.fb_pollers
+
+let pollers t =
+  Array.fold_left (fun acc pg -> acc + List.length pg.pg_pollers) 0 t.fb_groups
+
+let poller_groups t = Array.length t.fb_groups
+
+let group_cores t ~group =
+  if group < 0 || group >= Array.length t.fb_groups then []
+  else t.fb_groups.(group).pg_cores
+
+let endpoint_group _t ep = ep.ep_group
 let admitted t = t.n_admitted
 let sheds t = t.n_sheds
 let shed_retries t = t.n_shed_retries

@@ -107,15 +107,27 @@ val create :
 val set_batching : t -> bool -> unit
 val batching : t -> bool
 
+type grouping = Global | Per_socket
+(** Poller-pool sharding.  [Global] (the default) is one pool serving every
+    endpoint — byte-identical to the pre-group fabric.  [Per_socket]
+    derives the pool layout from the machine topology: one poller group per
+    socket that owns pool cores, endpoints routed to the group of their
+    server-side core's socket, so doorbells are answered locally and wake
+    tokens never cross the interconnect. *)
+
 val start_pool :
   t ->
   spawn:(name:string -> core:int -> (unit -> unit) -> Mv_engine.Exec.thread) ->
   cores:int list ->
   ?size:int ->
+  ?grouping:grouping ->
   unit ->
   unit
 (** Spawn the shared ROS-side poller pool ([size] defaults to
     [max 2 (length cores)]), spreading pollers round-robin over [cores].
+    With [~grouping:Per_socket] the pool is sharded by topology instead:
+    [size] is split evenly across the socket groups (at least one poller
+    each), and each group round-robins over its own socket's cores.
     [spawn] is the host's thread factory (the runtime passes
     [Kernel.spawn_thread] so pollers account like any process thread).
     Under an enabled fault plan this also arms the pool watchdog:
@@ -229,6 +241,15 @@ val respawns : t -> int
 
 val endpoints : t -> int
 val pollers : t -> int
+
+val poller_groups : t -> int
+(** Number of poller groups (1 under [Global] pooling). *)
+
+val group_cores : t -> group:int -> int list
+(** The cores a poller group round-robins over ([[]] out of range). *)
+
+val endpoint_group : t -> endpoint -> int
+(** The poller group an endpoint routes to. *)
 
 val admitted : t -> int
 (** Requests passing the admission gate (directly or after queueing). *)

@@ -13,6 +13,8 @@ type t = {
   async_channel_rtt : int;
   sync_channel_same_socket : int;
   sync_channel_cross_socket : int;
+  channel_hop_multiplier : float;
+  remote_access : int;
   merge_address_space : int;
   page_walk_level : int;
   walk_cache_hit : int;
@@ -53,6 +55,12 @@ let default =
     async_channel_rtt = 25_000;
     sync_channel_same_socket = 790;
     sync_channel_cross_socket = 1_060;
+    (* Beyond one hop the cache-coherent interconnect adds ~30% latency per
+       additional hop (DESIGN §6); unused at the 2-socket default. *)
+    channel_hop_multiplier = 1.3;
+    (* Extra cycles per socket hop for a cache line served from a remote
+       NUMA node (DESIGN §6). *)
+    remote_access = 180;
     merge_address_space = 33_000;
     page_walk_level = 30;
     walk_cache_hit = 8;
@@ -76,9 +84,24 @@ let default =
     wrapper_dispatch = 45;
   }
 
+(* Distance-scaled costs (DESIGN §6).  Distance 0 and 1 reproduce the
+   paper's Figure 2 numbers exactly; the multiplier only engages beyond one
+   hop, so the default two-socket machine is bit-compatible with the flat
+   model. *)
+let sync_channel_rtt c ~distance =
+  if distance <= 0 then c.sync_channel_same_socket
+  else if distance = 1 then c.sync_channel_cross_socket
+  else
+    int_of_float
+      (float_of_int c.sync_channel_cross_socket
+      *. (c.channel_hop_multiplier ** float_of_int (distance - 1)))
+
+let remote_access_cost c ~distance = c.remote_access * max 0 distance
+
 let pp ppf c =
   Format.fprintf ppf
     "@[<v>syscall_trap=%d vdso=%d async_rtt=%d sync_same=%d sync_cross=%d \
-     merge=%d hrt_boot=%d@]"
+     hop_mult=%.2f remote_access=%d merge=%d hrt_boot=%d@]"
     c.syscall_trap c.vdso_call c.async_channel_rtt c.sync_channel_same_socket
-    c.sync_channel_cross_socket c.merge_address_space c.hrt_boot
+    c.sync_channel_cross_socket c.channel_hop_multiplier c.remote_access
+    c.merge_address_space c.hrt_boot

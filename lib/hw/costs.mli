@@ -31,7 +31,13 @@ type t = {
   (* --- HVM event channels (paper, Figure 2) --- *)
   async_channel_rtt : int;  (** ~25 K cycles, 1.1 us *)
   sync_channel_same_socket : int;  (** ~790 cycles, 36 ns *)
-  sync_channel_cross_socket : int;  (** ~1060 cycles, 48 ns *)
+  sync_channel_cross_socket : int;  (** ~1060 cycles, 48 ns — one hop *)
+  channel_hop_multiplier : float;
+      (** per-hop latency growth of the synchronous channel beyond one
+          socket hop; inert on the paper's 2-socket machine (DESIGN §6) *)
+  remote_access : int;
+      (** extra cycles {e per socket hop} for a memory access served from a
+          remote NUMA zone (DESIGN §6) *)
   merge_address_space : int;  (** ~33 K cycles, 1.5 us *)
   (* --- memory system --- *)
   page_walk_level : int;  (** per page-table level actually read on a TLB miss *)
@@ -71,5 +77,17 @@ type t = {
 }
 
 val default : t
+
+val sync_channel_rtt : t -> distance:int -> int
+(** Synchronous event-channel round trip at a given NUMA distance.
+    Distances 0 and 1 are the paper's Figure 2 numbers verbatim
+    ([sync_channel_same_socket] / [sync_channel_cross_socket]); each hop
+    beyond the first scales by [channel_hop_multiplier].  The default
+    two-socket machine never exceeds distance 1, so the flat model is
+    reproduced bit-for-bit there. *)
+
+val remote_access_cost : t -> distance:int -> int
+(** Extra memory-path cycles for an access at a given NUMA distance:
+    [remote_access * distance], 0 when local. *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,12 +12,25 @@ type zone = {
 type t = {
   zones : zone array;
   frames_per_zone : int;
+  cores_per_socket : int;
+  fallback : int array array;
+      (* fallback.(z) = zone ids ordered local-first, then by NUMA distance
+         (hops), ties broken by lowest zone id.  Precomputed so every alloc
+         is a walk over per-zone freelists in a fixed order — no global
+         scan, and the order is a pure function of the geometry. *)
   used : (int, region) Hashtbl.t;
   mutable allocated_ros : int;
   mutable allocated_hrt : int;
 }
 
-let create ?(frames_per_zone = 262_144) ~sockets ~hrt_fraction () =
+let fallback_order_of ~sockets z =
+  List.init sockets (fun i -> i)
+  |> List.stable_sort (fun a b ->
+         compare (abs (a - z), a) (abs (b - z), b))
+  |> Array.of_list
+
+let create ?(frames_per_zone = 262_144) ?(cores_per_socket = 4) ~sockets
+    ~hrt_fraction () =
   if hrt_fraction < 0. || hrt_fraction >= 1. then
     invalid_arg "Phys_mem.create: hrt_fraction must be in [0,1)";
   let make_zone s =
@@ -36,10 +49,18 @@ let create ?(frames_per_zone = 262_144) ~sockets ~hrt_fraction () =
   {
     zones = Array.init sockets make_zone;
     frames_per_zone;
+    cores_per_socket = max 1 cores_per_socket;
+    fallback = Array.init sockets (fallback_order_of ~sockets);
     used = Hashtbl.create 4096;
     allocated_ros = 0;
     allocated_hrt = 0;
   }
+
+let nzones t = Array.length t.zones
+
+let fallback_order t ~zone =
+  let z = if zone >= 0 && zone < nzones t then zone else 0 in
+  Array.to_list t.fallback.(z)
 
 let take_from zone region =
   match region with
@@ -57,26 +78,31 @@ let take_from zone region =
       | [] -> None)
 
 let alloc t ?zone region =
-  let order =
-    match zone with
-    | Some z when z >= 0 && z < Array.length t.zones ->
-        t.zones.(z)
-        :: (Array.to_list t.zones |> List.filter (fun zz -> zz.socket <> z))
-    | _ -> Array.to_list t.zones
+  (* Local zone first, then outward by distance.  With no hint the order is
+     zone 0's (ascending ids), which is what the flat allocator did. *)
+  let z = match zone with Some z when z >= 0 && z < nzones t -> z | _ -> 0 in
+  let order = t.fallback.(z) in
+  let n = Array.length order in
+  let rec go i =
+    if i >= n then raise Out_of_memory
+    else
+      match take_from t.zones.(order.(i)) region with
+      | Some f ->
+          Hashtbl.replace t.used f region;
+          (match region with
+          | Ros_region -> t.allocated_ros <- t.allocated_ros + 1
+          | Hrt_region -> t.allocated_hrt <- t.allocated_hrt + 1);
+          f
+      | None -> go (i + 1)
   in
-  let rec go = function
-    | [] -> raise Out_of_memory
-    | z :: rest -> (
-        match take_from z region with
-        | Some f ->
-            Hashtbl.replace t.used f region;
-            (match region with
-            | Ros_region -> t.allocated_ros <- t.allocated_ros + 1
-            | Hrt_region -> t.allocated_hrt <- t.allocated_hrt + 1);
-            f
-        | None -> go rest)
-  in
-  go order
+  go 0
+
+let zone_of_core t core = core / t.cores_per_socket
+
+let alloc_near t ~core region =
+  let z = zone_of_core t core in
+  let z = if z >= 0 && z < nzones t then z else 0 in
+  alloc t ~zone:z region
 
 let zone_of_frame t f = f / t.frames_per_zone
 
@@ -89,7 +115,10 @@ let region_of_frame t f =
 
 let free t f =
   match Hashtbl.find_opt t.used f with
-  | None -> invalid_arg "Phys_mem.free: frame not allocated"
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Phys_mem.free: frame %d (zone %d) not allocated" f
+           (zone_of_frame t f))
   | Some region ->
       Hashtbl.remove t.used f;
       let z = t.zones.(zone_of_frame t f) in
@@ -113,5 +142,6 @@ let total t region =
     0 t.zones
 
 let pp ppf t =
-  Format.fprintf ppf "phys: ros %d/%d hrt %d/%d frames" t.allocated_ros
-    (total t Ros_region) t.allocated_hrt (total t Hrt_region)
+  Format.fprintf ppf "phys: ros %d/%d hrt %d/%d frames (%d zones)"
+    t.allocated_ros (total t Ros_region) t.allocated_hrt (total t Hrt_region)
+    (nzones t)

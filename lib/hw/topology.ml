@@ -16,8 +16,20 @@ let create ?(sockets = 2) ?(cores_per_socket = 4) ~hrt_cores () =
   { sockets; cores_per_socket; cores }
 
 let ncores t = Array.length t.cores
+let nsockets t = t.sockets
+let cores_per_socket t = t.cores_per_socket
 let core t i = t.cores.(i)
 let same_socket t a b = t.cores.(a).socket = t.cores.(b).socket
+
+(* NUMA distance in hops.  Sockets sit on a line interconnect (HyperTransport
+   daisy chain on the reference Opteron), so the distance between two cores
+   is the number of socket hops between them: 0 on the same socket, 1 for
+   adjacent sockets.  At the default 2-socket geometry this reduces to the
+   old [same_socket] boolean. *)
+let socket_distance _t a b = abs (a - b)
+let distance t a b = socket_distance t t.cores.(a).socket t.cores.(b).socket
+
+let socket_of t i = t.cores.(i).socket
 
 let cores_with t role =
   Array.to_list t.cores

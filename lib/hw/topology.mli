@@ -19,8 +19,24 @@ val create : ?sockets:int -> ?cores_per_socket:int -> hrt_cores:int -> unit -> t
     the machine. *)
 
 val ncores : t -> int
+val nsockets : t -> int
+val cores_per_socket : t -> int
 val core : t -> int -> core
 val same_socket : t -> int -> int -> bool
+
+val distance : t -> int -> int -> int
+(** [distance t a b] is the NUMA distance between cores [a] and [b] in
+    socket hops: 0 on the same socket, 1 for adjacent sockets, and so on.
+    Sockets form a line interconnect, so the hop count is the difference of
+    the socket indices.  At the default two-socket geometry this carries
+    exactly the information of {!same_socket}. *)
+
+val socket_distance : t -> int -> int -> int
+(** Distance in hops between two {e sockets} (the matrix underlying
+    {!distance}). *)
+
+(** [socket_of t i] is the socket index of core [i]. *)
+val socket_of : t -> int -> int
 val ros_cores : t -> int list
 val hrt_cores : t -> int list
 val role : t -> int -> role

@@ -29,6 +29,17 @@ type porting = {
 val no_porting : porting
 val full_porting : porting
 
+type placement = Spread | Affine
+(** Execution-group placement policy.  [Spread] (the default, and the
+    historical behaviour) serves every group from the first ROS core and
+    round-robins HRT threads over the whole HRT partition.  [Affine] keeps
+    a group on one socket: the HRT round-robin is unchanged, but the
+    group's partner/endpoint lands on the ROS core nearest its HRT core
+    (ties rotated by group id), the fabric poller pool is sharded
+    per-socket ({!Mv_hvm.Fabric.Per_socket}), and demand-paged frames come
+    from the faulting core's NUMA zone
+    ({!Mv_engine.Machine.alloc_frame}). *)
+
 type t
 
 val init :
@@ -40,6 +51,7 @@ val init :
   ?use_symbol_cache:bool ->
   ?porting:porting ->
   ?faults:Mv_faults.Fault_plan.t ->
+  ?placement:placement ->
   unit ->
   t
 (** Run the Multiverse initialization sequence (thread context: call from

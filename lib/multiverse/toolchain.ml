@@ -38,6 +38,11 @@ type mv_options = {
   mv_porting : Runtime.porting;
   mv_faults : Mv_faults.Fault_plan.t;
   mv_huge_pages : bool;
+  mv_sockets : int;
+  mv_cores_per_socket : int;
+  mv_hrt_cores : int;
+  mv_placement : Runtime.placement;
+  mv_work_stealing : bool;
 }
 
 let default_mv_options =
@@ -47,6 +52,11 @@ let default_mv_options =
     mv_porting = Runtime.no_porting;
     mv_faults = Mv_faults.Fault_plan.none;
     mv_huge_pages = true;
+    mv_sockets = 2;
+    mv_cores_per_socket = 4;
+    mv_hrt_cores = 1;
+    mv_placement = Runtime.Spread;
+    mv_work_stealing = false;
   }
 
 type run_stats = {
@@ -91,8 +101,9 @@ let prepare_stdin proc stdin =
   | None -> Vfs.close_stream proc.Process.stdin
 
 let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
-    program =
-  let machine = Machine.create ?costs ~huge_pages () in
+    ?(topology = (2, 4)) ?(hrt_cores = 1) program =
+  let sockets, cores_per_socket = topology in
+  let machine = Machine.create ?costs ~huge_pages ~sockets ~cores_per_socket ~hrt_cores () in
   if trace then Machine.set_tracing machine true;
   let kernel = Kernel.create ~virtualized machine in
   let proc =
@@ -108,14 +119,18 @@ let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
     failwith (program.prog_name ^ ": simulation quiesced before process exit");
   collect ~mode ~kernel ~machine ~proc ~runtime:None
 
-let run_native ?costs ?stdin ?trace ?huge_pages program =
-  run_plain ~virtualized:false ?costs ?stdin ?trace ?huge_pages program
+let run_native ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program =
+  run_plain ~virtualized:false ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program
 
-let run_virtual ?costs ?stdin ?trace ?huge_pages program =
-  run_plain ~virtualized:true ?costs ?stdin ?trace ?huge_pages program
+let run_virtual ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program =
+  run_plain ~virtualized:true ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program
 
 let setup_multiverse ?costs ~options ~name ~fat body =
-  let machine = Machine.create ?costs ~huge_pages:options.mv_huge_pages () in
+  let machine =
+    Machine.create ?costs ~huge_pages:options.mv_huge_pages ~sockets:options.mv_sockets
+      ~cores_per_socket:options.mv_cores_per_socket ~hrt_cores:options.mv_hrt_cores
+      ~work_stealing:options.mv_work_stealing ()
+  in
   let kernel = Kernel.create machine in
   let hvm = Hvm.create machine ~ros:kernel in
   let nk = Nautilus.create machine in
@@ -124,7 +139,7 @@ let setup_multiverse ?costs ~options ~name ~fat body =
         let rt =
           Runtime.init ~hvm ~proc:p ~fat ~nk ~channel_kind:options.mv_channel
             ~use_symbol_cache:options.mv_symbol_cache ~porting:options.mv_porting
-            ~faults:options.mv_faults ()
+            ~faults:options.mv_faults ~placement:options.mv_placement ()
         in
         body kernel p rt)
   in

@@ -38,6 +38,17 @@ type mv_options = {
       (** Enable the huge-page memory path (1 GiB HRT identity leaves,
           transparent 2 MiB promotion of anonymous VMAs, range-batched
           shootdowns).  Default [true]; the mempath bench A/Bs this. *)
+  mv_sockets : int;  (** machine geometry (default 2 x 4, the reference box) *)
+  mv_cores_per_socket : int;
+  mv_hrt_cores : int;  (** cores carved out for the HRT partition (default 1) *)
+  mv_placement : Runtime.placement;
+      (** execution-group placement (default [Spread], the historical
+          behaviour; [Affine] keeps each group's cores, frames and poller
+          group on one socket) *)
+  mv_work_stealing : bool;
+      (** deterministic work stealing across the ROS cores' per-core
+          runqueues (default [false] — off is byte-identical to the
+          pre-stealing scheduler) *)
 }
 
 val default_mv_options : mv_options
@@ -62,16 +73,22 @@ val run_native :
   ?stdin:string ->
   ?trace:bool ->
   ?huge_pages:bool ->
+  ?topology:int * int ->
+  ?hrt_cores:int ->
   program ->
   run_stats
 (** Bare-metal Linux execution (the paper's "Native" rows).  [huge_pages]
-    (default [true]) toggles the machine's huge-page memory path. *)
+    (default [true]) toggles the machine's huge-page memory path;
+    [topology] is [(sockets, cores_per_socket)] (default [(2, 4)], the
+    reference box). *)
 
 val run_virtual :
   ?costs:Mv_hw.Costs.t ->
   ?stdin:string ->
   ?trace:bool ->
   ?huge_pages:bool ->
+  ?topology:int * int ->
+  ?hrt_cores:int ->
   program ->
   run_stats
 (** The same, as an HVM guest: exit and nested-paging overheads apply. *)

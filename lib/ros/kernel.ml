@@ -183,6 +183,14 @@ let exit_process t p ~code =
     | _ -> ()
   end
 
+(* Per-core runqueues with optional deterministic work stealing: spawn
+   placement is round-robin (the initial balance), and when stealing is on
+   an idle ROS core drains half of the most-loaded peer's queue.  The
+   domain is exactly the ROS cores — HRT cores are never touched. *)
+let set_work_stealing t enabled =
+  Exec.set_steal_domain t.machine.Machine.exec
+    (if enabled then Some (Array.to_list t.ros_cores) else None)
+
 (* Spread threads across the ROS cores round-robin (the Linux scheduler's
    load balancing, simplified). *)
 let pick_ros_core t pref =

@@ -52,6 +52,12 @@ val register_foreign_thread : t -> Process.t -> Mv_engine.Exec.thread -> unit
 (** Associate a thread created elsewhere (an HRT thread) with a process so
     kernel services invoked on its behalf account correctly. *)
 
+val set_work_stealing : t -> bool -> unit
+(** Toggle deterministic work stealing across the ROS cores' per-core
+    runqueues (see {!Mv_engine.Exec.set_steal_domain}).  Spawn placement
+    stays round-robin; stealing rebalances afterwards.  Off by default —
+    disabled scheduling is byte-identical to the pre-stealing kernel. *)
+
 val current : t -> task
 (** @raise Failure outside guest-thread context. *)
 

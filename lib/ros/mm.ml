@@ -128,7 +128,7 @@ let split_chunk t head =
         match find_vma_page t page with
         | None -> note_rss t (-1) (* page lost its VMA; drop residency *)
         | Some v ->
-            let frame = Phys_mem.alloc t.machine.Machine.phys Phys_mem.Ros_region in
+            let frame = Machine.alloc_frame t.machine Phys_mem.Ros_region in
             Page_table.map t.pt (Addr.base_of_page page) ~frame
               ~flags:(pte_flags_of_prot v.v_prot ~cow:false);
             Hashtbl.replace t.frames page frame
@@ -332,7 +332,7 @@ let handle_fault t addr ~write =
            2M-aligned chunk of a big anonymous VMA maps one 2M leaf — one
            trap and one fill where the 4K path would take 512 of each. *)
         let head = chunk_head page in
-        let frame = Phys_mem.alloc machine.Machine.phys Phys_mem.Ros_region in
+        let frame = Machine.alloc_frame machine Phys_mem.Ros_region in
         Machine.charge machine costs.Costs.demand_huge_page;
         Page_table.map_size t.pt (Addr.base_of_page head) ~size:Page_table.S2m ~frame
           ~flags:(pte_flags_of_prot v.v_prot ~cow:false);
@@ -346,7 +346,7 @@ let handle_fault t addr ~write =
         | None ->
             if write then begin
               (* First write: allocate a private zeroed frame. *)
-              let frame = Phys_mem.alloc machine.Machine.phys Phys_mem.Ros_region in
+              let frame = Machine.alloc_frame machine Phys_mem.Ros_region in
               Machine.charge machine costs.Costs.demand_page;
               Page_table.map t.pt (Addr.base_of_page page) ~frame
                 ~flags:(pte_flags_of_prot v.v_prot ~cow:false);
@@ -366,7 +366,7 @@ let handle_fault t addr ~write =
             end
         | Some frame when write && frame = machine.Machine.zero_frame ->
             (* COW break away from the shared zero page. *)
-            let nframe = Phys_mem.alloc machine.Machine.phys Phys_mem.Ros_region in
+            let nframe = Machine.alloc_frame machine Phys_mem.Ros_region in
             Machine.charge machine costs.Costs.cow_copy;
             Page_table.map t.pt (Addr.base_of_page page) ~frame:nframe
               ~flags:(pte_flags_of_prot v.v_prot ~cow:false);

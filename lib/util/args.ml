@@ -22,6 +22,29 @@ let float =
     cv_kind = "float";
   }
 
+let topology =
+  {
+    cv_parse =
+      (fun s ->
+        match String.index_opt s 'x' with
+        | None -> Error (Printf.sprintf "expected SOCKETSxCORES (e.g. 4x32), got %S" s)
+        | Some i -> (
+            let a = String.sub s 0 i
+            and b = String.sub s (i + 1) (String.length s - i - 1) in
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some sockets, Some cores when sockets > 0 && cores > 0 ->
+                if sockets * cores < 2 then
+                  Error
+                    (Printf.sprintf
+                       "topology %dx%d leaves no ROS core (need at least 2 cores)" sockets
+                       cores)
+                else Ok (sockets, cores)
+            | _ ->
+                Error
+                  (Printf.sprintf "expected SOCKETSxCORES with positive integers, got %S" s)));
+    cv_kind = "topology";
+  }
+
 let enum alts =
   {
     cv_parse =

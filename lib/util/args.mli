@@ -26,6 +26,13 @@ val enum : (string * 'a) list -> 'a conv
 (** Accepts exactly the listed spellings; the error message enumerates
     them. *)
 
+val topology : (int * int) conv
+(** Machine geometry as [SOCKETSxCORES] (e.g. ["4x32"] for 4 sockets of
+    32 cores): both counts must be positive and the machine must have at
+    least two cores total — a one-core geometry leaves no ROS core once
+    an HRT core is carved out, so it is rejected at parse time (usage
+    error, exit 2). *)
+
 (** {1 Terms} *)
 
 type 'a t

@@ -9,6 +9,7 @@ module Cycles = Mv_util.Cycles
 module Metrics = Mv_obs.Metrics
 
 type arrival = Poisson | Bursty
+type placement = Round_robin | Affine_socket
 
 type config = {
   lg_groups : int;
@@ -24,6 +25,7 @@ type config = {
   lg_cores_per_socket : int;
   lg_hrt_cores : int;
   lg_pool_size : int option;
+  lg_placement : placement;
 }
 
 let default_config =
@@ -41,6 +43,7 @@ let default_config =
     lg_cores_per_socket = 4;
     lg_hrt_cores = 4;
     lg_pool_size = None;
+    lg_placement = Round_robin;
   }
 
 type results = {
@@ -115,8 +118,29 @@ let run cfg =
   Fabric.set_admission fabric cfg.lg_admission;
   Fabric.start_pool fabric
     ~spawn:(fun ~name ~core body -> Exec.spawn exec ~cpu:core ~name body)
-    ~cores:ros_cores ?size:cfg.lg_pool_size ();
+    ~cores:ros_cores ?size:cfg.lg_pool_size
+    ~grouping:
+      (match cfg.lg_placement with
+      | Round_robin -> Fabric.Global
+      | Affine_socket -> Fabric.Per_socket)
+    ();
   let nros = List.length ros_cores and nhrt = List.length hrt_cores in
+  (* Server-side core per group: the historical round-robin stride, or —
+     affine — the ROS core nearest the group's HRT core (ties rotated by
+     group id, spreading same-socket groups over that socket's cores). *)
+  let ros_core_for g hrt_core =
+    match cfg.lg_placement with
+    | Round_robin -> List.nth ros_cores (g mod nros)
+    | Affine_socket ->
+        let topo = machine.Machine.topo in
+        let scored =
+          List.sort compare
+            (List.map (fun c -> (Topology.distance topo c hrt_core, c)) ros_cores)
+        in
+        let d0 = fst (List.hd scored) in
+        let near = List.filter (fun (d, _) -> d = d0) scored in
+        snd (List.nth near (g mod List.length near))
+  in
   let sojourn = Metrics.latency machine.Machine.metrics ~ns:"loadgen" "sojourn" in
   let master = Rng.create ~seed:cfg.lg_seed in
   let issued = ref 0 and completed = ref 0 and dropped = ref 0 in
@@ -133,11 +157,11 @@ let run cfg =
       (List.init cfg.lg_groups (fun g ->
            let rng = Rng.split master in
            let arrivals = arrival_schedule cfg rng ~group:g in
+           let hrt_core = List.nth hrt_cores (g mod nhrt) in
            let ep =
              Fabric.endpoint fabric
                ~name:(Printf.sprintf "grp-%d" g)
-               ~ros_core:(List.nth ros_cores (g mod nros))
-               ~hrt_core:(List.nth hrt_cores (g mod nhrt))
+               ~ros_core:(ros_core_for g hrt_core) ~hrt_core
            in
            List.init nworkers (fun w ->
                Exec.spawn exec
@@ -200,3 +224,12 @@ let arrival_of_string = function
   | _ -> None
 
 let arrival_to_string = function Poisson -> "poisson" | Bursty -> "bursty"
+
+let placement_of_string = function
+  | "round-robin" -> Some Round_robin
+  | "affine" -> Some Affine_socket
+  | _ -> None
+
+let placement_to_string = function
+  | Round_robin -> "round-robin"
+  | Affine_socket -> "affine"

@@ -20,6 +20,15 @@ type arrival =
       (** the same mean rate delivered as on/off duty-cycle bursts
           (4x rate during 25% duty), phase-staggered across groups *)
 
+type placement =
+  | Round_robin
+      (** the historical stride: group [g]'s server core is
+          [ros_cores[g mod nros]], regardless of where its HRT core sits *)
+  | Affine_socket
+      (** group-affine: the server core nearest the group's HRT core (ties
+          rotated by group id), and the poller pool sharded per socket
+          ({!Mv_hvm.Fabric.Per_socket}) so doorbells stay on-socket *)
+
 type config = {
   lg_groups : int;  (** execution groups = fabric endpoints *)
   lg_calls_per_group : int;
@@ -38,6 +47,7 @@ type config = {
   lg_cores_per_socket : int;
   lg_hrt_cores : int;
   lg_pool_size : int option;  (** poller pool size; [None] = topology-sized *)
+  lg_placement : placement;  (** endpoint/pool placement (default round-robin) *)
 }
 
 val default_config : config
@@ -70,3 +80,8 @@ val run : config -> results
 
 val arrival_of_string : string -> arrival option
 val arrival_to_string : arrival -> string
+
+val placement_of_string : string -> placement option
+(** ["round-robin"] or ["affine"]. *)
+
+val placement_to_string : placement -> string

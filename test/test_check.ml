@@ -176,6 +176,58 @@ let assert_clean ~seeds name () =
         cx.Explore.cx_message
         (String.concat "," (List.map string_of_int cx.Explore.cx_trace))
 
+(* --- per-core runqueues + deterministic work stealing --- *)
+
+(* Four straight-line jobs pinned on ROS core 0 with every other ROS core
+   idle.  Stealing disabled must keep every segment on core 0; stealing
+   enabled must migrate work, and only within the ROS partition. *)
+let steal_workload stealing =
+  let machine = Machine.create ~work_stealing:stealing () in
+  let exec = machine.Machine.exec in
+  let ncores = Mv_hw.Topology.ncores machine.Machine.topo in
+  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let log = ref [] in
+  for t = 0 to 3 do
+    let name = Printf.sprintf "job-%d" t in
+    ignore
+      (Exec.spawn exec ~cpu:0 ~name (fun () ->
+           for step = 0 to 2 do
+             log :=
+               (Printf.sprintf "%s.%d" name step, Exec.cpu_of (Exec.self exec))
+               :: !log;
+             Exec.charge exec 4_000;
+             Exec.yield exec
+           done))
+  done;
+  Sim.run machine.Machine.sim;
+  let steals =
+    List.fold_left ( + ) 0
+      (List.init ncores (fun c -> Exec.steals exec ~cpu:c))
+  in
+  (List.rev !log, Sim.now machine.Machine.sim, steals, hrt)
+
+let test_stealing_disabled_stays_put () =
+  let log, _, steals, _ = steal_workload false in
+  check_int "no steals when disabled" 0 steals;
+  List.iter
+    (fun (seg, cpu) -> check_int (seg ^ " runs on its spawn core") 0 cpu)
+    log
+
+let test_stealing_migrates_within_ros () =
+  let log0, t0, _, _ = steal_workload false in
+  let log1, t1, steals, hrt = steal_workload true in
+  check_bool "stealing actually happened" true (steals > 0);
+  check_bool "some segment migrated off core 0" true
+    (List.exists (fun (_, cpu) -> cpu <> 0) log1);
+  List.iter
+    (fun (seg, cpu) ->
+      check_bool (seg ^ " stays inside the ROS partition") true (cpu < hrt))
+    log1;
+  (* Same work, run exactly once each, and no slower than the serial run. *)
+  let segs l = List.sort compare (List.map fst l) in
+  Alcotest.(check (list string)) "identical segment multiset" (segs log0) (segs log1);
+  check_bool "parallelism does not lose virtual time" true (t1 <= t0)
+
 (* --- run_bounded --- *)
 
 let test_run_bounded_budget () =
@@ -234,6 +286,34 @@ let test_golden_trace () =
        intentional, regenerate with: dune exec bin/mvcheck.exe -- golden > \
        test/%s" (String.length actual) (String.length expected) golden_path
 
+(* The stealing machinery being compiled in must not perturb the canonical
+   run: with stealing explicitly disabled, the full hybridized golden
+   workload reproduces the committed trace byte-for-byte on the default
+   2x4 box. *)
+let test_steal_disabled_golden_trace () =
+  let module Toolchain = Multiverse.Toolchain in
+  let expected =
+    try read_file golden_path
+    with Sys_error _ -> Alcotest.failf "missing %s" golden_path
+  in
+  let b = Mv_workloads.Benchmarks.find Golden.benchmark in
+  let prog =
+    Mv_workloads.Benchmarks.program b ~n:b.Mv_workloads.Benchmarks.b_test_n
+  in
+  let hx = Toolchain.hybridize prog in
+  let options =
+    { Toolchain.default_mv_options with Toolchain.mv_work_stealing = false }
+  in
+  let rs = Toolchain.run_multiverse ~trace:true ~options hx in
+  let actual =
+    Format.asprintf "%a" Mv_engine.Trace.pp
+      rs.Toolchain.rs_machine.Machine.trace
+  in
+  if actual <> expected then
+    Alcotest.fail
+      "stealing-disabled run diverged from the golden trace (per-core \
+       runqueues must be inert when stealing is off)"
+
 let suite =
   [
     ("strategy: fifo decides 0", `Quick, test_strategy_fifo);
@@ -255,6 +335,10 @@ let suite =
     ("merge-fault clean (small sweep)", `Quick, assert_clean ~seeds:2 "merge-fault");
     ("multi-group clean (small sweep)", `Quick, assert_clean ~seeds:2 "multi-group");
     ("golden trace: byte-identical", `Quick, test_golden_trace);
+    ("work stealing: disabled stays on its core", `Quick, test_stealing_disabled_stays_put);
+    ("work stealing: migrates within the ROS partition", `Quick, test_stealing_migrates_within_ros);
+    ("work stealing: disabled reproduces the golden trace", `Quick, test_steal_disabled_golden_trace);
+    ("work-steal clean (small sweep)", `Quick, assert_clean ~seeds:2 "work-steal");
     ("ping-pong-async clean (wide sweep)", `Slow, assert_clean ~seeds:25 "ping-pong-async");
     ("fabric-batch clean (wide sweep)", `Slow, assert_clean ~seeds:15 "fabric-batch");
     ("fabric-degrade clean (wide sweep)", `Slow, assert_clean ~seeds:15 "fabric-degrade");
@@ -262,4 +346,5 @@ let suite =
     ("group-respawn clean (wide sweep)", `Slow, assert_clean ~seeds:15 "group-respawn");
     ("merge-fault clean (wide sweep)", `Slow, assert_clean ~seeds:15 "merge-fault");
     ("multi-group clean (wide sweep)", `Slow, assert_clean ~seeds:10 "multi-group");
+    ("work-steal clean (wide sweep)", `Slow, assert_clean ~seeds:15 "work-steal");
   ]

@@ -214,7 +214,10 @@ let test_phys_exhaustion_and_free () =
   Phys_mem.free pm f1;
   let f3 = Phys_mem.alloc pm Phys_mem.Hrt_region in
   check_int "recycled frame" f1 f3;
-  Alcotest.check_raises "double free" (Invalid_argument "Phys_mem.free: frame not allocated")
+  Alcotest.check_raises "double free"
+    (Invalid_argument
+       (Printf.sprintf "Phys_mem.free: frame %d (zone %d) not allocated" f1
+          (Phys_mem.zone_of_frame pm f1)))
     (fun () ->
       Phys_mem.free pm f1;
       Phys_mem.free pm f1)
@@ -228,6 +231,33 @@ let test_topology_partition () =
   check_bool "same socket" true (Topology.same_socket topo 0 3);
   check_bool "cross socket" false (Topology.same_socket topo 0 4);
   check_int "first hrt core" 6 (Topology.first_hrt_core topo)
+
+let test_topology_distance () =
+  let topo = Topology.create ~sockets:4 ~cores_per_socket:32 ~hrt_cores:16 () in
+  check_int "local" 0 (Topology.distance topo 0 31);
+  check_int "one hop" 1 (Topology.distance topo 0 32);
+  check_int "three hops" 3 (Topology.distance topo 0 127);
+  check_bool "symmetric" true
+    (Topology.distance topo 127 0 = Topology.distance topo 0 127);
+  check_int "socket_of" 3 (Topology.socket_of topo 100);
+  (* Two sockets reduce to the same_socket boolean. *)
+  let two = Topology.create ~hrt_cores:1 () in
+  check_int "2-socket local" 0 (Topology.distance two 0 3);
+  check_int "2-socket remote" 1 (Topology.distance two 0 4)
+
+let test_phys_alloc_near () =
+  let pm =
+    Phys_mem.create ~frames_per_zone:10 ~cores_per_socket:2 ~sockets:4
+      ~hrt_fraction:0.2 ()
+  in
+  let f = Phys_mem.alloc_near pm ~core:5 Phys_mem.Ros_region in
+  check_int "core 5 allocates in zone 2" 2 (Phys_mem.zone_of_frame pm f);
+  Alcotest.(check (list int))
+    "fallback from zone 2 is distance-ordered" [ 2; 1; 3; 0 ]
+    (Phys_mem.fallback_order pm ~zone:2);
+  Alcotest.(check (list int))
+    "fallback from zone 0 is the flat order" [ 0; 1; 2; 3 ]
+    (Phys_mem.fallback_order pm ~zone:0)
 
 let test_topology_invalid () =
   Alcotest.check_raises "all cores HRT rejected"
@@ -326,7 +356,9 @@ let suite =
     ("phys: partitions", `Quick, test_phys_partitions);
     ("phys: NUMA preference", `Quick, test_phys_numa_preference);
     ("phys: exhaustion and free", `Quick, test_phys_exhaustion_and_free);
+    ("phys: alloc_near and fallback order", `Quick, test_phys_alloc_near);
     ("topology: partition", `Quick, test_topology_partition);
+    ("topology: NUMA distance", `Quick, test_topology_distance);
     ("topology: invalid geometry", `Quick, test_topology_invalid);
     ("mmu: hit and not-present fault", `Quick, test_mmu_hit_and_fault);
     ("mmu: tlb caches translations", `Quick, test_mmu_tlb_caches);

@@ -481,6 +481,118 @@ let qcheck_per_group_fifo_under_shedding =
               (String.concat ";" (List.map string_of_int mine)))
         (List.init groups (fun g -> g)))
 
+(* --- Phys_mem: the NUMA-sharded frame allocator --- *)
+
+module Phys_mem = Mv_hw.Phys_mem
+
+(* Small zones so exhaustion (and therefore fallback) is reachable within
+   a few dozen allocations. *)
+let small_pm ?(cores_per_socket = 4) sockets =
+  Phys_mem.create ~frames_per_zone:8 ~cores_per_socket ~sockets ~hrt_fraction:0.25 ()
+
+let qcheck_pm_fallback_order =
+  QCheck.Test.make
+    ~name:"phys_mem: fallback order is distance-sorted with ties to the lowest zone"
+    ~count:200
+    QCheck.(pair (1 -- 8) (int_bound 7))
+    (fun (sockets, z) ->
+      let z = z mod sockets in
+      let pm = small_pm sockets in
+      let expected =
+        List.sort
+          (fun a b -> compare (abs (a - z), a) (abs (b - z), b))
+          (List.init sockets (fun i -> i))
+      in
+      Phys_mem.fallback_order pm ~zone:z = expected)
+
+let qcheck_pm_alloc_near_local =
+  QCheck.Test.make
+    ~name:"phys_mem: alloc_near drains the core's own zone before spilling" ~count:200
+    QCheck.(triple (1 -- 5) (1 -- 8) (int_bound 63))
+    (fun (sockets, cps, core) ->
+      let pm = small_pm ~cores_per_socket:cps sockets in
+      let core = core mod (sockets * cps) in
+      let local = Phys_mem.zone_of_core pm core in
+      (* Without frees, the zone sequence must be: a non-empty local
+         prefix, then never local again (local-first means a non-local
+         frame proves local exhaustion). *)
+      let total = Phys_mem.total pm Phys_mem.Ros_region in
+      let spilled = ref false in
+      let ok = ref true in
+      for _ = 1 to total do
+        let f = Phys_mem.alloc_near pm ~core Phys_mem.Ros_region in
+        let z = Phys_mem.zone_of_frame pm f in
+        if z = local then (if !spilled then ok := false) else spilled := true
+      done;
+      !ok)
+
+let qcheck_pm_hinted_alloc_vs_model =
+  QCheck.Test.make
+    ~name:"phys_mem: hinted alloc matches the distance-ordered freelist model" ~count:100
+    QCheck.(pair (1 -- 5) (list_of_size Gen.(1 -- 80) (int_bound 15)))
+    (fun (sockets, hints) ->
+      (* Measure per-zone ROS capacity on a scratch instance, then replay
+         random hints against a fresh one, predicting each allocation's
+         zone with a plain free-count model over [fallback_order]. *)
+      let probe = small_pm sockets in
+      let cap = Array.make sockets 0 in
+      let total = Phys_mem.total probe Phys_mem.Ros_region in
+      for _ = 1 to total do
+        let z = Phys_mem.zone_of_frame probe (Phys_mem.alloc probe Phys_mem.Ros_region) in
+        cap.(z) <- cap.(z) + 1
+      done;
+      let pm = small_pm sockets in
+      let free = Array.copy cap in
+      let remaining = ref total in
+      List.for_all
+        (fun h ->
+          !remaining = 0
+          ||
+          let z = h mod sockets in
+          let expected =
+            List.find (fun z' -> free.(z') > 0) (Phys_mem.fallback_order pm ~zone:z)
+          in
+          let got = Phys_mem.zone_of_frame pm (Phys_mem.alloc pm ~zone:z Phys_mem.Ros_region) in
+          free.(got) <- free.(got) - 1;
+          decr remaining;
+          got = expected
+          || QCheck.Test.fail_reportf "hint %d: allocated from zone %d, model says %d" z got
+               expected)
+        hints)
+
+let qcheck_pm_conservation =
+  QCheck.Test.make
+    ~name:"phys_mem: frames stay distinct and conserved across alloc/free storms"
+    ~count:100
+    QCheck.(pair (1 -- 4) (list_of_size Gen.(1 -- 120) (pair bool (int_bound 1023))))
+    (fun (sockets, ops) ->
+      let pm = small_pm sockets in
+      let total = Phys_mem.total pm Phys_mem.Ros_region in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_alloc, k) ->
+          if !ok then begin
+            (if is_alloc && List.length !live < total then begin
+               let f = Phys_mem.alloc pm ~zone:(k mod sockets) Phys_mem.Ros_region in
+               (* No double allocation: a frame must never be handed out
+                  twice, no matter which zone's freelist served it. *)
+               if List.mem f !live then ok := false else live := f :: !live
+             end
+             else
+               match !live with
+               | [] -> ()
+               | l ->
+                   let i = k mod List.length l in
+                   Phys_mem.free pm (List.nth l i);
+                   live := List.filteri (fun j _ -> j <> i) l);
+            if Phys_mem.allocated pm Phys_mem.Ros_region <> List.length !live then
+              ok := false
+          end)
+        ops;
+      List.iter (fun f -> Phys_mem.free pm f) !live;
+      !ok && Phys_mem.allocated pm Phys_mem.Ros_region = 0)
+
 let suite =
   [
     to_alcotest qcheck_plan_deterministic;
@@ -497,4 +609,8 @@ let suite =
     to_alcotest qcheck_token_bucket_window_bound;
     to_alcotest qcheck_ring_occupancy_bounded;
     to_alcotest qcheck_per_group_fifo_under_shedding;
+    to_alcotest qcheck_pm_fallback_order;
+    to_alcotest qcheck_pm_alloc_near_local;
+    to_alcotest qcheck_pm_hinted_alloc_vs_model;
+    to_alcotest qcheck_pm_conservation;
   ]
