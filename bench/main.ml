@@ -1410,6 +1410,171 @@ let write_numa_json path =
     (flat.nm_cycles - near.nm_cycles)
 
 (* ------------------------------------------------------------------ *)
+(* Host: wall-clock cost of the engine itself (events/sec, words/event)*)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike every other section, these numbers are HOST-side: how fast the
+   OCaml engine chews through simulated events and how much it allocates
+   per event.  The simulated-cycle outputs of the same workloads are part
+   of the golden surface and must not move; the host wall-clock and the
+   GC words are exactly what hot-loop work is allowed to change.  Cells
+   run sequentially (never under --jobs): Gc.quick_stat is per-domain and
+   a concurrent cell would pollute the deltas. *)
+type host_cell = {
+  ho_name : string;
+  ho_events : int;  (* simulated events processed *)
+  ho_sim_cycles : int;  (* simulated makespan: deterministic, golden-adjacent *)
+  ho_wall_s : float;
+  ho_minor_words : float;
+  ho_promoted_words : float;
+  ho_major_words : float;
+}
+
+let measure_host_cell name f =
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let events, sim_cycles = f () in
+  let t1 = Unix.gettimeofday () in
+  let s1 = Gc.quick_stat () in
+  {
+    ho_name = name;
+    ho_events = events;
+    ho_sim_cycles = sim_cycles;
+    ho_wall_s = t1 -. t0;
+    ho_minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+    ho_promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+    ho_major_words = s1.Gc.major_words -. s0.Gc.major_words;
+  }
+
+let ho_events_per_sec c =
+  if c.ho_wall_s <= 0.0 then 0.0 else float_of_int c.ho_events /. c.ho_wall_s
+
+let ho_minor_words_per_event c =
+  if c.ho_events = 0 then 0.0 else c.ho_minor_words /. float_of_int c.ho_events
+
+(* --trace-limit N: bounded trace retention for the host cells' machines
+   (exercises the ring store; simulated output is unaffected because the
+   host cells run untraced either way). *)
+let host_trace_limit : int option ref = ref None
+
+(* Cell 1: the standard 1000-group scale run (the scale bench's base
+   config at one mid-curve load point, admission off). *)
+let host_scale_offered = 400_000.0
+
+let host_scale_cell () =
+  measure_host_cell "scale-1000-groups" (fun () ->
+      let r =
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.lg_groups = scale_groups;
+            lg_calls_per_group = 16;
+            lg_workers_per_group = 16;
+            lg_arrival = Loadgen.Poisson;
+            lg_offered_cps = host_scale_offered;
+            lg_trace_limit = !host_trace_limit;
+          }
+      in
+      (r.Loadgen.r_events, r.Loadgen.r_makespan))
+
+(* Cell 2: the 16k-fiber dispatch stress — thousands of Ready fibers
+   yielding on few cores, the pure executor/event-queue path with no
+   fabric or memory model in the way (the shape that used to go O(n^2)
+   before the one-armed-dispatch fix). *)
+let host_stress_fibers = 16_384
+let host_stress_yields = 4
+
+let host_stress_cell () =
+  measure_host_cell "dispatch-16k-fibers" (fun () ->
+      let machine = Machine.create ?trace_limit:!host_trace_limit () in
+      let exec = machine.Machine.exec in
+      let ros = Array.of_list (Mv_hw.Topology.ros_cores machine.Machine.topo) in
+      let nros = Array.length ros in
+      for i = 0 to host_stress_fibers - 1 do
+        ignore
+          (Exec.spawn exec ~cpu:ros.(i mod nros)
+             ~name:(Printf.sprintf "stress-%d" i)
+             (fun () ->
+               for _ = 1 to host_stress_yields do
+                 Machine.charge machine 100;
+                 Exec.yield exec
+               done))
+      done;
+      Sim.run machine.Machine.sim;
+      (Sim.events_processed machine.Machine.sim, Sim.now machine.Machine.sim))
+
+(* Memoized so `host --json` measures once. *)
+let host_cells = lazy [ host_scale_cell (); host_stress_cell () ]
+
+let host_bench () =
+  section "Host: engine events/sec and GC words/event (wall-clock, not simulated)";
+  let cells = Lazy.force host_cells in
+  let t =
+    Table.create
+      ~headers:
+        [ "workload"; "events"; "wall (s)"; "events/sec"; "minor w/event"; "promoted w/event" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          c.ho_name;
+          string_of_int c.ho_events;
+          Printf.sprintf "%.3f" c.ho_wall_s;
+          Printf.sprintf "%.0f" (ho_events_per_sec c);
+          Printf.sprintf "%.1f" (ho_minor_words_per_event c);
+          Printf.sprintf "%.2f"
+            (if c.ho_events = 0 then 0.0
+             else c.ho_promoted_words /. float_of_int c.ho_events);
+        ])
+    cells;
+  print_string (Table.to_string t);
+  printf
+    "(simulated cycles are pinned by the golden surface; wall-clock and words/event\n\
+    \ are the knobs host-perf work is allowed to move)\n"
+
+(* BENCH_host.json.  Wall-clock fields are machine-dependent noise; the
+   CI allocation guard keys on minor_words_per_event only. *)
+let write_host_json path =
+  let cells = Lazy.force host_cells in
+  let open Bench_report in
+  let cell c =
+    Obj
+      [
+        ("events", Int c.ho_events);
+        ("sim_cycles", Int c.ho_sim_cycles);
+        ("wall_s", Float (c.ho_wall_s, 4));
+        ("events_per_sec", Float (ho_events_per_sec c, 0));
+        ("minor_words_per_event", Float (ho_minor_words_per_event c, 2));
+        ("minor_words", Float (c.ho_minor_words, 0));
+        ("promoted_words", Float (c.ho_promoted_words, 0));
+        ("major_words", Float (c.ho_major_words, 0));
+      ]
+  in
+  write ~path ~kind:"multiverse-host-bench"
+    [
+      ( "scale",
+        Obj
+          [
+            ("groups", Int scale_groups);
+            ("calls_per_group", Int 16);
+            ("offered_cps", Float (host_scale_offered, 0));
+            ("cell", cell (List.nth cells 0));
+          ] );
+      ( "dispatch_stress",
+        Obj
+          [
+            ("fibers", Int host_stress_fibers);
+            ("yields_per_fiber", Int host_stress_yields);
+            ("cell", cell (List.nth cells 1));
+          ] );
+    ];
+  let c = List.nth cells 0 in
+  printf "wrote %s (scale: %.0f events/sec, %.1f minor words/event)\n%!" path
+    (ho_events_per_sec c) (ho_minor_words_per_event c)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator's own hot paths           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1473,6 +1638,7 @@ let sections =
     ("scale", scale_bench);
     ("numa", numa_bench);
     ("mempath", mempath);
+    ("host", host_bench);
     ("ablation_symcache", ablation_symcache);
     ("ablation_channel", ablation_channel);
     ("ablation_porting", ablation_porting);
@@ -1518,6 +1684,15 @@ let () =
               ("bench: bad --topology " ^ s ^ " (want SOCKETSxCORES, e.g. 4x32)");
             exit 2);
         take_jobs acc rest
+    (* --trace-limit N: bounded trace retention on the host section's
+       machines (0 retains nothing). *)
+    | "--trace-limit" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some l when l >= 0 -> host_trace_limit := Some l
+        | _ ->
+            prerr_endline ("bench: bad --trace-limit " ^ n);
+            exit 2);
+        take_jobs acc rest
     | a :: rest -> take_jobs (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -1541,4 +1716,5 @@ let () =
   if json && (wants "fig2" || wants "fabric") then write_fabric_json "BENCH_fabric.json";
   if json && wants "mempath" then write_mempath_json "BENCH_mempath.json";
   if json && wants "scale" then write_scale_json "BENCH_scale.json";
-  if json && wants "numa" then write_numa_json "BENCH_numa.json"
+  if json && wants "numa" then write_numa_json "BENCH_numa.json";
+  if json && wants "host" then write_host_json "BENCH_host.json"

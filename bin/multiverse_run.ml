@@ -18,7 +18,7 @@ let parse_fault_sites spec =
   | Error msg -> failwith msg
 
 let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology ~hrt_cores
-    ~placement ~work_stealing =
+    ~placement ~work_stealing ~trace_limit =
   let sockets, cores_per_socket = topology in
   {
     Toolchain.mv_channel =
@@ -38,21 +38,22 @@ let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topolog
     mv_hrt_cores = hrt_cores;
     mv_placement = placement;
     mv_work_stealing = work_stealing;
+    mv_trace_limit = trace_limit;
   }
 
 let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
-    ~hrt_cores ~placement ~work_stealing ~stats ~quiet prog =
+    ~hrt_cores ~placement ~work_stealing ~trace_limit ~stats ~quiet prog =
   let options =
     options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology ~hrt_cores
-      ~placement ~work_stealing
+      ~placement ~work_stealing ~trace_limit
   in
   (* A fault run keeps the trace on so the injected faults and the
      resilience reactions can be shown afterwards. *)
   let trace = Fault_plan.enabled faults in
   let rs =
     match mode with
-    | "native" -> Toolchain.run_native ~huge_pages ~topology ~hrt_cores prog
-    | "virtual" -> Toolchain.run_virtual ~huge_pages ~topology ~hrt_cores prog
+    | "native" -> Toolchain.run_native ~huge_pages ~topology ~hrt_cores ?trace_limit prog
+    | "virtual" -> Toolchain.run_virtual ~huge_pages ~topology ~hrt_cores ?trace_limit prog
     | "multiverse" -> Toolchain.run_multiverse ~trace ~options (Toolchain.hybridize prog)
     | other -> failwith ("unknown mode: " ^ other)
   in
@@ -118,12 +119,12 @@ type sweep_row = {
 }
 
 let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology ~hrt_cores
-    ~placement ~work_stealing ~rate ~sites ~sweep ~jobs prog =
+    ~placement ~work_stealing ~trace_limit ~rate ~sites ~sweep ~jobs prog =
   let cell seed =
     let faults = Fault_plan.create ~seed ~rate ~sites () in
     let options =
       options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
-        ~hrt_cores ~placement ~work_stealing
+        ~hrt_cores ~placement ~work_stealing ~trace_limit
     in
     let rs = Toolchain.run_multiverse ~options (Toolchain.hybridize prog) in
     let retries, fallbacks, respawns, reroutes =
@@ -178,7 +179,7 @@ let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology ~
 (* --groups: the open-loop scale mode (no program; the load generator
    drives the fabric directly). *)
 let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel ~topology ~hrt_cores
-    ~placement =
+    ~placement ~trace_limit =
   let open Mv_workloads.Loadgen in
   match
     match arrival_of_string arrival with
@@ -213,6 +214,7 @@ let run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel ~topology 
             (match placement with
             | Runtime.Spread -> Round_robin
             | Runtime.Affine -> Affine_socket);
+          lg_trace_limit = trace_limit;
         }
       in
       let r = run cfg in
@@ -257,7 +259,7 @@ let prog_of ~bench ~file ~n =
 
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
     fault_sweep jobs groups arrival offered_load admission topology hrt_cores placement
-    work_stealing no_huge_pages stats quiet list_benches =
+    work_stealing trace_limit no_huge_pages stats quiet list_benches =
   let huge_pages = not no_huge_pages in
   let sockets, cores_per_socket = topology in
   (* Scale mode keeps the load generator's own HRT sizing when none is
@@ -291,7 +293,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
             | Ok prog ->
                 run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology
                   ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing
-                  ~rate:fault_rate ~sites ~sweep ~jobs prog))
+                  ~trace_limit ~rate:fault_rate ~sites ~sweep ~jobs prog))
   | None ->
   if jobs <> 1 then usage_error "--jobs has no effect without --fault-sweep"
   else
@@ -317,7 +319,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
         usage_error "fault injection is not supported in scale mode"
       else
         run_scale ~groups ~arrival ~offered_load ~admission ~sync_channel ~topology
-          ~hrt_cores:(resolve_hrt ~scale:true) ~placement
+          ~hrt_cores:(resolve_hrt ~scale:true) ~placement ~trace_limit
   | None ->
   if arrival <> "poisson" || offered_load <> 100_000.0 || admission <> "off" then
     usage_error "--arrival/--offered-load/--admission have no effect without --groups"
@@ -334,7 +336,8 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
     | Error msg -> usage_error msg
     | Ok prog ->
         run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
-          ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing ~stats ~quiet prog;
+          ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing ~trace_limit ~stats
+          ~quiet prog;
         0)
 
 let () =
@@ -399,6 +402,11 @@ let () =
         ~doc:
           "Enable deterministic work stealing across the ROS cores' \
            per-core runqueues (multiverse only)."
+    $ opt_opt int ~names:[ "trace-limit" ] ~docv:"N"
+        ~doc:
+          "Bound trace retention to the newest N records (a preallocated \
+           ring; 0 retains nothing).  Default: unbounded, full history.  \
+           Simulated timing is unaffected."
     $ flag ~names:[ "no-huge-pages" ]
         ~doc:"Disable the huge-page memory path (4 KiB mappings only)."
     $ flag ~names:[ "stats" ] ~doc:"Print the per-syscall histogram."

@@ -1,73 +1,121 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* Struct-of-arrays binary min-heap.  The hot loop processes one event per
+   [push]/[pop] pair, so the representation is chosen for zero allocation
+   per operation: times and sequence numbers live in parallel unboxed
+   [int array]s (compared without chasing a pointer per node), payloads in
+   a third parallel array.  The payload array is created lazily from the
+   first pushed element (there is no [:'a] dummy to pre-fill with), and
+   popped slots keep a stale duplicate reference exactly as the previous
+   boxed-record heap did — retention is bounded by heap capacity either
+   way. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;  (* heap.(0) unused when n = 0 *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;  (* length 0 until the first push *)
   mutable n : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; n = 0; next_seq = 0 }
+let create ?(capacity = 0) () =
+  let cap = if capacity > 0 then capacity else 0 in
+  {
+    times = Array.make (max cap 0) 0;
+    seqs = Array.make (max cap 0) 0;
+    payloads = [||];
+    n = 0;
+    next_seq = 0;
+  }
+
 let is_empty t = t.n = 0
 let size t = t.n
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  ti < tj || (ti = tj && t.seqs.(i) < t.seqs.(j))
 
-let grow t =
-  let cap = Array.length t.heap in
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
+
+let grow t fill =
+  let cap = Array.length t.times in
   if t.n >= cap then begin
     let ncap = max 16 (cap * 2) in
-    let nh = Array.make ncap t.heap.(0) in
-    Array.blit t.heap 0 nh 0 t.n;
-    t.heap <- nh
+    let nt = Array.make ncap 0 and ns = Array.make ncap 0 in
+    Array.blit t.times 0 nt 0 t.n;
+    Array.blit t.seqs 0 ns 0 t.n;
+    t.times <- nt;
+    t.seqs <- ns
+  end;
+  if t.n >= Array.length t.payloads then begin
+    let ncap = Array.length t.times in
+    let np = Array.make ncap fill in
+    Array.blit t.payloads 0 np 0 t.n;
+    t.payloads <- np
   end
 
 let push t ~time payload =
-  let e = { time; seq = t.next_seq; payload } in
+  grow t payload;
+  let i = t.n in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.n = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 e;
-  grow t;
-  t.heap.(t.n) <- e;
   t.n <- t.n + 1;
   (* sift up *)
-  let i = ref (t.n - 1) in
+  let i = ref i in
   while
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    before t.heap.(!i) t.heap.(parent)
+    before t !i parent
   do
     let parent = (!i - 1) / 2 in
-    let tmp = t.heap.(!i) in
-    t.heap.(!i) <- t.heap.(parent);
-    t.heap.(parent) <- tmp;
+    swap t !i parent;
     i := parent
   done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.n && before t l !smallest then smallest := l;
+    if r < t.n && before t r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let next_time t = if t.n = 0 then max_int else t.times.(0)
+
+let pop_exn t =
+  if t.n = 0 then invalid_arg "Event_queue.pop_exn: empty";
+  let top = t.payloads.(0) in
+  t.n <- t.n - 1;
+  if t.n > 0 then begin
+    t.times.(0) <- t.times.(t.n);
+    t.seqs.(0) <- t.seqs.(t.n);
+    t.payloads.(0) <- t.payloads.(t.n);
+    sift_down t
+  end;
+  top
 
 let pop t =
   if t.n = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.n <- t.n - 1;
-    if t.n > 0 then begin
-      t.heap.(0) <- t.heap.(t.n);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.n && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-        if r < t.n && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.heap.(!i) in
-          t.heap.(!i) <- t.heap.(!smallest);
-          t.heap.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = t.times.(0) in
+    Some (time, pop_exn t)
   end
 
-let peek_time t = if t.n = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.n = 0 then None else Some t.times.(0)

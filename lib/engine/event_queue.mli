@@ -1,17 +1,33 @@
 (** Priority queue of timed events (binary min-heap).
 
     Ordered by (time, insertion sequence) so simultaneous events fire in
-    insertion order, which keeps the whole simulation deterministic. *)
+    insertion order, which keeps the whole simulation deterministic.
+
+    The heap is struct-of-arrays — parallel unboxed [int] arrays for
+    time/seq plus a payload array — so [push]/[pop] allocate nothing
+    (amortized; growth doubles the arrays). *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] pre-sizes the time/seq arrays to avoid growth doublings
+    when the caller knows the expected concurrent-event high-water mark. *)
+
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
 val push : 'a t -> time:int -> 'a -> unit
 
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the earliest event as [(time, payload)]. *)
+(** Remove and return the earliest event as [(time, payload)].  Allocates
+    the option and tuple; hot loops should use {!next_time} + {!pop_exn}. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the earliest event's payload without allocating.
+    @raise Invalid_argument if the queue is empty. *)
+
+val next_time : 'a t -> int
+(** Timestamp of the earliest event, or [max_int] when empty — the
+    non-allocating {!peek_time}. *)
 
 val peek_time : 'a t -> int option

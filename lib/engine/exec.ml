@@ -13,15 +13,100 @@ type thread = {
   mutable t_vcsw : int;
   mutable t_ivcsw : int;
   mutable t_resume : (unit -> unit) option;
-  mutable t_cancel : (exn -> unit) option;
+      (* initial-segment body, set once by [spawn]; woken blocks resume
+         through [t_resumer] instead *)
+  mutable t_resumer : Obj.t;
+      (* the pending ['a Fiber.resumer] while blocked or woken-and-queued;
+         [no_resumer] otherwise.  Stored untyped so the record is not
+         parameterized by the block's wake type — values are uniformly
+         represented, and [t_wake_v] is always the matching ['a]. *)
+  mutable t_wake_v : Obj.t;  (* value to resume [t_resumer] with *)
+  mutable t_can_cancel : bool;
+      (* the registration is still outstanding (kill must discontinue);
+         cleared by wake and by resume *)
+  mutable t_wake_fn : Obj.t -> unit;
+      (* per-thread wake callback shared by every [block], so waking
+         allocates nothing; filled in lazily (captures the executor) *)
   mutable t_on_exit : (unit -> unit) list;
   mutable t_exit_time : int;  (* virtual time of termination, once Finished *)
+  mutable t_enqueue_fn : unit -> unit;
+      (* the wake-enqueue event callback, allocated once per thread rather
+         than per wake; filled in lazily (captures the executor) *)
+  mutable t_some : thread option;
+      (* cached [Some th] so entering a segment does not box [t.current] *)
 }
+
+(* Per-cpu run queue: a growable circular buffer instead of [Queue.t], so
+   an enqueue is an array store (no cons cell per element) and a dequeue
+   returns the thread directly (no [Some] box).  Popped slots keep a stale
+   reference — harmless, every thread is retained in [all_threads_rev]
+   for its whole lifetime anyway. *)
+module Runq = struct
+  type t = {
+    mutable buf : thread array;  (* length 0 until the first push *)
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { buf = [||]; head = 0; len = 0 }
+  let is_empty q = q.len = 0
+
+  let grow q fill =
+    let cap = Array.length q.buf in
+    if q.len >= cap then begin
+      let ncap = max 16 (cap * 2) in
+      let nb = Array.make ncap fill in
+      for i = 0 to q.len - 1 do
+        nb.(i) <- q.buf.((q.head + i) mod cap)
+      done;
+      q.buf <- nb;
+      q.head <- 0
+    end
+
+  let push q th =
+    grow q th;
+    q.buf.((q.head + q.len) mod Array.length q.buf) <- th;
+    q.len <- q.len + 1
+
+  let pop_exn q =
+    if q.len = 0 then invalid_arg "Exec.Runq.pop_exn: empty";
+    let th = q.buf.(q.head) in
+    q.head <- (q.head + 1) mod Array.length q.buf;
+    q.len <- q.len - 1;
+    th
+
+  let clear q =
+    q.head <- 0;
+    q.len <- 0
+
+  (* Front-to-back. *)
+  let iter f q =
+    let cap = Array.length q.buf in
+    for i = 0 to q.len - 1 do
+      f q.buf.((q.head + i) mod cap)
+    done
+
+  let fold f acc q =
+    let acc = ref acc in
+    iter (fun th -> acc := f !acc th) q;
+    !acc
+
+  (* Allocation-free (the loop refs do not escape, so they compile to
+     mutable locals) — this runs on every idle-core steal probe. *)
+  let has_ready q =
+    let cap = Array.length q.buf in
+    let found = ref false in
+    for i = 0 to q.len - 1 do
+      if (not !found) && q.buf.((q.head + i) mod cap).t_state = Ready then
+        found := true
+    done;
+    !found
+end
 
 type cpu = {
   c_id : int;
   mutable c_busy_until : int;
-  c_runq : thread Queue.t;
+  c_runq : Runq.t;
   mutable c_last_tid : int;
   mutable c_switch_cost : int;
   mutable c_slice : int option;
@@ -38,7 +123,22 @@ type cpu = {
       (* timer expiries with an empty run queue; every Nth models a
          preemption by unrelated background work, as /usr/bin/time would
          report on a real (non-idle) machine *)
+  mutable c_dispatch_fn : unit -> unit;
+      (* the dispatch event callback, allocated once at [create] rather
+         than per [request_dispatch]; filled in after [t] exists *)
 }
+
+(* Sentinel for [c_dispatch_fn] before its first arm; a single module-level
+   closure so the install check can be physical equality ([ignore] itself
+   is an external and eta-expands to a fresh closure per use site). *)
+let dispatch_fn_unset () = ()
+
+(* Same trick for the per-thread wake callback. *)
+let wake_fn_unset (_ : Obj.t) = ()
+
+(* [t_resumer] when no registration is pending: an immediate, so the
+   presence check is a pointer-vs-int comparison. *)
+let no_resumer : Obj.t = Obj.repr 0
 
 type sched_hook = {
   sh_pick : cpu:int -> thread array -> int;
@@ -46,11 +146,15 @@ type sched_hook = {
   sh_steal : cpu:int -> victims:int array -> int;
 }
 
+(* Sentinel for "no timestamp override" — [ctx_now] is a plain [int] so
+   entering a callback window stores an unboxed value instead of a [Some]. *)
+let no_ctx_now = min_int
+
 type t = {
   sim : Sim.t;
   cpus : cpu array;
   mutable current : thread option;
-  mutable ctx_now : int option;  (* timestamp override for callback windows *)
+  mutable ctx_now : int;  (* timestamp override for callback windows; [no_ctx_now] = none *)
   mutable next_tid : int;
   mutable charge_hook : (thread -> int -> unit) option;
   mutable sched_hook : sched_hook option;
@@ -67,7 +171,7 @@ let create sim ~ncpus =
         {
           c_id = i;
           c_busy_until = 0;
-          c_runq = Queue.create ();
+          c_runq = Runq.create ();
           c_last_tid = -1;
           c_switch_cost = 0;
           c_slice = None;
@@ -75,13 +179,14 @@ let create sim ~ncpus =
           c_switches = 0;
           c_steals = 0;
           c_idle_expiries = 0;
+          c_dispatch_fn = dispatch_fn_unset;
         })
   in
   {
     sim;
     cpus;
     current = None;
-    ctx_now = None;
+    ctx_now = no_ctx_now;
     next_tid = 0;
     charge_hook = None;
     sched_hook = None;
@@ -110,7 +215,7 @@ let set_steal_domain t cores =
 let steals t ~cpu = t.cpus.(cpu).c_steals
 
 let runq t ~cpu =
-  List.rev (Queue.fold (fun acc th -> th :: acc) [] t.cpus.(cpu).c_runq)
+  List.rev (Runq.fold (fun acc th -> th :: acc) [] t.cpus.(cpu).c_runq)
 
 let set_cpu_params t ~cpu ?switch_cost ?slice () =
   let c = t.cpus.(cpu) in
@@ -120,25 +225,44 @@ let set_cpu_params t ~cpu ?switch_cost ?slice () =
 let local_now t =
   match t.current with
   | Some th -> th.t_seg_start + th.t_charge
-  | None -> ( match t.ctx_now with Some n -> n | None -> Sim.now t.sim)
+  | None -> if t.ctx_now <> no_ctx_now then t.ctx_now else Sim.now t.sim
 
 let with_ctx_now t now f =
   let saved = t.ctx_now in
-  t.ctx_now <- Some now;
-  Fun.protect ~finally:(fun () -> t.ctx_now <- saved) f
+  t.ctx_now <- now;
+  match f () with
+  | v ->
+      t.ctx_now <- saved;
+      v
+  | exception e ->
+      t.ctx_now <- saved;
+      raise e
 
 (* --- dispatch --- *)
+
+(* Fast pre-check for [try_steal]: an idle core probes on every dispatch,
+   so discovering "no domain peer has ready work" must not allocate. *)
+let steal_candidates_exist t cpu dom =
+  let found = ref false in
+  for i = 0 to Array.length t.cpus - 1 do
+    if not !found then begin
+      let c = t.cpus.(i) in
+      if c.c_id <> cpu.c_id && dom.(c.c_id) && Runq.has_ready c.c_runq then
+        found := true
+    end
+  done;
+  !found
 
 let rec dispatch t cpu () =
   if t.current = None then begin
     (* An idle core (free, nothing queued) inside the steal domain pulls
        work from a loaded peer before giving up the dispatch. *)
     if
-      Queue.is_empty cpu.c_runq
+      Runq.is_empty cpu.c_runq
       && t.steal_domain <> None
       && Sim.now t.sim >= cpu.c_busy_until
     then try_steal t cpu;
-    if not (Queue.is_empty cpu.c_runq) then run_one t cpu
+    if not (Runq.is_empty cpu.c_runq) then run_one t cpu
   end
 
 and run_one t cpu =
@@ -148,11 +272,11 @@ and run_one t cpu =
       request_dispatch t cpu ~at:cpu.c_busy_until
     else
       match t.sched_hook with
-      | None -> (
-          match Queue.take_opt cpu.c_runq with
-          | None -> ()
-          | Some th when th.t_state <> Ready -> dispatch t cpu ()
-          | Some th -> run_segment t cpu th)
+      | None ->
+          if not (Runq.is_empty cpu.c_runq) then begin
+            let th = Runq.pop_exn cpu.c_runq in
+            if th.t_state <> Ready then dispatch t cpu () else run_segment t cpu th
+          end
       | Some hook -> (
           (* Schedule-exploration choice point: collect the Ready threads
              in FIFO order (dropping stale entries), let the hook pick one,
@@ -160,11 +284,11 @@ and run_one t cpu =
              always picks index 0 reproduces the FIFO path exactly. *)
           let cands =
             List.rev
-              (Queue.fold
+              (Runq.fold
                  (fun acc th -> if th.t_state = Ready then th :: acc else acc)
                  [] cpu.c_runq)
           in
-          Queue.clear cpu.c_runq;
+          Runq.clear cpu.c_runq;
           match cands with
           | [] -> ()
           | [ th ] -> run_segment t cpu th
@@ -172,7 +296,7 @@ and run_one t cpu =
               let arr = Array.of_list cands in
               let i = hook.sh_pick ~cpu:cpu.c_id arr in
               let i = if i < 0 || i >= Array.length arr then 0 else i in
-              Array.iteri (fun j th -> if j <> i then Queue.add th cpu.c_runq) arr;
+              Array.iteri (fun j th -> if j <> i then Runq.push cpu.c_runq th) arr;
               run_segment t cpu arr.(i))
   end
 
@@ -187,9 +311,10 @@ and try_steal t cpu =
   match t.steal_domain with
   | None -> ()
   | Some dom when not dom.(cpu.c_id) -> ()
+  | Some dom when not (steal_candidates_exist t cpu dom) -> ()
   | Some dom -> (
       let ready_count c =
-        Queue.fold (fun n th -> if th.t_state = Ready then n + 1 else n) 0 c.c_runq
+        Runq.fold (fun n th -> if th.t_state = Ready then n + 1 else n) 0 c.c_runq
       in
       let cands = ref [] in
       Array.iter
@@ -217,17 +342,17 @@ and try_steal t cpu =
           in
           let victim, nready = arr.(pick) in
           let want = (nready + 1) / 2 in
-          let all = List.rev (Queue.fold (fun acc th -> th :: acc) [] victim.c_runq) in
-          Queue.clear victim.c_runq;
+          let all = List.rev (Runq.fold (fun acc th -> th :: acc) [] victim.c_runq) in
+          Runq.clear victim.c_runq;
           let taken = ref 0 in
           List.iter
             (fun th ->
               if th.t_state = Ready && !taken < want then begin
                 incr taken;
                 th.t_cpu <- cpu.c_id;
-                Queue.add th cpu.c_runq
+                Runq.push cpu.c_runq th
               end
-              else Queue.add th victim.c_runq)
+              else Runq.push victim.c_runq th)
             all;
           cpu.c_steals <- cpu.c_steals + 1)
 
@@ -248,9 +373,16 @@ and request_dispatch t cpu ~at =
   let at = max at (max cpu.c_busy_until (Sim.now t.sim)) in
   if cpu.c_dispatch_armed_at < 0 || at < cpu.c_dispatch_armed_at then begin
     cpu.c_dispatch_armed_at <- at;
-    Sim.schedule_at t.sim at (fun () ->
-        if cpu.c_dispatch_armed_at = at then cpu.c_dispatch_armed_at <- -1;
-        dispatch t cpu ())
+    (* The callback is shared across arms (allocated on the cpu record the
+       first time through), so arming costs no closure.  A dispatch event
+       fires exactly at its scheduled time, so [Sim.now = at-of-this-arm]
+       replaces the captured [at] in the stale-event disarm check. *)
+    if cpu.c_dispatch_fn == dispatch_fn_unset then
+      cpu.c_dispatch_fn <-
+        (fun () ->
+          if cpu.c_dispatch_armed_at = Sim.now t.sim then cpu.c_dispatch_armed_at <- -1;
+          dispatch t cpu ());
+    Sim.schedule_at t.sim at cpu.c_dispatch_fn
   end
 
 and run_segment t cpu th =
@@ -266,17 +398,27 @@ and run_segment t cpu th =
   th.t_seg_start <- max (Sim.now t.sim) cpu.c_busy_until + switch;
   th.t_charge <- 0;
   th.t_slice_base <- 0;
-  t.current <- Some th;
-  (match th.t_resume with
-  | Some k ->
-      th.t_resume <- None;
-      k ()
-  | None -> failwith "Exec: dispatching thread with no continuation");
+  t.current <- th.t_some;
+  (if th.t_resumer != no_resumer then begin
+     let r : Obj.t Fiber.resumer = Obj.obj th.t_resumer in
+     let v = th.t_wake_v in
+     th.t_resumer <- no_resumer;
+     th.t_wake_v <- no_resumer;
+     th.t_can_cancel <- false;
+     Fiber.resume r v
+   end
+   else
+     match th.t_resume with
+     | Some k ->
+         th.t_resume <- None;
+         k ()
+     | None -> failwith "Exec: dispatching thread with no continuation");
   (* The fiber has host-returned: it blocked, yielded, or finished; the
      per-case bookkeeping already ran inside the fiber. *)
   assert (t.current = None)
 
-(* Finalize the current segment; returns (thread, its end time). *)
+(* Finalize the current segment; returns the thread (its end time is
+   [t_block_end] — no tuple, this is a per-segment path). *)
 and end_segment t =
   match t.current with
   | None -> failwith "Exec: no running thread"
@@ -288,7 +430,7 @@ and end_segment t =
       cpu.c_busy_until <- t_end;
       t.current <- None;
       request_dispatch t cpu ~at:t_end;
-      (th, t_end)
+      th
 
 and make_runnable t th ~at =
   match th.t_state with
@@ -304,13 +446,19 @@ and make_runnable t th ~at =
    itself is a timed event. *)
 and enqueue_at t th ~at =
   let at = max at (Sim.now t.sim) in
-  Sim.schedule_at t.sim at (fun () ->
-      if th.t_state = Ready then begin
-        let cpu = t.cpus.(th.t_cpu) in
-        Queue.add th cpu.c_runq;
-        request_dispatch t cpu ~at;
-        poke_thieves t ~owner:cpu ~at
-      end)
+  (* Shared across wakes: the event fires exactly at its scheduled time,
+     so [Sim.now] stands in for the captured [at]. *)
+  if th.t_enqueue_fn == dispatch_fn_unset then
+    th.t_enqueue_fn <-
+      (fun () ->
+        if th.t_state = Ready then begin
+          let at = Sim.now t.sim in
+          let cpu = t.cpus.(th.t_cpu) in
+          Runq.push cpu.c_runq th;
+          request_dispatch t cpu ~at;
+          poke_thieves t ~owner:cpu ~at
+        end);
+  Sim.schedule_at t.sim at th.t_enqueue_fn
 
 let self t =
   match t.current with
@@ -319,36 +467,46 @@ let self t =
 
 let self_opt t = t.current
 
-let block t ~reason register =
+let block (type a) t ~reason (register : now:int -> wake:(a -> unit) -> unit) :
+    a =
   let th = self t in
   th.t_vcsw <- th.t_vcsw + 1;
   th.t_state <- Blocked reason;
-  let _, t_end = end_segment t in
-  Fiber.suspend (fun (resumer : _ Fiber.resumer) ->
-      th.t_cancel <- Some resumer.cancel;
-      let wake v =
-        if th.t_state <> Finished then begin
-          th.t_cancel <- None;
-          th.t_resume <- Some (fun () -> resumer.resume v);
-          make_runnable t th ~at:(local_now t)
-        end
-      in
+  let t_end = (end_segment t).t_block_end in
+  Fiber.suspend (fun (resumer : a Fiber.resumer) ->
+      th.t_resumer <- Obj.repr resumer;
+      th.t_can_cancel <- true;
+      if th.t_wake_fn == wake_fn_unset then
+        th.t_wake_fn <-
+          (fun v ->
+            if th.t_state <> Finished then begin
+              th.t_can_cancel <- false;
+              th.t_wake_v <- v;
+              make_runnable t th ~at:(local_now t)
+            end);
+      (* The wake function is shared across this thread's blocks (monomorphic
+         at [Obj.t] — values are uniformly represented), so a block allocates
+         no wake closure, no resume thunk, and no cancel thunk.  The usual
+         contract stands: wake only while this block is outstanding, at most
+         once effectively (callers guard with one-shot refs). *)
+      let wake : a -> unit = Obj.magic th.t_wake_fn in
       with_ctx_now t t_end (fun () -> register ~now:t_end ~wake))
+
+(* Shared state cell for the yield path — [Blocked "yield"] would box a
+   fresh variant per yield. *)
+let blocked_yield = Blocked "yield"
 
 let requeue_self t =
   let th = self t in
-  th.t_state <- Blocked "yield";
-  let _, t_end = end_segment t in
+  th.t_state <- blocked_yield;
+  let t_end = (end_segment t).t_block_end in
   Fiber.suspend (fun (resumer : unit Fiber.resumer) ->
-      th.t_cancel <- Some resumer.cancel;
-      th.t_resume <-
-        Some
-          (fun () ->
-            th.t_cancel <- None;
-            resumer.resume ());
+      th.t_resumer <- Obj.repr resumer;
+      th.t_wake_v <- Obj.repr ();
+      th.t_can_cancel <- true;
       th.t_state <- Ready;
       let cpu = t.cpus.(th.t_cpu) in
-      Queue.add th cpu.c_runq;
+      Runq.push cpu.c_runq th;
       request_dispatch t cpu ~at:t_end;
       poke_thieves t ~owner:cpu ~at:t_end)
 
@@ -373,7 +531,7 @@ let charge t c =
       let cpu = t.cpus.(th.t_cpu) in
       match cpu.c_slice with
       | Some slice when th.t_charge - th.t_slice_base >= slice ->
-          if Queue.is_empty cpu.c_runq then begin
+          if Runq.is_empty cpu.c_runq then begin
             (* Timer fires but no local competitor: usually keep going,
                but every 8th expiry a background task (kernel thread,
                daemon) briefly takes the core. *)
@@ -397,7 +555,7 @@ let charge t c =
 
 let sleep t delay =
   block t ~reason:"sleep" (fun ~now ~wake ->
-      Sim.schedule_at t.sim (now + delay) (fun () -> wake ()))
+      Sim.schedule_at t.sim (now + delay) wake)
 
 let spawn t ~cpu ~name body =
   let id = t.next_tid in
@@ -416,13 +574,20 @@ let spawn t ~cpu ~name body =
       t_vcsw = 0;
       t_ivcsw = 0;
       t_resume = None;
-      t_cancel = None;
+      t_resumer = no_resumer;
+      t_wake_v = no_resumer;
+      t_can_cancel = false;
+      t_wake_fn = wake_fn_unset;
       t_on_exit = [];
       t_exit_time = 0;
+      t_enqueue_fn = dispatch_fn_unset;
+      t_some = None;
     }
   in
+  th.t_some <- Some th;
   let finish () =
-    let th, t_end = end_segment t in
+    let th = end_segment t in
+    let t_end = th.t_block_end in
     th.t_state <- Finished;
     th.t_exit_time <- t_end;
     let callbacks = List.rev th.t_on_exit in
@@ -453,11 +618,18 @@ let kill t th =
       th.t_exit_time <- local_now t;
       let callbacks = List.rev th.t_on_exit in
       th.t_on_exit <- [];
-      let cancel = th.t_cancel in
-      th.t_cancel <- None;
+      (* Discontinue only a still-outstanding registration; a woken thread
+         waiting in the run queue just has its pending resume dropped (the
+         killer's segment must not run the victim's finalizers twice). *)
+      let resumer = th.t_resumer in
+      let cancelable = th.t_can_cancel in
+      th.t_resumer <- no_resumer;
+      th.t_wake_v <- no_resumer;
+      th.t_can_cancel <- false;
       th.t_resume <- None;
       with_ctx_now t th.t_exit_time (fun () ->
-          (match cancel with Some c -> c Fiber.Cancelled | None -> ());
+          (if cancelable && resumer != no_resumer then
+             Fiber.cancel (Obj.obj resumer : Obj.t Fiber.resumer) Fiber.Cancelled);
           List.iter (fun f -> f ()) callbacks)
 
 let state _t th = th.t_state

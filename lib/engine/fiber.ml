@@ -1,37 +1,40 @@
 exception Cancelled
 
-type 'a resumer = { resume : 'a -> unit; cancel : exn -> unit }
+(* The resumer holds the captured continuation directly in a mutable slot
+   (consumed on first use) instead of wrapping it in resume/cancel closures
+   with a shared one-shot guard: a suspension then allocates one two-field
+   record plus the [Some], not five closures.  Suspend/resume is the
+   innermost host hot path — every simulated block, sleep, and yield goes
+   through here. *)
+type 'a resumer = { mutable rk : ('a, unit) Effect.Deep.continuation option }
 
 type _ Effect.t += Suspend : ('a resumer -> unit) -> 'a Effect.t
 
 let suspend register = Effect.perform (Suspend register)
 
-let run body =
+let take r =
+  match r.rk with
+  | None -> failwith "Fiber: resumer used twice"
+  | Some k ->
+      r.rk <- None;
+      k
+
+let resume r v = Effect.Deep.continue (take r) v
+let cancel r e = Effect.Deep.discontinue (take r) e
+
+(* One handler for every fiber (no captured state), so [run] allocates
+   nothing beyond the effect machinery itself. *)
+let handler =
   let open Effect.Deep in
-  let handler =
-    {
-      retc = (fun () -> ());
-      exnc = (fun e -> match e with Cancelled -> () | _ -> raise e);
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Suspend register ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  let used = ref false in
-                  let once f x =
-                    if !used then failwith "Fiber: resumer used twice"
-                    else begin
-                      used := true;
-                      f x
-                    end
-                  in
-                  register
-                    {
-                      resume = (fun v -> once (continue k) v);
-                      cancel = (fun e -> once (discontinue k) e);
-                    })
-          | _ -> None);
-    }
-  in
-  match_with body () handler
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> match e with Cancelled -> () | _ -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some (fun (k : (a, unit) continuation) -> register { rk = Some k })
+        | _ -> None);
+  }
+
+let run body = Effect.Deep.match_with body () handler

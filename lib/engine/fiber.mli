@@ -3,16 +3,23 @@
     A fiber runs ordinary OCaml code until it [suspend]s; the suspension
     captures the continuation and hands the caller a {!resumer} with which
     to continue (or cancel) it later.  The scheduler in {!Exec} builds
-    simulated threads out of these. *)
+    simulated threads out of these.
+
+    The resumer is a bare one-shot cell holding the continuation (not a
+    pair of closures): consuming it twice raises
+    [Failure "Fiber: resumer used twice"]. *)
 
 exception Cancelled
 (** Raised inside a fiber when its resumer is cancelled (e.g. the simulated
     thread is killed). *)
 
-type 'a resumer = {
-  resume : 'a -> unit;  (** continue the fiber with a value (once) *)
-  cancel : exn -> unit;  (** discontinue the fiber with an exception (once) *)
-}
+type 'a resumer
+
+val resume : 'a resumer -> 'a -> unit
+(** Continue the fiber with a value (once). *)
+
+val cancel : 'a resumer -> exn -> unit
+(** Discontinue the fiber with an exception (once). *)
 
 val run : (unit -> unit) -> unit
 (** [run body] executes [body] as a fiber in the current stack frame.  It

@@ -21,8 +21,12 @@ type t = {
 
 let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
     ?(hrt_cores = 1) ?(hrt_mem_fraction = 0.25) ?(huge_pages = true)
-    ?(work_stealing = false) () =
-  let sim = Sim.create () in
+    ?(work_stealing = false) ?trace_limit () =
+  (* [trace_limit] selects the trace's bounded ring mode; the default
+     (unbounded, full history) is what the golden trace asserts on. *)
+  let sim =
+    Sim.create ?trace:(Option.map (fun n -> Trace.create ~limit:n ()) trace_limit) ()
+  in
   let topo = Mv_hw.Topology.create ~sockets ~cores_per_socket ~hrt_cores () in
   let ncores = Mv_hw.Topology.ncores topo in
   let exec = Exec.create sim ~ncpus:ncores in

@@ -36,6 +36,7 @@ val create :
   ?hrt_mem_fraction:float ->
   ?huge_pages:bool ->
   ?work_stealing:bool ->
+  ?trace_limit:int ->
   unit ->
   t
 (** Build the reference machine: 2 sockets x 4 cores at 2.2 GHz by default,
@@ -43,7 +44,10 @@ val create :
     [huge_pages] (default [true]) enables the large-page memory path.
     [work_stealing] (default [false]) turns on deterministic work stealing
     among the ROS cores ({!Exec.set_steal_domain}); the default is off,
-    which is byte-identical to the pre-stealing scheduler. *)
+    which is byte-identical to the pre-stealing scheduler.
+    [trace_limit] bounds trace retention to the newest [trace_limit]
+    records (see {!Trace.create}'s [limit]); the default keeps full
+    history, which the golden trace depends on. *)
 
 val charge : t -> int -> unit
 (** Charge cycles to the running thread (see {!Exec.charge}). *)

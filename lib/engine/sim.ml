@@ -5,9 +5,9 @@ type t = {
   mutable processed : int;
 }
 
-let create ?trace () =
+let create ?capacity ?trace () =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
-  { clock = 0; queue = Event_queue.create (); trace; processed = 0 }
+  { clock = 0; queue = Event_queue.create ?capacity (); trace; processed = 0 }
 
 let now t = t.clock
 let trace t = t.trace
@@ -20,14 +20,19 @@ let schedule_at t time fn =
 
 let schedule_after t delay fn = schedule_at t (t.clock + delay) fn
 
+(* [next_time] returns [max_int] on empty, so the hot loop runs without
+   allocating an option per event; an event legitimately scheduled at
+   [max_int] is disambiguated by the emptiness check. *)
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, fn) ->
-      t.clock <- time;
-      t.processed <- t.processed + 1;
-      fn ();
-      true
+  let time = Event_queue.next_time t.queue in
+  if time = max_int && Event_queue.is_empty t.queue then false
+  else begin
+    let fn = Event_queue.pop_exn t.queue in
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    fn ();
+    true
+  end
 
 let run t = while step t do () done
 
@@ -48,11 +53,17 @@ let run_bounded t ~max_events =
 let run_until t limit =
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= limit -> ignore (step t)
-    | Some _ | None ->
+    let time = Event_queue.next_time t.queue in
+    if time <= limit then begin
+      if not (step t) then begin
         continue := false;
         if t.clock < limit then t.clock <- limit
+      end
+    end
+    else begin
+      continue := false;
+      if t.clock < limit then t.clock <- limit
+    end
   done
 
 let events_processed t = t.processed

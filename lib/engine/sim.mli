@@ -2,7 +2,8 @@
 
 type t
 
-val create : ?trace:Trace.t -> unit -> t
+val create : ?capacity:int -> ?trace:Trace.t -> unit -> t
+(** [capacity] pre-sizes the event queue ({!Event_queue.create}). *)
 
 val now : t -> Mv_util.Cycles.t
 (** Current virtual time (the timestamp of the event being processed). *)

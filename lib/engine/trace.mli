@@ -53,9 +53,24 @@ val render : payload -> string
 
 type t
 
-val create : ?enabled:bool -> ?capacity:int -> unit -> t
+val create : ?enabled:bool -> ?capacity:int -> ?limit:int -> unit -> t
+(** [limit] selects bounded retention: keep only the newest [limit]
+    records in a preallocated ring (O(1) per emit, zero growth), counting
+    evictions in {!dropped}.  [limit = 0] retains nothing — useful with
+    an event sink installed to stream records without holding any live.
+    Without [limit] (the default) the trace keeps full history, which the
+    golden trace and tests depend on; [capacity] is the legacy high-water
+    mark above which the oldest half is discarded.  Raises
+    [Invalid_argument] on a negative [limit]. *)
+
 val enable : t -> bool -> unit
 val enabled : t -> bool
+
+val limit : t -> int option
+(** The ring size, or [None] in unbounded mode. *)
+
+val dropped : t -> int
+(** Records evicted from the ring (always 0 in unbounded mode). *)
 
 val emit_event : t -> at:Mv_util.Cycles.t -> payload -> unit
 (** Record a typed event.  Rendering happens only when enabled. *)
@@ -81,7 +96,13 @@ val set_event_sink : t -> (record -> unit) option -> unit
     tracer as instants so exports interleave records with spans). *)
 
 val records : t -> record list
-(** In emission order. *)
+(** In emission order (oldest first; in ring mode, the retained window).
+    The list is memoized until the next emit or {!clear}, so repeated
+    calls are O(1). *)
+
+val iter : t -> (record -> unit) -> unit
+(** Apply to every retained record in emission order without
+    materializing a list (ring mode walks the buffer in place). *)
 
 val records_in : t -> category:string -> record list
 (** In emission order; served from a per-category index maintained on

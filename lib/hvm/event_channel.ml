@@ -5,6 +5,10 @@ module Trace = Mv_engine.Trace
 module Fault_plan = Mv_faults.Fault_plan
 open Mv_hw
 
+(* Block reasons are [prefix ^ kind] over a handful of kinds; interning
+   keeps the per-call hot path free of string allocation. *)
+let reason_call = Mv_util.Intern.create "evtchan:"
+
 type kind = Async | Sync
 
 exception Protocol_error of string
@@ -136,7 +140,8 @@ let call t req =
     t.n_calls <- t.n_calls + 1;
     Machine.charge t.machine (signal_cost t);
     let outcome =
-      Exec.block t.machine.Machine.exec ~reason:("evtchan:" ^ req.req_kind)
+      Exec.block t.machine.Machine.exec
+        ~reason:(Mv_util.Intern.get reason_call req.req_kind)
         (fun ~now ~wake ->
           let live = ref true in
           let entry =

@@ -6,6 +6,12 @@ module Tracer = Mv_obs.Tracer
 module Fault_plan = Mv_faults.Fault_plan
 open Mv_hw
 
+(* Hot-path labels are [prefix ^ kind] over a handful of request kinds;
+   interning keeps per-call block/span setup free of string allocation. *)
+let reason_ride = Mv_util.Intern.create "fabric:ride:"
+let reason_admit = Mv_util.Intern.create "fabric:admit:"
+let span_fwd = Mv_util.Intern.create "fwd:"
+
 (* Ring-slot protocol: a rider's request is Pending until either a server
    drain takes it (Pending -> Taken -> Done) or the rider's own timeout
    reclaims it (Pending -> Claimed) to re-dispatch through the transport.
@@ -22,6 +28,8 @@ type slot = {
 
 type endpoint = {
   ep_name : string;
+  ep_batch_label : string;  (* "batch:<name>", precomputed off the hot path *)
+  ep_serve_label : string;  (* "serve:<name>", likewise *)
   ep_chan : Event_channel.t;
   ep_ros_core : int;  (* server-side core; routes the endpoint to a poller group *)
   mutable ep_group : int;  (* index into [fb_groups]; reassigned by start_pool *)
@@ -108,6 +116,11 @@ type t = {
   mutable fb_shed_mode : bool;
   mutable fb_shed_flipped : endpoint list;  (* endpoints the watchdog flipped Sync->Async *)
   mutable fb_monitor_armed : bool;
+  (* Metric handles resolved once and cached: the watchdog gauges and the
+     per-kind crossing-latency recorders would otherwise re-walk the
+     string-keyed registry index on every heartbeat / traced call. *)
+  mutable fb_shed_gauges : (Mv_obs.Metrics.gauge * Mv_obs.Metrics.gauge * Mv_obs.Metrics.gauge) option;
+  fb_crossing_lat : (string, Mv_obs.Metrics.latency) Hashtbl.t;
   mutable n_calls : int;
   mutable n_transport : int;
   mutable n_riders : int;
@@ -162,6 +175,8 @@ let create ?(faults = Fault_plan.none) ?(batching = true) ?heartbeat machine ~ki
     fb_shed_mode = false;
     fb_shed_flipped = [];
     fb_monitor_armed = false;
+    fb_shed_gauges = None;
+    fb_crossing_lat = Hashtbl.create 8;
     n_calls = 0;
     n_transport = 0;
     n_riders = 0;
@@ -263,7 +278,7 @@ let drain_ring t ep =
     (* The batch span covers every slot this drain services: the leader
        and its riders share it (their per-crossing service segments are
        measured inside). *)
-    Tracer.with_span t.fb_machine.Machine.obs ~name:("batch:" ^ ep.ep_name) ~cat:"fabric"
+    Tracer.with_span t.fb_machine.Machine.obs ~name:ep.ep_batch_label ~cat:"fabric"
       (fun () ->
         let before = t.n_drained in
         let rec go () =
@@ -289,8 +304,9 @@ let drain_ring t ep =
               go ()
         in
         go ();
-        Tracer.annotate t.fb_machine.Machine.obs "drained"
-          (string_of_int (t.n_drained - before)));
+        if Tracer.enabled t.fb_machine.Machine.obs then
+          Tracer.annotate t.fb_machine.Machine.obs "drained"
+            (string_of_int (t.n_drained - before)));
     (* Ring slots were freed: admit parked callers in FIFO order. *)
     pump_admission t ep
   end
@@ -351,7 +367,7 @@ let serve_endpoint t ep =
         ep.ep_busy <- false;
         ep.ep_attentive <- false)
       (fun () ->
-        Tracer.with_span t.fb_machine.Machine.obs ~name:("serve:" ^ ep.ep_name)
+        Tracer.with_span t.fb_machine.Machine.obs ~name:ep.ep_serve_label
           ~cat:"ros"
         @@ fun () ->
         let rec drain served =
@@ -512,6 +528,8 @@ let endpoint t ~name ~ros_core ~hrt_core =
   let ep =
     {
       ep_name = name;
+      ep_batch_label = "batch:" ^ name;
+      ep_serve_label = "serve:" ^ name;
       ep_chan = ch;
       ep_ros_core = ros_core;
       ep_group = 0;
@@ -587,12 +605,21 @@ let rec shed_monitor t () =
   | Some ad ->
       let cap = Stdlib.max 1 ad.ad_ring_capacity in
       let occ = ring_occupancy t in
-      let m = t.fb_machine.Machine.metrics in
-      Mv_obs.Metrics.set_gauge
-        (Mv_obs.Metrics.gauge m ~ns:"fabric" "ring_occupancy")
-        (float_of_int occ);
-      Mv_obs.Metrics.set_gauge
-        (Mv_obs.Metrics.gauge m ~ns:"fabric" "admission_waiters")
+      let g_occ, g_waiters, g_shed =
+        match t.fb_shed_gauges with
+        | Some g -> g
+        | None ->
+            let m = t.fb_machine.Machine.metrics in
+            let g =
+              ( Mv_obs.Metrics.gauge m ~ns:"fabric" "ring_occupancy",
+                Mv_obs.Metrics.gauge m ~ns:"fabric" "admission_waiters",
+                Mv_obs.Metrics.gauge m ~ns:"fabric" "shed_mode" )
+            in
+            t.fb_shed_gauges <- Some g;
+            g
+      in
+      Mv_obs.Metrics.set_gauge g_occ (float_of_int occ);
+      Mv_obs.Metrics.set_gauge g_waiters
         (float_of_int (List.fold_left (fun a ep -> a + ep.ep_nwaiters) 0 t.fb_endpoints));
       let frac = float_of_int occ /. float_of_int cap in
       if (not t.fb_shed_mode) && frac >= ad.ad_high_water then begin
@@ -609,9 +636,7 @@ let rec shed_monitor t () =
         restore_endpoints t;
         Machine.emit t.fb_machine (Trace.Shed_mode { on = false })
       end;
-      Mv_obs.Metrics.set_gauge
-        (Mv_obs.Metrics.gauge m ~ns:"fabric" "shed_mode")
-        (if t.fb_shed_mode then 1. else 0.);
+      Mv_obs.Metrics.set_gauge g_shed (if t.fb_shed_mode then 1. else 0.);
       Sim.schedule_after (Exec.sim t.fb_machine.Machine.exec) t.fb_heartbeat (shed_monitor t)
 
 let set_admission t ad =
@@ -756,7 +781,7 @@ and ride t ep (req : Event_channel.request) =
   let rec wait () =
     let outcome =
       Exec.block exec
-        ~reason:("fabric:ride:" ^ req.Event_channel.req_kind)
+        ~reason:(Mv_util.Intern.get reason_ride req.Event_channel.req_kind)
         (fun ~now ~wake ->
           let live = ref true in
           slot.sl_wake <-
@@ -865,7 +890,7 @@ let admission_gate t ep ~patient (req : Event_channel.request) =
       let enqueue_waiter () =
         t.n_blocked <- t.n_blocked + 1;
         Exec.block exec
-          ~reason:("fabric:admit:" ^ req.Event_channel.req_kind)
+          ~reason:(Mv_util.Intern.get reason_admit req.Event_channel.req_kind)
           (fun ~now:_ ~wake ->
             ep.ep_nwaiters <- ep.ep_nwaiters + 1;
             Queue.add (fun () -> wake ()) ep.ep_waiters;
@@ -972,6 +997,16 @@ let route t ep ~errno_site (req : Event_channel.request) =
     go 0 (Event_channel.rtt ep.ep_chan)
   end
 
+let crossing_latency t kind =
+  match Hashtbl.find_opt t.fb_crossing_lat kind with
+  | Some l -> l
+  | None ->
+      let l =
+        Mv_obs.Metrics.latency t.fb_machine.Machine.metrics ~ns:"fabric" ("crossing:" ^ kind)
+      in
+      Hashtbl.add t.fb_crossing_lat kind l;
+      l
+
 let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request) =
   t.n_calls <- t.n_calls + 1;
   let obs = t.fb_machine.Machine.obs in
@@ -992,7 +1027,9 @@ let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request
     let now () = Machine.now t.fb_machine in
     let t0 = now () in
     let cid =
-      Tracer.begin_span obs ~name:("fwd:" ^ req.Event_channel.req_kind) ~cat:"crossing" ()
+      Tracer.begin_span obs
+        ~name:(Mv_util.Intern.get span_fwd req.Event_channel.req_kind)
+        ~cat:"crossing" ()
     in
     let ran = ref false in
     let pickup = ref t0 and svc_end = ref t0 in
@@ -1023,8 +1060,7 @@ let call t ep ?key ?(errno_site = false) ?local_try (req : Event_channel.request
         end;
         Tracer.end_span obs cid;
         Mv_obs.Metrics.observe
-          (Mv_obs.Metrics.latency t.fb_machine.Machine.metrics ~ns:"fabric"
-             ("crossing:" ^ req.Event_channel.req_kind))
+          (crossing_latency t req.Event_channel.req_kind)
           (float_of_int (t1 - t0)))
       (fun () ->
         if not (local_path t ~key ~local_try inst) then begin

@@ -5,8 +5,16 @@ type zone = {
   first_frame : int;
   nframes : int;
   hrt_start : int;  (* frames >= hrt_start (zone-relative) belong to the HRT *)
-  mutable free_ros : int list;
-  mutable free_hrt : int list;
+  (* Free frames per region are a bump cursor over the never-yet-allocated
+     ascending tail plus a LIFO of explicitly freed frames.  Equivalent to
+     the old eager ascending freelist (frees pushed onto its head, allocs
+     popped it) — the list was always freed-LIFO-prefix ++ untouched
+     ascending suffix — without materializing a quarter-million list cells
+     per zone at create. *)
+  mutable ros_cursor : int;  (* next untouched ROS frame (absolute id) *)
+  mutable freed_ros : int list;
+  mutable hrt_cursor : int;
+  mutable freed_hrt : int list;
 }
 
 type t = {
@@ -36,14 +44,15 @@ let create ?(frames_per_zone = 262_144) ?(cores_per_socket = 4) ~sockets
   let make_zone s =
     let first_frame = s * frames_per_zone in
     let hrt_start = int_of_float (float_of_int frames_per_zone *. (1. -. hrt_fraction)) in
-    let rec range a b acc = if a >= b then List.rev acc else range (a + 1) b (a :: acc) in
     {
       socket = s;
       first_frame;
       nframes = frames_per_zone;
       hrt_start;
-      free_ros = range first_frame (first_frame + hrt_start) [];
-      free_hrt = range (first_frame + hrt_start) (first_frame + frames_per_zone) [];
+      ros_cursor = first_frame;
+      freed_ros = [];
+      hrt_cursor = first_frame + hrt_start;
+      freed_hrt = [];
     }
   in
   {
@@ -65,17 +74,29 @@ let fallback_order t ~zone =
 let take_from zone region =
   match region with
   | Ros_region -> (
-      match zone.free_ros with
+      match zone.freed_ros with
       | f :: rest ->
-          zone.free_ros <- rest;
+          zone.freed_ros <- rest;
           Some f
-      | [] -> None)
+      | [] ->
+          if zone.ros_cursor < zone.first_frame + zone.hrt_start then begin
+            let f = zone.ros_cursor in
+            zone.ros_cursor <- f + 1;
+            Some f
+          end
+          else None)
   | Hrt_region -> (
-      match zone.free_hrt with
+      match zone.freed_hrt with
       | f :: rest ->
-          zone.free_hrt <- rest;
+          zone.freed_hrt <- rest;
           Some f
-      | [] -> None)
+      | [] ->
+          if zone.hrt_cursor < zone.first_frame + zone.nframes then begin
+            let f = zone.hrt_cursor in
+            zone.hrt_cursor <- f + 1;
+            Some f
+          end
+          else None)
 
 let alloc t ?zone region =
   (* Local zone first, then outward by distance.  With no hint the order is
@@ -124,10 +145,10 @@ let free t f =
       let z = t.zones.(zone_of_frame t f) in
       (match region with
       | Ros_region ->
-          z.free_ros <- f :: z.free_ros;
+          z.freed_ros <- f :: z.freed_ros;
           t.allocated_ros <- t.allocated_ros - 1
       | Hrt_region ->
-          z.free_hrt <- f :: z.free_hrt;
+          z.freed_hrt <- f :: z.freed_hrt;
           t.allocated_hrt <- t.allocated_hrt - 1)
 
 let allocated t = function

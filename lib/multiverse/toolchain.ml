@@ -43,6 +43,7 @@ type mv_options = {
   mv_hrt_cores : int;
   mv_placement : Runtime.placement;
   mv_work_stealing : bool;
+  mv_trace_limit : int option;
 }
 
 let default_mv_options =
@@ -57,6 +58,7 @@ let default_mv_options =
     mv_hrt_cores = 1;
     mv_placement = Runtime.Spread;
     mv_work_stealing = false;
+    mv_trace_limit = None;
   }
 
 type run_stats = {
@@ -101,9 +103,11 @@ let prepare_stdin proc stdin =
   | None -> Vfs.close_stream proc.Process.stdin
 
 let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
-    ?(topology = (2, 4)) ?(hrt_cores = 1) program =
+    ?(topology = (2, 4)) ?(hrt_cores = 1) ?trace_limit program =
   let sockets, cores_per_socket = topology in
-  let machine = Machine.create ?costs ~huge_pages ~sockets ~cores_per_socket ~hrt_cores () in
+  let machine =
+    Machine.create ?costs ~huge_pages ~sockets ~cores_per_socket ~hrt_cores ?trace_limit ()
+  in
   if trace then Machine.set_tracing machine true;
   let kernel = Kernel.create ~virtualized machine in
   let proc =
@@ -119,17 +123,19 @@ let run_plain ~virtualized ?costs ?stdin ?(trace = false) ?(huge_pages = true)
     failwith (program.prog_name ^ ": simulation quiesced before process exit");
   collect ~mode ~kernel ~machine ~proc ~runtime:None
 
-let run_native ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program =
-  run_plain ~virtualized:false ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program
+let run_native ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores ?trace_limit program =
+  run_plain ~virtualized:false ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores
+    ?trace_limit program
 
-let run_virtual ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program =
-  run_plain ~virtualized:true ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores program
+let run_virtual ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores ?trace_limit program =
+  run_plain ~virtualized:true ?costs ?stdin ?trace ?huge_pages ?topology ?hrt_cores
+    ?trace_limit program
 
 let setup_multiverse ?costs ~options ~name ~fat body =
   let machine =
     Machine.create ?costs ~huge_pages:options.mv_huge_pages ~sockets:options.mv_sockets
       ~cores_per_socket:options.mv_cores_per_socket ~hrt_cores:options.mv_hrt_cores
-      ~work_stealing:options.mv_work_stealing ()
+      ~work_stealing:options.mv_work_stealing ?trace_limit:options.mv_trace_limit ()
   in
   let kernel = Kernel.create machine in
   let hvm = Hvm.create machine ~ros:kernel in

@@ -2,12 +2,14 @@
     recorders, keyed ["namespace/name"] (namespaces: [fabric], [mmu],
     [tlb], [walk_cache], [mm], [sgc], [event_channel], ...).
 
-    Registration is idempotent — [counter m ~ns name] returns the same
-    cell every time — so subsystems can look handles up at use sites
-    without threading them through constructors.  Updating a cell is a
-    field store; nothing allocates after registration.  Latency
-    recorders reuse {!Mv_util.Stats} for the moment summary and
-    {!Mv_util.Histogram} for a log2-bucketed distribution. *)
+    Registration is idempotent — [counter m ~ns name] returns an
+    equivalent handle every time — but resolution walks the string-keyed
+    index, so hot paths must resolve once and hold the handle.  Handles
+    are int-indexed slots into flat unboxed arrays: updating one is an
+    array store, and nothing allocates after registration.  Latency
+    recorders reuse {!Mv_util.Stats} for the moment summary plus a flat
+    log2 bucket array for the distribution (labels are rendered only
+    when read back). *)
 
 type t
 

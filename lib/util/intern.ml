@@ -1,0 +1,11 @@
+type t = { prefix : string; cache : (string, string) Hashtbl.t }
+
+let create prefix = { prefix; cache = Hashtbl.create 8 }
+
+let get t key =
+  match Hashtbl.find_opt t.cache key with
+  | Some s -> s
+  | None ->
+      let s = t.prefix ^ key in
+      Hashtbl.add t.cache key s;
+      s

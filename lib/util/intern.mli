@@ -1,0 +1,14 @@
+(** Prefix-keyed string cache for hot-path labels.
+
+    Call sites like [block ~reason:("evtchan:" ^ kind)] allocate a fresh
+    string per call even though [kind] is drawn from a handful of values.
+    An [Intern.t] memoizes [prefix ^ key] so steady-state lookups allocate
+    nothing. *)
+
+type t
+
+val create : string -> t
+(** [create prefix] makes a cache for labels of the form [prefix ^ key]. *)
+
+val get : t -> string -> string
+(** [get t key] returns [prefix ^ key], computed at most once per [key]. *)

@@ -26,6 +26,7 @@ type config = {
   lg_hrt_cores : int;
   lg_pool_size : int option;
   lg_placement : placement;
+  lg_trace_limit : int option;
 }
 
 let default_config =
@@ -44,6 +45,7 @@ let default_config =
     lg_hrt_cores = 4;
     lg_pool_size = None;
     lg_placement = Round_robin;
+    lg_trace_limit = None;
   }
 
 type results = {
@@ -51,6 +53,7 @@ type results = {
   r_issued : int;
   r_completed : int;
   r_dropped : int;
+  r_events : int;
   r_makespan : Cycles.t;
   r_throughput_cps : float;
   r_p50_us : float;
@@ -109,7 +112,7 @@ let run cfg =
   if cfg.lg_offered_cps <= 0.0 then invalid_arg "Loadgen.run: lg_offered_cps must be > 0";
   let machine =
     Machine.create ~sockets:cfg.lg_sockets ~cores_per_socket:cfg.lg_cores_per_socket
-      ~hrt_cores:cfg.lg_hrt_cores ()
+      ~hrt_cores:cfg.lg_hrt_cores ?trace_limit:cfg.lg_trace_limit ()
   in
   let exec = machine.Machine.exec in
   let ros_cores = Topology.ros_cores machine.Machine.topo in
@@ -205,6 +208,7 @@ let run cfg =
     r_issued = !issued;
     r_completed = !completed;
     r_dropped = !dropped;
+    r_events = Sim.events_processed machine.Machine.sim;
     r_makespan = span;
     r_throughput_cps = float_of_int !completed /. Cycles.to_sec span;
     r_p50_us = pct 50.0;

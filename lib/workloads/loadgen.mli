@@ -48,6 +48,9 @@ type config = {
   lg_hrt_cores : int;
   lg_pool_size : int option;  (** poller pool size; [None] = topology-sized *)
   lg_placement : placement;  (** endpoint/pool placement (default round-robin) *)
+  lg_trace_limit : int option;
+      (** bounded trace retention for the machine ({!Mv_engine.Machine.create});
+          [None] (the default) keeps full history *)
 }
 
 val default_config : config
@@ -59,6 +62,7 @@ type results = {
   r_issued : int;
   r_completed : int;
   r_dropped : int;  (** typed [Overload] replies past the retry budget *)
+  r_events : int;  (** simulated events processed ({!Mv_engine.Sim.events_processed}) *)
   r_makespan : Mv_util.Cycles.t;
   r_throughput_cps : float;  (** completed / makespan *)
   r_p50_us : float;  (** sojourn percentiles: completion - scheduled arrival *)

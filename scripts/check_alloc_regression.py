@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Allocation-regression guard for the host bench.
+
+Compares every `minor_words_per_event` cell in a fresh BENCH_host.json
+against the committed baseline (bench/host_alloc_baseline.json) and fails
+if any cell grew more than the tolerance.  Wall-clock and events/sec are
+machine-dependent noise and are deliberately not checked; words/event is
+deterministic for a fixed workload, so a >20% jump means a real
+allocation regression on the host hot path, not a slow runner.
+
+Usage: check_alloc_regression.py BASELINE.json CURRENT.json
+"""
+import json
+import sys
+
+TOLERANCE = 1.20  # fail when current > baseline * TOLERANCE
+
+
+def cells(doc, path=""):
+    """Yield (path, minor_words_per_event) for every bench cell."""
+    if isinstance(doc, dict):
+        if "minor_words_per_event" in doc:
+            yield path, float(doc["minor_words_per_event"])
+        for key, value in doc.items():
+            yield from cells(value, f"{path}/{key}" if path else key)
+
+
+def main(baseline_path, current_path):
+    with open(baseline_path) as f:
+        baseline = dict(cells(json.load(f)))
+    with open(current_path) as f:
+        current = dict(cells(json.load(f)))
+    if not current:
+        print(f"{current_path}: no minor_words_per_event cells found", file=sys.stderr)
+        return 1
+    failed = False
+    for path, words in sorted(current.items()):
+        ref = baseline.get(path)
+        if ref is None:
+            print(f"note {path}: {words:.2f} w/event (no baseline; add one)")
+            continue
+        limit = ref * TOLERANCE
+        if ref > 0 and words > limit:
+            failed = True
+            print(f"FAIL {path}: {words:.2f} w/event > limit {limit:.2f} (baseline {ref:.2f})")
+        else:
+            print(f"ok   {path}: {words:.2f} w/event (baseline {ref:.2f}, limit {limit:.2f})")
+    if failed:
+        print(
+            "allocation regression: minor words/event grew >20% vs the committed "
+            "baseline; if intentional, regenerate bench/host_alloc_baseline.json "
+            "from a release-profile `bench host --json` run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1], sys.argv[2]))

@@ -99,7 +99,7 @@ let test_fiber_suspend_resume () =
       result := v + 1);
   check_int "not resumed yet" 0 !result;
   (match !stash with
-  | Some r -> r.Fiber.resume 41
+  | Some r -> Fiber.resume r 41
   | None -> Alcotest.fail "no resumer");
   check_int "resumed with value" 42 !result
 
@@ -111,7 +111,7 @@ let test_fiber_cancel () =
         ~finally:(fun () -> cleaned := true)
         (fun () -> Fiber.suspend (fun r -> stash := Some r)));
   (match !stash with
-  | Some r -> r.Fiber.cancel Fiber.Cancelled
+  | Some r -> Fiber.cancel r Fiber.Cancelled
   | None -> Alcotest.fail "no resumer");
   check_bool "finalizer ran on cancel" true !cleaned
 
@@ -119,9 +119,9 @@ let test_fiber_double_resume () =
   let stash = ref None in
   Fiber.run (fun () -> Fiber.suspend (fun r -> stash := Some r));
   let r = Option.get !stash in
-  r.Fiber.resume ();
+  Fiber.resume r ();
   Alcotest.check_raises "second resume rejected" (Failure "Fiber: resumer used twice")
-    (fun () -> r.Fiber.resume ())
+    (fun () -> Fiber.resume r ())
 
 (* --- Exec --- *)
 
@@ -303,6 +303,55 @@ let test_exec_kill_blocked () =
   check_bool "victim unwound" true !cleaned;
   check_bool "victim finished" true (Exec.state ex victim = Exec.Finished)
 
+(* --- Trace retention --- *)
+
+let trace_msgs t = List.map (fun r -> r.Trace.message) (Trace.records t)
+
+let test_trace_ring_retention () =
+  let t = Trace.create ~enabled:true ~limit:3 () in
+  Alcotest.(check (option int)) "limit accessor" (Some 3) (Trace.limit t);
+  for i = 1 to 5 do
+    Trace.emit t ~at:i ~category:(if i mod 2 = 0 then "even" else "odd") (string_of_int i)
+  done;
+  Alcotest.(check (list string)) "ring keeps the newest 3, oldest first"
+    [ "3"; "4"; "5" ] (trace_msgs t);
+  check_int "evictions counted" 2 (Trace.dropped t);
+  check_int "count_in scans the window" 1 (Trace.count_in t ~category:"even");
+  Alcotest.(check (list string)) "records_in filters the window"
+    [ "3"; "5" ]
+    (List.map (fun r -> r.Trace.message) (Trace.records_in t ~category:"odd"));
+  let seen = ref [] in
+  Trace.iter t (fun r -> seen := r.Trace.message :: !seen);
+  Alcotest.(check (list string)) "iter agrees with records" [ "3"; "4"; "5" ]
+    (List.rev !seen);
+  Trace.clear t;
+  check_int "clear resets dropped" 0 (Trace.dropped t);
+  Alcotest.(check (list string)) "clear empties the window" [] (trace_msgs t)
+
+let test_trace_ring_zero_streams () =
+  let t = Trace.create ~enabled:true ~limit:0 () in
+  let streamed = ref [] in
+  Trace.set_event_sink t (Some (fun r -> streamed := r.Trace.message :: !streamed));
+  for i = 1 to 4 do
+    Trace.emit t ~at:i ~category:"c" (string_of_int i)
+  done;
+  Alcotest.(check (list string)) "nothing retained" [] (trace_msgs t);
+  check_int "all evicted" 4 (Trace.dropped t);
+  Alcotest.(check (list string)) "every record streamed to the sink"
+    [ "1"; "2"; "3"; "4" ] (List.rev !streamed)
+
+let test_trace_records_memoized () =
+  let t = Trace.create ~enabled:true () in
+  Trace.emit t ~at:1 ~category:"c" "a";
+  Trace.emit t ~at:2 ~category:"c" "b";
+  check_bool "repeat calls share the memoized list" true
+    (Trace.records t == Trace.records t);
+  Trace.emit t ~at:3 ~category:"c" "c";
+  Alcotest.(check (list string)) "emit invalidates the memo" [ "a"; "b"; "c" ]
+    (trace_msgs t);
+  check_bool "unbounded mode reports no limit" true (Trace.limit t = None);
+  check_int "unbounded mode never drops" 0 (Trace.dropped t)
+
 let suite =
   [
     ("event-queue: time order", `Quick, test_eq_order);
@@ -325,4 +374,7 @@ let suite =
     ("exec: switch cost and counts", `Quick, test_exec_switch_cost_and_counts);
     ("exec: slice preemption", `Quick, test_exec_preemption);
     ("exec: kill blocked thread", `Quick, test_exec_kill_blocked);
+    ("trace: ring retention keeps newest N", `Quick, test_trace_ring_retention);
+    ("trace: limit 0 streams without retaining", `Quick, test_trace_ring_zero_streams);
+    ("trace: records memoized until next emit", `Quick, test_trace_records_memoized);
   ]

@@ -593,6 +593,67 @@ let qcheck_pm_conservation =
       List.iter (fun f -> Phys_mem.free pm f) !live;
       !ok && Phys_mem.allocated pm Phys_mem.Ros_region = 0)
 
+(* --- Event_queue ------------------------------------------------- *)
+
+module Event_queue = Mv_engine.Event_queue
+
+(* The heap's contract — pops come out as a stable sort by (time, push
+   sequence) — is what makes the whole simulation deterministic, and the
+   SoA heap's swap/sift code is exactly the kind of index arithmetic a
+   model test catches.  Ops are interleaved pushes (Some time) and pops
+   (None) against a naive insertion-ordered list model. *)
+let qcheck_event_queue_vs_model =
+  QCheck.Test.make
+    ~name:"event_queue: pop order = stable sort by (time, seq) under interleaved push/pop"
+    ~count:200
+    QCheck.(list (option (int_bound 1000)))
+    (fun ops ->
+      let q = Event_queue.create ~capacity:2 () in
+      (* Model: (time, seq, payload) in insertion order; popping takes the
+         first entry with the minimal time (stability = insertion order). *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let model_pop () =
+        match !model with
+        | [] -> None
+        | first :: rest ->
+            let best =
+              List.fold_left
+                (fun (bt, bs, bv) (t, s, v) ->
+                  if t < bt then (t, s, v) else (bt, bs, bv))
+                first rest
+            in
+            let _, bs, _ = best in
+            model := List.filter (fun (_, s, _) -> s <> bs) !model;
+            Some best
+      in
+      let check_pop () =
+        (* next_time must agree with the model's minimum before the pop. *)
+        let expect_next =
+          List.fold_left (fun acc (t, _, _) -> min acc t) max_int !model
+        in
+        if Event_queue.next_time q <> expect_next then ok := false;
+        match (Event_queue.pop q, model_pop ()) with
+        | None, None -> ()
+        | Some (t, v), Some (mt, _, mv) -> if t <> mt || v <> mv then ok := false
+        | Some _, None | None, Some _ -> ok := false
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some time ->
+              Event_queue.push q ~time !seq;
+              model := !model @ [ (time, !seq, !seq) ];
+              incr seq
+          | None -> check_pop ());
+          if Event_queue.size q <> List.length !model then ok := false)
+        ops;
+      while not (Event_queue.is_empty q) || !model <> [] do
+        check_pop ()
+      done;
+      !ok && Event_queue.next_time q = max_int && Event_queue.peek_time q = None)
+
 let suite =
   [
     to_alcotest qcheck_plan_deterministic;
@@ -613,4 +674,5 @@ let suite =
     to_alcotest qcheck_pm_alloc_near_local;
     to_alcotest qcheck_pm_hinted_alloc_vs_model;
     to_alcotest qcheck_pm_conservation;
+    to_alcotest qcheck_event_queue_vs_model;
   ]
