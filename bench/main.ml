@@ -568,7 +568,7 @@ let hpcg_hrt ~nx ~workers =
   let machine = Machine.create ~hrt_cores:(workers + 1) () in
   let nk = Nautilus.create machine in
   let out = ref None in
-  let master = List.hd (Mv_hw.Topology.hrt_cores machine.Machine.topo) in
+  let master = List.hd (Mv_aerokernel.Nautilus.cores nk) in
   ignore
     (Exec.spawn machine.Machine.exec ~cpu:master ~name:"hpcg-master" (fun () ->
          Nautilus.boot nk;
@@ -632,7 +632,7 @@ let native_model () =
     let machine = Machine.create ~hrt_cores:(workers + 1) () in
     let nk = Nautilus.create machine in
     let out = ref 0 in
-    let master = List.hd (Mv_hw.Topology.hrt_cores machine.Machine.topo) in
+    let master = List.hd (Mv_aerokernel.Nautilus.cores nk) in
     ignore
       (Exec.spawn machine.Machine.exec ~cpu:master ~name:"vcode-hrt" (fun () ->
            Nautilus.boot nk;
@@ -940,7 +940,7 @@ type hh_side = {
 let measure_hh_sweep ~huge_pages =
   let machine = Machine.create ~huge_pages () in
   let nk = Nautilus.create machine in
-  let hrt = List.hd (Mv_hw.Topology.hrt_cores machine.Machine.topo) in
+  let hrt = List.hd (Mv_aerokernel.Nautilus.cores nk) in
   let out = ref None in
   ignore
     (Exec.spawn machine.Machine.exec ~cpu:hrt ~name:"hh-sweep" (fun () ->
@@ -1410,6 +1410,202 @@ let write_numa_json path =
     (flat.nm_cycles - near.nm_cycles)
 
 (* ------------------------------------------------------------------ *)
+(* Partition: 2-tenant consolidation with dynamic core lending         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two HRT tenants on the reference box ([--partitions], default [2;2]):
+   tenant A runs a steady open-loop stream sized to overload its own
+   cores; tenant B runs short periodic bursts and is otherwise idle.
+   With lending ON, tenant B lends its last core to A for every idle gap
+   and reclaims it just before the next burst; with lending OFF the core
+   idles.  The consolidation story is A's p99 sojourn collapsing while
+   B's burst latency stays put (the reclaim returns the core in time). *)
+
+let partition_spec = ref [ 2; 2 ]
+
+let part_jobs_a = 360
+let part_inter_a = 3_750 (* cycles between tenant-A arrivals *)
+let part_svc_a = 9_000 (* per-job service; 2.4 cores of demand on 2 cores *)
+let part_bursts_b = 5
+let part_period_b = 300_000 (* tenant-B burst period *)
+let part_burst_jobs_b = 8
+let part_inter_b = 2_000
+let part_svc_b = 6_000
+let part_settle_b = 40_000 (* burst start -> lend of the idle core *)
+
+type tenant_res = { tn_completed : int; tn_p50_us : float; tn_p99_us : float }
+
+type partition_res = {
+  pt_a : tenant_res;
+  pt_b : tenant_res;
+  pt_makespan : Cycles.t;
+  pt_tput_cps : float;  (* aggregate completions / makespan *)
+  pt_lends : int;
+  pt_reclaims : int;
+}
+
+let measure_partition ~lending =
+  let machine = Machine.create ~hrt_parts:!partition_spec () in
+  let exec = machine.Machine.exec in
+  let topo = machine.Machine.topo in
+  let kernel = Mv_ros.Kernel.create machine in
+  let hvm = Hvm.create machine ~ros:kernel in
+  let ros = Mv_hw.Topology.ros_cores topo in
+  let lendc = List.hd (List.rev (Mv_hw.Topology.cores_of topo 2)) in
+  let sojourn_a = Mv_obs.Metrics.latency machine.Machine.metrics ~ns:"part" "a" in
+  let sojourn_b = Mv_obs.Metrics.latency machine.Machine.metrics ~ns:"part" "b" in
+  let completed_a = ref 0 and completed_b = ref 0 in
+  let makespan = ref 0 in
+  (* Targets re-read the tenant's core list at every arrival, so a lent
+     core joins (and leaves) tenant A's rotation automatically. *)
+  let spawn_job ~tenant ~cores_of_tenant ~svc i =
+    let cores = cores_of_tenant () in
+    let target = List.nth cores (i mod List.length cores) in
+    let t0 = Exec.local_now exec in
+    ignore
+      (Exec.spawn exec ~cpu:target
+         ~name:(Printf.sprintf "%s-%d" tenant i)
+         (fun () ->
+           Machine.charge machine svc;
+           let now = Exec.local_now exec in
+           let sj = float_of_int (now - t0) in
+           if tenant = "a" then begin
+             Mv_obs.Metrics.observe sojourn_a sj;
+             incr completed_a
+           end
+           else begin
+             Mv_obs.Metrics.observe sojourn_b sj;
+             incr completed_b
+           end;
+           if now > !makespan then makespan := now))
+  in
+  (* Tenant A's open-loop source. *)
+  ignore
+    (Exec.spawn exec ~cpu:(List.nth ros 1) ~name:"a-src" (fun () ->
+         for i = 0 to part_jobs_a - 1 do
+           spawn_job ~tenant:"a"
+             ~cores_of_tenant:(fun () -> Mv_hw.Topology.cores_of topo 1)
+             ~svc:part_svc_a i;
+           Exec.sleep exec part_inter_a
+         done));
+  (* Tenant B's burst source doubles as the lending controller. *)
+  ignore
+    (Exec.spawn exec ~cpu:(List.hd ros) ~name:"b-src" (fun () ->
+         for _ = 1 to part_bursts_b do
+           for j = 0 to part_burst_jobs_b - 1 do
+             spawn_job ~tenant:"b"
+               ~cores_of_tenant:(fun () -> Mv_hw.Topology.cores_of topo 2)
+               ~svc:part_svc_b j;
+             Exec.sleep exec part_inter_b
+           done;
+           let in_burst = part_burst_jobs_b * part_inter_b in
+           if lending then begin
+             Exec.sleep exec (part_settle_b - in_burst);
+             Hvm.lend_core hvm ~core:lendc ~dst:1;
+             Exec.sleep exec (part_period_b - part_settle_b);
+             Hvm.reclaim_core hvm ~core:lendc
+           end
+           else Exec.sleep exec (part_period_b - in_burst)
+         done));
+  Sim.run machine.Machine.sim;
+  let pct l p = Cycles.to_us (int_of_float (Mv_obs.Metrics.latency_percentile l p)) in
+  let tenant l completed =
+    { tn_completed = completed; tn_p50_us = pct l 50.0; tn_p99_us = pct l 99.0 }
+  in
+  {
+    pt_a = tenant sojourn_a !completed_a;
+    pt_b = tenant sojourn_b !completed_b;
+    pt_makespan = !makespan;
+    pt_tput_cps =
+      float_of_int (!completed_a + !completed_b) /. Cycles.to_sec !makespan;
+    pt_lends = Hvm.lends hvm;
+    pt_reclaims = Hvm.reclaims hvm;
+  }
+
+(* Memoized: `partition --json` runs the A/B once; the two cells are
+   independent whole-machine runs, so they fan out under --jobs. *)
+let partition_cells =
+  lazy
+    (match par_map (fun lending -> measure_partition ~lending) [ false; true ] with
+    | [ off; on ] -> (off, on)
+    | _ -> assert false)
+
+let partition_bench () =
+  section
+    (Printf.sprintf
+       "Partition: 2-tenant consolidation (hrt_parts [%s]), core lending on vs off"
+       (String.concat ";" (List.map string_of_int !partition_spec)));
+  let off, on = Lazy.force partition_cells in
+  let t =
+    Table.create
+      ~headers:
+        [ "lending"; "tenant"; "completed"; "p50 (us)"; "p99 (us)"; "agg tput (k/s)" ]
+  in
+  let rows mode r =
+    let row name (tn : tenant_res) agg =
+      Table.add_row t
+        [
+          mode;
+          name;
+          string_of_int tn.tn_completed;
+          Printf.sprintf "%.1f" tn.tn_p50_us;
+          Printf.sprintf "%.1f" tn.tn_p99_us;
+          agg;
+        ]
+    in
+    row "A (steady)" r.pt_a (Printf.sprintf "%.1f" (r.pt_tput_cps /. 1e3));
+    row "B (bursty)" r.pt_b ""
+  in
+  rows "off" off;
+  rows "on" on;
+  print_string (Table.to_string t);
+  printf "lends/reclaims with lending on: %d/%d\n" on.pt_lends on.pt_reclaims;
+  printf
+    "(acceptance: lending collapses tenant A's p99 sojourn and raises aggregate \
+     throughput; tenant B's burst p99 is unchanged — the reclaim beats the next \
+     burst)\n"
+
+(* BENCH_partition.json: both sides of the lending A/B. *)
+let write_partition_json path =
+  let off, on = Lazy.force partition_cells in
+  let open Bench_report in
+  let tenant (tn : tenant_res) =
+    Obj
+      [
+        ("completed", Int tn.tn_completed);
+        ("p50_us", Float (tn.tn_p50_us, 1));
+        ("p99_us", Float (tn.tn_p99_us, 1));
+      ]
+  in
+  let side r =
+    Obj
+      [
+        ("tenant_a", tenant r.pt_a);
+        ("tenant_b", tenant r.pt_b);
+        ("makespan_cycles", Int r.pt_makespan);
+        ("aggregate_throughput_cps", Float (r.pt_tput_cps, 1));
+        ("lends", Int r.pt_lends);
+        ("reclaims", Int r.pt_reclaims);
+      ]
+  in
+  write ~path ~kind:"multiverse-partition-bench"
+    [
+      ( "partitions",
+        List (List.map (fun n -> Int n) !partition_spec) );
+      ("jobs_a", Int part_jobs_a);
+      ("service_cycles_a", Int part_svc_a);
+      ("interarrival_cycles_a", Int part_inter_a);
+      ("bursts_b", Int part_bursts_b);
+      ("burst_jobs_b", Int part_burst_jobs_b);
+      ("service_cycles_b", Int part_svc_b);
+      ("burst_period_cycles", Int part_period_b);
+      ("lending_off", side off);
+      ("lending_on", side on);
+    ];
+  printf "wrote %s (tenant A p99: off %.0fus vs on %.0fus)\n%!" path
+    off.pt_a.tn_p99_us on.pt_a.tn_p99_us
+
+(* ------------------------------------------------------------------ *)
 (* Host: wall-clock cost of the engine itself (events/sec, words/event)*)
 (* ------------------------------------------------------------------ *)
 
@@ -1637,6 +1833,7 @@ let sections =
     ("fabric", fabric_bench);
     ("scale", scale_bench);
     ("numa", numa_bench);
+    ("partition", partition_bench);
     ("mempath", mempath);
     ("host", host_bench);
     ("ablation_symcache", ablation_symcache);
@@ -1684,6 +1881,23 @@ let () =
               ("bench: bad --topology " ^ s ^ " (want SOCKETSxCORES, e.g. 4x32)");
             exit 2);
         take_jobs acc rest
+    (* --partitions SPEC: HRT partition geometry for the partition
+       section (comma-separated core counts, default 2,2; the last
+       partition must keep a core when it lends, so every entry must be
+       at least 1 and the lending tenant's at least 2). *)
+    | "--partitions" :: s :: rest ->
+        let parts =
+          try List.map int_of_string (String.split_on_char ',' s) with _ -> []
+        in
+        (match parts with
+        | _ :: _ :: _ when List.for_all (fun n -> n > 0) parts ->
+            partition_spec := parts
+        | _ ->
+            prerr_endline
+              ("bench: bad --partitions " ^ s
+             ^ " (want two or more comma-separated positive core counts, e.g. 2,2)");
+            exit 2);
+        take_jobs acc rest
     (* --trace-limit N: bounded trace retention on the host section's
        machines (0 retains nothing). *)
     | "--trace-limit" :: n :: rest ->
@@ -1717,4 +1931,5 @@ let () =
   if json && wants "mempath" then write_mempath_json "BENCH_mempath.json";
   if json && wants "scale" then write_scale_json "BENCH_scale.json";
   if json && wants "numa" then write_numa_json "BENCH_numa.json";
+  if json && wants "partition" then write_partition_json "BENCH_partition.json";
   if json && wants "host" then write_host_json "BENCH_host.json"

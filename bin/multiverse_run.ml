@@ -18,7 +18,7 @@ let parse_fault_sites spec =
   | Error msg -> failwith msg
 
 let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology ~hrt_cores
-    ~placement ~work_stealing ~trace_limit =
+    ~partitions ~placement ~work_stealing ~trace_limit =
   let sockets, cores_per_socket = topology in
   {
     Toolchain.mv_channel =
@@ -36,16 +36,17 @@ let options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topolog
     mv_sockets = sockets;
     mv_cores_per_socket = cores_per_socket;
     mv_hrt_cores = hrt_cores;
+    mv_partitions = partitions;
     mv_placement = placement;
     mv_work_stealing = work_stealing;
     mv_trace_limit = trace_limit;
   }
 
 let run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
-    ~hrt_cores ~placement ~work_stealing ~trace_limit ~stats ~quiet prog =
+    ~hrt_cores ~partitions ~placement ~work_stealing ~trace_limit ~stats ~quiet prog =
   let options =
     options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology ~hrt_cores
-      ~placement ~work_stealing ~trace_limit
+      ~partitions ~placement ~work_stealing ~trace_limit
   in
   (* A fault run keeps the trace on so the injected faults and the
      resilience reactions can be shown afterwards. *)
@@ -119,12 +120,12 @@ type sweep_row = {
 }
 
 let run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology ~hrt_cores
-    ~placement ~work_stealing ~trace_limit ~rate ~sites ~sweep ~jobs prog =
+    ~partitions ~placement ~work_stealing ~trace_limit ~rate ~sites ~sweep ~jobs prog =
   let cell seed =
     let faults = Fault_plan.create ~seed ~rate ~sites () in
     let options =
       options_of ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
-        ~hrt_cores ~placement ~work_stealing ~trace_limit
+        ~hrt_cores ~partitions ~placement ~work_stealing ~trace_limit
     in
     let rs = Toolchain.run_multiverse ~options (Toolchain.hybridize prog) in
     let retries, fallbacks, respawns, reroutes =
@@ -258,8 +259,8 @@ let prog_of ~bench ~file ~n =
   | None, None -> Error "pass --bench NAME or --file PROG.scm (or --list)"
 
 let main bench file n mode porting sync_channel symbol_cache fault_seed fault_rate fault_sites
-    fault_sweep jobs groups arrival offered_load admission topology hrt_cores placement
-    work_stealing trace_limit no_huge_pages stats quiet list_benches =
+    fault_sweep jobs groups arrival offered_load admission topology hrt_cores partitions
+    placement work_stealing trace_limit no_huge_pages stats quiet list_benches =
   let huge_pages = not no_huge_pages in
   let sockets, cores_per_socket = topology in
   (* Scale mode keeps the load generator's own HRT sizing when none is
@@ -270,7 +271,23 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
   in
   let resolve_hrt ~scale = Option.value hrt_cores ~default:(hrt_default ~scale) in
   let bad_hrt n = n < 1 || n >= sockets * cores_per_socket in
-  if bad_hrt (resolve_hrt ~scale:(groups <> None)) then
+  if partitions <> None && hrt_cores <> None then
+    exit (usage_error "--partitions and --hrt-cores are mutually exclusive")
+  else if partitions <> None && mode <> "multiverse" then
+    exit (usage_error "--partitions requires --mode multiverse")
+  else if partitions <> None && groups <> None then
+    exit (usage_error "--partitions is incompatible with --groups (scale mode)")
+  else if
+    (match partitions with
+    | Some spec -> List.fold_left ( + ) 0 spec >= sockets * cores_per_socket
+    | None -> false)
+  then
+    exit
+      (usage_error
+         (Printf.sprintf "--partitions %s does not leave a ROS core on a %dx%d machine"
+            (String.concat "," (List.map string_of_int (Option.get partitions)))
+            sockets cores_per_socket))
+  else if partitions = None && bad_hrt (resolve_hrt ~scale:(groups <> None)) then
     exit
       (usage_error
          (Printf.sprintf "--hrt-cores %d does not leave a ROS core on a %dx%d machine"
@@ -292,7 +309,7 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
             | Error msg -> usage_error msg
             | Ok prog ->
                 run_fault_sweep ~porting ~sync_channel ~symbol_cache ~huge_pages ~topology
-                  ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing
+                  ~hrt_cores:(resolve_hrt ~scale:false) ~partitions ~placement ~work_stealing
                   ~trace_limit ~rate:fault_rate ~sites ~sweep ~jobs prog))
   | None ->
   if jobs <> 1 then usage_error "--jobs has no effect without --fault-sweep"
@@ -336,8 +353,8 @@ let main bench file n mode porting sync_channel symbol_cache fault_seed fault_ra
     | Error msg -> usage_error msg
     | Ok prog ->
         run_one ~mode ~porting ~sync_channel ~symbol_cache ~faults ~huge_pages ~topology
-          ~hrt_cores:(resolve_hrt ~scale:false) ~placement ~work_stealing ~trace_limit ~stats
-          ~quiet prog;
+          ~hrt_cores:(resolve_hrt ~scale:false) ~partitions ~placement ~work_stealing
+          ~trace_limit ~stats ~quiet prog;
         0)
 
 let () =
@@ -392,6 +409,13 @@ let () =
           "Cores carved out for the HRT partition (default 1; scale mode \
            defaults to the load generator's sizing).  Must leave at least \
            one ROS core."
+    $ opt_opt partitions ~names:[ "partitions" ] ~docv:"SPEC"
+        ~doc:
+          "Elastic partition spec as comma-separated core counts, one HRT \
+           partition per entry carved from the top of the core range (e.g. \
+           2,1 gives partition 1 two cores and partition 2 one).  \
+           Multiverse mode only; mutually exclusive with --hrt-cores; must \
+           leave at least one ROS core."
     $ opt
         (enum [ ("spread", Runtime.Spread); ("affine", Runtime.Affine) ])
         ~default:Runtime.Spread ~names:[ "placement" ] ~docv:"POLICY"

@@ -57,10 +57,11 @@ let run_scenario ~pool ~seeds ~shrink_budget ~out sc =
         r.Explore.ex_runs;
       true
 
-let run_scenarios name seeds shrink_budget jobs topology out =
+let run_scenarios name seeds shrink_budget jobs topology partitions out =
   (* Install the geometry override before the sweep (and before any worker
      domains spawn) so every scenario machine sees it. *)
   Scenario.set_topology topology;
+  Scenario.set_partitions partitions;
   let selected =
     match Option.value name ~default:"all" with
     | "all" -> Ok Scenarios.all_scenarios
@@ -152,6 +153,12 @@ let () =
             "Run every scenario machine on this geometry \
              (SOCKETSxCORES_PER_SOCKET, e.g. 4x32) instead of the reference \
              2x4 box."
+      $ opt_opt partitions ~names:[ "partitions" ] ~docv:"SPEC"
+          ~doc:
+            "Carve the scenario machines' HRT side into this elastic \
+             partition spec (comma-separated core counts, e.g. 2,1) \
+             instead of the single default HRT partition.  Scenarios that \
+             fix their own geometry (repartition) ignore it."
       $ opt_opt string ~names:[ "out"; "o" ] ~docv:"FILE"
           ~doc:"Write the counterexample artifact to FILE.")
       (fun code -> code)

@@ -42,7 +42,7 @@ let () =
   let hrt = ref None in
   let machine2 = Machine.create ~hrt_cores:(workers + 1) () in
   let nk = Mv_aerokernel.Nautilus.create machine2 in
-  let master = List.hd (Mv_hw.Topology.hrt_cores machine2.Machine.topo) in
+  let master = List.hd (Mv_aerokernel.Nautilus.cores nk) in
   ignore
     (Exec.spawn machine2.Machine.exec ~cpu:master ~name:"hpcg-hrt" (fun () ->
          Mv_aerokernel.Nautilus.boot nk;

@@ -51,7 +51,7 @@ let () =
   let machine2 = Machine.create ~hrt_cores:5 () in
   let nk = Mv_aerokernel.Nautilus.create machine2 in
   let t_hrt = ref 0 in
-  let master = List.hd (Mv_hw.Topology.hrt_cores machine2.Machine.topo) in
+  let master = List.hd (Mv_aerokernel.Nautilus.cores nk) in
   ignore
     (Exec.spawn machine2.Machine.exec ~cpu:master ~name:"vcode-hrt" (fun () ->
          Mv_aerokernel.Nautilus.boot nk;

@@ -22,7 +22,8 @@ type nk_func = { fn_addr : Addr.t; fn_cost : int; fn_impl : unit -> unit }
 
 type t = {
   machine : Machine.t;
-  hrt_cores : int list;
+  part : Partition.id;  (* the HRT partition this instance runs on *)
+  boot_core : int;  (* core the boot event loop was pinned to *)
   pt : Page_table.t;
   mutable booted : boolean_state;
   mutable boots : int;
@@ -50,9 +51,26 @@ type t = {
 
 and boolean_state = Not_booted | Booting | Booted
 
-let create machine =
-  let hrt_cores = Topology.hrt_cores machine.Machine.topo in
-  if hrt_cores = [] then invalid_arg "Nautilus.create: machine has no HRT cores";
+(* Configure the architectural state of a core joining the HRT partition:
+   ring 0, IST interrupt stacks (the red-zone fix), and CR0.WP so that
+   ring-0 writes respect read-only PTEs (Section 4.4).  Applied to every
+   partition core at [create], and by the HVM to a core lent in later. *)
+let configure_core machine core =
+  let cpu = machine.Machine.cpus.(core) in
+  cpu.Cpu.ring <- 0;
+  cpu.Cpu.cr0_wp <- true;
+  cpu.Cpu.ist_configured <- true
+
+let create ?(part = 1) machine =
+  let hrt_cores = Topology.cores_of machine.Machine.topo part in
+  if hrt_cores = [] then
+    invalid_arg
+      (Printf.sprintf "Nautilus.create: partition %d has no cores" part);
+  (match Topology.partition machine.Machine.topo part |> Partition.kind with
+  | Partition.Hrt -> ()
+  | Partition.Ros ->
+      invalid_arg
+        (Printf.sprintf "Nautilus.create: partition %d is the ROS partition" part));
   let pt = Page_table.create () in
   let phys_pages =
     Phys_mem.total machine.Machine.phys Phys_mem.Ros_region
@@ -77,19 +95,11 @@ let create machine =
   else
     Page_table.map pt Addr.higher_half_base ~frame:0
       ~flags:Page_table.(f_present lor f_writable);
-  (* Configure the architectural state of every HRT core: ring 0, IST
-     interrupt stacks (the red-zone fix), and CR0.WP so that ring-0 writes
-     respect read-only PTEs (Section 4.4). *)
-  List.iter
-    (fun core ->
-      let cpu = machine.Machine.cpus.(core) in
-      cpu.Cpu.ring <- 0;
-      cpu.Cpu.cr0_wp <- true;
-      cpu.Cpu.ist_configured <- true)
-    hrt_cores;
+  List.iter (configure_core machine) hrt_cores;
   {
     machine;
-    hrt_cores;
+    part;
+    boot_core = List.hd hrt_cores;
     pt;
     booted = Not_booted;
     boots = 0;
@@ -111,9 +121,24 @@ let create machine =
   }
 
 let machine t = t.machine
+let partition t = t.part
+
+(* The partition's current cores — dynamic, because lending may move
+   cores in and out after creation. *)
+let cores t = Topology.cores_of t.machine.Machine.topo t.part
+
+let deconfigure_core machine core =
+  (* Restore the ROS-side architectural defaults when a core leaves the
+     HRT partition (the inverse of [configure_core]). *)
+  let cpu = machine.Machine.cpus.(core) in
+  cpu.Cpu.ring <- 3;
+  cpu.Cpu.cr0_wp <- false;
+  cpu.Cpu.ist_configured <- false
+
+let adopt_core t ~core = configure_core t.machine core
 
 let set_wp t flag =
-  List.iter (fun core -> t.machine.Machine.cpus.(core).Cpu.cr0_wp <- flag) t.hrt_cores
+  List.iter (fun core -> t.machine.Machine.cpus.(core).Cpu.cr0_wp <- flag) (cores t)
 let page_table t = t.pt
 let booted t = t.booted = Booted
 let set_services t svc = t.services <- Some svc
@@ -123,7 +148,7 @@ let services t =
   | Some s -> s
   | None -> failwith "Nautilus: ROS services not wired (no HVM?)"
 
-let default_core t = List.hd t.hrt_cores
+let default_core t = match cores t with [] -> t.boot_core | c :: _ -> c
 
 (* --- event loop --- *)
 
@@ -193,7 +218,7 @@ let shootdown t =
         ~npages:(Addr.page_of Addr.higher_half_base);
       Walk_cache.flush cpu.Cpu.pwc;
       Machine.charge t.machine costs.Costs.tlb_shootdown_percore)
-    t.hrt_cores
+    (cores t)
 
 let merge_lower_half t ~from =
   ignore (Page_table.copy_lower_half ~src:from ~dst:t.pt);

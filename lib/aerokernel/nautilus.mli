@@ -34,9 +34,27 @@ type services = {
 
 type t
 
-val create : Mv_engine.Machine.t -> t
-(** Configure the AeroKernel image for the machine's HRT cores: IST stacks
-    on, CR0.WP set, higher-half identity map in place.  Does not boot. *)
+val create : ?part:Mv_hw.Partition.id -> Mv_engine.Machine.t -> t
+(** Configure an AeroKernel image for one HRT partition's cores (default:
+    partition 1): IST stacks on, CR0.WP set, higher-half identity map in
+    place.  Does not boot.  Multiple instances may coexist on one machine,
+    one per HRT partition.
+    @raise Invalid_argument if the partition has no cores or is the ROS. *)
+
+val partition : t -> Mv_hw.Partition.id
+(** The HRT partition this instance runs on. *)
+
+val cores : t -> int list
+(** The partition's current cores — dynamic under core lending. *)
+
+val adopt_core : t -> core:int -> unit
+(** Configure the architectural state of a core lent {e into} this
+    partition (ring 0, CR0.WP, IST stacks) — what [create] does for the
+    initial core set. *)
+
+val deconfigure_core : Mv_engine.Machine.t -> int -> unit
+(** Restore a core's ROS-side architectural defaults (ring 3, CR0.WP off,
+    no IST) when it leaves an HRT partition. *)
 
 val boot : t -> unit
 (** Boot (thread context; costs milliseconds of virtual time).  Brings up

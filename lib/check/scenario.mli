@@ -39,10 +39,22 @@ val set_topology : (int * int) option -> unit
 
 val topology : unit -> (int * int) option
 
-val make_machine : ?hrt_cores:int -> ?work_stealing:bool -> unit -> Mv_engine.Machine.t
-(** Build a scenario machine honouring the topology override (reference
-    geometry when none is installed).  Scenarios must derive core ids from
-    the machine's topology instead of hardcoding them. *)
+val set_partitions : int list option -> unit
+(** Install an elastic partition spec override for every scenario machine
+    (the mvcheck [--partitions] flag): one HRT partition per entry, same
+    semantics as [Topology.create ~hrt_parts].  [None] restores the
+    single-HRT default, which is byte-identical to no override. *)
+
+val partitions : unit -> int list option
+
+val make_machine :
+  ?hrt_cores:int -> ?hrt_parts:int list -> ?work_stealing:bool -> unit -> Mv_engine.Machine.t
+(** Build a scenario machine honouring the topology and partition overrides
+    (reference geometry when none is installed).  An explicit [?hrt_parts]
+    takes precedence over the CLI override — scenarios that need a fixed
+    multi-partition geometry (e.g. [repartition]) pass their own.
+    Scenarios must derive core ids from the machine's topology instead of
+    hardcoding them. *)
 
 val failf : ('a, Format.formatter, unit, outcome) format4 -> 'a
 (** [failf fmt ...] is [Fail (sprintf fmt ...)]. *)

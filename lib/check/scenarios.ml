@@ -77,7 +77,7 @@ let server_name = "chan-server"
 let ping_pong_run ~dedup ~kind ~calls ~strategy ~faults =
   let machine = make_machine () in
   let exec = machine.Machine.exec in
-  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   Strategy.install strategy exec;
   if Fault_plan.enabled faults then Fault_plan.bind faults machine;
   let faults_opt = if Fault_plan.enabled faults then Some faults else None in
@@ -170,7 +170,7 @@ let broken_dedup =
 let fabric_run ~callers ~calls ~kind ~strategy ~faults =
   let machine = make_machine () in
   let exec = machine.Machine.exec in
-  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   let pool_cores =
     match Mv_hw.Topology.ros_cores machine.Machine.topo with
     | a :: b :: _ -> [ a; b ]
@@ -272,7 +272,7 @@ let fabric_degrade =
 let fabric_overload_run ~policy ~callers ~calls ~strategy ~faults =
   let machine = make_machine () in
   let exec = machine.Machine.exec in
-  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   let pool_cores =
     match Mv_hw.Topology.ros_cores machine.Machine.topo with
     | a :: b :: _ -> [ a; b ]
@@ -609,7 +609,7 @@ let multi_group =
 let merge_stale_pml4_run ~strategy ~faults:_ =
   let machine = make_machine () in
   let exec = machine.Machine.exec in
-  let hrt = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   Strategy.install strategy exec;
   let nk = Nautilus.create machine in
   let ros_pt = Mv_hw.Page_table.create () in
@@ -699,7 +699,7 @@ let work_steal_run ~strategy ~faults:_ =
   Strategy.install strategy exec;
   let topo = machine.Machine.topo in
   let ros = Array.of_list (Mv_hw.Topology.ros_cores topo) in
-  let hrt = Mv_hw.Topology.first_hrt_core topo in
+  let hrt = List.hd (Mv_hw.Topology.cores_of topo 1) in
   let njobs = 12 in
   let runs = Array.make njobs 0 in
   let ran_on = Array.make njobs (-1) in
@@ -806,6 +806,238 @@ let work_steal =
     sc_run = work_steal_run;
   }
 
+(* --- repartition: dynamic core lending between HRT partitions --- *)
+
+(* Geometry [2;1]: partition 1 owns two cores and lends its second to
+   partition 2, then reclaims it.  The lend happens while the core's
+   runqueue still holds queued jobs and a wake-enqueue for a parked waiter
+   is in flight.  Oracles:
+
+   - no lost wakeup: the waiter woken just before the lend still runs
+     (its pending enqueue must follow the re-homed thread);
+   - no stranded fiber: the lent core's runqueue is empty of pre-lend
+     work from the instant the lend returns until the reclaim;
+   - FIFO across the drain: the jobs still queued when the core moves
+     land on the sibling in their original spawn order (the strategy may
+     permute completion, but never the queue);
+   - exclusive ownership: at every monitor snapshot each core belongs to
+     exactly one partition handle, consistent with [partition_of];
+   - fabric re-home: the endpoint bound to the lent core moves to the
+     source partition's remaining core and still serves calls;
+   - the destination partition can schedule onto the adopted core, and
+     the reclaim returns the core home. *)
+let repartition_run ~strategy ~faults:_ =
+  let module Hvm = Mv_hvm.Hvm in
+  let module Topology = Mv_hw.Topology in
+  let machine =
+    (* The [2;1]+ROS carve needs at least four cores; below that, fall
+       back to the reference box rather than reject the sweep. *)
+    match topology () with
+    | Some (s, c) when s * c >= 4 -> make_machine ~hrt_parts:[ 2; 1 ] ~work_stealing:true ()
+    | Some _ | None ->
+        Machine.create ~hrt_parts:[ 2; 1 ] ~work_stealing:true ()
+  in
+  let exec = machine.Machine.exec in
+  Strategy.install strategy exec;
+  let topo = machine.Machine.topo in
+  let ros0 = List.hd (Topology.ros_cores topo) in
+  let c1a, lendc =
+    match Topology.cores_of topo 1 with
+    | [ a; b ] -> (a, b)
+    | l -> failwith (Printf.sprintf "partition 1 has %d cores" (List.length l))
+  in
+  let kernel = Mv_ros.Kernel.create machine in
+  let hvm = Hvm.create machine ~ros:kernel in
+  let nk1 = Mv_aerokernel.Nautilus.create ~part:1 machine in
+  let nk2 = Mv_aerokernel.Nautilus.create ~part:2 machine in
+  let fabric = Fabric.create machine ~kind:Event_channel.Async in
+  Fabric.start_pool fabric
+    ~spawn:(fun ~name ~core body -> Exec.spawn exec ~cpu:core ~name body)
+    ~cores:(Topology.ros_cores topo) ();
+  Hvm.on_repartition hvm (fun ~core ~src:_ ~dst:_ ->
+      let ros_to = match Topology.ros_cores topo with c :: _ -> Some c | [] -> None in
+      let hrt_to = match Topology.cores_of topo 1 with c :: _ -> Some c | [] -> None in
+      ignore (Fabric.rehome_core fabric ~core ?ros_to ?hrt_to ()));
+  let ep = Fabric.endpoint fabric ~name:"grp" ~ros_core:ros0 ~hrt_core:lendc in
+  let njobs = 8 in
+  let runs = Array.make njobs 0 in
+  let drained_order = ref [] in
+  let job_tids = Hashtbl.create 16 in
+  let done_jobs = ref 0 in
+  let woken = ref false in
+  let parked = ref None in
+  let lent = ref false in
+  let reclaimed = ref false in
+  let stranded = ref None in
+  let exclusive_bad = ref None in
+  let ep_after_lend = ref (-1) in
+  let runq_after_lend = ref (-1) in
+  let p2_ran_on = ref (-1) in
+  let fabric_runs = ref 0 in
+  let note r msg = if !r = None then r := Some msg in
+  let check_ownership () =
+    let n = Topology.ncores topo in
+    let owners = Array.make n 0 in
+    List.iter
+      (fun p ->
+        List.iter (fun c -> owners.(c) <- owners.(c) + 1) (Mv_hw.Partition.cores p))
+      (Topology.partitions topo);
+    Array.iteri
+      (fun c k ->
+        if k <> 1 then
+          note exclusive_bad (Printf.sprintf "core %d belongs to %d partitions" c k)
+        else if
+          not
+            (List.mem c (Topology.cores_of topo (Topology.partition_of topo c)))
+        then
+          note exclusive_bad
+            (Printf.sprintf "core %d: partition_of disagrees with the handle" c))
+      owners
+  in
+  let check_stranded () =
+    if !lent && not !reclaimed then
+      List.iter
+        (fun th ->
+          if Hashtbl.mem job_tids (Exec.tid th) then
+            note stranded
+              (Printf.sprintf "job tid %d stranded on lent core %d" (Exec.tid th) lendc))
+        (Exec.runq exec ~cpu:lendc)
+  in
+  let wake_pending = ref false in
+  let ctl_done = ref false in
+  ignore
+    (Exec.spawn exec ~cpu:ros0 ~name:"ctl" (fun () ->
+         (* Installed but not booted: the boot's milliseconds of virtual
+            time would let the polling monitor below eat the whole event
+            budget, and lending only needs the instances registered. *)
+         Hvm.install_hrt_image hvm ~image_kb:64 nk1;
+         Hvm.install_hrt_image hvm ~image_kb:64 nk2;
+         ignore
+           (Exec.spawn exec ~cpu:lendc ~name:"waiter" (fun () ->
+                (* The pending check and the block are one host-atomic
+                   segment, so the wake cannot slip between them. *)
+                if not !wake_pending then
+                  Exec.block exec ~reason:"parked" (fun ~now:_ ~wake ->
+                      parked := Some wake);
+                woken := true));
+         for i = 0 to njobs - 1 do
+           let th =
+             Exec.spawn exec ~cpu:lendc
+               ~name:(Printf.sprintf "job-%d" i)
+               (fun () ->
+                 runs.(i) <- runs.(i) + 1;
+                 Machine.charge machine (400 * ((i mod 3) + 1));
+                 incr done_jobs)
+           in
+           Hashtbl.replace job_tids (Exec.tid th) i
+         done;
+         ignore
+           (Exec.spawn exec ~cpu:c1a ~name:"monitor" (fun () ->
+                while not !ctl_done do
+                  check_ownership ();
+                  check_stranded ();
+                  Exec.sleep exec 150
+                done;
+                check_ownership ()));
+         Exec.sleep exec 900;
+         (* Wake the parked waiter and lend in the same host segment: the
+            wake-enqueue event is still in flight when the core moves, so
+            it must follow the re-homed thread. *)
+         (match !parked with
+         | Some wake ->
+             parked := None;
+             wake ()
+         | None -> wake_pending := true);
+         Hvm.lend_core hvm ~core:lendc ~dst:2;
+         lent := true;
+         runq_after_lend :=
+           List.length
+             (List.filter
+                (fun th -> Hashtbl.mem job_tids (Exec.tid th))
+                (Exec.runq exec ~cpu:lendc));
+         (* Same host segment as the lend: this is exactly the drain's
+            output order on the sibling, before any dispatch touches it. *)
+         drained_order :=
+           List.filter_map
+             (fun th -> Hashtbl.find_opt job_tids (Exec.tid th))
+             (Exec.runq exec ~cpu:c1a);
+         ep_after_lend := Event_channel.hrt_core (Fabric.channel ep);
+         (* The destination partition schedules onto its adopted core. *)
+         let p2 =
+           Nautilus.create_thread_local nk2 ~name:"p2-job" ~core:lendc (fun () ->
+               p2_ran_on := Exec.cpu_of (Exec.self exec);
+               Machine.charge machine 500)
+         in
+         (* The re-homed endpoint still serves calls end to end. *)
+         let caller =
+           Exec.spawn exec ~cpu:c1a ~name:"caller" (fun () ->
+               Fabric.call fabric ep
+                 { Event_channel.req_kind = "probe"; req_run = (fun () -> incr fabric_runs) })
+         in
+         Exec.join exec p2;
+         Exec.join exec caller;
+         while !done_jobs < njobs || not !woken do
+           Exec.sleep exec 200
+         done;
+         Hvm.reclaim_core hvm ~core:lendc;
+         reclaimed := true;
+         Fabric.shutdown fabric;
+         ctl_done := true));
+  let quiesced = Sim.run_bounded machine.Machine.sim ~max_events:default_max_events in
+  all
+    [
+      (fun () ->
+        check_quiesced exec ~quiesced ~allow_blocked:(fun name -> name = "nk/event-loop"));
+      (fun () -> if !woken then Pass else Fail "waiter never woke (lost wakeup)");
+      (fun () -> match !stranded with None -> Pass | Some m -> Fail m);
+      (fun () -> match !exclusive_bad with None -> Pass | Some m -> Fail m);
+      (fun () ->
+        let bad = ref Pass in
+        Array.iteri
+          (fun i n -> if !bad = Pass && n <> 1 then bad := failf "job %d ran %d times" i n)
+          runs;
+        !bad);
+      (fun () ->
+        let rec ascending = function
+          | a :: (b :: _ as rest) ->
+              if a > b then
+                failf "jobs %d and %d drained out of spawn order" a b
+              else ascending rest
+          | _ -> Pass
+        in
+        ascending !drained_order);
+      (fun () ->
+        if !runq_after_lend = 0 then Pass
+        else failf "%d entries left on the lent core's runqueue" !runq_after_lend);
+      (fun () ->
+        if !ep_after_lend = c1a then Pass
+        else failf "endpoint hrt core is %d after the lend (want %d)" !ep_after_lend c1a);
+      (fun () ->
+        if !p2_ran_on = lendc then Pass
+        else failf "partition-2 job ran on core %d (want adopted core %d)" !p2_ran_on lendc);
+      (fun () -> if !fabric_runs = 1 then Pass else failf "probe ran %d times" !fabric_runs);
+      (fun () ->
+        if Hvm.lends hvm = 1 && Hvm.reclaims hvm = 1 then Pass
+        else failf "lends=%d reclaims=%d (want 1/1)" (Hvm.lends hvm) (Hvm.reclaims hvm));
+      (fun () ->
+        if Topology.partition_of topo lendc = 1 then Pass
+        else failf "core %d ended in partition %d (want home 1)" lendc
+          (Topology.partition_of topo lendc));
+    ]
+
+let repartition =
+  {
+    sc_name = "repartition";
+    sc_descr =
+      "dynamic core lending between two HRT partitions: runqueue drained \
+       FIFO onto a sibling, in-flight wakeups follow the re-home, no fiber \
+       stranded, exclusive core ownership at every step, fabric endpoints \
+       re-routed, and the reclaim returns the core home";
+    sc_fault_specs = [];
+    sc_expect_bug = false;
+    sc_run = repartition_run;
+  }
+
 let all_scenarios =
   [
     racy_wakeup;
@@ -822,6 +1054,7 @@ let all_scenarios =
     merge_stale_pml4;
     multi_group;
     work_steal;
+    repartition;
   ]
 
 let find name = List.find_opt (fun sc -> sc.sc_name = name) all_scenarios

@@ -16,7 +16,13 @@
       faults over a lossy channel.
     - [work-steal]: deterministic work stealing across per-core runqueues;
       no lost wakeups, no fiber on two queues at once, FIFO within a
-      runqueue, and steals never cross the ROS/HRT partition boundary. *)
+      runqueue, and steals never cross the ROS/HRT partition boundary.
+    - [repartition]: dynamic core lending between two HRT partitions
+      ([2;1] geometry): the lent core's runqueue drains FIFO onto a
+      sibling, in-flight wake-enqueues follow the re-homed threads, no
+      fiber is stranded, every core belongs to exactly one partition at
+      every step, fabric endpoints re-route, and the reclaim returns the
+      core to its home partition. *)
 
 val all_scenarios : Scenario.t list
 val find : string -> Scenario.t option

@@ -632,6 +632,43 @@ let kill t th =
              Fiber.cancel (Obj.obj resumer : Obj.t Fiber.resumer) Fiber.Cancelled);
           List.iter (fun f -> f ()) callbacks)
 
+(* Core lending support: evacuate one cpu's scheduling state onto another.
+   Queued entries move in FIFO order, appended after [dst]'s own queue;
+   every live thread homed on [cpu] is retargeted, which also re-homes
+   pending wake-enqueue events ([t_enqueue_fn] reads [t.cpus.(th.t_cpu)]
+   at fire time) so a wakeup issued before the move still lands — on the
+   new home — with nothing lost.  The vacated core's last-thread affinity
+   is fenced; its stale armed dispatch event, if any, fires into an empty
+   queue and is harmless (dispatch is state-driven). *)
+let rehome t ~cpu ~dst =
+  if cpu = dst then 0
+  else begin
+    (match t.current with
+    | Some th when th.t_cpu = cpu ->
+        invalid_arg "Exec.rehome: cannot evacuate the running thread's core"
+    | Some _ | None -> ());
+    let src = t.cpus.(cpu) in
+    let d = t.cpus.(dst) in
+    let had_work = not (Runq.is_empty src.c_runq) in
+    Runq.iter (fun th -> Runq.push d.c_runq th) src.c_runq;
+    Runq.clear src.c_runq;
+    let moved = ref 0 in
+    List.iter
+      (fun th ->
+        if th.t_cpu = cpu && th.t_state <> Finished then begin
+          th.t_cpu <- dst;
+          incr moved
+        end)
+      t.all_threads_rev;
+    src.c_last_tid <- -1;
+    if had_work then begin
+      let at = Sim.now t.sim in
+      request_dispatch t d ~at;
+      poke_thieves t ~owner:d ~at
+    end;
+    !moved
+  end
+
 let state _t th = th.t_state
 let name th = th.t_name
 let tid th = th.t_id

@@ -74,6 +74,18 @@ val set_cpu_params :
 (** Configure context-switch cost and the preemption quantum ([None] means
     cooperative) for one CPU. *)
 
+val rehome : t -> cpu:int -> dst:int -> int
+(** [rehome t ~cpu ~dst] evacuates [cpu]'s scheduling state onto [dst] —
+    the executor half of the HVM's core-lending protocol.  Queued threads
+    move to the back of [dst]'s run queue preserving their relative FIFO
+    order; every live thread homed on [cpu] (blocked, queued, or with a
+    wake-enqueue event still in flight) is retargeted so pending wakeups
+    land on [dst] with none lost; [cpu]'s last-dispatched-thread affinity
+    is fenced so its next owner starts from a clean switch.  Returns the
+    number of threads re-homed.  The caller is responsible for partition
+    bookkeeping and for re-applying per-cpu parameters to [cpu].
+    @raise Invalid_argument when the running thread is homed on [cpu]. *)
+
 (** {1 Thread lifecycle} *)
 
 val spawn : t -> cpu:int -> name:string -> (unit -> unit) -> thread

@@ -17,17 +17,21 @@ type t = {
       (* Demand-paged frames come from the faulting core's NUMA zone
          (falling back by distance) instead of the flat first-fit order.
          Off by default — the flat order is part of the golden trace. *)
+  mutable work_stealing : bool;
+      (* Whether deterministic work stealing is on; remembered so core
+         lending can recompute the steal domain when the ROS core set
+         changes. *)
 }
 
 let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
-    ?(hrt_cores = 1) ?(hrt_mem_fraction = 0.25) ?(huge_pages = true)
+    ?(hrt_cores = 1) ?hrt_parts ?(hrt_mem_fraction = 0.25) ?(huge_pages = true)
     ?(work_stealing = false) ?trace_limit () =
   (* [trace_limit] selects the trace's bounded ring mode; the default
      (unbounded, full history) is what the golden trace asserts on. *)
   let sim =
     Sim.create ?trace:(Option.map (fun n -> Trace.create ~limit:n ()) trace_limit) ()
   in
-  let topo = Mv_hw.Topology.create ~sockets ~cores_per_socket ~hrt_cores () in
+  let topo = Mv_hw.Topology.create ~sockets ~cores_per_socket ?hrt_parts ~hrt_cores () in
   let ncores = Mv_hw.Topology.ncores topo in
   let exec = Exec.create sim ~ncpus:ncores in
   if work_stealing then
@@ -89,10 +93,27 @@ let create ?(costs = Mv_hw.Costs.default) ?(sockets = 2) ?(cores_per_socket = 4)
     zero_frame;
     huge_pages;
     numa_local_alloc = false;
+    work_stealing;
   }
 
 let charge t c = Exec.charge t.exec c
 let now t = Exec.local_now t.exec
+
+let apply_core_params t ~core =
+  (* Re-derive one core's scheduling parameters from its current role —
+     the same assignment [create] makes, re-run after lending moves the
+     core across the ROS/HRT boundary. *)
+  match Mv_hw.Topology.role t.topo core with
+  | Mv_hw.Topology.Ros_core ->
+      Exec.set_cpu_params t.exec ~cpu:core ~switch_cost:t.costs.context_switch_ros
+        ~slice:(Some t.costs.timeslice_ros) ()
+  | Mv_hw.Topology.Hrt_core ->
+      Exec.set_cpu_params t.exec ~cpu:core ~switch_cost:t.costs.context_switch_nk
+        ~slice:None ()
+
+let refresh_steal_domain t =
+  if t.work_stealing then
+    Exec.set_steal_domain t.exec (Some (Mv_hw.Topology.ros_cores t.topo))
 
 let mem_access_cost t ~core ~frame =
   let d =

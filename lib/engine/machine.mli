@@ -26,6 +26,10 @@ type t = {
           ({!Mv_hw.Phys_mem.alloc_near}) instead of the flat first-fit
           order; off by default (the flat order is part of the golden
           trace) *)
+  mutable work_stealing : bool;
+      (** whether deterministic work stealing is on; core lending reads
+          this to recompute the steal domain when partition membership
+          changes *)
 }
 
 val create :
@@ -33,6 +37,7 @@ val create :
   ?sockets:int ->
   ?cores_per_socket:int ->
   ?hrt_cores:int ->
+  ?hrt_parts:int list ->
   ?hrt_mem_fraction:float ->
   ?huge_pages:bool ->
   ?work_stealing:bool ->
@@ -40,7 +45,9 @@ val create :
   unit ->
   t
 (** Build the reference machine: 2 sockets x 4 cores at 2.2 GHz by default,
-    with [hrt_cores] (default 1) assigned to the HRT partition.
+    with [hrt_cores] (default 1) assigned to HRT partition 1.  [hrt_parts]
+    generalizes to N HRT partitions (per-partition core counts, see
+    {!Mv_hw.Topology.create}); when present it overrides [hrt_cores].
     [huge_pages] (default [true]) enables the large-page memory path.
     [work_stealing] (default [false]) turns on deterministic work stealing
     among the ROS cores ({!Exec.set_steal_domain}); the default is off,
@@ -48,6 +55,17 @@ val create :
     [trace_limit] bounds trace retention to the newest [trace_limit]
     records (see {!Trace.create}'s [limit]); the default keeps full
     history, which the golden trace depends on. *)
+
+val apply_core_params : t -> core:int -> unit
+(** Re-derive one core's scheduling parameters (switch cost, preemption
+    slice) from its {e current} topology role — run by the lending
+    protocol after {!Mv_hw.Topology.reassign} moves the core across the
+    ROS/HRT boundary. *)
+
+val refresh_steal_domain : t -> unit
+(** Recompute the work-stealing domain from the current ROS core set
+    (no-op when stealing is off).  Lending must call this so a lent core
+    neither keeps stealing for its old partition nor is stolen from. *)
 
 val charge : t -> int -> unit
 (** Charge cycles to the running thread (see {!Exec.charge}). *)

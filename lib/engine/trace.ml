@@ -19,6 +19,7 @@ type payload =
   | Overload_shed of { kind : string; endpoint : string }
   | Shed_mode of { on : bool }
   | Restore_async_to_sync
+  | Repartition of { core : int; src : int; dst : int; moved : int }
   | Message of { category : string; text : string }
 
 let category_of = function
@@ -30,6 +31,7 @@ let category_of = function
   | Ride_timeout _ | Errno_retry _ ->
       "resilience"
   | Overload_shed _ | Shed_mode _ | Restore_async_to_sync -> "overload"
+  | Repartition _ -> "partition"
   | Message { category; _ } -> category
 
 (* Renderings are the record shapes tests and the golden trace assert
@@ -60,6 +62,8 @@ let render = function
   | Shed_mode { on = true } -> "shed mode on: sync->async, doorbell suppression widened"
   | Shed_mode { on = false } -> "shed mode off: endpoints restored"
   | Restore_async_to_sync -> "restore async->sync"
+  | Repartition { core; src; dst; moved } ->
+      Printf.sprintf "core %d: partition %d -> %d (rehomed %d threads)" core src dst moved
   | Message { text; _ } -> text
 
 (* --- the record store --------------------------------------------- *)

@@ -43,6 +43,9 @@ type payload =
           drained below the low-water mark (off). *)
   | Restore_async_to_sync
       (** A shed-mode Sync->Async flip was undone on drain. *)
+  | Repartition of { core : int; src : int; dst : int; moved : int }
+      (** Core lending moved [core] between partitions, re-homing [moved]
+          threads (category "partition"). *)
   | Message of { category : string; text : string }
 
 val category_of : payload -> string

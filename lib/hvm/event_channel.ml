@@ -33,8 +33,8 @@ type resilience = { r_timeout : int; r_max_retries : int; r_backoff : int }
 type t = {
   machine : Machine.t;
   mutable ckind : kind;
-  ros_core : int;
-  hrt_core : int;
+  mutable ros_core : int;  (* server-side core; retargeted by core lending *)
+  mutable hrt_core : int;  (* HRT-side core; retargeted by core lending *)
   faults : Fault_plan.t;
   dedup : bool;
   mutable res : resilience option;
@@ -92,6 +92,20 @@ let create ?(faults = Fault_plan.none) ?(dedup = true) machine ~kind ~ros_core ~
 let kind t = t.ckind
 let rtt t = rtt_of t.machine ~kind:t.ckind ~ros_core:t.ros_core ~hrt_core:t.hrt_core
 let one_way t = rtt t / 2
+let ros_core t = t.ros_core
+let hrt_core t = t.hrt_core
+
+let rehome t ?ros_core ?hrt_core () =
+  (* Core lending moved an end of the channel; the RTT follows the new
+     socket distance automatically ([rtt] recomputes per call), but armed
+     resilience timeouts were sized for the old distance and re-arm. *)
+  (match ros_core with Some c -> t.ros_core <- c | None -> ());
+  (match hrt_core with Some c -> t.hrt_core <- c | None -> ());
+  match t.res with
+  | Some r ->
+      let rtt = rtt t in
+      t.res <- Some { r with r_timeout = 64 * rtt; r_backoff = rtt }
+  | None -> ()
 
 let signal_cost t =
   (* Raising the event: a hypercall for the async (interrupt-injected)

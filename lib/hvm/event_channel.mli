@@ -61,6 +61,16 @@ val kind : t -> kind
 val rtt : t -> int
 (** The modeled round-trip latency in cycles (socket-distance aware). *)
 
+val ros_core : t -> int
+val hrt_core : t -> int
+
+val rehome : t -> ?ros_core:int -> ?hrt_core:int -> unit -> unit
+(** Retarget one (or both) ends of the channel after core lending moved
+    the underlying core.  The RTT follows the new socket distance; armed
+    resilience timeouts are re-sized for it.  In-flight entries are
+    unaffected — the queue and its wakes carry over, so no request is
+    lost across a re-home. *)
+
 val call : t -> request -> unit
 (** Issue a request and block until the server completes it (thread
     context, caller side).

@@ -31,7 +31,7 @@ type endpoint = {
   ep_batch_label : string;  (* "batch:<name>", precomputed off the hot path *)
   ep_serve_label : string;  (* "serve:<name>", likewise *)
   ep_chan : Event_channel.t;
-  ep_ros_core : int;  (* server-side core; routes the endpoint to a poller group *)
+  mutable ep_ros_core : int;  (* server-side core; routes the endpoint to a poller group *)
   mutable ep_group : int;  (* index into [fb_groups]; reassigned by start_pool *)
   ep_ring : slot Queue.t;  (* the shared-page batching ring *)
   mutable ep_inflight : bool;  (* a leader call is mid-flight *)
@@ -78,7 +78,7 @@ type grouping = Global | Per_socket
 
 type pgroup = {
   pg_socket : int;  (* socket served, -1 for the global group *)
-  pg_cores : int list;
+  mutable pg_cores : int list;  (* spawn cores; lending may swap members *)
   pg_runq : endpoint Queue.t;  (* doorbells awaiting a poller of this group *)
   pg_parked : (Exec.thread * (unit -> unit)) Queue.t;
   mutable pg_pollers : Exec.thread list;
@@ -563,6 +563,43 @@ let endpoint t ~name ~ros_core ~hrt_core =
          end));
   t.fb_endpoints <- ep :: t.fb_endpoints;
   ep
+
+(* Core lending moved [core] out of its partition: every endpoint binding
+   that referenced it re-routes.  A server-side (ROS) binding follows
+   [ros_to] — poller-group routing and the channel's server core move
+   together, and the poller pool's spawn cores drop the lent core so a
+   watchdog respawn never lands on it.  An HRT-side binding follows
+   [hrt_to].  In-flight ring slots and queued channel entries carry over
+   untouched (their wakes are thread-homed and the executor re-homed
+   those), so no request or wakeup is lost across the move. *)
+let rehome_core t ~core ?ros_to ?hrt_to () =
+  let rerouted = ref 0 in
+  (match ros_to with
+  | None -> ()
+  | Some r ->
+      Array.iter
+        (fun pg ->
+          if List.mem core pg.pg_cores then begin
+            let cs = List.filter (fun c -> c <> core) pg.pg_cores in
+            pg.pg_cores <- (if List.mem r cs then cs else cs @ [ r ])
+          end)
+        t.fb_groups);
+  List.iter
+    (fun ep ->
+      (match ros_to with
+      | Some r when ep.ep_ros_core = core ->
+          ep.ep_ros_core <- r;
+          Event_channel.rehome ep.ep_chan ~ros_core:r ();
+          ep.ep_group <- group_index_for t ~ros_core:r;
+          incr rerouted
+      | Some _ | None -> ());
+      match hrt_to with
+      | Some h when Event_channel.hrt_core ep.ep_chan = core ->
+          Event_channel.rehome ep.ep_chan ~hrt_core:h ();
+          incr rerouted
+      | Some _ | None -> ())
+    t.fb_endpoints;
+  !rerouted
 
 (* --- load-shedding watchdog ---------------------------------------- *)
 

@@ -12,7 +12,15 @@ val merge_address_space :
     down HRT TLBs (lower half only).  Charges the measured merger cost
     (~33 K cycles, Figure 2) to the calling thread.  Asserts that huge
     leaves survive the slot copy — the merger shares sub-trees, so the
-    ROS's 2M promotions must appear in the HRT at full size. *)
+    ROS's 2M promotions must appear in the HRT at full size.
+
+    Per-partition state: the stale-PML4 merge generation lives on the
+    {!Mv_aerokernel.Nautilus.t} instance — one per HRT partition — and the
+    process records one shadow root {e per merged partition}
+    ({!Mv_ros.Mm.add_shadow_root} deduplicates by root id), so two HRTs
+    merging the same process track staleness and receive shootdown
+    filtering independently; neither a merge nor a re-merge in one
+    partition disturbs the other's generation snapshot. *)
 
 val huge_leaves_preserved :
   Mv_aerokernel.Nautilus.t -> Mv_ros.Process.t -> bool

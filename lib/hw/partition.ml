@@ -1,0 +1,31 @@
+type kind = Ros | Hrt
+
+type id = int
+
+type t = {
+  p_id : id;
+  p_kind : kind;
+  mutable p_cores : int list;  (* ascending core ids; mutated by lending *)
+}
+
+let ros_id = 0
+
+let make ~id ~kind cores = { p_id = id; p_kind = kind; p_cores = cores }
+
+let id p = p.p_id
+let kind p = p.p_kind
+let cores p = p.p_cores
+let ncores p = List.length p.p_cores
+let is_hrt p = p.p_kind = Hrt
+
+let add_core p c =
+  if not (List.mem c p.p_cores) then
+    p.p_cores <- List.sort compare (c :: p.p_cores)
+
+let remove_core p c = p.p_cores <- List.filter (fun x -> x <> c) p.p_cores
+
+let kind_to_string = function Ros -> "ros" | Hrt -> "hrt"
+
+let pp ppf p =
+  Format.fprintf ppf "partition %d (%s): cores %s" p.p_id (kind_to_string p.p_kind)
+    (String.concat "," (List.map string_of_int p.p_cores))

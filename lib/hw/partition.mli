@@ -1,0 +1,41 @@
+(** First-class partition handles.
+
+    A partition is a named share of the machine's cores running one
+    personality: partition 0 is always the ROS (the Linux-like kernel);
+    partitions 1..N are HRT partitions, each hosting its own AeroKernel
+    instance.  The handle owns the {e current} core set — dynamic core
+    lending ({!Mv_hvm.Hvm.lend_core}) mutates it at runtime — while the
+    topology records each core's home partition for reclaim. *)
+
+type kind = Ros | Hrt
+
+type id = int
+(** Partition id: 0 is the ROS partition; HRT partitions are 1..N. *)
+
+type t
+
+val ros_id : id
+(** The ROS partition's id (0). *)
+
+val make : id:id -> kind:kind -> int list -> t
+(** [make ~id ~kind cores] builds a handle over [cores] (ascending ids). *)
+
+val id : t -> id
+val kind : t -> kind
+val is_hrt : t -> bool
+
+val cores : t -> int list
+(** The partition's current cores, ascending.  May shrink or grow at
+    runtime under core lending; never shared with another partition. *)
+
+val ncores : t -> int
+
+val add_core : t -> int -> unit
+(** Insert a core (keeps the list sorted; no-op if already present).
+    Callers go through {!Topology.reassign}, which keeps the core-to-
+    partition map and the handles consistent. *)
+
+val remove_core : t -> int -> unit
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

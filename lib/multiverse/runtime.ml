@@ -32,6 +32,7 @@ type t = {
   hvm : Hvm.t;
   ros : Kernel.t;
   proc : Process.t;
+  part : Partition.id;  (* the HRT partition this runtime is bound to *)
   the_nk : Nautilus.t;
   the_symbols : Symbols.t;
   the_config : Override_config.t;
@@ -209,8 +210,8 @@ let create_group t ~name fn =
   let gid = t.next_group in
   t.next_group <- t.next_group + 1;
   let mach = machine t in
-  (* Spread execution groups across the HRT partition. *)
-  let hrt_cores = Topology.hrt_cores mach.Machine.topo in
+  (* Spread execution groups across this runtime's HRT partition. *)
+  let hrt_cores = Topology.cores_of mach.Machine.topo t.part in
   let hrt_core = List.nth hrt_cores (t.hrt_rr mod List.length hrt_cores) in
   t.hrt_rr <- t.hrt_rr + 1;
   let ros_core =
@@ -259,7 +260,10 @@ let create_group t ~name fn =
        by the fabric's shared poller pool, so the partner itself just
        waits for the HRT-exit signal: [pthread_join] semantics without a
        dedicated busy-loop server per group. *)
-    let hrt_th = Hvm.hrt_create_thread t.hvm t.proc ~name:(name ^ "/hrt") ~core:hrt_core hrt_body in
+    let hrt_th =
+      Hvm.hrt_create_thread ~part:t.part t.hvm t.proc ~name:(name ^ "/hrt") ~core:hrt_core
+        hrt_body
+    in
     g.g_hrt <- Some hrt_th;
     Hashtbl.replace t.channels (Exec.tid hrt_th) ep;
     Kernel.register_foreign_thread t.ros t.proc hrt_th;
@@ -600,6 +604,7 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
       hvm;
       ros;
       proc;
+      part = Nautilus.partition nk;
       the_nk = nk;
       the_symbols = Symbols.create nk ~use_cache:use_symbol_cache;
       the_config = config;
@@ -631,8 +636,8 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
       | None -> ());
   Process.add_exit_hook proc (fun _ -> shutdown t);
   Hvm.install_hrt_image hvm ~image_kb nk;
-  Hvm.boot_hrt hvm;
-  Hvm.merge_address_space hvm proc;
+  Hvm.boot_hrt ~part:t.part hvm;
+  Hvm.merge_address_space ~part:t.part hvm proc;
   wire_services t;
   (* The shared ROS-side poller pool replaces the per-group partner server
      loops; pollers account like ordinary process threads. *)
@@ -645,10 +650,22 @@ let init ~hvm ~proc ~fat ~nk ?(channel_kind = Event_channel.Async)
   (* HRT-to-ROS signal injection rides a dedicated fabric endpoint. *)
   let inject_ep =
     Fabric.endpoint fabric ~name:"signals" ~ros_core:(List.hd ros_cores)
-      ~hrt_core:(Topology.first_hrt_core mach.Machine.topo)
+      ~hrt_core:(List.hd (Topology.cores_of mach.Machine.topo t.part))
   in
   Fabric.set_inject_endpoint fabric inject_ep;
   Hvm.set_signal_transport hvm (Some (fun fn -> Fabric.inject fabric fn));
+  (* Elastic partitioning: when a core this fabric routes through is lent
+     away (or reclaimed), re-home the endpoint bindings that referenced
+     it.  Replacement cores are the first remaining ROS core for the
+     server side and the first remaining core of our partition for the
+     HRT side. *)
+  Hvm.on_repartition hvm (fun ~core ~src:_ ~dst:_ ->
+      let topo = mach.Machine.topo in
+      let ros_to = match Topology.ros_cores topo with c :: _ -> Some c | [] -> None in
+      let hrt_to =
+        match Topology.cores_of topo t.part with c :: _ -> Some c | [] -> None
+      in
+      ignore (Fabric.rehome_core fabric ~core ?ros_to ?hrt_to ()));
   (* Local fast paths: vdso-like calls immediately, repeat page faults
      after two forwarded occurrences per page. *)
   Fabric.install_local fabric ~kind:"gettimeofday" ();
@@ -663,6 +680,7 @@ let hrt_env t =
 let symbols t = t.the_symbols
 let config t = t.the_config
 let nk t = t.the_nk
+let partition t = t.part
 let fabric t = t.the_fabric
 let groups_created t = t.next_group - 1
 let faults_serviced_locally t = t.n_local_faults

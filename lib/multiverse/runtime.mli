@@ -99,6 +99,12 @@ val symbols : t -> Symbols.t
 val config : t -> Override_config.t
 val nk : t -> Mv_aerokernel.Nautilus.t
 
+val partition : t -> Mv_hw.Partition.id
+(** The HRT partition this runtime is bound to — the partition its [nk]
+    was created in.  Execution groups round-robin over this partition's
+    cores, and the runtime registers an {!Mv_hvm.Hvm.on_repartition} hook
+    so core lending re-homes its fabric endpoints. *)
+
 val fabric : t -> Mv_hvm.Fabric.t
 (** The forwarding fabric (batching/routing/fast-path counters live
     there). *)

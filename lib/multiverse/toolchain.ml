@@ -41,6 +41,7 @@ type mv_options = {
   mv_sockets : int;
   mv_cores_per_socket : int;
   mv_hrt_cores : int;
+  mv_partitions : int list option;
   mv_placement : Runtime.placement;
   mv_work_stealing : bool;
   mv_trace_limit : int option;
@@ -56,6 +57,7 @@ let default_mv_options =
     mv_sockets = 2;
     mv_cores_per_socket = 4;
     mv_hrt_cores = 1;
+    mv_partitions = None;
     mv_placement = Runtime.Spread;
     mv_work_stealing = false;
     mv_trace_limit = None;
@@ -135,7 +137,8 @@ let setup_multiverse ?costs ~options ~name ~fat body =
   let machine =
     Machine.create ?costs ~huge_pages:options.mv_huge_pages ~sockets:options.mv_sockets
       ~cores_per_socket:options.mv_cores_per_socket ~hrt_cores:options.mv_hrt_cores
-      ~work_stealing:options.mv_work_stealing ?trace_limit:options.mv_trace_limit ()
+      ?hrt_parts:options.mv_partitions ~work_stealing:options.mv_work_stealing
+      ?trace_limit:options.mv_trace_limit ()
   in
   let kernel = Kernel.create machine in
   let hvm = Hvm.create machine ~ros:kernel in

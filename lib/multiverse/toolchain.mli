@@ -41,6 +41,15 @@ type mv_options = {
   mv_sockets : int;  (** machine geometry (default 2 x 4, the reference box) *)
   mv_cores_per_socket : int;
   mv_hrt_cores : int;  (** cores carved out for the HRT partition (default 1) *)
+  mv_partitions : int list option;
+      (** elastic partition spec: [Some [n1; n2; ...]] carves one HRT
+          partition of [ni] cores per entry from the top of the core range
+          (ids 1, 2, ... in spec order).  Overrides [mv_hrt_cores] when
+          set; [Some [n]] is byte-identical to [mv_hrt_cores = n].  The
+          runtime binds to partition 1; further partitions are for
+          multi-tenant drivers that create their own Nautilus instances
+          ({!Mv_aerokernel.Nautilus.create} with [~part]).  Default
+          [None]. *)
   mv_placement : Runtime.placement;
       (** execution-group placement (default [Spread], the historical
           behaviour; [Affine] keeps each group's cores, frames and poller

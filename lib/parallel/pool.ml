@@ -116,8 +116,8 @@ let create backend ~nworkers =
         match backend with
         | Linux env -> env.Mv_guest.Env.thread_create ~name (worker_loop t wk)
         | Aerokernel nk ->
-            (* Spread across the HRT cores. *)
-            let cores = Mv_hw.Topology.hrt_cores machine.Machine.topo in
+            (* Spread across the AeroKernel's partition. *)
+            let cores = Nautilus.cores nk in
             let core = List.nth cores (i mod List.length cores) in
             Nautilus.create_thread_local nk ~name ~core (worker_loop t wk))
       workers;

@@ -45,6 +45,29 @@ let topology =
     cv_kind = "topology";
   }
 
+let partitions =
+  {
+    cv_parse =
+      (fun s ->
+        let fields = String.split_on_char ',' s in
+        let parse f =
+          match int_of_string_opt (String.trim f) with
+          | Some n when n > 0 -> Ok n
+          | Some n -> Error (Printf.sprintf "partition size must be positive, got %d" n)
+          | None -> Error (Printf.sprintf "expected a comma-separated list of core counts (e.g. 2,1), got %S" s)
+        in
+        List.fold_left
+          (fun acc f ->
+            match (acc, parse f) with
+            | Ok sizes, Ok n -> Ok (sizes @ [ n ])
+            | (Error _ as e), _ | _, (Error _ as e) -> e)
+          (Ok []) fields
+        |> function
+        | Ok [] -> Error "expected at least one partition size"
+        | r -> r);
+    cv_kind = "partitions";
+  }
+
 let enum alts =
   {
     cv_parse =

@@ -33,6 +33,12 @@ val topology : (int * int) conv
     an HRT core is carved out, so it is rejected at parse time (usage
     error, exit 2). *)
 
+val partitions : int list conv
+(** An elastic partition spec as comma-separated positive core counts
+    (e.g. ["2,1"]: HRT partition 1 gets 2 cores, partition 2 gets 1).
+    Whether the sizes fit the machine is checked downstream by
+    [Topology.create], which names the offending spec. *)
+
 (** {1 Terms} *)
 
 type 'a t

@@ -116,7 +116,10 @@ let run cfg =
   in
   let exec = machine.Machine.exec in
   let ros_cores = Topology.ros_cores machine.Machine.topo in
-  let hrt_cores = Topology.hrt_cores machine.Machine.topo in
+  let hrt_cores =
+    List.concat_map Mv_hw.Partition.cores
+      (Topology.hrt_partitions machine.Machine.topo)
+  in
   let fabric = Fabric.create machine ~kind:cfg.lg_kind in
   Fabric.set_admission fabric cfg.lg_admission;
   Fabric.start_pool fabric

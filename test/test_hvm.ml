@@ -116,7 +116,7 @@ let test_nk_cpu_setup () =
   let machine = Machine.create () in
   let nk = Nautilus.create machine in
   ignore nk;
-  let hrt_core = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt_core = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   let cpu = machine.Machine.cpus.(hrt_core) in
   check_int "ring 0" 0 cpu.Mv_hw.Cpu.ring;
   check_bool "CR0.WP set (Section 4.4)" true cpu.Mv_hw.Cpu.cr0_wp;
@@ -174,7 +174,7 @@ let test_nk_fault_forwarding_and_remerge () =
       svc_forward_syscall = (fun _ run -> run ());
       svc_request_remerge = (fun () -> ros_pt);
     };
-  let hrt_core = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt_core = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   ignore
     (Exec.spawn machine.Machine.exec ~cpu:hrt_core ~name:"hrt" (fun () ->
          Nautilus.merge_lower_half nk ~from:ros_pt;
@@ -193,9 +193,56 @@ let test_nk_fault_forwarding_and_remerge () =
   Sim.run machine.Machine.sim;
   check_bool "faults were forwarded" true (Nautilus.stats_faults_forwarded nk >= 2)
 
+(* Two HRT partitions merged from the same process: the stale-merge
+   generation is keyed per Nautilus instance, so one partition's re-merge
+   must never mark the other fresh — each detects the ROS's lower-half
+   mutation and re-merges on its own. *)
+let test_two_hrt_merge_generations () =
+  let machine = Machine.create ~hrt_parts:[ 1; 1 ] () in
+  let exec = machine.Machine.exec in
+  let ros_pt = Mv_hw.Page_table.create () in
+  let flags = Mv_hw.Page_table.(f_present lor f_writable lor f_user) in
+  Mv_hw.Page_table.map ros_pt 0x1000 ~frame:1 ~flags;
+  let nk1 = Nautilus.create ~part:1 machine in
+  let nk2 = Nautilus.create ~part:2 machine in
+  let services =
+    {
+      Nautilus.svc_forward_fault = (fun _ ~write:_ -> Nautilus.Fault_fixed);
+      svc_forward_syscall = (fun _ run -> run ());
+      svc_request_remerge = (fun () -> ros_pt);
+    }
+  in
+  Nautilus.set_services nk1 services;
+  Nautilus.set_services nk2 services;
+  let c1 = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
+  ignore
+    (Exec.spawn exec ~cpu:c1 ~name:"driver" (fun () ->
+         Nautilus.merge_lower_half nk1 ~from:ros_pt;
+         Nautilus.merge_lower_half nk2 ~from:ros_pt;
+         Nautilus.access nk1 0x1000 ~write:false;
+         Nautilus.access nk2 0x1000 ~write:false;
+         check_int "nk1 fresh after merge" 0 (Nautilus.stats_remerges nk1);
+         check_int "nk2 fresh after merge" 0 (Nautilus.stats_remerges nk2);
+         (* The ROS installs a mapping under a fresh top-level slot,
+            bumping the lower-half generation both copies snapshotted. *)
+         let far = Mv_hw.Addr.of_indices ~pml4:3 ~pdpt:0 ~pd:0 ~pt:0 ~offset:0 in
+         Mv_hw.Page_table.map ros_pt far ~frame:9 ~flags;
+         Nautilus.access nk1 far ~write:true;
+         check_int "nk1 re-merged" 1 (Nautilus.stats_remerges nk1);
+         check_int "nk1's re-merge must not refresh nk2" 0
+           (Nautilus.stats_remerges nk2);
+         Nautilus.access nk2 far ~write:true;
+         check_int "nk2 re-merged independently" 1 (Nautilus.stats_remerges nk2);
+         check_int "nk1 unaffected by nk2's re-merge" 1
+           (Nautilus.stats_remerges nk1)));
+  Sim.run machine.Machine.sim;
+  check_bool "no forwarding needed: both were generation-stale re-merges" true
+    (Nautilus.stats_faults_forwarded nk1 = 0
+    && Nautilus.stats_faults_forwarded nk2 = 0)
+
 let test_nk_higher_half_fault_fatal () =
   let machine, nk = boot_nk () in
-  let hrt_core = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt_core = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   let failed = ref false in
   (* The 1G identity leaves cover all physical memory, so the first
      unmapped higher-half address is just past it. *)
@@ -232,7 +279,7 @@ let test_nk_syscall_stub_costs () =
       svc_forward_syscall = (fun _ run -> run ());
       svc_request_remerge = (fun () -> Mv_hw.Page_table.create ());
     };
-  let hrt_core = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+  let hrt_core = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
   let cost = ref 0 in
   ignore
     (Exec.spawn machine.Machine.exec ~cpu:hrt_core ~name:"hrt" (fun () ->
@@ -289,7 +336,7 @@ let test_superposition_thread_state () =
          p := Some proc;
          Hvm.install_hrt_image hvm ~image_kb:640 nk;
          Hvm.boot_hrt hvm;
-         let hrt_core = Mv_hw.Topology.first_hrt_core machine.Machine.topo in
+         let hrt_core = List.hd (Mv_hw.Topology.cores_of machine.Machine.topo 1) in
          check_bool "not superimposed yet" false
            (Superposition.verify_superposition nk proc ~core:hrt_core);
          let th = Hvm.hrt_create_thread hvm proc ~name:"t" (fun () -> ()) in
@@ -323,6 +370,7 @@ let suite =
     ("nautilus: cheap thread creation", `Quick, test_nk_thread_creation_cheap);
     ("nautilus: nested threads", `Quick, test_nk_nested_threads);
     ("nautilus: fault forwarding + PML4 re-merge", `Quick, test_nk_fault_forwarding_and_remerge);
+    ("nautilus: per-partition merge generations", `Quick, test_two_hrt_merge_generations);
     ("nautilus: higher-half fault fatal", `Quick, test_nk_higher_half_fault_fatal);
     ("nautilus: syscall stub cost", `Quick, test_nk_syscall_stub_costs);
     ("hvm: ROS marked virtualized", `Quick, test_hvm_marks_ros_virtualized);

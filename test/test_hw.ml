@@ -226,11 +226,41 @@ let test_phys_exhaustion_and_free () =
 
 let test_topology_partition () =
   let topo = Topology.create ~hrt_cores:2 () in
-  Alcotest.(check (list int)) "hrt cores are the last two" [ 6; 7 ] (Topology.hrt_cores topo);
+  Alcotest.(check (list int)) "hrt cores are the last two" [ 6; 7 ] (Topology.cores_of topo 1);
   check_int "six ros cores" 6 (List.length (Topology.ros_cores topo));
   check_bool "same socket" true (Topology.same_socket topo 0 3);
   check_bool "cross socket" false (Topology.same_socket topo 0 4);
-  check_int "first hrt core" 6 (Topology.first_hrt_core topo)
+  check_int "first hrt core" 6 (List.hd (Topology.cores_of topo 1));
+  check_int "two partitions" 2 (Topology.nparts topo);
+  check_int "one hrt partition" 1 (List.length (Topology.hrt_partitions topo));
+  check_int "core 7 owned by partition 1" 1 (Topology.partition_of topo 7);
+  check_int "core 0 owned by the ros" 0 (Topology.partition_of topo 0)
+
+let test_topology_multi_partition () =
+  let topo = Topology.create ~hrt_parts:[ 2; 1 ] () in
+  check_int "three partitions" 3 (Topology.nparts topo);
+  Alcotest.(check (list int)) "partition 1 gets the lower carve" [ 5; 6 ] (Topology.cores_of topo 1);
+  Alcotest.(check (list int)) "partition 2 gets the top core" [ 7 ] (Topology.cores_of topo 2);
+  Alcotest.(check (list int)) "ros keeps the rest" [ 0; 1; 2; 3; 4 ] (Topology.ros_cores topo);
+  check_bool "partition 2 is hrt" true (Partition.is_hrt (Topology.partition topo 2));
+  (* A singleton spec is byte-identical to the legacy hrt_cores carve. *)
+  let legacy = Topology.create ~hrt_cores:2 () in
+  let speced = Topology.create ~hrt_parts:[ 2 ] ~hrt_cores:0 () in
+  Alcotest.(check (list int))
+    "singleton spec matches legacy carve"
+    (Topology.cores_of legacy 1) (Topology.cores_of speced 1)
+
+let test_topology_reassign () =
+  let topo = Topology.create ~hrt_parts:[ 2; 1 ] () in
+  Topology.reassign topo ~core:5 2;
+  check_int "core 5 moved to partition 2" 2 (Topology.partition_of topo 5);
+  check_int "home is still partition 1" 1 (Topology.home_of topo 5);
+  Alcotest.(check (list int)) "partition 2 now holds both" [ 5; 7 ] (Topology.cores_of topo 2);
+  Alcotest.(check (list int)) "partition 1 shrank" [ 6 ] (Topology.cores_of topo 1);
+  check_bool "role still hrt" true (Topology.role topo 5 = Topology.Hrt_core);
+  Topology.reassign topo ~core:5 0;
+  check_bool "lent to ros flips the role" true (Topology.role topo 5 = Topology.Ros_core);
+  Alcotest.(check (list int)) "ros grew" [ 0; 1; 2; 3; 4; 5 ] (Topology.ros_cores topo)
 
 let test_topology_distance () =
   let topo = Topology.create ~sockets:4 ~cores_per_socket:32 ~hrt_cores:16 () in
@@ -261,8 +291,17 @@ let test_phys_alloc_near () =
 
 let test_topology_invalid () =
   Alcotest.check_raises "all cores HRT rejected"
-    (Invalid_argument "Topology.create: hrt_cores must leave at least one ROS core")
-    (fun () -> ignore (Topology.create ~hrt_cores:8 ()))
+    (Invalid_argument
+       "Topology.create: partition spec [8] leaves no ROS core on the 2x4 machine")
+    (fun () -> ignore (Topology.create ~hrt_cores:8 ()));
+  Alcotest.check_raises "greedy spec rejected"
+    (Invalid_argument
+       "Topology.create: partition spec [4,4] leaves no ROS core on the 2x4 machine")
+    (fun () -> ignore (Topology.create ~hrt_parts:[ 4; 4 ] ~hrt_cores:0 ()));
+  Alcotest.check_raises "empty partition rejected"
+    (Invalid_argument
+       "Topology.create: partition 2 of spec [2,0] must have at least one core")
+    (fun () -> ignore (Topology.create ~hrt_parts:[ 2; 0 ] ~hrt_cores:0 ()))
 
 (* --- Mmu --- *)
 
@@ -358,6 +397,8 @@ let suite =
     ("phys: exhaustion and free", `Quick, test_phys_exhaustion_and_free);
     ("phys: alloc_near and fallback order", `Quick, test_phys_alloc_near);
     ("topology: partition", `Quick, test_topology_partition);
+    ("topology: multi-partition spec", `Quick, test_topology_multi_partition);
+    ("topology: reassign under lending", `Quick, test_topology_reassign);
     ("topology: NUMA distance", `Quick, test_topology_distance);
     ("topology: invalid geometry", `Quick, test_topology_invalid);
     ("mmu: hit and not-present fault", `Quick, test_mmu_hit_and_fault);

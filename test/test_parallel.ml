@@ -26,7 +26,7 @@ let in_hrt ?(hrt_cores = 5) f =
   let machine = Machine.create ~hrt_cores () in
   let nk = Mv_aerokernel.Nautilus.create machine in
   let out = ref None in
-  let master = List.hd (Mv_hw.Topology.hrt_cores machine.Machine.topo) in
+  let master = List.hd (Mv_aerokernel.Nautilus.cores nk) in
   ignore
     (Exec.spawn machine.Machine.exec ~cpu:master ~name:"master" (fun () ->
          Mv_aerokernel.Nautilus.boot nk;

@@ -654,6 +654,110 @@ let qcheck_event_queue_vs_model =
       done;
       !ok && Event_queue.next_time q = max_int && Event_queue.peek_time q = None)
 
+(* --- Partition lending: ownership, no stranding, FIFO drain ------- *)
+
+(* A random program of {spawn jobs, sleep, toggle lend/reclaim} against a
+   [2;1] elastic carve.  Jobs land on partition 1's last *current* core,
+   so they ride every re-home.  Invariants, checked synchronously after
+   every operation (the controller's segment is host-atomic):
+
+   - every core belongs to exactly one partition handle at every step;
+   - the instant a lend returns, no job fiber sits on the moved core;
+   - per-queue FIFO across drain/re-home: with the engine's plain FIFO
+     dispatch, the completion stream on each core must be ascending in
+     spawn id — a drain that reordered or interleaved its block would
+     break the subsequence. *)
+let qcheck_lending_invariants =
+  QCheck.Test.make
+    ~name:"partition lending: exclusive ownership, no stranded fiber, FIFO drain"
+    ~count:40
+    QCheck.(list_of_size Gen.(1 -- 14) (pair (int_bound 2) (int_bound 5)))
+    (fun ops ->
+      let module Machine = Mv_engine.Machine in
+      let module Exec = Mv_engine.Exec in
+      let module Topology = Mv_hw.Topology in
+      let machine = Machine.create ~hrt_parts:[ 2; 1 ] () in
+      let exec = machine.Machine.exec in
+      let topo = machine.Machine.topo in
+      let hvm = Mv_hvm.Hvm.create machine ~ros:(Mv_ros.Kernel.create machine) in
+      let lendc = List.nth (Topology.cores_of topo 1) 1 in
+      let bad = ref None in
+      let note msg = if !bad = None then bad := Some msg in
+      let check_ownership () =
+        let owners = Array.make (Topology.ncores topo) 0 in
+        List.iter
+          (fun p ->
+            List.iter (fun c -> owners.(c) <- owners.(c) + 1) (Mv_hw.Partition.cores p))
+          (Topology.partitions topo);
+        Array.iteri
+          (fun c k ->
+            if k <> 1 then note (Printf.sprintf "core %d in %d partitions" c k))
+          owners
+      in
+      let job_tids = Hashtbl.create 32 in
+      let next_job = ref 0 in
+      let completions = ref [] in
+      let spawn_job () =
+        let id = !next_job in
+        incr next_job;
+        let cores = Topology.cores_of topo 1 in
+        let target = List.nth cores (List.length cores - 1) in
+        let th =
+          Exec.spawn exec ~cpu:target
+            ~name:(Printf.sprintf "job-%d" id)
+            (fun () ->
+              Machine.charge machine (300 + (100 * (id mod 4)));
+              completions := (id, Exec.cpu_of (Exec.self exec)) :: !completions)
+        in
+        Hashtbl.replace job_tids (Exec.tid th) id
+      in
+      ignore
+        (Exec.spawn exec ~cpu:0 ~name:"controller" (fun () ->
+             List.iter
+               (fun (kind, arg) ->
+                 (match kind with
+                 | 0 -> for _ = 0 to arg mod 3 do spawn_job () done
+                 | 1 -> Exec.sleep exec ((arg + 1) * 400)
+                 | _ ->
+                     if Topology.partition_of topo lendc = 1 then begin
+                       Mv_hvm.Hvm.lend_core hvm ~core:lendc ~dst:2;
+                       (* No job may remain on the moved core's queue. *)
+                       List.iter
+                         (fun th ->
+                           if Hashtbl.mem job_tids (Exec.tid th) then
+                             note
+                               (Printf.sprintf "job %d stranded on lent core"
+                                  (Hashtbl.find job_tids (Exec.tid th))))
+                         (Exec.runq exec ~cpu:lendc)
+                     end
+                     else Mv_hvm.Hvm.reclaim_core hvm ~core:lendc);
+                 check_ownership ())
+               ops;
+             if Topology.partition_of topo lendc <> 1 then
+               Mv_hvm.Hvm.reclaim_core hvm ~core:lendc));
+      Mv_engine.Sim.run machine.Machine.sim;
+      (match !bad with
+      | Some msg -> QCheck.Test.fail_reportf "%s" msg
+      | None -> ());
+      let done_ids = List.map fst !completions in
+      if List.length done_ids <> !next_job then
+        QCheck.Test.fail_reportf "%d jobs spawned, %d completed" !next_job
+          (List.length done_ids);
+      if List.sort_uniq compare done_ids <> List.sort compare done_ids then
+        QCheck.Test.fail_reportf "a job completed twice";
+      let stream = List.rev !completions in
+      List.for_all
+        (fun cpu ->
+          let mine = List.filter_map (fun (i, c) -> if c = cpu then Some i else None) stream in
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          increasing mine
+          || QCheck.Test.fail_reportf "core %d ran jobs out of spawn order: [%s]" cpu
+               (String.concat ";" (List.map string_of_int mine)))
+        (List.init (Topology.ncores topo) (fun c -> c)))
+
 let suite =
   [
     to_alcotest qcheck_plan_deterministic;
@@ -675,4 +779,5 @@ let suite =
     to_alcotest qcheck_pm_hinted_alloc_vs_model;
     to_alcotest qcheck_pm_conservation;
     to_alcotest qcheck_event_queue_vs_model;
+    to_alcotest qcheck_lending_invariants;
   ]
